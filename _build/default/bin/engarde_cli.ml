@@ -1,0 +1,281 @@
+(* engarde — command-line front end to the reproduction.
+
+   Subcommands:
+     gen        synthesize an evaluation workload as an ELF file
+     inspect    disassemble + run policy modules on an ELF (no enclave)
+     provision  run the full mutually-trusted provisioning protocol
+     rewrite    instrument an unprotected binary into compliance
+     measure    print the enclave measurement a client should expect *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* --- shared converters --- *)
+
+let bench_conv =
+  let parse s =
+    match Toolchain.Workloads.of_string s with
+    | Some b -> Ok b
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown benchmark %S (expected one of: %s)" s
+               (String.concat ", "
+                  (List.map Toolchain.Workloads.to_string Toolchain.Workloads.all))))
+  in
+  let print fmt b = Format.pp_print_string fmt (Toolchain.Workloads.to_string b) in
+  Arg.conv (parse, print)
+
+let variant_conv =
+  let parse = function
+    | "plain" -> Ok Toolchain.Codegen.plain
+    | "stack" -> Ok Toolchain.Codegen.with_stack_protector
+    | "ifcc" -> Ok Toolchain.Codegen.with_ifcc
+    | "stack+ifcc" -> Ok { Toolchain.Codegen.stack_protector = true; ifcc = true }
+    | s -> Error (`Msg (Printf.sprintf "unknown variant %S (plain|stack|ifcc|stack+ifcc)" s))
+  in
+  let print fmt (i : Toolchain.Codegen.instrumentation) =
+    Format.pp_print_string fmt
+      (match (i.stack_protector, i.ifcc) with
+      | false, false -> "plain"
+      | true, false -> "stack"
+      | false, true -> "ifcc"
+      | true, true -> "stack+ifcc")
+  in
+  Arg.conv (parse, print)
+
+let libc_conv =
+  let parse = function
+    | "1.0.5" -> Ok Toolchain.Libc.V1_0_5
+    | "1.0.4" -> Ok Toolchain.Libc.V1_0_4
+    | "tampered" -> Ok Toolchain.Libc.Tampered_1_0_5
+    | s -> Error (`Msg (Printf.sprintf "unknown libc %S (1.0.5|1.0.4|tampered)" s))
+  in
+  let print fmt v = Format.pp_print_string fmt (Toolchain.Libc.version_to_string v) in
+  Arg.conv (parse, print)
+
+let policies_of_names names =
+  List.map
+    (function
+      | "libc" ->
+          Engarde.Policy_libc.make ~db:(Toolchain.Libc.hash_db Toolchain.Libc.V1_0_5) ()
+      | "stack" -> Engarde.Policy_stack.make ~exempt:Toolchain.Libc.function_names ()
+      | "ifcc" -> Engarde.Policy_ifcc.make ()
+      | s -> failwith (Printf.sprintf "unknown policy %S (libc|stack|ifcc)" s))
+    names
+
+let policy_arg =
+  Arg.(
+    value
+    & opt_all (enum [ ("libc", "libc"); ("stack", "stack"); ("ifcc", "ifcc") ]) []
+    & info [ "p"; "policy" ] ~docv:"POLICY"
+        ~doc:"Policy module to enforce: libc, stack or ifcc. Repeatable.")
+
+(* --- gen --- *)
+
+let gen_cmd =
+  let bench =
+    Arg.(
+      required
+      & opt (some bench_conv) None
+      & info [ "b"; "bench" ] ~docv:"BENCH" ~doc:"Benchmark profile to synthesize.")
+  in
+  let variant =
+    Arg.(
+      value
+      & opt variant_conv Toolchain.Codegen.plain
+      & info [ "variant" ] ~docv:"VARIANT" ~doc:"Instrumentation: plain, stack, ifcc.")
+  in
+  let libc =
+    Arg.(
+      value
+      & opt libc_conv Toolchain.Libc.V1_0_5
+      & info [ "libc" ] ~docv:"VERSION" ~doc:"libc version to link: 1.0.5, 1.0.4, tampered.")
+  in
+  let strip =
+    Arg.(value & flag & info [ "strip" ] ~doc:"Strip the symbol table (EnGarde rejects this).")
+  in
+  let output =
+    Arg.(
+      value & opt string "a.elf" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let run bench variant libc strip output =
+    let b = Toolchain.Workloads.build ~libc variant bench in
+    let img = Toolchain.Linker.link ~strip b in
+    write_file output img.Toolchain.Linker.elf;
+    Printf.printf "%s: %s instructions, %d bytes of text, %d symbols, %d relocations -> %s\n"
+      (Toolchain.Workloads.to_string bench)
+      (string_of_int b.Toolchain.Workloads.instructions)
+      (String.length img.Toolchain.Linker.text)
+      (List.length img.Toolchain.Linker.symbols)
+      (List.length img.Toolchain.Linker.relocations)
+      output
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Synthesize an evaluation workload as a static PIE ELF.")
+    Term.(const run $ bench $ variant $ libc $ strip $ output)
+
+(* --- inspect --- *)
+
+let elf_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"ELF" ~doc:"Executable to inspect.")
+
+let inspect_cmd =
+  let run path policy_names =
+    let raw = read_file path in
+    match Elf64.Reader.parse raw with
+    | Error e ->
+        Printf.printf "REJECT (header): %s\n" (Elf64.Reader.error_to_string e);
+        exit 1
+    | Ok elf -> (
+        (match Engarde.Loader.check_page_separation elf with
+        | Ok () -> ()
+        | Error e ->
+            Printf.printf "REJECT (pages): %s\n" (Engarde.Loader.error_to_string e);
+            exit 1);
+        if Elf64.Reader.function_symbols elf = [] then begin
+          Printf.printf "REJECT: stripped binary (no symbol table)\n";
+          exit 1
+        end;
+        let text = List.hd (Elf64.Reader.text_sections elf) in
+        let perf = Sgx.Perf.create () in
+        match
+          Engarde.Disasm.run perf ~code:text.Elf64.Reader.data ~base:text.Elf64.Reader.addr
+            ~symbols:elf.Elf64.Reader.symbols
+        with
+        | Error v ->
+            Printf.printf "REJECT (disassembly): %s\n" (X86.Nacl.violation_to_string v);
+            exit 1
+        | Ok (buffer, symbols) ->
+            Printf.printf "disassembled %d instructions (%d modelled cycles)\n"
+              (Array.length buffer.Engarde.Disasm.entries)
+              (Sgx.Perf.total_cycles perf);
+            let ctx = { Engarde.Policy.buffer; symbols; perf = Sgx.Perf.create () } in
+            let results = Engarde.Policy.run_all ctx (policies_of_names policy_names) in
+            List.iter
+              (fun (name, v) ->
+                Printf.printf "policy %-24s %s\n" name (Engarde.Policy.verdict_to_string v))
+              results;
+            Printf.printf "policy checking: %d modelled cycles\n"
+              (Sgx.Perf.total_cycles ctx.Engarde.Policy.perf);
+            if not (Engarde.Policy.all_compliant results) then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Disassemble an ELF and run policy modules on it (static, no enclave).")
+    Term.(const run $ elf_arg $ policy_arg)
+
+(* --- provision --- *)
+
+let provision_cmd =
+  let heap =
+    Arg.(
+      value & opt int 5000
+      & info [ "heap-pages" ] ~doc:"Initial enclave heap page frames (paper: 5000).")
+  in
+  let rsa =
+    Arg.(
+      value & opt int 512
+      & info [ "rsa-bits" ] ~doc:"Enclave ephemeral RSA modulus size (paper: 2048).")
+  in
+  let run path policy_names heap rsa =
+    let payload = read_file path in
+    let config =
+      {
+        Engarde.Provision.default_config with
+        Engarde.Provision.heap_pages = heap;
+        rsa_bits = rsa;
+        policy_names;
+      }
+    in
+    let o = Engarde.Provision.run ~policies:(policies_of_names policy_names) config ~payload in
+    Printf.printf "enclave measurement: %s\n"
+      (Crypto.Sha256.hex o.Engarde.Provision.measurement);
+    (match o.Engarde.Provision.client_verdict with
+    | Some (ok, detail) -> Printf.printf "client verdict: %s (%s)\n"
+        (if ok then "ACCEPTED" else "REJECTED") detail
+    | None -> Printf.printf "client verdict: none\n");
+    print_endline Engarde.Report.header;
+    print_endline
+      (Engarde.Report.row_to_string
+         (Engarde.Report.row ~benchmark:(Filename.basename path) o.Engarde.Provision.report));
+    match o.Engarde.Provision.result with
+    | Ok loaded ->
+        Printf.printf "loaded: entry=0x%x, %d exec pages, %d data pages, %d relocations\n"
+          loaded.Engarde.Loader.entry
+          (List.length loaded.Engarde.Loader.exec_pages)
+          (List.length loaded.Engarde.Loader.data_pages)
+          loaded.Engarde.Loader.relocations_applied
+    | Error r ->
+        Printf.printf "rejected: %s\n" (Engarde.Provision.rejection_to_string r);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "provision"
+       ~doc:"Run the full mutually-trusted provisioning protocol on an ELF.")
+    Term.(const run $ elf_arg $ policy_arg $ heap $ rsa)
+
+(* --- rewrite --- *)
+
+let rewrite_cmd =
+  let output =
+    Arg.(
+      value & opt string "rewritten.elf"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let run path output =
+    let raw = read_file path in
+    match Elf64.Reader.parse raw with
+    | Error e ->
+        Printf.printf "cannot parse: %s\n" (Elf64.Reader.error_to_string e);
+        exit 1
+    | Ok elf -> (
+        match
+          Engarde.Rewrite.add_stack_protection ~exempt:Toolchain.Libc.function_names elf
+        with
+        | Error e ->
+            Printf.printf "%s\n" (Engarde.Rewrite.error_to_string e);
+            exit 1
+        | Ok rewritten ->
+            write_file output rewritten;
+            Printf.printf "instrumented %s (%d bytes) -> %s (%d bytes)\n" path
+              (String.length raw) output (String.length rewritten))
+  in
+  Cmd.v
+    (Cmd.info "rewrite"
+       ~doc:
+         "Insert stack-protector instrumentation into an unprotected binary (the runtime \
+          extension the paper sketches).")
+    Term.(const run $ elf_arg $ output)
+
+(* --- measure --- *)
+
+let measure_cmd =
+  let run policy_names =
+    let config =
+      { Engarde.Provision.default_config with Engarde.Provision.policy_names } in
+    Printf.printf "%s\n" (Crypto.Sha256.hex (Engarde.Provision.expected_measurement config))
+  in
+  Cmd.v
+    (Cmd.info "measure"
+       ~doc:
+         "Print the measurement a client should expect for an EnGarde enclave built with \
+          the given policy set.")
+    Term.(const run $ policy_arg)
+
+let () =
+  let doc = "EnGarde: mutually-trusted inspection of SGX enclaves (reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "engarde" ~doc) [ gen_cmd; inspect_cmd; provision_cmd; rewrite_cmd; measure_cmd ]))

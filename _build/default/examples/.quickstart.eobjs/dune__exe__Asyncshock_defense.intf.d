@@ -1,0 +1,1 @@
+examples/asyncshock_defense.mli:

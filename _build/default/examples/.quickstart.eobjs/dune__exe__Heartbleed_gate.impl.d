@@ -1,0 +1,1 @@
+examples/heartbleed_gate.ml: Engarde List Printf Toolchain

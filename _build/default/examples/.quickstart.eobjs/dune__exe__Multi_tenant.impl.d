@@ -1,0 +1,1 @@
+examples/multi_tenant.ml: Crypto Engarde List Printf Sgx String Toolchain

@@ -1,0 +1,1 @@
+examples/policy_gate.ml: Engarde List Printf String Toolchain

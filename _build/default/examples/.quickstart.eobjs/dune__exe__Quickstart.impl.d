@@ -1,0 +1,1 @@
+examples/quickstart.ml: Channel Crypto Engarde List Printf Sgx String Toolchain

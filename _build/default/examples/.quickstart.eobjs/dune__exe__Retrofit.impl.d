@@ -1,0 +1,1 @@
+examples/retrofit.ml: Array Elf64 Engarde List Printf Result Sgx String Toolchain

@@ -1,0 +1,56 @@
+(* The paper's motivating library-linking scenario (Section 5): "the
+   cloud provider may wish to ensure that if the client's code uses
+   OpenSSL, then the version of OpenSSL that is used is free of the
+   vulnerability that caused the HeartBleed exploit."
+
+   Here the approved library is musl-libc v1.0.5. Three clients try to
+   provision the same application:
+
+     - client A links the approved v1.0.5            -> accepted
+     - client B links the outdated v1.0.4            -> rejected
+     - client C ships v1.0.5 with a backdoored memcpy -> rejected
+
+   Run with: dune exec examples/heartbleed_gate.exe *)
+
+let provision_client ~name ~libc =
+  Printf.printf "\n--- client %s links %s ---\n" name (Toolchain.Libc.version_to_string libc);
+  let build =
+    Toolchain.Workloads.build ~libc Toolchain.Codegen.plain Toolchain.Workloads.Memcached
+  in
+  let image = Toolchain.Linker.link build in
+  let config =
+    { Engarde.Provision.default_config with
+      Engarde.Provision.heap_pages = 512; image_pages = 2048;
+      seed = "heartbleed-gate/" ^ name;
+      policy_names = [ "library-linking" ] }
+  in
+  (* The reference database is ALWAYS the approved release - that is the
+     whole point: the provider never accepts what the client shipped as
+     its own ground truth. *)
+  let db = Toolchain.Libc.hash_db Toolchain.Libc.V1_0_5 in
+  let outcome =
+    Engarde.Provision.run ~policies:[ Engarde.Policy_libc.make ~db () ] config
+      ~payload:image.Toolchain.Linker.elf
+  in
+  (match outcome.Engarde.Provision.result with
+  | Ok loaded ->
+      Printf.printf "ACCEPTED - %d executable pages provisioned\n"
+        (List.length loaded.Engarde.Loader.exec_pages)
+  | Error r ->
+      Printf.printf "REJECTED - %s\n" (Engarde.Provision.rejection_to_string r));
+  (match outcome.Engarde.Provision.client_verdict with
+  | Some (_, detail) -> Printf.printf "client's view: %s\n" detail
+  | None -> ());
+  outcome
+
+let () =
+  print_endline "Library-version gate: only patched libc releases may run";
+  let a = provision_client ~name:"A" ~libc:Toolchain.Libc.V1_0_5 in
+  let b = provision_client ~name:"B" ~libc:Toolchain.Libc.V1_0_4 in
+  let c = provision_client ~name:"C" ~libc:Toolchain.Libc.Tampered_1_0_5 in
+  print_newline ();
+  let ok o = match o.Engarde.Provision.result with Ok _ -> true | Error _ -> false in
+  assert (ok a && not (ok b) && not (ok c));
+  print_endline "summary: A accepted; B (outdated release) and C (tampered memcpy) rejected";
+  print_endline
+    "the provider learned only the three verdicts - none of the clients' code"

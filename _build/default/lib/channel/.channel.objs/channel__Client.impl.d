@@ -1,0 +1,1 @@
+lib/channel/client.ml: Crypto List Session Sgx String Wire

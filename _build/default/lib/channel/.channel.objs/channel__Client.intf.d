@@ -1,0 +1,1 @@
+lib/channel/client.mli: Crypto Wire

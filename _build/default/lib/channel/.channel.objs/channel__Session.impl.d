@@ -1,0 +1,1 @@
+lib/channel/session.ml: Char Crypto List String Wire

@@ -1,0 +1,1 @@
+lib/channel/session.mli: Wire

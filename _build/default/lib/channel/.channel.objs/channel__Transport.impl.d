@@ -1,0 +1,1 @@
+lib/channel/transport.ml: Fun List Queue Wire

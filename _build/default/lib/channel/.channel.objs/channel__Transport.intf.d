@@ -1,0 +1,1 @@
+lib/channel/transport.mli: Wire

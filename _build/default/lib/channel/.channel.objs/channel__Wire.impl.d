@@ -1,0 +1,1 @@
+lib/channel/wire.ml: Char Printf String

@@ -1,0 +1,73 @@
+type t = {
+  device_pub : Crypto.Rsa.public;
+  expected_measurement : string;
+  payload : string;
+  session_key : string;
+  challenge_bytes : string;
+  mutable session : Session.t option;
+}
+
+type failure =
+  | Bad_quote
+  | Wrong_measurement of string
+  | Bad_enclave_key
+  | Protocol of string
+
+let failure_to_string = function
+  | Bad_quote -> "attestation quote does not verify under the device key"
+  | Wrong_measurement hex -> "enclave measurement mismatch: " ^ hex
+  | Bad_enclave_key -> "quote does not bind the enclave's public key"
+  | Protocol why -> "protocol error: " ^ why
+
+let create ~device_pub ~expected_measurement ~seed ~payload =
+  let drbg = Crypto.Drbg.create ~personalization:"engarde-client" seed in
+  {
+    device_pub;
+    expected_measurement;
+    payload;
+    session_key = Crypto.Drbg.generate drbg 32;
+    challenge_bytes = Crypto.Drbg.generate drbg 16;
+    session = None;
+  }
+
+let challenge t = Wire.Client_hello { challenge = t.challenge_bytes }
+
+let handle_quote t = function
+  | Wire.Quote_response { quote; enclave_pub } -> begin
+      match Sgx.Quote.of_bytes quote with
+      | None -> Error (Protocol "unparseable quote")
+      | Some q ->
+          if not (Sgx.Quote.verify t.device_pub q) then Error Bad_quote
+          else if q.Sgx.Quote.measurement <> t.expected_measurement then
+            Error (Wrong_measurement (Crypto.Sha256.hex q.Sgx.Quote.measurement))
+          else if q.Sgx.Quote.report_data <> Crypto.Sha256.digest enclave_pub then
+            (* The binding of key to enclave is rooted in the quote. *)
+            Error Bad_enclave_key
+          else begin
+            match Crypto.Rsa.pub_of_bytes enclave_pub with
+            | None -> Error (Protocol "unparseable enclave public key")
+            | Some pub ->
+                t.session <- Some (Session.create ~key:t.session_key);
+                Ok (Wire.Wrapped_key { wrapped = Crypto.Rsa.encrypt pub t.session_key })
+          end
+    end
+  | other -> Error (Protocol ("expected quote-response, got " ^ Wire.describe other))
+
+let code_messages t =
+  match t.session with
+  | None -> invalid_arg "Client.code_messages before handle_quote"
+  | Some session ->
+      let blocks =
+        List.map
+          (fun (seq, offset, chunk) -> Session.encrypt_block session ~seq ~offset chunk)
+          (Session.split_payload t.payload)
+      in
+      blocks
+      @ [
+          Wire.Transfer_done
+            { total_len = String.length t.payload; digest = Crypto.Sha256.digest t.payload };
+        ]
+
+let read_verdict = function
+  | Wire.Verdict { accepted; detail } -> Ok (accepted, detail)
+  | other -> Error (Protocol ("expected verdict, got " ^ Wire.describe other))

@@ -1,0 +1,40 @@
+(** The client-side driver of the provisioning protocol.
+
+    The client trusts only: the SGX device attestation key (published by
+    the manufacturer), and the expected measurement of an enclave
+    freshly provisioned with EnGarde plus the agreed policy modules
+    (both provider and client can recompute it, since EnGarde's code is
+    public — Section 3's mutual-trust argument). Everything else —
+    network, host OS, hypervisor, the provider — is adversarial. *)
+
+type t
+
+type failure =
+  | Bad_quote              (** signature invalid under the device key *)
+  | Wrong_measurement of string  (** hex of the measurement we saw *)
+  | Bad_enclave_key        (** report data does not bind the RSA key *)
+  | Protocol of string
+
+val failure_to_string : failure -> string
+
+val create :
+  device_pub:Crypto.Rsa.public ->
+  expected_measurement:string ->
+  seed:string ->
+  payload:string ->
+  t
+(** [payload] is the ELF executable to ship. [seed] drives the client's
+    session-key generation deterministically. *)
+
+val challenge : t -> Wire.t
+(** Step 1: the attestation challenge. *)
+
+val handle_quote : t -> Wire.t -> (Wire.t, failure) result
+(** Step 2: verify the quote; on success returns the [Wrapped_key]
+    message carrying the AES-256 session key under the enclave's RSA
+    public key. *)
+
+val code_messages : t -> Wire.t list
+(** Step 3: the encrypted [Code_block]s followed by [Transfer_done]. *)
+
+val read_verdict : Wire.t -> (bool * string, failure) result

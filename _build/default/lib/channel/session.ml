@@ -1,0 +1,40 @@
+type t = {
+  aes : Crypto.Aes.key;
+  mac_key : string;
+}
+
+let block_size = 4096
+
+let create ~key =
+  if String.length key <> 32 then invalid_arg "Session.create: need a 32-byte key";
+  (* Independent cipher and MAC keys derived from the session key. *)
+  {
+    aes = Crypto.Aes.expand (Crypto.Hmac.sha256 ~key "engarde-block-cipher");
+    mac_key = Crypto.Hmac.sha256 ~key "engarde-block-mac";
+  }
+
+let nonce = String.make 16 '\x00'
+
+let u32 n = String.init 4 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
+
+let mac t ~seq ~offset ct = Crypto.Hmac.sha256 ~key:t.mac_key (u32 seq ^ u32 offset ^ ct)
+
+let encrypt_block t ~seq ~offset plain =
+  let ciphertext = Crypto.Aes.ctr_at ~key:t.aes ~nonce ~offset plain in
+  Wire.Code_block { seq; offset; ciphertext; tag = mac t ~seq ~offset ciphertext }
+
+let decrypt_block t ~seq ~offset ~ciphertext ~tag =
+  if not (Crypto.Hmac.verify ~key:t.mac_key ~msg:(u32 seq ^ u32 offset ^ ciphertext) ~tag) then
+    None
+  else Some (Crypto.Aes.ctr_at ~key:t.aes ~nonce ~offset ciphertext)
+
+let split_payload payload =
+  let len = String.length payload in
+  let rec go seq offset acc =
+    if offset >= len then List.rev acc
+    else begin
+      let n = min block_size (len - offset) in
+      go (seq + 1) (offset + n) ((seq, offset, String.sub payload offset n) :: acc)
+    end
+  in
+  go 0 0 []

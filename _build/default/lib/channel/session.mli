@@ -1,0 +1,25 @@
+(** Block encryption for the code transfer: AES-256-CTR keyed by the
+    client's session key, one keystream positioned by absolute stream
+    offset (so blocks can be decrypted in arrival order), with an
+    HMAC-SHA256 tag over the block header and ciphertext. The paper's
+    enclave receives "the content in encrypted blocks, which EnGarde's
+    crypto library decrypts to form an in-memory executable
+    representation". *)
+
+type t
+
+val create : key:string -> t
+(** [key] is the 32-byte AES-256 session key. *)
+
+val block_size : int
+(** One page, as EnGarde works at page granularity. *)
+
+val encrypt_block : t -> seq:int -> offset:int -> string -> Wire.t
+(** Build an authenticated [Code_block] message. *)
+
+val decrypt_block :
+  t -> seq:int -> offset:int -> ciphertext:string -> tag:string -> string option
+(** [None] when the tag does not verify (tampered or wrong key). *)
+
+val split_payload : string -> (int * int * string) list
+(** [(seq, offset, chunk)] page-sized pieces covering the payload. *)

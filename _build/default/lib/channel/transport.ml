@@ -1,0 +1,24 @@
+type endpoint = {
+  inbox : Wire.t Queue.t;
+  peer_inbox : Wire.t Queue.t;
+  tamper : Wire.t -> Wire.t;
+}
+
+let send ep msg =
+  (* Round-trip through the serializer: what arrives is what the wire
+     carried, even under a tampering adversary. *)
+  let bytes = Wire.to_bytes (ep.tamper msg) in
+  match Wire.of_bytes bytes with
+  | Some msg' -> Queue.add msg' ep.peer_inbox
+  | None -> () (* garbled beyond parsing: dropped, like a bad frame *)
+
+let recv ep = if Queue.is_empty ep.inbox then None else Some (Queue.pop ep.inbox)
+
+let pair ?(tamper = Fun.id) () =
+  let a = Queue.create () and b = Queue.create () in
+  ( { inbox = a; peer_inbox = b; tamper },
+    { inbox = b; peer_inbox = a; tamper } )
+
+let drain ep =
+  let rec go acc = match recv ep with None -> List.rev acc | Some m -> go (m :: acc) in
+  go []

@@ -1,0 +1,22 @@
+(** Bidirectional message transport. The reproduction runs client and
+    enclave in one process, so the default transport is a loopback pair
+    of FIFO queues; a [tamper] hook lets tests model an attacker on the
+    untrusted network path between the client and the enclave (the cloud
+    provider's network — the paper's threat model lets it observe and
+    modify everything outside the enclave). *)
+
+type endpoint
+
+val send : endpoint -> Wire.t -> unit
+val recv : endpoint -> Wire.t option
+(** [None] when the peer has sent nothing (this transport never
+    blocks). *)
+
+val pair : ?tamper:(Wire.t -> Wire.t) -> unit -> endpoint * endpoint
+(** [pair ()] returns (client_end, enclave_end). [tamper] is applied to
+    every message in both directions (default: identity). Messages are
+    re-serialized through {!Wire.to_bytes}, so a tamper function sees
+    exactly what the wire carries. *)
+
+val drain : endpoint -> Wire.t list
+(** All queued incoming messages, in order. *)

@@ -1,0 +1,83 @@
+type t =
+  | Client_hello of { challenge : string }
+  | Quote_response of { quote : string; enclave_pub : string }
+  | Wrapped_key of { wrapped : string }
+  | Code_block of { seq : int; offset : int; ciphertext : string; tag : string }
+  | Transfer_done of { total_len : int; digest : string }
+  | Verdict of { accepted : bool; detail : string }
+
+let u32 n = String.init 4 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
+
+let field s = u32 (String.length s) ^ s
+
+(* Parsing cursor over length-prefixed fields. *)
+exception Short
+
+let read_u32 s pos =
+  if pos + 4 > String.length s then raise Short;
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let read_field s pos =
+  let len = read_u32 s pos in
+  if pos + 4 + len > String.length s then raise Short;
+  (String.sub s (pos + 4) len, pos + 4 + len)
+
+let to_bytes = function
+  | Client_hello { challenge } -> "\x01" ^ field challenge
+  | Quote_response { quote; enclave_pub } -> "\x02" ^ field quote ^ field enclave_pub
+  | Wrapped_key { wrapped } -> "\x03" ^ field wrapped
+  | Code_block { seq; offset; ciphertext; tag } ->
+      "\x04" ^ u32 seq ^ u32 offset ^ field ciphertext ^ field tag
+  | Transfer_done { total_len; digest } -> "\x05" ^ u32 total_len ^ field digest
+  | Verdict { accepted; detail } ->
+      "\x06" ^ (if accepted then "\x01" else "\x00") ^ field detail
+
+let of_bytes s =
+  try
+    if s = "" then None
+    else
+      let body pos = pos in
+      match s.[0] with
+      | '\x01' ->
+          let challenge, fin = read_field s (body 1) in
+          if fin <> String.length s then None else Some (Client_hello { challenge })
+      | '\x02' ->
+          let quote, p = read_field s (body 1) in
+          let enclave_pub, fin = read_field s p in
+          if fin <> String.length s then None else Some (Quote_response { quote; enclave_pub })
+      | '\x03' ->
+          let wrapped, fin = read_field s (body 1) in
+          if fin <> String.length s then None else Some (Wrapped_key { wrapped })
+      | '\x04' ->
+          let seq = read_u32 s 1 in
+          let offset = read_u32 s 5 in
+          let ciphertext, p = read_field s 9 in
+          let tag, fin = read_field s p in
+          if fin <> String.length s then None
+          else Some (Code_block { seq; offset; ciphertext; tag })
+      | '\x05' ->
+          let total_len = read_u32 s 1 in
+          let digest, fin = read_field s 5 in
+          if fin <> String.length s then None else Some (Transfer_done { total_len; digest })
+      | '\x06' ->
+          if String.length s < 2 then None
+          else begin
+            let accepted = s.[1] = '\x01' in
+            let detail, fin = read_field s 2 in
+            if fin <> String.length s then None else Some (Verdict { accepted; detail })
+          end
+      | _ -> None
+  with Short -> None
+
+let equal a b = a = b
+
+let describe = function
+  | Client_hello _ -> "client-hello"
+  | Quote_response _ -> "quote-response"
+  | Wrapped_key _ -> "wrapped-key"
+  | Code_block { seq; _ } -> Printf.sprintf "code-block #%d" seq
+  | Transfer_done _ -> "transfer-done"
+  | Verdict { accepted; _ } -> if accepted then "verdict: accepted" else "verdict: rejected"

@@ -1,0 +1,27 @@
+(** Wire format of the client <-> enclave provisioning protocol
+    (paper, Section 3, "Overall Design"):
+
+    + the client sends a challenge;
+    + the enclave answers with an attestation quote whose report data
+      binds its freshly generated RSA public key;
+    + the client wraps a 256-bit AES session key under that public key;
+    + the client streams its executable in encrypted, authenticated
+      page-sized blocks, then a final digest;
+    + the enclave reports the per-policy verdicts.
+
+    Messages serialize to length-prefixed byte strings so a transport
+    only moves opaque buffers. *)
+
+type t =
+  | Client_hello of { challenge : string }
+  | Quote_response of { quote : string; enclave_pub : string }
+  | Wrapped_key of { wrapped : string }
+  | Code_block of { seq : int; offset : int; ciphertext : string; tag : string }
+  | Transfer_done of { total_len : int; digest : string }
+  | Verdict of { accepted : bool; detail : string }
+
+val to_bytes : t -> string
+val of_bytes : string -> t option
+
+val equal : t -> t -> bool
+val describe : t -> string

@@ -1,0 +1,1 @@
+lib/core/disasm.ml: Array Costmodel Elf64 Hashtbl List Sgx String Symhash X86

@@ -1,0 +1,1 @@
+lib/core/disasm.mli: Elf64 Hashtbl Sgx Symhash X86

@@ -1,0 +1,1 @@
+lib/core/loader.ml: Char Costmodel Elf64 Hashtbl List Printf Sgx String

@@ -1,0 +1,1 @@
+lib/core/loader.mli: Elf64 Sgx

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Disasm List Sgx Symhash

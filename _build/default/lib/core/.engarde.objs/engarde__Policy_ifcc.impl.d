@@ -1,0 +1,1 @@
+lib/core/policy_ifcc.ml: Array Costmodel Disasm Insn List Policy Printf Reg Sgx String Symhash X86

@@ -1,0 +1,1 @@
+lib/core/policy_libc.ml: Array Costmodel Crypto Disasm Hashtbl Insn List Policy Printf Sgx String Symhash X86

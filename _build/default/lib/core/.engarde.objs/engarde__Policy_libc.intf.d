@@ -1,0 +1,1 @@
+lib/core/policy_libc.mli: Policy

@@ -1,0 +1,1 @@
+lib/core/policy_stack.ml: Array Costmodel Disasm Hashtbl Insn List Policy Printf Reg Sgx String Symhash X86

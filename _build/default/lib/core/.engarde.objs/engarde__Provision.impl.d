@@ -1,0 +1,1 @@
+lib/core/provision.ml: Array Channel Crypto Disasm Elf64 Hashtbl List Loader Policy Printf Report Sgx String X86

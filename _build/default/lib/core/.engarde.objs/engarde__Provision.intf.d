@@ -1,0 +1,1 @@
+lib/core/provision.mli: Channel Loader Policy Report Sgx

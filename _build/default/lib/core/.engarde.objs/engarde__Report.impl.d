@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Printf Sgx String

@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Disasm Elf64 Hashtbl Insn List Printf Reg String Toolchain X86

@@ -1,0 +1,1 @@
+lib/core/symhash.ml: Array Costmodel Elf64 Hashtbl List Sgx

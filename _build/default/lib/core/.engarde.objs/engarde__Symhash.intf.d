@@ -1,0 +1,1 @@
+lib/core/symhash.mli: Elf64 Sgx

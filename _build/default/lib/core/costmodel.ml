@@ -1,0 +1,25 @@
+(* Calibrated once against the Nginx row of Figure 3 (262,228
+   instructions; 694M cycles disassembly, 1,307M cycles library-linking
+   policy, 128,696 cycles loading). See EXPERIMENTS.md for the
+   paper-vs-measured table these constants produce. *)
+
+(* Disassembly *)
+let decode_base = 450
+let decode_per_byte = 170
+let decode_per_prefix = 150
+let buffer_record_bytes = 64
+let symhash_insert = 100_000
+
+(* Policy checks *)
+let policy_step = 40
+let call_target_compute = 400
+let hash_per_insn = 300
+let hash_per_byte = 260
+let hash_finalize = 4_000
+let backtrack_step = 30
+let pattern_probe = 55
+
+(* Loading *)
+let load_setup = 3_000
+let load_per_page = 2
+let reloc_apply = 100

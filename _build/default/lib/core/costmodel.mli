@@ -1,0 +1,65 @@
+(** Cycle cost model for EnGarde's provisioning phases.
+
+    The paper measures each phase in CPU cycles under the OpenSGX
+    methodology: SGX instructions cost 10K cycles (see {!Sgx.Perf});
+    ordinary in-enclave work runs "at native speed", which OpenSGX
+    obtains from QEMU instruction counts scaled by natively measured
+    IPC. We reproduce the same structure with per-operation unit costs,
+    calibrated once, globally, against the Nginx row of Figure 3 — never
+    per benchmark. All variation across benchmarks then comes from the
+    structure of the binaries themselves. *)
+
+(** {1 Disassembly phase} *)
+
+val decode_base : int
+(** Cycles to decode one instruction (table dispatch, ModRM parse). *)
+
+val decode_per_byte : int
+(** Additional cycles per instruction byte fetched and parsed. *)
+
+val decode_per_prefix : int
+(** Extra table lookups per prefix byte. *)
+
+val buffer_record_bytes : int
+(** Size of one instruction record in EnGarde's dynamically allocated
+    instruction buffer. The paper allocates the buffer one page at a
+    time to amortize the enclave-exit [malloc] trampoline (Section 4);
+    records per page = 4096 / this. *)
+
+val symhash_insert : int
+(** Cycles to read one symbol-table entry and insert it into the symbol
+    hash table (built during disassembly, Section 4). *)
+
+(** {1 Policy phase} *)
+
+val policy_step : int
+(** Cycles per instruction-buffer entry visited by a linear policy scan. *)
+
+val call_target_compute : int
+(** Computing a direct-call target and consulting the symbol table. *)
+
+val hash_per_insn : int
+(** Reading one instruction out of the buffer into the running SHA-256. *)
+
+val hash_per_byte : int
+(** SHA-256 absorption cost per instruction byte. *)
+
+val hash_finalize : int
+(** Digest finalization plus database comparison. *)
+
+val backtrack_step : int
+(** One instruction visited by the stack-policy backward source scan. *)
+
+val pattern_probe : int
+(** Matching one instruction against the canary epilogue pattern. *)
+
+(** {1 Loading phase} *)
+
+val load_setup : int
+(** Fixed cost: segment table walk, stack setup, control transfer. *)
+
+val load_per_page : int
+(** Mapping one page: page-table entry plus permission bits. *)
+
+val reloc_apply : int
+(** Applying one R_X86_64_RELATIVE relocation (read, add, write). *)

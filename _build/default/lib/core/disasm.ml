@@ -1,0 +1,65 @@
+type entry = {
+  addr : int;
+  insn : X86.Insn.t;
+  len : int;
+  meta : X86.Decoder.meta;
+}
+
+type buffer = {
+  entries : entry array;
+  base : int;
+  code : string;
+  index : (int, int) Hashtbl.t;
+}
+
+(* The mli exposes buffer without the index field; reconstruct accessors
+   here. *)
+
+let index_of_addr b addr = Hashtbl.find_opt b.index addr
+
+let bytes_between b ~lo ~hi =
+  if hi < lo || lo < b.base || hi > b.base + String.length b.code then
+    invalid_arg "Disasm.bytes_between";
+  String.sub b.code (lo - b.base) (hi - lo)
+
+let records_per_page = Sgx.Epc.page_size / Costmodel.buffer_record_bytes
+
+let run ?(alloc = `Page) perf ~code ~base ~symbols =
+  let roots =
+    List.filter_map
+      (fun (s : Elf64.Types.symbol) ->
+        if Elf64.Types.symbol_is_func s then Some (s.st_value - base) else None)
+      symbols
+  in
+  match X86.Nacl.validate ~roots code with
+  | Error v -> Error v
+  | Ok decoded ->
+      let n = Array.length decoded in
+      (* Decode cost: table dispatch + per byte + per prefix byte. *)
+      Array.iter
+        (fun (d : X86.Decoder.decoded) ->
+          Sgx.Perf.count_cycles perf
+            (Costmodel.decode_base
+            + (Costmodel.decode_per_byte * d.meta.len)
+            + (Costmodel.decode_per_prefix * d.meta.n_prefix)))
+        decoded;
+      (* Buffer memory comes from malloc, which exits the enclave via a
+         trampoline. The paper's optimization allocates a page at a time
+         (Section 4); the naive alternative pays one trampoline per
+         instruction record (the ablation benchmark measures the gap). *)
+      let trampolines =
+        match alloc with
+        | `Page -> (n + records_per_page - 1) / records_per_page
+        | `Record -> n
+      in
+      for _ = 1 to trampolines do Sgx.Perf.trampoline perf done;
+      let entries =
+        Array.map
+          (fun (d : X86.Decoder.decoded) ->
+            { addr = base + d.off; insn = d.insn; len = d.meta.len; meta = d.meta })
+          decoded
+      in
+      let index = Hashtbl.create (2 * n) in
+      Array.iteri (fun i e -> Hashtbl.replace index e.addr i) entries;
+      let symhash = Symhash.build perf symbols in
+      Ok ({ entries; base; code; index }, symhash)

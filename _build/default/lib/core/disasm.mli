@@ -1,0 +1,43 @@
+(** In-enclave disassembly driver (paper, Section 4).
+
+    Sweeps the client executable's text section with the NaCl-style
+    decoder, validating the NaCl constraints (bundle discipline, branch
+    targets, reachability from the entry point and function symbols) and
+    accumulating every decoded instruction into a dynamically allocated
+    instruction buffer — the input all policy modules consume. The
+    buffer grows one page at a time: each page allocation costs one
+    enclave-exit trampoline, the paper's explicit [malloc] optimization. *)
+
+type entry = {
+  addr : int;                 (** virtual address of the instruction *)
+  insn : X86.Insn.t;
+  len : int;
+  meta : X86.Decoder.meta;
+}
+
+type buffer = {
+  entries : entry array;      (** in address order *)
+  base : int;                 (** vaddr of the first code byte *)
+  code : string;              (** raw text bytes, for hashing *)
+  index : (int, int) Hashtbl.t;  (** vaddr -> entry index (use
+                                     {!index_of_addr}) *)
+}
+
+val index_of_addr : buffer -> int -> int option
+(** Buffer index of the instruction starting at a virtual address. *)
+
+val bytes_between : buffer -> lo:int -> hi:int -> string
+(** Raw code bytes for the vaddr range [lo, hi). *)
+
+val run :
+  ?alloc:[ `Page | `Record ] ->
+  Sgx.Perf.t ->
+  code:string ->
+  base:int ->
+  symbols:Elf64.Types.symbol list ->
+  (buffer * Symhash.t, X86.Nacl.violation) result
+(** Disassemble, validate, build the symbol hash table; charge all
+    modelled cycles (decode work, malloc trampolines, symbol inserts) to
+    the counter. [alloc] selects the buffer-growth strategy: [`Page]
+    (the paper's page-at-a-time malloc, default) or [`Record] (naive
+    per-instruction allocation — the ablation baseline). *)

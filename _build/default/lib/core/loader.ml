@@ -1,0 +1,131 @@
+type error =
+  | Mixed_page of int
+  | Unsupported_reloc of int
+  | Reloc_outside_data of int
+  | Image_out_of_range of string
+
+let error_to_string = function
+  | Mixed_page vaddr -> Printf.sprintf "page 0x%x contains both code and data" vaddr
+  | Unsupported_reloc ty -> Printf.sprintf "unsupported relocation type %d" ty
+  | Reloc_outside_data off -> Printf.sprintf "relocation at 0x%x is outside any data section" off
+  | Image_out_of_range why -> "image does not fit the enclave: " ^ why
+
+let page = Sgx.Epc.page_size
+
+let pages_of ~addr ~size =
+  if size <= 0 then []
+  else begin
+    let first = addr / page and last = (addr + size - 1) / page in
+    List.init (last - first + 1) (fun i -> (first + i) * page)
+  end
+
+let section_pages kind_filter (elf : Elf64.Reader.t) =
+  List.concat_map
+    (fun (s : Elf64.Reader.section) -> pages_of ~addr:s.addr ~size:s.size)
+    (kind_filter elf)
+
+let check_page_separation elf =
+  let code = section_pages Elf64.Reader.text_sections elf in
+  let data = section_pages Elf64.Reader.data_sections elf in
+  let code_set = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace code_set p ()) code;
+  match List.find_opt (fun p -> Hashtbl.mem code_set p) data with
+  | Some p -> Error (Mixed_page p)
+  | None -> Ok ()
+
+type loaded = {
+  exec_pages : int list;
+  data_pages : int list;
+  entry : int;
+  stack_top : int;
+  load_bias : int;
+  relocations_applied : int;
+}
+
+let u64le v = String.init 8 (fun i -> Char.chr ((v lsr (8 * i)) land 0xff))
+
+let dedup_sorted l = List.sort_uniq compare l
+
+let load perf ~enclave ~host ~bias ~stack_pages (elf : Elf64.Reader.t) =
+  match check_page_separation elf with
+  | Error e -> Error e
+  | Ok () -> begin
+      try
+        Sgx.Perf.count_cycles perf Costmodel.load_setup;
+        (* Map text: copy each executable section to its biased address. *)
+        let texts = Elf64.Reader.text_sections elf in
+        let datas = Elf64.Reader.data_sections elf in
+        List.iter
+          (fun (s : Elf64.Reader.section) ->
+            Sgx.Enclave.write enclave ~vaddr:(s.addr + bias) s.data)
+          texts;
+        List.iter
+          (fun (s : Elf64.Reader.section) ->
+            let bytes =
+              if s.kind = Elf64.Types.sht_nobits then String.make s.size '\x00' else s.data
+            in
+            Sgx.Enclave.write enclave ~vaddr:(s.addr + bias) bytes)
+          datas;
+        let exec_pages =
+          dedup_sorted
+            (List.concat_map
+               (fun (s : Elf64.Reader.section) -> pages_of ~addr:(s.addr + bias) ~size:s.size)
+               texts)
+        in
+        let image_data_pages =
+          dedup_sorted
+            (List.concat_map
+               (fun (s : Elf64.Reader.section) -> pages_of ~addr:(s.addr + bias) ~size:s.size)
+               datas)
+        in
+        List.iter
+          (fun _ -> Sgx.Perf.count_cycles perf Costmodel.load_per_page)
+          (exec_pages @ image_data_pages);
+        (* Relocations, from the table the .dynamic section names. *)
+        let data_covers off =
+          List.exists
+            (fun (s : Elf64.Reader.section) -> off >= s.addr && off + 8 <= s.addr + s.size)
+            datas
+        in
+        let applied = ref 0 in
+        let reloc_error = ref None in
+        List.iter
+          (fun (r : Elf64.Types.rela) ->
+            if !reloc_error = None then begin
+              if r.r_type <> Elf64.Types.r_x86_64_relative then
+                reloc_error := Some (Unsupported_reloc r.r_type)
+              else if not (data_covers r.r_offset) then
+                reloc_error := Some (Reloc_outside_data r.r_offset)
+              else begin
+                Sgx.Perf.count_cycles perf Costmodel.reloc_apply;
+                Sgx.Enclave.write enclave ~vaddr:(r.r_offset + bias) (u64le (r.r_addend + bias));
+                incr applied
+              end
+            end)
+          elf.Elf64.Reader.relocations;
+        match !reloc_error with
+        | Some e -> Error e
+        | None ->
+            (* Call stack above the highest image page. *)
+            let top_image =
+              List.fold_left (fun acc p -> max acc p) 0 (exec_pages @ image_data_pages)
+            in
+            let stack_base = top_image + page in
+            let stack_pages_list = List.init stack_pages (fun i -> stack_base + (i * page)) in
+            let stack_top = stack_base + (stack_pages * page) in
+            Sgx.Perf.count_cycles perf (Costmodel.load_per_page * stack_pages);
+            let data_pages = dedup_sorted (image_data_pages @ stack_pages_list) in
+            (* Hand the host kernel component the page lists: X^W and
+               seal against extension. *)
+            Sgx.Host_os.provision_permissions host enclave ~exec_pages ~data_pages;
+            Ok
+              {
+                exec_pages;
+                data_pages;
+                entry = elf.Elf64.Reader.entry + bias;
+                stack_top;
+                load_bias = bias;
+                relocations_applied = !applied;
+              }
+      with Sgx.Enclave.Sgx_fault why -> Error (Image_out_of_range why)
+    end

@@ -1,0 +1,43 @@
+(** The in-enclave loader (paper, Section 4, "Loading"): after the
+    policy modules approve the executable, maps text, data and bss into
+    enclave memory, applies the relocations named by the [.dynamic]
+    section, sets up a call stack, and hands the host's kernel component
+    the page lists so it can enforce W^X and seal the enclave.
+
+    Also hosts the page-granularity pre-check EnGarde performs before
+    disassembly: pages must hold either code or data, never both. *)
+
+type error =
+  | Mixed_page of int          (** page vaddr holding both code and data *)
+  | Unsupported_reloc of int   (** relocation type other than RELATIVE *)
+  | Reloc_outside_data of int  (** r_offset not inside a data section *)
+  | Image_out_of_range of string
+
+val error_to_string : error -> string
+
+val check_page_separation : Elf64.Reader.t -> (unit, error) result
+(** The "rejects pages that contain mixed code and data" check. *)
+
+type loaded = {
+  exec_pages : int list;       (** enclave page vaddrs holding code *)
+  data_pages : int list;       (** enclave page vaddrs holding data/bss/stack *)
+  entry : int;                 (** biased entry point *)
+  stack_top : int;
+  load_bias : int;
+  relocations_applied : int;
+}
+
+val load :
+  Sgx.Perf.t ->
+  enclave:Sgx.Enclave.t ->
+  host:Sgx.Host_os.t ->
+  bias:int ->
+  stack_pages:int ->
+  Elf64.Reader.t ->
+  (loaded, error) result
+(** Copy the image into the enclave at its link addresses plus [bias]
+    (the enclave must already be entered, with the target pages
+    committed and writable), apply relocations with the bias added to
+    every addend, reserve [stack_pages] above the image for the call
+    stack, then drive {!Sgx.Host_os.provision_permissions}: code pages
+    r-x, data pages rw-, enclave sealed. *)

@@ -1,0 +1,23 @@
+type verdict =
+  | Compliant
+  | Violation of string
+
+type context = {
+  buffer : Disasm.buffer;
+  symbols : Symhash.t;
+  perf : Sgx.Perf.t;
+}
+
+type t = {
+  name : string;
+  check : context -> verdict;
+}
+
+let run_all ctx policies = List.map (fun p -> (p.name, p.check ctx)) policies
+
+let all_compliant results =
+  List.for_all (fun (_, v) -> match v with Compliant -> true | Violation _ -> false) results
+
+let verdict_to_string = function
+  | Compliant -> "compliant"
+  | Violation why -> "violation: " ^ why

@@ -1,0 +1,35 @@
+(** Pluggable policy modules (paper, Section 3): "EnGarde checks
+    policies using pluggable policy modules. Each policy module checks
+    compliance for a specific property, and the specific policy modules
+    that are loaded during enclave creation depend upon the policies
+    that the client and cloud provider have agreed upon."
+
+    A module receives the disassembled instruction buffer and the symbol
+    hash table, charges its inspection work to the policy-phase cycle
+    counter, and returns a verdict. The only information a verdict leaks
+    to the cloud provider is compliance plus a human-readable reason on
+    rejection — never code contents. *)
+
+type verdict =
+  | Compliant
+  | Violation of string  (** why the binary was rejected *)
+
+type context = {
+  buffer : Disasm.buffer;
+  symbols : Symhash.t;
+  perf : Sgx.Perf.t;       (** the policy-phase counter *)
+}
+
+type t = {
+  name : string;
+  check : context -> verdict;
+}
+
+val run_all : context -> t list -> (string * verdict) list
+(** Run each module in order (even after a failure: the provider learns
+    every violated policy, as separate negotiations may care about
+    different subsets). *)
+
+val all_compliant : (string * verdict) list -> bool
+
+val verdict_to_string : verdict -> string

@@ -1,0 +1,17 @@
+(** Indirect function-call compliance (paper, Section 5, "Restricting
+    Indirect Function Calls").
+
+    Checks that the executable carries Google IFCC instrumentation: the
+    module first locates the jump table by scanning for runs of
+    [jmpq rel32; nopl (%rax)] entry pairs (the format LLVM's IFCC patch
+    emits), then verifies that every indirect call is immediately
+    preceded by the masking sequence
+
+    {v lea table(%rip),%rax ; sub %eax,%ecx ; and $MASK,%rcx ;
+       add %rax,%rcx ; callq *%rcx v}
+
+    with consistent register dataflow, and that the computed target —
+    table base plus the masked pointer offset — falls inside the
+    detected jump table. *)
+
+val make : unit -> Policy.t

@@ -1,0 +1,163 @@
+open X86
+
+(* A store to a stack slot: mov %reg, disp(%rsp|%rbp). *)
+let stack_store (i : Insn.t) =
+  match (i.Insn.mnem, i.Insn.ops) with
+  | Insn.MOV, [ Insn.Reg (_, src); Insn.Mem (_, m) ] -> begin
+      match m.Insn.base with
+      | Some b when (Reg.equal b Reg.RSP || Reg.equal b Reg.RBP) && not m.Insn.seg_fs ->
+          Some src
+      | Some _ | None -> None
+    end
+  | _ -> None
+
+let canary_load_into r (i : Insn.t) =
+  match (i.Insn.mnem, i.Insn.ops) with
+  | Insn.MOV, [ Insn.Mem (_, m); Insn.Reg (_, dst) ] ->
+      m.Insn.seg_fs && m.Insn.disp = 0x28 && m.Insn.base = None && Reg.equal dst r
+  | _ -> false
+
+(* Does this instruction (re)define register r? Destination is the last
+   operand under the AT&T convention the IR uses. *)
+let defines r (i : Insn.t) =
+  match (i.Insn.mnem, List.rev i.Insn.ops) with
+  | (Insn.MOV | Insn.LEA | Insn.ADD | Insn.SUB | Insn.AND | Insn.OR | Insn.XOR
+    | Insn.IMUL | Insn.SHL | Insn.SHR),
+    Insn.Reg (_, dst) :: _ ->
+      Reg.equal dst r
+  | Insn.POP, [ Insn.Reg (_, dst) ] -> Reg.equal dst r
+  | _ -> false
+
+let is_nop (i : Insn.t) = match i.Insn.mnem with Insn.NOP -> true | _ -> false
+
+let cmp_rsp_reg (i : Insn.t) =
+  match (i.Insn.mnem, i.Insn.ops) with
+  | Insn.CMP, [ Insn.Mem (_, m); Insn.Reg (_, r) ] -> begin
+      match m.Insn.base with
+      | Some b when Reg.equal b Reg.RSP && m.Insn.disp = 0 && not m.Insn.seg_fs -> Some r
+      | Some _ | None -> None
+    end
+  | _ -> None
+
+let make ?(exempt = []) () =
+  let exempt_tbl = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace exempt_tbl n ()) exempt;
+  let check (ctx : Policy.context) =
+    let b = ctx.Policy.buffer in
+    let perf = ctx.Policy.perf in
+    let entries = b.Disasm.entries in
+    let fn_end addr =
+      match Symhash.function_end ctx.Policy.symbols addr with
+      | Some e -> e
+      | None -> b.Disasm.base + String.length b.Disasm.code
+    in
+    (* The canary epilogue pattern, scanned over [i0, i1): cmp preceded
+       by a canary load, then jne to a callq of __stack_chk_fail. *)
+    (* NaCl bundle padding may interleave nops anywhere, so adjacency
+       is modulo padding: [prev]/[next] skip nop runs. *)
+    let prev_non_nop i lo =
+      let rec go j = if j < lo then None else if is_nop entries.(j).Disasm.insn then go (j - 1) else Some j in
+      go (i - 1)
+    in
+    let next_non_nop i hi =
+      let rec go j = if j >= hi then None else if is_nop entries.(j).Disasm.insn then go (j + 1) else Some j in
+      go (i + 1)
+    in
+    let epilogue_pattern_found i0 i1 =
+      let found = ref false in
+      for i = i0 + 1 to i1 - 1 do
+        Sgx.Perf.count_cycles perf Costmodel.pattern_probe;
+        if not !found then
+          match cmp_rsp_reg entries.(i).Disasm.insn with
+          | Some r2
+            when (match prev_non_nop i i0 with
+                 | Some p -> canary_load_into r2 entries.(p).Disasm.insn
+                 | None -> false) -> begin
+              (* Next instruction must be a jne whose target is a callq
+                 resolving to __stack_chk_fail. *)
+              match next_non_nop i i1 with
+              | None -> ()
+              | Some inext -> begin
+                match entries.(inext).Disasm.insn with
+                | { Insn.mnem = Insn.JCC Insn.NE; ops = [ Insn.Rel rel ] } -> begin
+                    let e = entries.(inext) in
+                    let jt = e.Disasm.addr + e.Disasm.len + rel in
+                    match Disasm.index_of_addr b jt with
+                    | Some k -> begin
+                        match entries.(k).Disasm.insn with
+                        | { Insn.mnem = Insn.CALL; ops = [ Insn.Rel crel ] } ->
+                            let ct = entries.(k).Disasm.addr + entries.(k).Disasm.len + crel in
+                            (match Symhash.name_of_addr ctx.Policy.symbols ct with
+                            | Some "__stack_chk_fail" -> found := true
+                            | Some _ | None -> ())
+                        | _ -> ()
+                      end
+                    | None -> ()
+                  end
+                | _ -> ()
+              end
+            end
+          | Some _ | None -> ()
+      done;
+      !found
+    in
+    let check_function (addr, name) =
+      if Hashtbl.mem exempt_tbl name then None
+      else begin
+        match Disasm.index_of_addr b addr with
+        | None -> Some (Printf.sprintf "function %s is not within the code" name)
+        | Some i0 ->
+            let stop = fn_end addr in
+            (* Find the function's entry range. *)
+            let i1 =
+              let rec go i =
+                if i >= Array.length entries || entries.(i).Disasm.addr >= stop then i
+                else go (i + 1)
+              in
+              go i0
+            in
+            let protected = ref false in
+            let candidates = ref 0 in
+            for i = i0 to i1 - 1 do
+              Sgx.Perf.count_cycles perf Costmodel.policy_step;
+              match stack_store entries.(i).Disasm.insn with
+              | None -> ()
+              | Some src ->
+                  incr candidates;
+                  (* Backward scan for the defining instruction of the
+                     store's source register. *)
+                  let rec back j =
+                    if j < i0 then false
+                    else begin
+                      Sgx.Perf.count_cycles perf Costmodel.backtrack_step;
+                      if canary_load_into src entries.(j).Disasm.insn then true
+                      else if defines src entries.(j).Disasm.insn then false
+                      else back (j - 1)
+                    end
+                  in
+                  let source_is_canary = back (i - 1) in
+                  (* The paper's policy then checks whether the function
+                     contains the epilogue pattern — a full scan per
+                     candidate (the quadratic part). *)
+                  let pattern = epilogue_pattern_found i0 i1 in
+                  if source_is_canary && pattern then protected := true
+            done;
+            if !candidates = 0 then None (* nothing writes the stack: exempt *)
+            else if !protected then None
+            else Some (Printf.sprintf "function %s lacks stack-protector instrumentation" name)
+      end
+    in
+    let rec first_violation = function
+      | [] -> Policy.Compliant
+      | f :: rest -> (
+          match check_function f with
+          | Some v ->
+              (* Keep scanning the remaining functions so the charged
+                 cost reflects a full pass, then report. *)
+              List.iter (fun f -> ignore (check_function f)) rest;
+              Policy.Violation v
+          | None -> first_violation rest)
+    in
+    first_violation (Symhash.functions ctx.Policy.symbols)
+  in
+  { Policy.name = "stack-protection"; check }

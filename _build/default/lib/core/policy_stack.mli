@@ -1,0 +1,22 @@
+(** Stack-protection compliance (paper, Section 5, "Compliance for
+    Stack Protection").
+
+    For each function, every store to a stack slot is a potential canary
+    store. Following the paper's algorithm literally, the module
+    (1) identifies the store's source register and scans backwards for
+    the instruction that defined it, expecting [mov %fs:0x28, %reg];
+    (2) scans the function for a [cmp (%rsp), %reg2] immediately
+    preceded by another canary load into %reg2; and (3) follows the
+    [jne] to a [callq] whose target the symbol hash table resolves to
+    [__stack_chk_fail]. A function complies when at least one candidate
+    completes all three steps. The per-candidate full-function scan is
+    what makes this check quadratic in function size — the effect behind
+    401.bzip2's outsized cost in Figure 4.
+
+    Exemptions: functions named in [exempt] (the prebuilt libc the
+    client links was not recompiled with the flag — Figure 4's
+    instruction deltas show only application code gained canaries), and
+    functions containing no stack stores at all (nothing to protect:
+    [_start], jump-table entries, pure-compute pads). *)
+
+val make : ?exempt:string list -> unit -> Policy.t

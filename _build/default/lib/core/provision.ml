@@ -1,0 +1,312 @@
+type config = {
+  epc_pages : int;
+  heap_pages : int;
+  bootstrap_pages : int;
+  image_pages : int;
+  rsa_bits : int;
+  stack_pages : int;
+  seed : string;
+  policy_names : string list;
+}
+
+let default_config =
+  {
+    epc_pages = Sgx.Epc.default_pages;
+    heap_pages = 5000;
+    bootstrap_pages = 64;
+    image_pages = 8192;
+    rsa_bits = 512;
+    stack_pages = 16;
+    seed = "engarde-default-seed";
+    policy_names = [];
+  }
+
+let page = Sgx.Epc.page_size
+let enclave_base = 0x1000_0000
+
+(* Enclave layout: bootstrap | staging (client file bytes land here) |
+   image region (loader target). Staging and image are carved out of
+   the preallocated heap. *)
+let bootstrap_base = enclave_base
+let staging_base c = bootstrap_base + (c.bootstrap_pages * page)
+let image_region_base = enclave_base + 0x200_0000
+
+let enclave_size = 0x400_0000 (* 64 MB of virtual range *)
+
+type rejection =
+  | Transfer_tampered of string
+  | Bad_elf of string
+  | Stripped_binary
+  | Mixed_pages of string
+  | Disassembly_failed of string
+  | Policy_violations of (string * Policy.verdict) list
+  | Load_failed of string
+
+let rejection_to_string = function
+  | Transfer_tampered why -> "transfer tampered: " ^ why
+  | Bad_elf why -> "malformed executable: " ^ why
+  | Stripped_binary -> "binary has no symbol table (stripped binaries are auto-rejected)"
+  | Mixed_pages why -> why
+  | Disassembly_failed why -> "disassembly failed: " ^ why
+  | Policy_violations results ->
+      let bad =
+        List.filter_map
+          (fun (name, v) ->
+            match v with
+            | Policy.Compliant -> None
+            | Policy.Violation why -> Some (name ^ ": " ^ why))
+          results
+      in
+      "policy violations: " ^ String.concat "; " bad
+  | Load_failed why -> "loading failed: " ^ why
+
+type outcome = {
+  result : (Loader.loaded, rejection) result;
+  report : Report.t;
+  policy_results : (string * Policy.verdict) list;
+  measurement : string;
+  enclave : Sgx.Enclave.t;
+  host : Sgx.Host_os.t;
+  client_verdict : (bool * string) option;
+  attestation_failure : Channel.Client.failure option;
+}
+
+(* The EnGarde bootstrap pages: deterministic content derived from the
+   runtime version and the agreed policy module set, so loading a
+   different policy configuration yields a different measurement — the
+   property the client's attestation check rests on. *)
+let bootstrap_content c =
+  let drbg =
+    Crypto.Drbg.create ~personalization:"engarde-bootstrap-v1"
+      (String.concat "," c.policy_names)
+  in
+  List.init c.bootstrap_pages (fun _ -> Crypto.Drbg.generate drbg page)
+
+(* The build plan both the host (for real) and the client (pure replay)
+   walk: ECREATE parameters plus every measured page. *)
+let build_plan c =
+  let bootstrap =
+    List.mapi
+      (fun i content -> (bootstrap_base + (i * page), Sgx.Enclave.rx, content))
+      (bootstrap_content c)
+  in
+  let zero = String.make page '\x00' in
+  let heap =
+    List.init c.heap_pages (fun i -> (staging_base c + (i * page), Sgx.Enclave.rw, zero))
+  in
+  (* The image region is committed too (SGX1 commits everything at
+     build; the developer must predict maximum sizes — Section 4). *)
+  let max_image = (enclave_base + enclave_size - image_region_base) / page in
+  let image =
+    List.init (min c.image_pages max_image)
+      (fun i -> (image_region_base + (i * page), Sgx.Enclave.rw, zero))
+  in
+  bootstrap @ heap @ image
+
+let measurement_memo : (config, string) Hashtbl.t = Hashtbl.create 4
+
+let expected_measurement c =
+  match Hashtbl.find_opt measurement_memo c with
+  | Some m -> m
+  | None ->
+      let m = Sgx.Measurement.start ~base:enclave_base ~size:enclave_size in
+      List.iter
+        (fun (vaddr, perm, content) ->
+          Sgx.Measurement.add_page m ~vaddr ~perms:(Sgx.Enclave.perm_to_string perm);
+          Sgx.Measurement.extend m ~vaddr ~content)
+        (build_plan c);
+      let d = Sgx.Measurement.finalize m in
+      Hashtbl.replace measurement_memo c d;
+      d
+
+let build_enclave c epc perf =
+  let enclave = Sgx.Enclave.ecreate epc ~perf ~base:enclave_base ~size:enclave_size () in
+  List.iter
+    (fun (vaddr, perm, content) -> Sgx.Enclave.eadd enclave ~vaddr ~perm ~content)
+    (build_plan c);
+  let measurement = Sgx.Enclave.einit enclave in
+  (enclave, measurement)
+
+exception Reject of rejection
+
+let run ?tamper ?(policies = []) c ~payload =
+  let report = Report.create () in
+  let epc = Sgx.Epc.create ~pages:c.epc_pages ~seed:(c.seed ^ "/epc") () in
+  let host = Sgx.Host_os.create () in
+  let device = Sgx.Quote.device_create ~seed:(c.seed ^ "/device") in
+  let enclave, measurement = build_enclave c epc report.Report.provisioning in
+
+  (* Enclave-side ephemeral keypair; its hash goes into the quote. *)
+  let enclave_drbg = Crypto.Drbg.create ~personalization:"engarde-enclave" (c.seed ^ measurement) in
+  let keypair = Crypto.Rsa.generate enclave_drbg ~bits:c.rsa_bits in
+  let pub_bytes = Crypto.Rsa.pub_to_bytes keypair.Crypto.Rsa.pub in
+  let quote =
+    Sgx.Quote.quote device ~enclave ~report_data:(Crypto.Sha256.digest pub_bytes)
+  in
+
+  let client =
+    Channel.Client.create
+      ~device_pub:(Sgx.Quote.device_public device)
+      ~expected_measurement:(expected_measurement c)
+      ~seed:(c.seed ^ "/client") ~payload
+  in
+  let client_ep, enclave_ep = Channel.Transport.pair ?tamper () in
+
+  (* --- attestation handshake over the channel --- *)
+  Channel.Transport.send client_ep (Channel.Client.challenge client);
+  let _hello = Channel.Transport.recv enclave_ep in
+  Channel.Transport.send enclave_ep
+    (Channel.Wire.Quote_response { quote = Sgx.Quote.to_bytes quote; enclave_pub = pub_bytes });
+
+  let finish ~result ~policy_results ~attestation_failure ~client_verdict =
+    {
+      result;
+      report;
+      policy_results;
+      measurement;
+      enclave;
+      host;
+      client_verdict;
+      attestation_failure;
+    }
+  in
+  match Channel.Transport.recv client_ep with
+  | None ->
+      finish
+        ~result:(Error (Transfer_tampered "quote never arrived"))
+        ~policy_results:[] ~attestation_failure:(Some (Channel.Client.Protocol "no quote"))
+        ~client_verdict:None
+  | Some quote_msg -> begin
+      match Channel.Client.handle_quote client quote_msg with
+      | Error failure ->
+          (* The client aborts: it will not hand its code to an enclave
+             it cannot authenticate. *)
+          finish
+            ~result:(Error (Transfer_tampered "client aborted after attestation"))
+            ~policy_results:[] ~attestation_failure:(Some failure) ~client_verdict:None
+      | Ok wrapped_key_msg -> begin
+          Channel.Transport.send client_ep wrapped_key_msg;
+          List.iter (Channel.Transport.send client_ep) (Channel.Client.code_messages client);
+          (* --- enclave side: unwrap the key, decrypt blocks --- *)
+          Sgx.Enclave.eenter enclave;
+          let run_enclave_side () =
+            let session =
+              match Channel.Transport.recv enclave_ep with
+              | Some (Channel.Wire.Wrapped_key { wrapped }) -> begin
+                  match Crypto.Rsa.decrypt keypair wrapped with
+                  | Some key when String.length key = 32 -> Channel.Session.create ~key
+                  | Some _ | None ->
+                      raise (Reject (Transfer_tampered "session key unwrap failed"))
+                end
+              | Some m ->
+                  raise
+                    (Reject (Transfer_tampered ("expected wrapped key, got " ^ Channel.Wire.describe m)))
+              | None -> raise (Reject (Transfer_tampered "no wrapped key"))
+            in
+            (* Receive blocks into the staging area. *)
+            let staging = staging_base c in
+            let total = ref None in
+            let digest = ref "" in
+            let received = ref 0 in
+            let rec drain () =
+              match Channel.Transport.recv enclave_ep with
+              | None -> ()
+              | Some (Channel.Wire.Code_block { seq; offset; ciphertext; tag }) -> begin
+                  match Channel.Session.decrypt_block session ~seq ~offset ~ciphertext ~tag with
+                  | None ->
+                      raise
+                        (Reject
+                           (Transfer_tampered
+                              (Printf.sprintf "block %d failed authentication" seq)))
+                  | Some plain ->
+                      Sgx.Enclave.write enclave ~vaddr:(staging + offset) plain;
+                      received := max !received (offset + String.length plain);
+                      drain ()
+                end
+              | Some (Channel.Wire.Transfer_done { total_len; digest = d }) ->
+                  total := Some total_len;
+                  digest := d;
+                  drain ()
+              | Some _ -> drain ()
+            in
+            drain ();
+            let total_len =
+              match !total with
+              | Some t -> t
+              | None -> raise (Reject (Transfer_tampered "transfer never completed"))
+            in
+            if total_len <> !received then
+              raise (Reject (Transfer_tampered "missing blocks"));
+            let file = Sgx.Enclave.read enclave ~vaddr:staging ~len:total_len in
+            if Crypto.Sha256.digest file <> !digest then
+              raise (Reject (Transfer_tampered "payload digest mismatch"));
+            (* --- header validation --- *)
+            let elf =
+              match Elf64.Reader.parse file with
+              | Ok elf -> elf
+              | Error e -> raise (Reject (Bad_elf (Elf64.Reader.error_to_string e)))
+            in
+            if Elf64.Reader.function_symbols elf = [] then raise (Reject Stripped_binary);
+            (match Loader.check_page_separation elf with
+            | Ok () -> ()
+            | Error e -> raise (Reject (Mixed_pages (Loader.error_to_string e))));
+            (* --- disassembly --- *)
+            let text =
+              match Elf64.Reader.text_sections elf with
+              | [ t ] -> t
+              | [] -> raise (Reject (Bad_elf "no executable section"))
+              | _ -> raise (Reject (Bad_elf "multiple text sections unsupported"))
+            in
+            let buffer, symbols =
+              match
+                Disasm.run report.Report.disassembly ~code:text.Elf64.Reader.data
+                  ~base:text.Elf64.Reader.addr ~symbols:elf.Elf64.Reader.symbols
+              with
+              | Ok r -> r
+              | Error v -> raise (Reject (Disassembly_failed (X86.Nacl.violation_to_string v)))
+            in
+            report.Report.instructions <- Array.length buffer.Disasm.entries;
+            (* --- policy modules --- *)
+            let ctx = { Policy.buffer; symbols; perf = report.Report.policy } in
+            let policy_results = Policy.run_all ctx policies in
+            if not (Policy.all_compliant policy_results) then begin
+              ignore (raise (Reject (Policy_violations policy_results)))
+            end;
+            (* --- loading --- *)
+            let loaded =
+              match
+                Loader.load report.Report.loading ~enclave ~host ~bias:image_region_base
+                  ~stack_pages:c.stack_pages elf
+              with
+              | Ok l -> l
+              | Error e -> raise (Reject (Load_failed (Loader.error_to_string e)))
+            in
+            (loaded, policy_results)
+          in
+          let result, policy_results =
+            match run_enclave_side () with
+            | loaded, policy_results -> (Ok loaded, policy_results)
+            | exception Reject (Policy_violations results as r) -> (Error r, results)
+            | exception Reject r -> (Error r, [])
+            | exception Sgx.Enclave.Sgx_fault why -> (Error (Load_failed why), [])
+          in
+          Sgx.Enclave.eexit enclave;
+          (* --- verdict back to the client --- *)
+          let accepted, detail =
+            match result with
+            | Ok loaded ->
+                ( true,
+                  Printf.sprintf "policy-compliant; %d executable pages, %d relocations"
+                    (List.length loaded.Loader.exec_pages)
+                    loaded.Loader.relocations_applied )
+            | Error r -> (false, rejection_to_string r)
+          in
+          Channel.Transport.send enclave_ep (Channel.Wire.Verdict { accepted; detail });
+          let client_verdict =
+            match Channel.Transport.drain client_ep with
+            | [ v ] -> (match Channel.Client.read_verdict v with Ok r -> Some r | Error _ -> None)
+            | _ -> None
+          in
+          finish ~result ~policy_results ~attestation_failure:None ~client_verdict
+        end
+    end

@@ -1,0 +1,71 @@
+(** End-to-end enclave provisioning (paper, Figure 1 and Section 3).
+
+    The provider creates a fresh enclave containing the EnGarde
+    bootstrap (crypto library, loader, the agreed policy modules) plus a
+    preallocated heap (OpenSGX commits all enclave memory at build time;
+    the paper raises the initial heap to 5000 page frames). The client
+    attests the enclave, wraps an AES-256 session key under the
+    enclave's ephemeral RSA key, and streams its executable in encrypted
+    blocks. EnGarde decrypts, validates the ELF header, rejects stripped
+    binaries and mixed code/data pages, disassembles under the NaCl
+    constraints, runs every policy module, and only then loads,
+    relocates, applies W^X and seals the enclave. The provider learns
+    the verdict and the executable page list — nothing else. *)
+
+type config = {
+  epc_pages : int;           (** 32000 in the paper's OpenSGX patch *)
+  heap_pages : int;          (** 5000 initial heap frames, per the paper *)
+  bootstrap_pages : int;     (** pages of EnGarde runtime measured in *)
+  image_pages : int;         (** pages committed for the client image
+                                 (SGX1: all memory committed at build) *)
+  rsa_bits : int;            (** enclave ephemeral keypair; 2048 in the
+                                 paper, smaller keeps tests fast *)
+  stack_pages : int;
+  seed : string;             (** all protocol randomness derives from it *)
+  policy_names : string list;
+      (** measured into the enclave: changing the agreed policy set
+          changes the measurement the client expects *)
+}
+
+val default_config : config
+
+val enclave_base : int
+val image_region_base : int
+(** Where the client image lands inside the enclave (= load bias). *)
+
+type rejection =
+  | Transfer_tampered of string   (** block authentication failed *)
+  | Bad_elf of string             (** header validation failure *)
+  | Stripped_binary               (** no symbol table: auto-rejected *)
+  | Mixed_pages of string
+  | Disassembly_failed of string  (** NaCl constraint violation *)
+  | Policy_violations of (string * Policy.verdict) list
+  | Load_failed of string
+
+val rejection_to_string : rejection -> string
+
+type outcome = {
+  result : (Loader.loaded, rejection) result;
+  report : Report.t;
+  policy_results : (string * Policy.verdict) list;
+  measurement : string;
+  enclave : Sgx.Enclave.t;
+  host : Sgx.Host_os.t;
+  client_verdict : (bool * string) option;
+      (** what the client read back over the channel *)
+  attestation_failure : Channel.Client.failure option;
+}
+
+val expected_measurement : config -> string
+(** What both parties compute for a correctly built EnGarde enclave —
+    pure replay of the build log, no EPC needed. *)
+
+val run :
+  ?tamper:(Channel.Wire.t -> Channel.Wire.t) ->
+  ?policies:(Policy.t list) ->
+  config ->
+  payload:string ->
+  outcome
+(** Execute the whole protocol over a loopback transport. [tamper]
+    models an adversary on the untrusted path. [policies] defaults to
+    none (pure loading); pass the agreed modules for compliance runs. *)

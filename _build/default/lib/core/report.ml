@@ -1,0 +1,55 @@
+type t = {
+  mutable instructions : int;
+  disassembly : Sgx.Perf.t;
+  policy : Sgx.Perf.t;
+  loading : Sgx.Perf.t;
+  provisioning : Sgx.Perf.t;
+}
+
+let create () =
+  {
+    instructions = 0;
+    disassembly = Sgx.Perf.create ();
+    policy = Sgx.Perf.create ();
+    loading = Sgx.Perf.create ();
+    provisioning = Sgx.Perf.create ();
+  }
+
+type row = {
+  benchmark : string;
+  n_instructions : int;
+  disassembly_cycles : int;
+  policy_cycles : int;
+  loading_cycles : int;
+}
+
+let row ~benchmark t =
+  {
+    benchmark;
+    n_instructions = t.instructions;
+    disassembly_cycles = Sgx.Perf.total_cycles t.disassembly;
+    policy_cycles = Sgx.Perf.total_cycles t.policy;
+    loading_cycles = Sgx.Perf.total_cycles t.loading;
+  }
+
+(* Thousands separators, as the paper prints its tables. *)
+let commas n =
+  let s = string_of_int n in
+  let len = String.length s in
+  let b = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char b ',';
+      Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let header =
+  Printf.sprintf "%-12s %10s %16s %16s %14s" "Benchmark" "#Inst." "Disassembly"
+    "Policy Checking" "Load+Reloc"
+
+let row_to_string r =
+  Printf.sprintf "%-12s %10s %16s %16s %14s" r.benchmark (commas r.n_instructions)
+    (commas r.disassembly_cycles) (commas r.policy_cycles) (commas r.loading_cycles)
+
+let wall_clock_ms ~cycles ~ghz = float_of_int cycles /. (ghz *. 1e9) *. 1000.

@@ -1,0 +1,34 @@
+(** Per-phase cycle reports — the quantities Figures 3, 4 and 5 tabulate
+    for each benchmark: instruction count, disassembly cycles,
+    policy-checking cycles, and loading-and-relocation cycles. *)
+
+type t = {
+  mutable instructions : int;
+  disassembly : Sgx.Perf.t;
+  policy : Sgx.Perf.t;
+  loading : Sgx.Perf.t;
+  provisioning : Sgx.Perf.t;
+      (** channel + crypto + enclave build overheads; not part of the
+          paper's tables but reported for completeness *)
+}
+
+val create : unit -> t
+
+type row = {
+  benchmark : string;
+  n_instructions : int;
+  disassembly_cycles : int;
+  policy_cycles : int;
+  loading_cycles : int;
+}
+
+val row : benchmark:string -> t -> row
+
+val row_to_string : row -> string
+(** Fixed-width line matching the paper's table layout. *)
+
+val header : string
+
+val wall_clock_ms : cycles:int -> ghz:float -> float
+(** The paper's conversion: cycles at a given clock rate (3.5 GHz in
+    their setup) to milliseconds. *)

@@ -1,0 +1,35 @@
+(** Binary rewriting: the extension the paper sketches but does not
+    build (Section 1: "One can also imagine an extension of EnGarde that
+    instruments client code to enforce policies at runtime, but our
+    current implementation only implements support for static code
+    inspection").
+
+    This module closes that gap for the stack-protection policy: given a
+    policy-rejected executable, it lifts every function back to the
+    symbolic assembly IR (branch targets to labels, calls and
+    RIP-relative data references to symbols), inserts the canary
+    prologue/epilogue into every function that stores to the stack,
+    appends a [__stack_chk_fail] handler if the binary lacks one, and
+    re-links a fresh PIE whose layout, symbols and relocations are all
+    consistent — so the rewritten binary passes the same EnGarde
+    inspection that rejected the original.
+
+    The rewriter works under the same assumptions EnGarde's disassembler
+    already imposes (NaCl-validated code, symbol table present), which
+    is what makes reliable lifting possible. *)
+
+type error =
+  | Not_rewritable of string
+      (** e.g. stripped binary, unliftable reference *)
+
+val error_to_string : error -> string
+
+val add_stack_protection :
+  ?exempt:string list -> Elf64.Reader.t -> (string, error) result
+(** Returns the bytes of the rewritten ELF. Functions that already
+    carry the canary sequence, functions with no stack stores, and
+    functions named in [exempt] are left untouched (modulo relayout) —
+    pass the agreed libc name list so the library-linking hashes of the
+    rewritten binary still match the reference database. Binaries with
+    IFCC jump tables are refused (relayout would break the 8-byte entry
+    stride the masking relies on). *)

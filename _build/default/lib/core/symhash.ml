@@ -1,0 +1,37 @@
+type t = {
+  by_addr : (int, string) Hashtbl.t;
+  sorted : int array; (* function start addresses, ascending *)
+}
+
+let build perf symbols =
+  let funcs = List.filter Elf64.Types.symbol_is_func symbols in
+  let by_addr = Hashtbl.create (2 * List.length funcs) in
+  List.iter
+    (fun (s : Elf64.Types.symbol) ->
+      Sgx.Perf.count_cycles perf Costmodel.symhash_insert;
+      Hashtbl.replace by_addr s.st_value s.st_name)
+    funcs;
+  let sorted =
+    Hashtbl.fold (fun addr _ acc -> addr :: acc) by_addr []
+    |> List.sort_uniq compare |> Array.of_list
+  in
+  { by_addr; sorted }
+
+let size t = Array.length t.sorted
+let name_of_addr t addr = Hashtbl.find_opt t.by_addr addr
+let is_function_start t addr = Hashtbl.mem t.by_addr addr
+
+(* Binary search for the smallest start address > addr. *)
+let function_end t addr =
+  let n = Array.length t.sorted in
+  let rec go lo hi =
+    if lo >= hi then if lo < n then Some t.sorted.(lo) else None
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.sorted.(mid) <= addr then go (mid + 1) hi else go lo mid
+    end
+  in
+  go 0 n
+
+let functions t =
+  Array.to_list t.sorted |> List.map (fun addr -> (addr, Hashtbl.find t.by_addr addr))

@@ -1,0 +1,27 @@
+(** The symbol hash table EnGarde's loader constructs while
+    disassembling (paper, Section 4): "a symbol hash table whose key is
+    the address of a function and value is the name of the function",
+    used by policy modules to resolve call targets and to detect where
+    one function ends and the next begins. *)
+
+type t
+
+val build : Sgx.Perf.t -> Elf64.Types.symbol list -> t
+(** Insert every function symbol, charging {!Costmodel.symhash_insert}
+    cycles per entry to the given counter. Non-function symbols are
+    skipped (the policies only resolve code addresses). *)
+
+val size : t -> int
+
+val name_of_addr : t -> int -> string option
+(** Exact-address lookup: the start of a function (or jump-table entry). *)
+
+val is_function_start : t -> int -> bool
+
+val function_end : t -> int -> int option
+(** [function_end t addr] is the address of the next function start
+    strictly after [addr] — where the paper's hash policy stops reading
+    a function's instructions — or [None] past the last symbol. *)
+
+val functions : t -> (int * string) list
+(** All (address, name) pairs in address order. *)

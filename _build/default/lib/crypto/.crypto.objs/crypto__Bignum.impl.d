@@ -1,0 +1,1 @@
+lib/crypto/bignum.ml: Array Bytes Char Format List Sha256 Stdlib String

@@ -1,0 +1,1 @@
+lib/crypto/fastrand.ml: Char Drbg Int64 Sha256 String

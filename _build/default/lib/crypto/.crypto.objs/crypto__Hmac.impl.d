@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Bytes Char Sha256 String

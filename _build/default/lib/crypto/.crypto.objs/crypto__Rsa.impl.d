@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bignum Bytes Char Drbg Sha256 String

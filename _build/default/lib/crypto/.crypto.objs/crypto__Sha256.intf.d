@@ -1,0 +1,1 @@
+lib/crypto/sha256.mli:

@@ -1,0 +1,449 @@
+(* Little-endian arrays of 26-bit limbs. Canonical form: no trailing
+   (most-significant) zero limbs; zero is the empty array. 26-bit limbs
+   keep every intermediate product and carry well inside OCaml's 63-bit
+   native ints: a schoolbook product limb is < 2^52 and even a full row
+   of accumulated products stays < 2^62 for the sizes RSA needs. *)
+
+let limb_bits = 26
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let norm (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignum.of_int: negative";
+  let rec limbs n acc = if n = 0 then List.rev acc else limbs (n lsr limb_bits) ((n land mask) :: acc) in
+  Array.of_list (limbs n [])
+
+let one = of_int 1
+let two = of_int 2
+
+let is_zero a = Array.length a = 0
+let is_odd a = Array.length a > 0 && a.(0) land 1 = 1
+
+let to_int_opt a =
+  let n = Array.length a in
+  if n * limb_bits <= 62 then begin
+    let v = ref 0 in
+    for i = n - 1 downto 0 do v := (!v lsl limb_bits) lor a.(i) done;
+    Some !v
+  end
+  else begin
+    (* May still fit: check top limbs are small enough. *)
+    let v = ref 0 and ok = ref true in
+    for i = n - 1 downto 0 do
+      if !v > (max_int - a.(i)) lsr limb_bits then ok := false
+      else v := (!v lsl limb_bits) lor a.(i)
+    done;
+    if !ok then Some !v else None
+  end
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let bit_length a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let top = a.(n - 1) in
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    ((n - 1) * limb_bits) + width top 0
+  end
+
+let testbit a i =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = 1 + max la lb in
+  let out = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    out.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  norm out
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Bignum.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin out.(i) <- d + base; borrow := 1 end
+    else begin out.(i) <- d; borrow := 0 end
+  done;
+  assert (!borrow = 0);
+  norm out
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let t = out.(i + j) + (ai * b.(j)) + !carry in
+        out.(i + j) <- t land mask;
+        carry := t lsr limb_bits
+      done;
+      (* Propagate the final carry; it can exceed one limb. *)
+      let k = ref (i + lb) in
+      while !carry > 0 do
+        let t = out.(!k) + !carry in
+        out.(!k) <- t land mask;
+        carry := t lsr limb_bits;
+        incr k
+      done
+    done;
+    norm out
+  end
+
+let shift_left a bits =
+  if bits < 0 then invalid_arg "Bignum.shift_left";
+  if is_zero a || bits = 0 then (if bits = 0 then a else a)
+  else begin
+    let limbs = bits / limb_bits and off = bits mod limb_bits in
+    let la = Array.length a in
+    let out = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl off in
+      out.(i + limbs) <- out.(i + limbs) lor (v land mask);
+      out.(i + limbs + 1) <- out.(i + limbs + 1) lor (v lsr limb_bits)
+    done;
+    norm out
+  end
+
+let shift_right a bits =
+  if bits < 0 then invalid_arg "Bignum.shift_right";
+  let limbs = bits / limb_bits and off = bits mod limb_bits in
+  let la = Array.length a in
+  if limbs >= la then zero
+  else begin
+    let n = la - limbs in
+    let out = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let lo = a.(i + limbs) lsr off in
+      let hi = if off > 0 && i + limbs + 1 < la then (a.(i + limbs + 1) lsl (limb_bits - off)) land mask else 0 in
+      out.(i) <- lo lor hi
+    done;
+    norm out
+  end
+
+(* Knuth Algorithm D, base 2^26. *)
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    (* Short division. *)
+    let d = b.(0) in
+    let la = Array.length a in
+    let q = Array.make la 0 in
+    let r = ref 0 in
+    for i = la - 1 downto 0 do
+      let cur = (!r lsl limb_bits) lor a.(i) in
+      q.(i) <- cur / d;
+      r := cur mod d
+    done;
+    (norm q, of_int !r)
+  end
+  else begin
+    (* Normalize so the divisor's top limb has its high bit set. *)
+    let shift =
+      let top = b.(Array.length b - 1) in
+      let rec go v acc = if v land (1 lsl (limb_bits - 1)) <> 0 then acc else go (v lsl 1) (acc + 1) in
+      go top 0
+    in
+    let u = shift_left a shift and v = shift_left b shift in
+    let n = Array.length v in
+    let m = Array.length u - n in
+    let u = Array.append u (Array.make (m + n + 1 - Array.length u) 0) in
+    let q = Array.make (m + 1) 0 in
+    let vt = v.(n - 1) and vt2 = if n >= 2 then v.(n - 2) else 0 in
+    for j = m downto 0 do
+      let num = (u.(j + n) lsl limb_bits) lor u.(j + n - 1) in
+      let qhat = ref (num / vt) and rhat = ref (num mod vt) in
+      if !qhat >= base then begin qhat := base - 1; rhat := num - (!qhat * vt) end;
+      while !rhat < base && !qhat * vt2 > ((!rhat lsl limb_bits) lor (if j + n - 2 >= 0 then u.(j + n - 2) else 0)) do
+        decr qhat;
+        rhat := !rhat + vt
+      done;
+      (* Multiply-subtract qhat * v from u[j .. j+n]. *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * v.(i)) + !carry in
+        carry := p lsr limb_bits;
+        let d = u.(j + i) - (p land mask) - !borrow in
+        if d < 0 then begin u.(j + i) <- d + base; borrow := 1 end
+        else begin u.(j + i) <- d; borrow := 0 end
+      done;
+      let d = u.(j + n) - !carry - !borrow in
+      if d < 0 then begin
+        (* qhat was one too large: add v back. *)
+        u.(j + n) <- d + base;
+        decr qhat;
+        let c = ref 0 in
+        for i = 0 to n - 1 do
+          let s = u.(j + i) + v.(i) + !c in
+          u.(j + i) <- s land mask;
+          c := s lsr limb_bits
+        done;
+        u.(j + n) <- (u.(j + n) + !c) land mask
+      end
+      else u.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    let r = norm (Array.sub u 0 n) in
+    (norm q, shift_right r shift)
+  end
+
+let rem a b = snd (divmod a b)
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+(* Extended Euclid on naturals, tracking signed Bezout coefficient for a. *)
+let invmod a m =
+  if is_zero m then invalid_arg "Bignum.invmod: zero modulus";
+  let a = rem a m in
+  (* (r0, s0_sign, s0) with invariant s0 * a = r0 (mod m), s0 signed. *)
+  let rec go r0 r1 s0 s0neg s1 s1neg =
+    if is_zero r1 then begin
+      if not (equal r0 one) then raise Not_found;
+      if s0neg then sub m (rem s0 m) |> fun x -> if equal x m then zero else x
+      else rem s0 m
+    end
+    else begin
+      let q, r2 = divmod r0 r1 in
+      (* s2 = s0 - q * s1 with sign tracking. *)
+      let qs1 = mul q s1 in
+      let s2, s2neg =
+        if s0neg = s1neg then
+          (* same sign: s0 - q*s1 may flip *)
+          if compare s0 qs1 >= 0 then (sub s0 qs1, s0neg) else (sub qs1 s0, not s0neg)
+        else (add s0 qs1, s0neg)
+      in
+      go r1 r2 s1 s1neg s2 s2neg
+    end
+  in
+  go m a zero false one false |> fun inv ->
+  (* We computed the inverse of a starting with r0 = m, s0 = 0; the
+     recursion's second column tracks a's coefficient. *)
+  inv
+
+(* Montgomery multiplication for odd modulus. R = base^n. *)
+type mont = {
+  m : t;
+  n : int;            (* limb count of m *)
+  m0inv : int;        (* -m^-1 mod base *)
+  r2 : t;             (* R^2 mod m, to convert into the domain *)
+}
+
+let mont_init m =
+  let n = Array.length m in
+  (* Inverse of m.(0) modulo 2^26 by Newton iteration. *)
+  let m0 = m.(0) in
+  let inv = ref 1 in
+  for _ = 0 to 5 do inv := (!inv * (2 - (m0 * !inv))) land mask done;
+  let m0inv = (base - !inv) land mask in
+  let r = shift_left one (n * limb_bits) in
+  let r2 = rem (mul r r) m in
+  { m; n; m0inv; r2 }
+
+(* CIOS Montgomery product: returns a*b*R^-1 mod m. Operands are limb
+   arrays of length <= n (zero-extended). *)
+let mont_mul ctx a b =
+  let n = ctx.n in
+  let m = ctx.m in
+  let t = Array.make (n + 2) 0 in
+  let get (x : t) i = if i < Array.length x then x.(i) else 0 in
+  for i = 0 to n - 1 do
+    let ai = get a i in
+    (* t += ai * b *)
+    let carry = ref 0 in
+    for j = 0 to n - 1 do
+      let s = t.(j) + (ai * get b j) + !carry in
+      t.(j) <- s land mask;
+      carry := s lsr limb_bits
+    done;
+    let s = t.(n) + !carry in
+    t.(n) <- s land mask;
+    t.(n + 1) <- t.(n + 1) + (s lsr limb_bits);
+    (* u = t0 * m0inv mod base; t += u * m; t >>= limb *)
+    let u = (t.(0) * ctx.m0inv) land mask in
+    let carry = ref 0 in
+    let s0 = t.(0) + (u * m.(0)) in
+    carry := s0 lsr limb_bits;
+    for j = 1 to n - 1 do
+      let s = t.(j) + (u * m.(j)) + !carry in
+      t.(j - 1) <- s land mask;
+      carry := s lsr limb_bits
+    done;
+    let s = t.(n) + !carry in
+    t.(n - 1) <- s land mask;
+    let s2 = t.(n + 1) + (s lsr limb_bits) in
+    t.(n) <- s2 land mask;
+    t.(n + 1) <- s2 lsr limb_bits
+  done;
+  let res = norm (Array.sub t 0 (n + 1)) in
+  if compare res m >= 0 then sub res m else res
+
+let modpow ~base:b ~exp ~modulus =
+  if is_zero modulus then raise Division_by_zero;
+  if equal modulus one then zero
+  else if is_odd modulus then begin
+    let ctx = mont_init modulus in
+    let b = rem b modulus in
+    let bm = mont_mul ctx b ctx.r2 in
+    let acc = ref (mont_mul ctx one ctx.r2) in
+    for i = bit_length exp - 1 downto 0 do
+      acc := mont_mul ctx !acc !acc;
+      if testbit exp i then acc := mont_mul ctx !acc bm
+    done;
+    mont_mul ctx !acc one
+  end
+  else begin
+    let b = rem b modulus in
+    let acc = ref (rem one modulus) in
+    for i = bit_length exp - 1 downto 0 do
+      acc := rem (mul !acc !acc) modulus;
+      if testbit exp i then acc := rem (mul !acc b) modulus
+    done;
+    !acc
+  end
+
+let of_bytes_be s =
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c))) s;
+  !acc
+
+let to_bytes_be ?width a =
+  let nbytes = (bit_length a + 7) / 8 in
+  let nbytes = max nbytes 1 in
+  let width = match width with None -> nbytes | Some w -> w in
+  if nbytes > width && not (is_zero a) then invalid_arg "Bignum.to_bytes_be: width too small";
+  if is_zero a then String.make width '\x00'
+  else begin
+    let out = Bytes.make width '\x00' in
+    let v = ref a in
+    let i = ref (width - 1) in
+    while not (is_zero !v) do
+      let byte = match to_int_opt (rem !v (of_int 256)) with Some x -> x | None -> assert false in
+      Bytes.set out !i (Char.chr byte);
+      v := shift_right !v 8;
+      decr i
+    done;
+    Bytes.to_string out
+  end
+
+let of_hex s =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Bignum.of_hex"
+  in
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left !acc 4) (of_int (digit c))) s;
+  !acc
+
+let to_hex a =
+  if is_zero a then "0"
+  else begin
+    let s = to_bytes_be a in
+    let h = Sha256.hex s in
+    (* Strip a single leading zero nibble if present. *)
+    if String.length h > 1 && h.[0] = '0' then String.sub h 1 (String.length h - 1) else h
+  end
+
+let random_bits rand bits =
+  if bits <= 0 then zero
+  else begin
+    let nbytes = (bits + 7) / 8 in
+    let raw = rand nbytes in
+    let v = of_bytes_be raw in
+    let excess = (nbytes * 8) - bits in
+    shift_right v excess
+  end
+
+let small_primes =
+  [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61;
+    67; 71; 73; 79; 83; 89; 97; 101; 103; 107; 109; 113; 127; 131; 137;
+    139; 149; 151; 157; 163; 167; 173; 179; 181; 191; 193; 197; 199 ]
+
+let is_probable_prime rand n =
+  if compare n two < 0 then false
+  else if List.exists (fun p -> equal n (of_int p)) small_primes then true
+  else if not (is_odd n) then false
+  else if List.exists (fun p -> is_zero (rem n (of_int p))) small_primes then false
+  else begin
+    begin
+      (* n - 1 = d * 2^s *)
+      let n1 = sub n one in
+      let rec split d s = if is_odd d then (d, s) else split (shift_right d 1) (s + 1) in
+      let d, s = split n1 0 in
+      let bits = bit_length n in
+      let witness () =
+        (* Draw a in [2, n-2]. *)
+        let rec draw () =
+          let a = random_bits rand bits in
+          if compare a two < 0 || compare a (sub n two) > 0 then draw () else a
+        in
+        draw ()
+      in
+      let round () =
+        let a = witness () in
+        let x = modpow ~base:a ~exp:d ~modulus:n in
+        if equal x one || equal x n1 then true
+        else begin
+          let rec squares x i =
+            if i >= s - 1 then false
+            else begin
+              let x = modpow ~base:x ~exp:two ~modulus:n in
+              if equal x n1 then true else squares x (i + 1)
+            end
+          in
+          squares x 0
+        end
+      in
+      let rec rounds i = if i = 0 then true else round () && rounds (i - 1) in
+      rounds 20
+    end
+  end
+
+let generate_prime rand bits =
+  if bits < 4 then invalid_arg "Bignum.generate_prime: need >= 4 bits";
+  let rec attempt () =
+    (* Draw bits-1 random bits then force the top bit (exact width) and
+       the bottom bit (odd). *)
+    let v = add (random_bits rand (bits - 1)) (shift_left one (bits - 1)) in
+    let v = if is_odd v then v else add v one in
+    let rec scan v tries =
+      if tries = 0 then attempt ()
+      else if bit_length v <> bits then attempt ()
+      else if is_probable_prime rand v then v
+      else scan (add v two) (tries - 1)
+    in
+    scan v 200
+  in
+  attempt ()
+
+let pp fmt a = Format.pp_print_string fmt (to_hex a)

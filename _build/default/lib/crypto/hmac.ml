@@ -1,0 +1,30 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let b = Bytes.make block_size '\x00' in
+  Bytes.blit_string key 0 b 0 (String.length key);
+  Bytes.to_string b
+
+let xor_with s c =
+  String.map (fun ch -> Char.chr (Char.code ch lxor c)) s
+
+let sha256 ~key msg =
+  let k = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.update inner (xor_with k 0x36);
+  Sha256.update inner msg;
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.update outer (xor_with k 0x5c);
+  Sha256.update outer inner_digest;
+  Sha256.finalize outer
+
+let verify ~key ~msg ~tag =
+  let expect = sha256 ~key msg in
+  String.length tag = String.length expect
+  && begin
+       let acc = ref 0 in
+       String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code expect.[i])) tag;
+       !acc = 0
+     end

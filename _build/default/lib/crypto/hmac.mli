@@ -1,0 +1,8 @@
+(** HMAC-SHA256 (RFC 2104 / FIPS 198-1). Used for provisioning-channel
+    message authentication and as the PRF inside {!Drbg}. *)
+
+val sha256 : key:string -> string -> string
+(** [sha256 ~key msg] is the 32-byte HMAC-SHA256 tag of [msg]. *)
+
+val verify : key:string -> msg:string -> tag:string -> bool
+(** Constant-time-ish tag comparison (length check + full xor fold). *)

@@ -1,0 +1,126 @@
+type public = { n : Bignum.t; e : Bignum.t }
+type keypair = { pub : public; d : Bignum.t; p : Bignum.t; q : Bignum.t }
+
+let e65537 = Bignum.of_int 65537
+
+let generate drbg ~bits =
+  if bits < 32 then invalid_arg "Rsa.generate: modulus too small";
+  let rand n = Drbg.generate drbg n in
+  let half = bits / 2 in
+  let rec attempt () =
+    let p = Bignum.generate_prime rand half in
+    let q = Bignum.generate_prime rand (bits - half) in
+    if Bignum.equal p q then attempt ()
+    else begin
+      let n = Bignum.mul p q in
+      if Bignum.bit_length n <> bits then attempt ()
+      else begin
+        let phi = Bignum.mul (Bignum.sub p Bignum.one) (Bignum.sub q Bignum.one) in
+        match Bignum.invmod e65537 phi with
+        | d -> { pub = { n; e = e65537 }; d; p; q }
+        | exception Not_found -> attempt ()
+      end
+    end
+  in
+  attempt ()
+
+let modulus_bytes pub = (Bignum.bit_length pub.n + 7) / 8
+
+let raw_encrypt pub m = Bignum.modpow ~base:m ~exp:pub.e ~modulus:pub.n
+let raw_decrypt kp c = Bignum.modpow ~base:c ~exp:kp.d ~modulus:kp.pub.n
+
+let encrypt pub msg =
+  let k = modulus_bytes pub in
+  let mlen = String.length msg in
+  if mlen > k - 11 then invalid_arg "Rsa.encrypt: message too long";
+  (* Deterministic nonzero padding bytes derived from (pub, msg). *)
+  let pad_drbg =
+    Drbg.create ~personalization:"rsa-pkcs1-pad" (Bignum.to_hex pub.n ^ "\x00" ^ msg)
+  in
+  let padlen = k - mlen - 3 in
+  let pad = Bytes.create padlen in
+  for i = 0 to padlen - 1 do
+    let rec nonzero () =
+      let b = Drbg.byte pad_drbg in
+      if b = 0 then nonzero () else b
+    in
+    Bytes.set pad i (Char.chr (nonzero ()))
+  done;
+  let em = "\x00\x02" ^ Bytes.to_string pad ^ "\x00" ^ msg in
+  let c = raw_encrypt pub (Bignum.of_bytes_be em) in
+  Bignum.to_bytes_be ~width:k c
+
+let decrypt kp cipher =
+  let k = modulus_bytes kp.pub in
+  if String.length cipher <> k then None
+  else begin
+    let m = raw_decrypt kp (Bignum.of_bytes_be cipher) in
+    let em = Bignum.to_bytes_be ~width:k m in
+    if String.length em < 11 || em.[0] <> '\x00' || em.[1] <> '\x02' then None
+    else begin
+      (* Find the 0x00 separator after at least 8 padding bytes. *)
+      let rec find i = if i >= k then None else if em.[i] = '\x00' then Some i else find (i + 1) in
+      match find 2 with
+      | Some sep when sep >= 10 -> Some (String.sub em (sep + 1) (k - sep - 1))
+      | Some _ | None -> None
+    end
+  end
+
+(* DigestInfo prefix for SHA-256 (RFC 8017). *)
+let sha256_prefix =
+  "\x30\x31\x30\x0d\x06\x09\x60\x86\x48\x01\x65\x03\x04\x02\x01\x05\x00\x04\x20"
+
+let sign kp msg =
+  let k = modulus_bytes kp.pub in
+  let t = sha256_prefix ^ Sha256.digest msg in
+  let tlen = String.length t in
+  if k < tlen + 11 then invalid_arg "Rsa.sign: modulus too small for SHA-256 signature";
+  let em = "\x00\x01" ^ String.make (k - tlen - 3) '\xff' ^ "\x00" ^ t in
+  let s = Bignum.modpow ~base:(Bignum.of_bytes_be em) ~exp:kp.d ~modulus:kp.pub.n in
+  Bignum.to_bytes_be ~width:k s
+
+let verify pub ~msg ~signature =
+  let k = modulus_bytes pub in
+  String.length signature = k
+  && begin
+       let m = raw_encrypt pub (Bignum.of_bytes_be signature) in
+       let em = Bignum.to_bytes_be ~width:k m in
+       let t = sha256_prefix ^ Sha256.digest msg in
+       let tlen = String.length t in
+       k >= tlen + 11
+       && em.[0] = '\x00' && em.[1] = '\x01'
+       && String.sub em (k - tlen) tlen = t
+       && em.[k - tlen - 1] = '\x00'
+       && begin
+            let ok = ref true in
+            for i = 2 to k - tlen - 2 do
+              if em.[i] <> '\xff' then ok := false
+            done;
+            !ok
+          end
+     end
+
+let u16_be n = String.init 2 (fun i -> Char.chr ((n lsr (8 * (1 - i))) land 0xff))
+
+let pub_to_bytes pub =
+  let nb = Bignum.to_bytes_be pub.n and eb = Bignum.to_bytes_be pub.e in
+  u16_be (String.length nb) ^ nb ^ u16_be (String.length eb) ^ eb
+
+let pub_of_bytes s =
+  let read_u16 pos =
+    if pos + 2 > String.length s then None
+    else Some ((Char.code s.[pos] lsl 8) lor Char.code s.[pos + 1])
+  in
+  match read_u16 0 with
+  | None -> None
+  | Some nlen -> (
+      if 2 + nlen + 2 > String.length s then None
+      else
+        match read_u16 (2 + nlen) with
+        | None -> None
+        | Some elen ->
+            if 2 + nlen + 2 + elen <> String.length s then None
+            else
+              Some
+                { n = Bignum.of_bytes_be (String.sub s 2 nlen);
+                  e = Bignum.of_bytes_be (String.sub s (2 + nlen + 2) elen) })

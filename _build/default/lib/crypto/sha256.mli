@@ -1,0 +1,28 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    The whole reproduction runs inside a model enclave that cannot link
+    against OpenSSL, so the hash used for enclave measurement, the policy
+    hash database and HMAC is this module. *)
+
+type ctx
+(** Streaming hash context. *)
+
+val init : unit -> ctx
+
+val update : ctx -> string -> unit
+(** [update ctx s] absorbs all bytes of [s]. *)
+
+val update_sub : ctx -> string -> pos:int -> len:int -> unit
+(** Absorb [len] bytes of [s] starting at [pos]. *)
+
+val finalize : ctx -> string
+(** Returns the 32-byte digest. The context must not be reused. *)
+
+val digest : string -> string
+(** One-shot hash of a full string; 32 raw bytes. *)
+
+val hex : string -> string
+(** Lowercase hex encoding of arbitrary bytes (used to print digests). *)
+
+val digest_hex : string -> string
+(** [hex (digest s)]. *)

@@ -1,0 +1,1 @@
+lib/elf/buf.ml: Buffer Bytes Char Printf String

@@ -1,0 +1,1 @@
+lib/elf/buf.mli:

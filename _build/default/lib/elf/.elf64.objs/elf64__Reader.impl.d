@@ -1,0 +1,1 @@
+lib/elf/reader.ml: Buf Fun List Printf String Types

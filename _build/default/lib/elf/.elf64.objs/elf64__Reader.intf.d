@@ -1,0 +1,1 @@
+lib/elf/reader.mli: Types

@@ -1,0 +1,1 @@
+lib/elf/writer.ml: Buf Buffer List Printf String Types

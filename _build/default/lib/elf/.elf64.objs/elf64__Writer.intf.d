@@ -1,0 +1,1 @@
+lib/elf/writer.mli: Types

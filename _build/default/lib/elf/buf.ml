@@ -1,0 +1,76 @@
+module W = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 4096
+  let length = Buffer.length
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+
+  let u16 t v =
+    u8 t v;
+    u8 t (v lsr 8)
+
+  let u32 t v =
+    u16 t v;
+    u16 t (v lsr 16)
+
+  let u64 t v =
+    if v < 0 then invalid_arg "Buf.W.u64: negative";
+    u32 t v;
+    u32 t (v lsr 32)
+
+  let bytes t s = Buffer.add_string t s
+  let zeros t n = Buffer.add_string t (String.make n '\x00')
+
+  let pad_to t off =
+    let cur = Buffer.length t in
+    if off < cur then invalid_arg (Printf.sprintf "Buf.W.pad_to: offset 0x%x < current 0x%x" off cur);
+    zeros t (off - cur)
+
+  let contents = Buffer.contents
+
+  let patch_u32 t ~pos v =
+    let s = Buffer.contents t in
+    let b = Bytes.of_string s in
+    for i = 0 to 3 do Bytes.set b (pos + i) (Char.chr ((v lsr (8 * i)) land 0xff)) done;
+    Buffer.clear t;
+    Buffer.add_bytes t b
+end
+
+module R = struct
+  type t = string
+
+  exception Out_of_bounds of int
+
+  let of_string s = s
+  let length = String.length
+
+  let check t pos n = if pos < 0 || pos + n > String.length t then raise (Out_of_bounds pos)
+
+  let u8 t ~pos =
+    check t pos 1;
+    Char.code t.[pos]
+
+  let u16 t ~pos =
+    check t pos 2;
+    Char.code t.[pos] lor (Char.code t.[pos + 1] lsl 8)
+
+  let u32 t ~pos =
+    check t pos 4;
+    u16 t ~pos lor (u16 t ~pos:(pos + 2) lsl 16)
+
+  let u64 t ~pos =
+    check t pos 8;
+    let lo = u32 t ~pos and hi = u32 t ~pos:(pos + 4) in
+    if hi land 0xe000_0000 <> 0 then failwith "Buf.R.u64: value exceeds max_int";
+    lo lor (hi lsl 32)
+
+  let sub t ~pos ~len =
+    check t pos len;
+    String.sub t pos len
+
+  let cstring t ~pos =
+    check t pos 0;
+    let rec find i = if i >= String.length t || t.[i] = '\x00' then i else find (i + 1) in
+    let stop = find pos in
+    String.sub t pos (stop - pos)
+end

@@ -1,0 +1,44 @@
+(** Little-endian binary cursors used by the ELF writer and reader.
+
+    All 64-bit fields are represented as OCaml [int]s; the virtual
+    addresses and sizes this reproduction manipulates stay far below
+    2{^62}, and the writer refuses anything larger. *)
+
+module W : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val u64 : t -> int -> unit
+  val bytes : t -> string -> unit
+  val zeros : t -> int -> unit
+  val pad_to : t -> int -> unit
+  (** Pad with zero bytes up to an absolute offset (no-op if already
+      there; raises if past it). *)
+
+  val contents : t -> string
+
+  val patch_u32 : t -> pos:int -> int -> unit
+  (** Overwrite a previously written 32-bit field. *)
+end
+
+module R : sig
+  type t
+
+  exception Out_of_bounds of int
+
+  val of_string : string -> t
+  val length : t -> int
+  val u8 : t -> pos:int -> int
+  val u16 : t -> pos:int -> int
+  val u32 : t -> pos:int -> int
+  val u64 : t -> pos:int -> int
+  (** @raise Failure if the value exceeds [max_int]. *)
+
+  val sub : t -> pos:int -> len:int -> string
+  val cstring : t -> pos:int -> string
+  (** NUL-terminated string starting at [pos]. *)
+end

@@ -1,0 +1,192 @@
+type section = {
+  name : string;
+  kind : int;
+  flags : int;
+  addr : int;
+  data : string;
+  size : int;
+}
+
+type t = {
+  entry : int;
+  sections : section list;
+  symbols : Types.symbol list;
+  relocations : Types.rela list;
+  phdrs : Types.phdr list;
+}
+
+type error =
+  | Bad_magic
+  | Bad_class of int
+  | Bad_encoding of int
+  | Bad_type of int
+  | Bad_machine of int
+  | Malformed of string
+
+let error_to_string = function
+  | Bad_magic -> "bad ELF magic"
+  | Bad_class c -> Printf.sprintf "unsupported ELF class %d (need ELFCLASS64)" c
+  | Bad_encoding e -> Printf.sprintf "unsupported data encoding %d (need little-endian)" e
+  | Bad_type t -> Printf.sprintf "unsupported ELF type %d (need ET_DYN / PIE)" t
+  | Bad_machine m -> Printf.sprintf "unsupported machine %d (need EM_X86_64)" m
+  | Malformed why -> "malformed ELF: " ^ why
+
+exception Bad of error
+
+let fail why = raise (Bad (Malformed why))
+
+let parse_phdr r ~pos =
+  let u32 off = Buf.R.u32 r ~pos:(pos + off) and u64 off = Buf.R.u64 r ~pos:(pos + off) in
+  Types.{
+    p_type = u32 0; p_flags = u32 4; p_offset = u64 8; p_vaddr = u64 16;
+    p_filesz = u64 32; p_memsz = u64 40; p_align = u64 48;
+  }
+
+(* Map a virtual address range to file bytes through the program headers. *)
+let load_vaddr r phdrs vaddr len =
+  let covering =
+    List.find_opt
+      (fun (p : Types.phdr) ->
+        p.p_type = Types.pt_load && vaddr >= p.p_vaddr && vaddr + len <= p.p_vaddr + p.p_filesz)
+      phdrs
+  in
+  match covering with
+  | None -> fail (Printf.sprintf "no PT_LOAD covers vaddr 0x%x..+%d" vaddr len)
+  | Some p -> Buf.R.sub r ~pos:(p.p_offset + (vaddr - p.p_vaddr)) ~len
+
+let parse raw =
+  try
+    let r = Buf.R.of_string raw in
+    if Buf.R.length r < Types.ehsize then raise (Bad Bad_magic);
+    if Buf.R.sub r ~pos:0 ~len:4 <> Types.elfmag then raise (Bad Bad_magic);
+    let cls = Buf.R.u8 r ~pos:4 in
+    if cls <> Types.elfclass64 then raise (Bad (Bad_class cls));
+    let enc = Buf.R.u8 r ~pos:5 in
+    if enc <> Types.elfdata2lsb then raise (Bad (Bad_encoding enc));
+    let ety = Buf.R.u16 r ~pos:16 in
+    if ety <> Types.et_dyn then raise (Bad (Bad_type ety));
+    let machine = Buf.R.u16 r ~pos:18 in
+    if machine <> Types.em_x86_64 then raise (Bad (Bad_machine machine));
+    let entry = Buf.R.u64 r ~pos:24 in
+    let phoff = Buf.R.u64 r ~pos:32 in
+    let shoff = Buf.R.u64 r ~pos:40 in
+    let phentsize = Buf.R.u16 r ~pos:54 in
+    let phnum = Buf.R.u16 r ~pos:56 in
+    let shentsize = Buf.R.u16 r ~pos:58 in
+    let shnum = Buf.R.u16 r ~pos:60 in
+    let shstrndx = Buf.R.u16 r ~pos:62 in
+    if phentsize <> Types.phentsize then fail "bad phentsize";
+    if shentsize <> Types.shentsize then fail "bad shentsize";
+    if shstrndx >= shnum then fail "shstrndx out of range";
+    let phdrs = List.init phnum (fun k -> parse_phdr r ~pos:(phoff + (k * phentsize))) in
+
+    (* Raw section headers: (name_off, type, flags, addr, offset, size, link, entsize) *)
+    let raw_shdr k =
+      let pos = shoff + (k * shentsize) in
+      let u32 off = Buf.R.u32 r ~pos:(pos + off) and u64 off = Buf.R.u64 r ~pos:(pos + off) in
+      (u32 0, u32 4, u64 8, u64 16, u64 24, u64 32, u32 40, u64 56)
+    in
+    let _, _, _, _, shstr_off, shstr_size, _, _ = raw_shdr shstrndx in
+    let section_name off =
+      if off >= shstr_size then fail "section name offset out of range";
+      Buf.R.cstring r ~pos:(shstr_off + off)
+    in
+    let sections_raw = List.init shnum raw_shdr in
+    let sections =
+      List.filter_map
+        (fun (nm, ty, flags, addr, off, size, _link, _entsize) ->
+          if ty = Types.sht_null then None
+          else begin
+            let data = if ty = Types.sht_nobits then "" else Buf.R.sub r ~pos:off ~len:size in
+            Some { name = section_name nm; kind = ty; flags; addr; data; size }
+          end)
+        sections_raw
+    in
+    let by_name n = List.find_opt (fun s -> s.name = n) sections in
+
+    (* Symbols come from .symtab + .strtab when present. *)
+    let symbols =
+      match (by_name ".symtab", by_name ".strtab") with
+      | Some symtab, Some strtab ->
+          let n = String.length symtab.data / Types.symentsize in
+          let sr = Buf.R.of_string symtab.data in
+          List.filter_map
+            (fun k ->
+              let pos = k * Types.symentsize in
+              let name_off = Buf.R.u32 sr ~pos in
+              let info = Buf.R.u8 sr ~pos:(pos + 4) in
+              let value = Buf.R.u64 sr ~pos:(pos + 8) in
+              let size = Buf.R.u64 sr ~pos:(pos + 16) in
+              let name = Buf.R.cstring (Buf.R.of_string strtab.data) ~pos:name_off in
+              if name = "" then None
+              else Some Types.{ st_name = name; st_value = value; st_size = size; st_info = info })
+            (List.init n Fun.id)
+      | _ -> []
+    in
+
+    (* Relocations are located through .dynamic, as EnGarde's loader does. *)
+    let relocations =
+      match by_name ".dynamic" with
+      | None -> []
+      | Some dyn ->
+          let dr = Buf.R.of_string dyn.data in
+          let nent = String.length dyn.data / Types.dynentsize in
+          let rec scan k rela relasz relaent =
+            if k >= nent then (rela, relasz, relaent)
+            else begin
+              let tag = Buf.R.u64 dr ~pos:(k * Types.dynentsize) in
+              let v = Buf.R.u64 dr ~pos:((k * Types.dynentsize) + 8) in
+              if tag = Types.dt_null then (rela, relasz, relaent)
+              else
+                scan (k + 1)
+                  (if tag = Types.dt_rela then Some v else rela)
+                  (if tag = Types.dt_relasz then Some v else relasz)
+                  (if tag = Types.dt_relaent then Some v else relaent)
+            end
+          in
+          (match scan 0 None None None with
+          | Some rela_addr, Some relasz, Some relaent ->
+              if relaent <> Types.relaentsize then fail "bad DT_RELAENT";
+              if relasz mod relaent <> 0 then fail "DT_RELASZ not a multiple of DT_RELAENT";
+              let bytes = load_vaddr r phdrs rela_addr relasz in
+              let br = Buf.R.of_string bytes in
+              List.init (relasz / relaent) (fun k ->
+                  let pos = k * relaent in
+                  let info = Buf.R.u64 br ~pos:(pos + 8) in
+                  Types.{
+                    r_offset = Buf.R.u64 br ~pos;
+                    r_type = info land 0xffff_ffff;
+                    r_sym = info lsr 32;
+                    r_addend = Buf.R.u64 br ~pos:(pos + 16);
+                  })
+          | None, None, None -> []
+          | _ -> fail "incomplete DT_RELA/DT_RELASZ/DT_RELAENT triple")
+    in
+    Ok { entry; sections; symbols; relocations; phdrs }
+  with
+  | Bad e -> Error e
+  | Buf.R.Out_of_bounds pos -> Error (Malformed (Printf.sprintf "out of bounds read at 0x%x" pos))
+  | Failure why -> Error (Malformed why)
+
+let section t n = List.find_opt (fun s -> s.name = n) t.sections
+
+let text_sections t =
+  t.sections
+  |> List.filter (fun s ->
+         s.kind = Types.sht_progbits && s.flags land Types.shf_execinstr <> 0)
+  |> List.sort (fun a b -> compare a.addr b.addr)
+
+let data_sections t =
+  t.sections
+  |> List.filter (fun s ->
+         s.flags land Types.shf_alloc <> 0
+         && s.flags land Types.shf_write <> 0
+         && (s.kind = Types.sht_progbits || s.kind = Types.sht_nobits))
+  |> List.sort (fun a b -> compare a.addr b.addr)
+
+let find_symbol t n = List.find_opt (fun (s : Types.symbol) -> s.st_name = n) t.symbols
+
+let function_symbols t =
+  t.symbols
+  |> List.filter Types.symbol_is_func
+  |> List.sort (fun (a : Types.symbol) b -> compare a.st_value b.st_value)

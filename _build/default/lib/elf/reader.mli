@@ -1,0 +1,44 @@
+(** ELF64 reader with the header validation EnGarde performs before
+    disassembly (paper, Section 4: "the loader checks its header to
+    verify that the executable is correctly formatted. The checks include
+    checking the signature as well as the ELF class"). *)
+
+type section = {
+  name : string;
+  kind : int;        (** SHT_* *)
+  flags : int;
+  addr : int;
+  data : string;     (** empty for SHT_NOBITS *)
+  size : int;        (** memory size (= length data except for .bss) *)
+}
+
+type t = {
+  entry : int;
+  sections : section list;
+  symbols : Types.symbol list;   (** empty when the binary is stripped *)
+  relocations : Types.rela list; (** from the table the .dynamic section names *)
+  phdrs : Types.phdr list;
+}
+
+type error =
+  | Bad_magic
+  | Bad_class of int
+  | Bad_encoding of int
+  | Bad_type of int
+  | Bad_machine of int
+  | Malformed of string
+
+val error_to_string : error -> string
+
+val parse : string -> (t, error) result
+
+val section : t -> string -> section option
+val text_sections : t -> section list
+(** All [SHF_EXECINSTR] PROGBITS sections, in address order. *)
+
+val data_sections : t -> section list
+(** All writable alloc sections including [.bss], in address order. *)
+
+val find_symbol : t -> string -> Types.symbol option
+val function_symbols : t -> Types.symbol list
+(** [STT_FUNC] symbols sorted by address. *)

@@ -1,0 +1,255 @@
+type input = {
+  entry : int;
+  text_addr : int;
+  text : string;
+  data_addr : int;
+  data : string;
+  bss_addr : int;
+  bss_size : int;
+  symbols : Types.symbol list;
+  relocations : Types.rela list;
+  page_size : int;
+  strip_symtab : bool;
+}
+
+let default_input =
+  {
+    entry = 0x1000;
+    text_addr = 0x1000;
+    text = "";
+    data_addr = 0x200000;
+    data = "";
+    bss_addr = 0x300000;
+    bss_size = 0;
+    symbols = [];
+    relocations = [];
+    page_size = 4096;
+    strip_symtab = false;
+  }
+
+exception Layout_error of string
+
+let layout_error fmt = Printf.ksprintf (fun s -> raise (Layout_error s)) fmt
+
+let align_up v a = (v + a - 1) / a * a
+
+(* String table builder: names concatenated with NUL separators,
+   offset 0 reserved for the empty name. *)
+module Strtab = struct
+  type t = { buf : Buffer.t; mutable offsets : (string * int) list }
+
+  let create () =
+    let buf = Buffer.create 256 in
+    Buffer.add_char buf '\x00';
+    { buf; offsets = [] }
+
+  let add t name =
+    match List.assoc_opt name t.offsets with
+    | Some off -> off
+    | None ->
+        let off = Buffer.length t.buf in
+        Buffer.add_string t.buf name;
+        Buffer.add_char t.buf '\x00';
+        t.offsets <- (name, off) :: t.offsets;
+        off
+
+  let contents t = Buffer.contents t.buf
+end
+
+let build (i : input) : string =
+  if i.page_size <= 0 then layout_error "page_size must be positive";
+  let text_end = i.text_addr + String.length i.text in
+  let data_end = i.data_addr + String.length i.data in
+  let bss_end = i.bss_addr + i.bss_size in
+  if i.text_addr < Types.ehsize then layout_error "text overlaps ELF header";
+  if text_end > i.data_addr then layout_error "text overlaps data";
+  if data_end > i.bss_addr then layout_error "data overlaps bss";
+  (* The dynamic/rela chunk lives in its own read-only page past bss. *)
+  let dyn_addr = align_up (max bss_end data_end) i.page_size in
+  let n_rela = List.length i.relocations in
+  let rela_addr = dyn_addr + (4 * Types.dynentsize) in
+  let rela_size = n_rela * Types.relaentsize in
+  let dyn_file_size = (4 * Types.dynentsize) + rela_size in
+
+  let phdrs =
+    [
+      (* text: offset = vaddr (identity mapping) *)
+      Types.{
+        p_type = pt_load; p_flags = pf_r lor pf_x; p_offset = i.text_addr;
+        p_vaddr = i.text_addr; p_filesz = String.length i.text;
+        p_memsz = String.length i.text; p_align = i.page_size;
+      };
+      Types.{
+        p_type = pt_load; p_flags = pf_r lor pf_w; p_offset = i.data_addr;
+        p_vaddr = i.data_addr; p_filesz = String.length i.data;
+        p_memsz = bss_end - i.data_addr; p_align = i.page_size;
+      };
+      Types.{
+        p_type = pt_load; p_flags = pf_r; p_offset = dyn_addr; p_vaddr = dyn_addr;
+        p_filesz = dyn_file_size; p_memsz = dyn_file_size; p_align = i.page_size;
+      };
+      Types.{
+        p_type = pt_dynamic; p_flags = pf_r; p_offset = dyn_addr; p_vaddr = dyn_addr;
+        p_filesz = 4 * Types.dynentsize; p_memsz = 4 * Types.dynentsize;
+        p_align = 8;
+      };
+    ]
+  in
+  let n_phdr = List.length phdrs in
+  if Types.ehsize + (n_phdr * Types.phentsize) > i.text_addr then
+    layout_error "program headers overlap text";
+
+  (* Non-allocated content appended after the last allocated byte. *)
+  let shstrtab = Strtab.create () in
+  let strtab = Strtab.create () in
+  let symbols = if i.strip_symtab then [] else i.symbols in
+  let sym_entries =
+    (* Leading NULL symbol is mandatory. *)
+    Types.{ st_name = ""; st_value = 0; st_size = 0; st_info = 0 } :: symbols
+  in
+  let symtab_off = dyn_addr + dyn_file_size in
+  let symtab_size = List.length sym_entries * Types.symentsize in
+  (* Pre-intern symbol names so the strtab is complete before emission. *)
+  List.iter (fun (s : Types.symbol) -> ignore (Strtab.add strtab s.st_name)) sym_entries;
+  let strtab_bytes = Strtab.contents strtab in
+  let strtab_off = symtab_off + symtab_size in
+  let shstrtab_off = strtab_off + String.length strtab_bytes in
+
+  let sections =
+    let open Types in
+    [
+      { sh_name = ""; sh_type = sht_null; sh_flags = 0; sh_addr = 0; sh_offset = 0;
+        sh_size = 0; sh_link = 0; sh_entsize = 0 };
+      { sh_name = ".text"; sh_type = sht_progbits; sh_flags = shf_alloc lor shf_execinstr;
+        sh_addr = i.text_addr; sh_offset = i.text_addr; sh_size = String.length i.text;
+        sh_link = 0; sh_entsize = 0 };
+      { sh_name = ".data"; sh_type = sht_progbits; sh_flags = shf_alloc lor shf_write;
+        sh_addr = i.data_addr; sh_offset = i.data_addr; sh_size = String.length i.data;
+        sh_link = 0; sh_entsize = 0 };
+      { sh_name = ".bss"; sh_type = sht_nobits; sh_flags = shf_alloc lor shf_write;
+        sh_addr = i.bss_addr; sh_offset = data_end; sh_size = i.bss_size;
+        sh_link = 0; sh_entsize = 0 };
+      { sh_name = ".dynamic"; sh_type = sht_dynamic; sh_flags = shf_alloc;
+        sh_addr = dyn_addr; sh_offset = dyn_addr; sh_size = 4 * dynentsize;
+        sh_link = 0; sh_entsize = dynentsize };
+      { sh_name = ".rela.dyn"; sh_type = sht_rela; sh_flags = shf_alloc;
+        sh_addr = rela_addr; sh_offset = rela_addr; sh_size = rela_size;
+        sh_link = 0; sh_entsize = relaentsize };
+    ]
+    @ (if i.strip_symtab then []
+       else
+         [
+           { sh_name = ".symtab"; sh_type = sht_symtab; sh_flags = 0; sh_addr = 0;
+             sh_offset = symtab_off; sh_size = symtab_size;
+             sh_link = 7 (* .strtab index *); sh_entsize = symentsize };
+           { sh_name = ".strtab"; sh_type = sht_strtab; sh_flags = 0; sh_addr = 0;
+             sh_offset = strtab_off; sh_size = String.length strtab_bytes;
+             sh_link = 0; sh_entsize = 0 };
+         ])
+    @ [
+        { sh_name = ".shstrtab"; sh_type = sht_strtab; sh_flags = 0; sh_addr = 0;
+          sh_offset = shstrtab_off; sh_size = 0 (* patched below *);
+          sh_link = 0; sh_entsize = 0 };
+      ]
+  in
+  (* Intern section names, then freeze the shstrtab and its true size. *)
+  List.iter (fun (s : Types.shdr) -> ignore (Strtab.add shstrtab s.sh_name)) sections;
+  let shstrtab_bytes = Strtab.contents shstrtab in
+  let shoff = align_up (shstrtab_off + String.length shstrtab_bytes) 8 in
+  let n_shdr = List.length sections in
+  let shstrndx = n_shdr - 1 in
+
+  let w = Buf.W.create () in
+  (* ELF header *)
+  Buf.W.bytes w Types.elfmag;
+  Buf.W.u8 w Types.elfclass64;
+  Buf.W.u8 w Types.elfdata2lsb;
+  Buf.W.u8 w Types.ev_current;
+  Buf.W.zeros w 9;
+  Buf.W.u16 w Types.et_dyn;
+  Buf.W.u16 w Types.em_x86_64;
+  Buf.W.u32 w Types.ev_current;
+  Buf.W.u64 w i.entry;
+  Buf.W.u64 w Types.ehsize (* phoff: right after the header *);
+  Buf.W.u64 w shoff;
+  Buf.W.u32 w 0 (* flags *);
+  Buf.W.u16 w Types.ehsize;
+  Buf.W.u16 w Types.phentsize;
+  Buf.W.u16 w n_phdr;
+  Buf.W.u16 w Types.shentsize;
+  Buf.W.u16 w n_shdr;
+  Buf.W.u16 w shstrndx;
+  assert (Buf.W.length w = Types.ehsize);
+
+  (* Program headers *)
+  List.iter
+    (fun (p : Types.phdr) ->
+      Buf.W.u32 w p.p_type;
+      Buf.W.u32 w p.p_flags;
+      Buf.W.u64 w p.p_offset;
+      Buf.W.u64 w p.p_vaddr;
+      Buf.W.u64 w p.p_vaddr (* paddr *);
+      Buf.W.u64 w p.p_filesz;
+      Buf.W.u64 w p.p_memsz;
+      Buf.W.u64 w p.p_align)
+    phdrs;
+
+  (* Allocated content at identity offsets. *)
+  Buf.W.pad_to w i.text_addr;
+  Buf.W.bytes w i.text;
+  Buf.W.pad_to w i.data_addr;
+  Buf.W.bytes w i.data;
+  Buf.W.pad_to w dyn_addr;
+
+  (* .dynamic *)
+  let dyn_entry tag value =
+    Buf.W.u64 w tag;
+    Buf.W.u64 w value
+  in
+  dyn_entry Types.dt_rela rela_addr;
+  dyn_entry Types.dt_relasz rela_size;
+  dyn_entry Types.dt_relaent Types.relaentsize;
+  dyn_entry Types.dt_null 0;
+
+  (* .rela.dyn *)
+  List.iter
+    (fun (r : Types.rela) ->
+      Buf.W.u64 w r.r_offset;
+      Buf.W.u64 w ((r.r_sym lsl 32) lor r.r_type);
+      Buf.W.u64 w r.r_addend)
+    i.relocations;
+
+  (* .symtab / .strtab *)
+  assert (Buf.W.length w = symtab_off);
+  List.iter
+    (fun (s : Types.symbol) ->
+      Buf.W.u32 w (Strtab.add strtab s.st_name);
+      Buf.W.u8 w s.st_info;
+      Buf.W.u8 w 0 (* st_other *);
+      Buf.W.u16 w (if s.st_name = "" then 0 else 1) (* st_shndx: .text *);
+      Buf.W.u64 w s.st_value;
+      Buf.W.u64 w s.st_size)
+    sym_entries;
+  Buf.W.bytes w strtab_bytes;
+  Buf.W.bytes w shstrtab_bytes;
+  Buf.W.pad_to w shoff;
+
+  (* Section headers *)
+  List.iter
+    (fun (s : Types.shdr) ->
+      let size =
+        if s.sh_name = ".shstrtab" then String.length shstrtab_bytes else s.sh_size
+      in
+      Buf.W.u32 w (Strtab.add shstrtab s.sh_name);
+      Buf.W.u32 w s.sh_type;
+      Buf.W.u64 w s.sh_flags;
+      Buf.W.u64 w s.sh_addr;
+      Buf.W.u64 w s.sh_offset;
+      Buf.W.u64 w size;
+      Buf.W.u32 w s.sh_link;
+      Buf.W.u32 w 0 (* sh_info *);
+      Buf.W.u64 w 8 (* addralign *);
+      Buf.W.u64 w s.sh_entsize)
+    sections;
+
+  Buf.W.contents w

@@ -1,0 +1,33 @@
+(** ELF64 writer: produces statically linked position-independent
+    executables of the shape the paper's evaluation uses — separate code
+    and data sections, a symbol table with [STT_FUNC] entries for every
+    function (EnGarde auto-rejects stripped binaries), and a [.dynamic]
+    section describing the [R_X86_64_RELATIVE] relocation table that
+    EnGarde's loader applies. *)
+
+type input = {
+  entry : int;              (** virtual address of the entry point *)
+  text_addr : int;          (** virtual address of [.text] *)
+  text : string;            (** machine code bytes *)
+  data_addr : int;          (** virtual address of [.data] *)
+  data : string;
+  bss_addr : int;
+  bss_size : int;
+  symbols : Types.symbol list;
+  relocations : Types.rela list;
+      (** [R_X86_64_RELATIVE] entries; [r_offset] are virtual addresses
+          inside [.data] *)
+  page_size : int;          (** normally 4096; tests may shrink it *)
+  strip_symtab : bool;      (** build a stripped binary (for rejection tests) *)
+}
+
+val default_input : input
+(** Empty program: text at 0x1000, data at 0x200000, bss following,
+    page size 4096, entry = text_addr. *)
+
+exception Layout_error of string
+
+val build : input -> string
+(** Serialize to complete ELF file bytes. File offsets equal virtual
+    addresses for allocated content (a valid, if spacious, PIE layout).
+    @raise Layout_error on overlapping or unordered segments. *)

@@ -1,0 +1,1 @@
+lib/sgx/enclave.ml: Bytes Epc Hashtbl List Measurement Option Perf Printf String

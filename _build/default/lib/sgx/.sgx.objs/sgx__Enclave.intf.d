@@ -1,0 +1,1 @@
+lib/sgx/enclave.mli: Epc Perf

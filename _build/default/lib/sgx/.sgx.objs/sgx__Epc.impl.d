@@ -1,0 +1,1 @@
+lib/sgx/epc.ml: Array Bytes Char Crypto Fun List Printf String

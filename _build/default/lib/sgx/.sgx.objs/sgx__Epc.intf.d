@@ -1,0 +1,1 @@
+lib/sgx/epc.mli:

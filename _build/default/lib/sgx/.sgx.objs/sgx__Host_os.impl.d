@@ -1,0 +1,1 @@
+lib/sgx/host_os.ml: Enclave Epc Hashtbl List Printf

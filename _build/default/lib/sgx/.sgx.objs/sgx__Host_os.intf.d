@@ -1,0 +1,1 @@
+lib/sgx/host_os.mli: Enclave

@@ -1,0 +1,1 @@
+lib/sgx/measurement.ml: Char Crypto String

@@ -1,0 +1,1 @@
+lib/sgx/perf.ml:

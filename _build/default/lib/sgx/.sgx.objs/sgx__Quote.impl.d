@@ -1,0 +1,1 @@
+lib/sgx/quote.ml: Char Crypto Enclave Perf String

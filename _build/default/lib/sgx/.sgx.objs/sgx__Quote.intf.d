@@ -1,0 +1,1 @@
+lib/sgx/quote.mli: Crypto Enclave

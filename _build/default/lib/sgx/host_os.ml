@@ -1,0 +1,42 @@
+type t = { table : (int, Enclave.perm) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 1024 }
+
+let aligned vaddr =
+  if vaddr mod Epc.page_size <> 0 then
+    invalid_arg (Printf.sprintf "Host_os: vaddr 0x%x not page aligned" vaddr);
+  vaddr
+
+let map t ~vaddr ~perm = Hashtbl.replace t.table (aligned vaddr) perm
+let protect = map
+let query t ~vaddr = Hashtbl.find_opt t.table (aligned vaddr)
+
+let intersect (a : Enclave.perm) (b : Enclave.perm) =
+  Enclave.{ r = a.r && b.r; w = a.w && b.w; x = a.x && b.x }
+
+let effective t enclave ~vaddr =
+  let os = match query t ~vaddr with Some p -> p | None -> Enclave.none in
+  let epc = match Enclave.page_perm enclave ~vaddr with Some p -> p | None -> Enclave.none in
+  intersect os epc
+
+let provision_permissions t enclave ~exec_pages ~data_pages =
+  (* Executable pages: r-x in the page table, and EPC write permission
+     dropped via EMODPR so even a later page-table flip cannot make the
+     code writable. Data pages: rw- both levels, never executable. *)
+  List.iter
+    (fun vaddr ->
+      map t ~vaddr ~perm:Enclave.rx;
+      Enclave.emodpr enclave ~vaddr ~perm:Enclave.rx;
+      Enclave.emodpe enclave ~vaddr ~perm:Enclave.rx)
+    exec_pages;
+  List.iter
+    (fun vaddr ->
+      map t ~vaddr ~perm:Enclave.rw;
+      Enclave.emodpr enclave ~vaddr ~perm:Enclave.rw;
+      Enclave.emodpe enclave ~vaddr ~perm:Enclave.rw)
+    data_pages;
+  Enclave.seal enclave
+
+let attack_make_writable t ~vaddr =
+  let cur = match query t ~vaddr with Some p -> p | None -> Enclave.none in
+  map t ~vaddr ~perm:Enclave.{ cur with w = true }

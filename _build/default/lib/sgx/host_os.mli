@@ -1,0 +1,37 @@
+(** The host-OS side of EnGarde (paper, Section 3): a page-table model
+    holding OS-level permissions for enclave pages, the kernel component
+    that marks client code pages executable-but-not-writable and data
+    pages writable-but-not-executable, and the lock that prevents the
+    enclave from being extended after provisioning.
+
+    Effective access rights are the intersection of OS page-table bits
+    and EPC-level page permissions — the "two-level page protection
+    check" of SGX v2 that the paper relies on (SGX v1 enforces only the
+    page-table level, which AsyncShock-style attacks exploit). *)
+
+type t
+
+val create : unit -> t
+
+val map : t -> vaddr:int -> perm:Enclave.perm -> unit
+(** Install or replace a page-table entry (page-aligned [vaddr]). *)
+
+val protect : t -> vaddr:int -> perm:Enclave.perm -> unit
+(** mprotect-style permission change. *)
+
+val query : t -> vaddr:int -> Enclave.perm option
+
+val effective : t -> Enclave.t -> vaddr:int -> Enclave.perm
+(** Intersection of the OS entry and the enclave's EPC-level page
+    permission; absent entries grant nothing. *)
+
+val provision_permissions :
+  t -> Enclave.t -> exec_pages:int list -> data_pages:int list -> unit
+(** EnGarde's in-kernel step: executable pages become r-x (at both
+    levels, via EMODPR), data pages become rw-, and the enclave is
+    sealed against extension. *)
+
+val attack_make_writable : t -> vaddr:int -> unit
+(** A malicious host flips page-table W bits (models the SGX v1 attack
+    surface). With SGX v2 semantics the EPC-level permission still
+    withholds write access — exercised by tests. *)

@@ -1,0 +1,42 @@
+type t = {
+  ctx : Crypto.Sha256.ctx;
+  mutable digest : string option;
+}
+
+let u64le v = String.init 8 (fun i -> Char.chr ((v lsr (8 * i)) land 0xff))
+
+let record t tag payload =
+  match t.digest with
+  | Some _ -> invalid_arg "Measurement: log already finalized"
+  | None ->
+      Crypto.Sha256.update t.ctx tag;
+      Crypto.Sha256.update t.ctx payload
+
+let start ~base ~size =
+  let t = { ctx = Crypto.Sha256.init (); digest = None } in
+  record t "ECREATE\x00" (u64le base ^ u64le size);
+  t
+
+let add_page t ~vaddr ~perms = record t "EADD\x00\x00\x00\x00" (u64le vaddr ^ perms ^ "\x00")
+
+let extend t ~vaddr ~content =
+  let chunk = 256 in
+  let len = String.length content in
+  let rec go pos =
+    if pos < len then begin
+      let n = min chunk (len - pos) in
+      record t "EEXTEND\x00" (u64le (vaddr + pos) ^ String.sub content pos n);
+      go (pos + chunk)
+    end
+  in
+  go 0
+
+let finalize t =
+  match t.digest with
+  | Some d -> d
+  | None ->
+      let d = Crypto.Sha256.finalize t.ctx in
+      t.digest <- Some d;
+      d
+
+let is_final t = t.digest <> None

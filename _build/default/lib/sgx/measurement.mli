@@ -1,0 +1,21 @@
+(** Enclave measurement (MRENCLAVE analogue): a SHA-256 digest over the
+    ordered log of all enclave-building activity — ECREATE parameters,
+    each EADD'd page's address and permissions, and EEXTEND records of
+    page contents in 256-byte chunks, as in the SGX programming
+    reference. Attestation signs this digest. *)
+
+type t
+
+val start : base:int -> size:int -> t
+(** Begin a log with the ECREATE record. *)
+
+val add_page : t -> vaddr:int -> perms:string -> unit
+(** EADD record: page address and its permission string (e.g. "rw"). *)
+
+val extend : t -> vaddr:int -> content:string -> unit
+(** EEXTEND records measuring page [content] in 256-byte chunks. *)
+
+val finalize : t -> string
+(** EINIT: the 32-byte measurement. Idempotent afterwards. *)
+
+val is_final : t -> bool

@@ -1,0 +1,21 @@
+let cycles_per_sgx_instruction = 10_000
+
+type t = { mutable sgx : int; mutable cycles : int }
+
+let create () = { sgx = 0; cycles = 0 }
+
+let reset t =
+  t.sgx <- 0;
+  t.cycles <- 0
+
+let count_sgx t n = t.sgx <- t.sgx + n
+let count_cycles t n = t.cycles <- t.cycles + n
+let sgx_instructions t = t.sgx
+let native_cycles t = t.cycles
+let total_cycles t = t.cycles + (t.sgx * cycles_per_sgx_instruction)
+
+let add dst src =
+  dst.sgx <- dst.sgx + src.sgx;
+  dst.cycles <- dst.cycles + src.cycles
+
+let trampoline t = count_sgx t 2

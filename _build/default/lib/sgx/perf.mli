@@ -1,0 +1,32 @@
+(** Performance accounting following the OpenSGX methodology the paper
+    adopts (Section 5): "each SGX instruction takes 10K CPU cycles and
+    non-SGX instructions run at native speed within the enclave". SGX
+    instructions (EENTER, EEXIT, EADD, ...) are counted separately from
+    modelled native cycles; [total_cycles] combines them. *)
+
+val cycles_per_sgx_instruction : int
+(** 10_000, from the OpenSGX paper. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val count_sgx : t -> int -> unit
+(** Record [n] executed SGX instructions. *)
+
+val count_cycles : t -> int -> unit
+(** Record [n] modelled native cycles. *)
+
+val sgx_instructions : t -> int
+val native_cycles : t -> int
+
+val total_cycles : t -> int
+(** [native_cycles + sgx_instructions * 10_000]. *)
+
+val add : t -> t -> unit
+(** [add dst src] accumulates [src] into [dst]. *)
+
+val trampoline : t -> unit
+(** One enclave exit/re-entry pair (EEXIT + EENTER): the cost the paper
+    pays for each in-enclave [malloc] that must leave the enclave. *)

@@ -1,0 +1,50 @@
+type device = { keypair : Crypto.Rsa.keypair }
+
+(* 1024-bit device key: the quoting enclave signs one digest per
+   attestation, so keygen cost dominates and stays off the measured
+   path (device provisioning happens once per machine). *)
+let device_create ~seed =
+  let drbg = Crypto.Drbg.create ~personalization:"sgx-device-key" seed in
+  { keypair = Crypto.Rsa.generate drbg ~bits:1024 }
+
+let device_public d = d.keypair.Crypto.Rsa.pub
+
+type t = {
+  measurement : string;
+  report_data : string;
+  signature : string;
+}
+
+let signed_payload ~measurement ~report_data = "SGX-QUOTE\x00" ^ measurement ^ report_data
+
+let quote device ~enclave ~report_data =
+  if String.length report_data <> 32 then
+    invalid_arg "Quote.quote: report_data must be 32 bytes";
+  (* EREPORT runs inside the target enclave to extract the measurement. *)
+  Perf.count_sgx (Enclave.perf enclave) 1;
+  let measurement = Enclave.measurement enclave in
+  let signature =
+    Crypto.Rsa.sign device.keypair (signed_payload ~measurement ~report_data)
+  in
+  { measurement; report_data; signature }
+
+let verify pub t =
+  String.length t.measurement = 32
+  && String.length t.report_data = 32
+  && Crypto.Rsa.verify pub
+       ~msg:(signed_payload ~measurement:t.measurement ~report_data:t.report_data)
+       ~signature:t.signature
+
+let u16_be n = String.init 2 (fun i -> Char.chr ((n lsr (8 * (1 - i))) land 0xff))
+
+let to_bytes t = t.measurement ^ t.report_data ^ u16_be (String.length t.signature) ^ t.signature
+
+let of_bytes s =
+  if String.length s < 66 then None
+  else begin
+    let measurement = String.sub s 0 32 in
+    let report_data = String.sub s 32 32 in
+    let siglen = (Char.code s.[64] lsl 8) lor Char.code s.[65] in
+    if String.length s <> 66 + siglen then None
+    else Some { measurement; report_data; signature = String.sub s 66 siglen }
+  end

@@ -1,0 +1,32 @@
+(** Quoting-enclave model for remote attestation.
+
+    Each SGX machine carries a device-specific attestation key that only
+    the Intel-provided quoting enclave can use (the paper's "Intel EPID
+    key"; modelled here as an RSA signing key). A quote binds an enclave
+    measurement and caller-chosen report data (EnGarde puts the hash of
+    the enclave's ephemeral RSA public key there, so the client's secure
+    channel is rooted in hardware). *)
+
+type device
+
+val device_create : seed:string -> device
+(** Provision a machine with its attestation key (deterministic from
+    [seed], so experiments are reproducible). *)
+
+val device_public : device -> Crypto.Rsa.public
+(** What Intel's attestation service would publish for verification. *)
+
+type t = {
+  measurement : string;   (** 32 bytes *)
+  report_data : string;   (** 32 bytes, e.g. SHA-256 of the enclave pubkey *)
+  signature : string;
+}
+
+val quote : device -> enclave:Enclave.t -> report_data:string -> t
+(** EREPORT + quoting-enclave signing. [report_data] must be 32 bytes.
+    @raise Enclave.Sgx_fault if the enclave is not initialized. *)
+
+val verify : Crypto.Rsa.public -> t -> bool
+
+val to_bytes : t -> string
+val of_bytes : string -> t option

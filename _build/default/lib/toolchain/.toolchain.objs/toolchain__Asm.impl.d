@@ -1,0 +1,1 @@
+lib/toolchain/asm.ml: Bytes Decoder Encoder Hashtbl Insn List Nacl Reg String X86

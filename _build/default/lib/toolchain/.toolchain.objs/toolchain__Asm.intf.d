@@ -1,0 +1,1 @@
+lib/toolchain/asm.mli: Hashtbl X86

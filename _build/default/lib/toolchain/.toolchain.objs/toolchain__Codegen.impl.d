@@ -1,0 +1,1 @@
+lib/toolchain/codegen.ml: Asm Crypto Insn List Printf Reg String X86

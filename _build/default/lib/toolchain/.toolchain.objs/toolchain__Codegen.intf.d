@@ -1,0 +1,1 @@
+lib/toolchain/codegen.mli: Asm Crypto

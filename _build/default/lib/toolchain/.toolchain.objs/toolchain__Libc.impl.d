@@ -1,0 +1,1 @@
+lib/toolchain/libc.ml: Asm Codegen Crypto Lazy List Printf String X86

@@ -1,0 +1,1 @@
+lib/toolchain/libc.mli: Asm Codegen

@@ -1,0 +1,1 @@
+lib/toolchain/linker.ml: Asm Codegen Elf64 Hashtbl List String Workloads

@@ -1,0 +1,1 @@
+lib/toolchain/linker.mli: Asm Elf64 Workloads

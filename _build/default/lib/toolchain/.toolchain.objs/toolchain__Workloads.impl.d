@@ -1,0 +1,1 @@
+lib/toolchain/workloads.ml: Array Asm Codegen Crypto Hashtbl Libc List Printf String Sys X86

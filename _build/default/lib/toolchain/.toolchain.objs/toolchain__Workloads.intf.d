@@ -1,0 +1,1 @@
+lib/toolchain/workloads.mli: Asm Codegen Libc

@@ -1,0 +1,48 @@
+(** Two-pass assembler over the {!X86.Insn} IR with symbolic branch
+    targets and NaCl bundle discipline: no emitted instruction ever
+    crosses a 32-byte boundary (single-byte [nop]s pad the gaps), so the
+    output always satisfies the disassembly constraints EnGarde imposes
+    (paper, Section 3). *)
+
+type item =
+  | Ins of X86.Insn.t
+  | Label of string            (** bind a name to the next instruction *)
+  | Call_sym of string         (** [callq name] *)
+  | Jmp_sym of string          (** [jmpq name] *)
+  | Jcc_sym of X86.Insn.cond * string
+  | Lea_sym of X86.Reg.t * string  (** [lea name(%rip), %reg] *)
+  | Align of int               (** pad with nops to the given alignment *)
+
+type func = {
+  fname : string;
+  items : item list;
+}
+
+type result = {
+  code : string;
+  labels : (string, int) Hashtbl.t;   (** every label, offset in [code] *)
+  functions : (string * int * int) list;
+      (** (name, offset, size) per input function, in layout order; size
+          runs to the start of the next function (bundle padding
+          included), as the paper's hash policy measures them *)
+  n_instructions : int;
+      (** decoded instruction count of the blob, computed during layout
+          (equal to what {!instruction_count} decodes) *)
+}
+
+exception Undefined_symbol of string
+exception Duplicate_symbol of string
+
+val assemble : ?base:int -> ?extern:(string * int) list -> func list -> result
+(** Functions are laid out in order, each aligned to 32 bytes; function
+    names are implicitly labels. [base] is the virtual address the blob
+    will be mapped at (needed to resolve [extern] references, which are
+    absolute virtual addresses of symbols outside the blob, e.g. data
+    objects). Label offsets in the result are blob-relative. *)
+
+val count_only : func list -> int
+(** Instruction count via layout alone (no machine-code emission, no
+    symbol resolution) — what the calibration loop iterates on. *)
+
+val instruction_count : result -> int
+(** Decoded instruction count of the blob (nop padding included). *)

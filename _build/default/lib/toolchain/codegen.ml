@@ -1,0 +1,208 @@
+open X86
+
+type instrumentation = {
+  stack_protector : bool;
+  ifcc : bool;
+}
+
+let plain = { stack_protector = false; ifcc = false }
+let with_stack_protector = { stack_protector = true; ifcc = false }
+let with_ifcc = { stack_protector = false; ifcc = true }
+
+let stack_chk_fail_sym = "__stack_chk_fail"
+let jump_table_sym = "__llvm_jump_instr_table_0"
+let jump_table_entry_sym k = Printf.sprintf "__llvm_jump_instr_table_0_%d" k
+
+let is_jump_table_entry name =
+  String.length name >= String.length jump_table_sym
+  && String.sub name 0 (String.length jump_table_sym) = jump_table_sym
+
+type call_site =
+  | Direct of string
+  | Indirect of int
+
+type fn_spec = {
+  name : string;
+  body_size : int;
+  calls : call_site list;
+  data_refs : string list;
+  protected : bool;
+  stack_density : float;
+}
+
+(* Filler avoids RSP/RBP (frame registers) and RAX (the canary
+   scratch register, kept clean so policy scans look realistic). *)
+let filler_regs = Reg.[ RCX; RDX; RBX; RSI; RDI; R8; R9; R10; R11; R12; R13; R14; R15 ]
+
+let pick drbg l = List.nth l (Crypto.Fastrand.uniform drbg (List.length l))
+
+let small_imm drbg = Crypto.Fastrand.uniform drbg 4096 - 2048
+
+(* One filler instruction. [stack_density] is the probability of a
+   store to a stack slot — the instruction class the stack-protection
+   policy treats as a canary-store candidate, so its density drives that
+   policy's (quadratic) checking cost exactly as the benchmark mix does
+   in the paper (compression code stores constantly; graph traversal
+   barely touches the stack). *)
+let filler_insn drbg ~stack_density =
+  let r1 = pick drbg filler_regs and r2 = pick drbg filler_regs in
+  if Crypto.Fastrand.uniform drbg 1000 < int_of_float (stack_density *. 1000.) then
+    Insn.mov_store r1 (Insn.mem ~base:Reg.RBP (-8 - (8 * Crypto.Fastrand.uniform drbg 6)))
+  else
+    match Crypto.Fastrand.uniform drbg 11 with
+    | 0 -> Insn.mov_ri r1 (small_imm drbg)
+    | 1 -> Insn.mov_rr r2 r1
+    | 2 -> Insn.add_rr r2 r1
+    | 3 -> Insn.sub_rr r2 r1
+    | 4 -> Insn.xor_rr r2 r1
+    | 5 -> Insn.and_rr r2 r1
+    | 6 -> Insn.or_rr r2 r1
+    | 7 -> Insn.imul_rr r2 r1
+    | 8 -> Insn.shl_ri r1 (Crypto.Fastrand.uniform drbg 31)
+    | 9 -> Insn.add_ri r1 (small_imm drbg)
+    | _ -> Insn.mov_load (Insn.mem ~base:Reg.RBP (-8 - (8 * Crypto.Fastrand.uniform drbg 6))) r1
+
+(* A short conditional diamond: cmp; jcc over k filler instructions. *)
+let branch_block drbg ~stack_density ~label =
+  let r1 = pick drbg filler_regs and r2 = pick drbg filler_regs in
+  let cond = pick drbg Insn.[ E; NE; L; LE; G; GE ] in
+  let k = 1 + Crypto.Fastrand.uniform drbg 6 in
+  let body = List.init k (fun _ -> Asm.Ins (filler_insn drbg ~stack_density)) in
+  (Asm.Ins (Insn.cmp_rr r1 r2) :: Asm.Jcc_sym (cond, label) :: body) @ [ Asm.Label label ]
+
+let data_ref_items drbg sym =
+  let r = pick drbg filler_regs in
+  let r2 = pick drbg filler_regs in
+  [
+    Asm.Lea_sym (r, sym);
+    (if Crypto.Fastrand.bool drbg then Asm.Ins (Insn.mov_load (Insn.mem ~base:r 0) r2)
+     else Asm.Ins (Insn.mov_store r2 (Insn.mem ~base:r 0)));
+  ]
+
+(* The IFCC masking sequence from the paper (Section 5):
+     lea table(%rip), %rax ; sub %eax, %ecx ; and $0x1ff8, %rcx ;
+     add %rax, %rcx ; callq *%rcx
+   preceded by materializing the "function pointer" in %rcx. *)
+let indirect_call_items inst ~entry_sym =
+  if inst.ifcc then
+    [
+      Asm.Lea_sym (Reg.RCX, entry_sym);
+      Asm.Lea_sym (Reg.RAX, jump_table_sym);
+      Asm.Ins (Insn.sub_rr ~w:Insn.W32 Reg.RAX Reg.RCX);
+      Asm.Ins (Insn.and_ri Reg.RCX 0x1ff8);
+      Asm.Ins (Insn.add_rr Reg.RAX Reg.RCX);
+      Asm.Ins (Insn.call_ind Reg.RCX);
+    ]
+  else [ Asm.Lea_sym (Reg.RCX, entry_sym); Asm.Ins (Insn.call_ind Reg.RCX) ]
+
+let frame_size = 0x18
+
+let gen_function drbg inst ~entry_of_table (spec : fn_spec) : Asm.func =
+  let protected = inst.stack_protector && spec.protected in
+  let items = ref [] in
+  let emit is = items := List.rev_append is !items in
+  (* Prologue. *)
+  emit [ Asm.Ins (Insn.push Reg.RBP); Asm.Ins (Insn.mov_rr Reg.RSP Reg.RBP) ];
+  emit [ Asm.Ins (Insn.sub_ri Reg.RSP frame_size) ];
+  if protected then
+    emit [ Asm.Ins (Insn.mov_fs_canary Reg.RAX); Asm.Ins (Insn.store_rsp Reg.RAX) ];
+  (* Body: filler interleaved with calls, data refs and local branches. *)
+  let pending_calls = ref spec.calls in
+  let pending_refs = ref spec.data_refs in
+  let n_events = List.length spec.calls + List.length spec.data_refs in
+  let event_gap = max 1 (spec.body_size / max 1 (n_events + 1)) in
+  let label_counter = ref 0 in
+  let local_label () =
+    incr label_counter;
+    Printf.sprintf ".L%s_%d" spec.name !label_counter
+  in
+  let budget = ref spec.body_size in
+  while !budget > 0 do
+    let chunk = min !budget event_gap in
+    let emitted = ref 0 in
+    while !emitted < chunk do
+      if chunk - !emitted > 4 && Crypto.Fastrand.uniform drbg 8 = 0 then begin
+        let items' = branch_block drbg ~stack_density:spec.stack_density ~label:(local_label ()) in
+        (* A branch block contributes cmp+jcc+k filler instructions. *)
+        emit items';
+        emitted := !emitted + List.length (List.filter (function Asm.Label _ -> false | _ -> true) items')
+      end
+      else begin
+        emit [ Asm.Ins (filler_insn drbg ~stack_density:spec.stack_density) ];
+        incr emitted
+      end
+    done;
+    budget := !budget - !emitted;
+    (match !pending_calls with
+    | Direct callee :: rest ->
+        emit [ Asm.Call_sym callee ];
+        pending_calls := rest
+    | Indirect k :: rest ->
+        emit (indirect_call_items inst ~entry_sym:(entry_of_table k));
+        pending_calls := rest
+    | [] -> (
+        match !pending_refs with
+        | sym :: rest ->
+            emit (data_ref_items drbg sym);
+            pending_refs := rest
+        | [] -> ()))
+  done;
+  (* Any events the size budget didn't cover. *)
+  List.iter
+    (function
+      | Direct callee -> emit [ Asm.Call_sym callee ]
+      | Indirect k -> emit (indirect_call_items inst ~entry_sym:(entry_of_table k)))
+    !pending_calls;
+  List.iter (fun sym -> emit (data_ref_items drbg sym)) !pending_refs;
+  (* Epilogue. *)
+  if protected then begin
+    let fail = local_label () in
+    emit
+      [
+        Asm.Ins (Insn.mov_fs_canary Reg.RAX);
+        Asm.Ins (Insn.cmp_rsp Reg.RAX);
+        Asm.Jcc_sym (Insn.NE, fail);
+        Asm.Ins (Insn.add_ri Reg.RSP frame_size);
+        Asm.Ins (Insn.pop Reg.RBP);
+        Asm.Ins Insn.ret;
+        Asm.Label fail;
+        Asm.Call_sym stack_chk_fail_sym;
+        Asm.Ins Insn.ud2;
+      ]
+  end
+  else
+    emit
+      [
+        Asm.Ins (Insn.add_ri Reg.RSP frame_size);
+        Asm.Ins (Insn.pop Reg.RBP);
+        Asm.Ins Insn.ret;
+      ];
+  { Asm.fname = spec.name; items = List.rev !items }
+
+let gen_jump_table ~targets : Asm.func =
+  let items =
+    List.concat
+      (List.mapi
+         (fun k target ->
+           [
+             Asm.Label (jump_table_entry_sym k);
+             Asm.Jmp_sym target;
+             Asm.Ins Insn.nopl;
+           ])
+         targets)
+  in
+  (* The table symbol itself labels entry 0. *)
+  { Asm.fname = jump_table_sym; items }
+
+let gen_start ~main : Asm.func =
+  let spin = "._start_spin" in
+  {
+    Asm.fname = "_start";
+    items =
+      [
+        Asm.Ins (Insn.xor_rr ~w:Insn.W32 Reg.RBP Reg.RBP);
+        Asm.Call_sym main;
+        Asm.Label spin;
+        Asm.Jmp_sym spin;
+      ];
+  }

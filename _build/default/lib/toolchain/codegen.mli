@@ -1,0 +1,67 @@
+(** Synthesis of x86-64 function bodies mirroring compiled C code: ALU
+    filler, local control flow, stack and data traffic, direct calls, and
+    indirect calls — plus the two instrumentation passes the paper's
+    policies check for:
+
+    - Clang [-fstack-protector-all] canary sequences (Section 5,
+      "Compliance for Stack Protection");
+    - IFCC jump tables and call-site masking (Section 5, "Restricting
+      Indirect Function Calls").
+
+    All randomness is drawn from a caller-supplied DRBG, so a given seed
+    always produces byte-identical code. *)
+
+type instrumentation = {
+  stack_protector : bool;
+  ifcc : bool;
+}
+
+val plain : instrumentation
+val with_stack_protector : instrumentation
+val with_ifcc : instrumentation
+
+val stack_chk_fail_sym : string
+(** "__stack_chk_fail", the canary-failure handler the epilogue calls. *)
+
+val jump_table_sym : string
+(** Base label of the IFCC jump table. *)
+
+val jump_table_entry_sym : int -> string
+(** ["__llvm_jump_instr_table_0_<k>"], as LLVM's IFCC patch names them. *)
+
+val is_jump_table_entry : string -> bool
+
+type call_site =
+  | Direct of string         (** callq to a named function *)
+  | Indirect of int          (** call through a pointer to jump-table
+                                 entry [k] (or to the target function
+                                 directly when IFCC is off) *)
+
+type fn_spec = {
+  name : string;
+  body_size : int;           (** filler instructions, before calls *)
+  calls : call_site list;
+  data_refs : string list;   (** extern data symbols to touch *)
+  protected : bool;          (** apply the canary sequence (when the
+                                 instrumentation enables it) *)
+  stack_density : float;     (** probability a filler instruction is a
+                                 store to a stack slot (a canary-store
+                                 candidate for the policy scan) *)
+}
+
+val gen_function :
+  Crypto.Fastrand.t ->
+  instrumentation ->
+  entry_of_table : (int -> string) ->
+  fn_spec ->
+  Asm.func
+(** [entry_of_table k] names the symbol an indirect site points at:
+    jump-table entry [k] under IFCC, the target function otherwise. *)
+
+val gen_jump_table : targets:string list -> Asm.func
+(** The IFCC jump table: one 8-byte [jmpq target; nopl (%rax)] entry per
+    target, each entry carrying its LLVM-style symbol. *)
+
+val gen_start : main:string -> Asm.func
+(** The [_start] stub: calls [main], then loops on a terminal [jmp]
+    (enclaves cannot issue an exit system call directly). *)

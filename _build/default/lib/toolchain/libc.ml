@@ -1,0 +1,88 @@
+type version = V1_0_4 | V1_0_5 | Tampered_1_0_5
+
+let version_to_string = function
+  | V1_0_4 -> "musl-1.0.4"
+  | V1_0_5 -> "musl-1.0.5"
+  | Tampered_1_0_5 -> "musl-1.0.5-tampered"
+
+(* Body seeds: v1.0.4 regenerates every body (a release changes code
+   everywhere after recompilation); the tampered build alters memcpy
+   only. *)
+let body_seed version fname =
+  match version with
+  | V1_0_5 -> "musl-1.0.5/" ^ fname
+  | V1_0_4 -> "musl-1.0.4/" ^ fname
+  | Tampered_1_0_5 ->
+      if fname = "memcpy" then "musl-1.0.5-backdoor/" ^ fname else "musl-1.0.5/" ^ fname
+
+let well_known =
+  [
+    "memcpy"; "memset"; "memmove"; "memcmp"; "strlen"; "strcpy"; "strncpy";
+    "strcmp"; "strncmp"; "strchr"; "strrchr"; "strstr"; "strcat"; "strdup";
+    "malloc"; "free"; "calloc"; "realloc"; "aligned_alloc"; "posix_memalign";
+    "printf"; "fprintf"; "snprintf"; "vsnprintf"; "puts"; "putchar"; "getchar";
+    "fopen"; "fclose"; "fread"; "fwrite"; "fseek"; "ftell"; "fflush"; "fgets";
+    "open"; "close"; "read"; "write"; "lseek"; "stat"; "fstat"; "mmap"; "munmap";
+    "socket"; "bind"; "listen"; "accept"; "connect"; "send"; "recv"; "sendto";
+    "recvfrom"; "setsockopt"; "getsockopt"; "shutdown"; "select"; "poll";
+    "pthread_create"; "pthread_join"; "pthread_mutex_lock"; "pthread_mutex_unlock";
+    "pthread_cond_wait"; "pthread_cond_signal"; "pthread_self"; "pthread_exit";
+    "atoi"; "atol"; "strtol"; "strtoul"; "strtod"; "qsort"; "bsearch"; "abs";
+    "labs"; "div"; "rand"; "srand"; "random"; "getenv"; "setenv"; "unsetenv";
+    "time"; "clock_gettime"; "gettimeofday"; "nanosleep"; "sleep"; "usleep";
+    "exit"; "_exit"; "abort"; "atexit"; "raise"; "signal"; "sigaction";
+    "isalpha"; "isdigit"; "isspace"; "toupper"; "tolower"; "memchr"; "strerror";
+    "errno_location"; "getpid"; "getuid"; "geteuid"; "fork"; "execve"; "waitpid";
+    "dup"; "dup2"; "pipe"; "fcntl"; "ioctl"; "unlink"; "rename"; "mkdir"; "rmdir";
+  ]
+
+let n_internal = 280
+
+let function_names =
+  well_known
+  @ List.init n_internal (fun i -> Printf.sprintf "__musl_internal_%03d" i)
+  @ [ "__stack_chk_fail" ]
+
+let corpus_size = List.length function_names
+
+(* Self-contained body: filler and local branches only, so the linked
+   byte range never depends on where the function lands. *)
+let gen_body drbg fname =
+  let size = 20 + Crypto.Fastrand.uniform drbg 50 in
+  Codegen.gen_function drbg Codegen.plain
+    ~entry_of_table:(fun _ -> assert false)
+    { Codegen.name = fname; body_size = size; calls = []; data_refs = []; protected = false;
+      stack_density = 0.08 }
+
+let build _inst version =
+  List.map
+    (fun fname ->
+      if fname = "__stack_chk_fail" then
+        (* Tiny terminal handler, identical across versions (musl's
+           __stack_chk_fail just aborts). *)
+        { Asm.fname; items = [ Asm.Ins X86.Insn.ud2 ] }
+      else begin
+        let drbg = Crypto.Fastrand.create ("libc-body/" ^ body_seed version fname) in
+        gen_body drbg fname
+      end)
+    function_names
+
+let hash_db version =
+  let funcs = build Codegen.plain version in
+  let asm = Asm.assemble funcs in
+  List.map
+    (fun (name, off, size) ->
+      (name, Crypto.Sha256.digest_hex (String.sub asm.Asm.code off size)))
+    asm.Asm.functions
+
+let mean_function_instructions =
+  (* 20 + uniform(0,49) filler + ~5 prologue/epilogue + branch blocks
+     and padding, measured once on the v1.0.5 corpus (lazily: building
+     the corpus is not free). *)
+  let v =
+    lazy
+      (let funcs = build Codegen.plain V1_0_5 in
+       let asm = Asm.assemble funcs in
+       float_of_int (Asm.instruction_count asm) /. float_of_int corpus_size)
+  in
+  fun () -> Lazy.force v

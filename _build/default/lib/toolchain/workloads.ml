@@ -1,0 +1,338 @@
+type name = Nginx | Bzip2 | Graph500 | Mcf | Memcached | Netperf | Otpgen
+
+let all = [ Nginx; Bzip2; Graph500; Mcf; Memcached; Netperf; Otpgen ]
+
+let to_string = function
+  | Nginx -> "nginx"
+  | Bzip2 -> "401.bzip2"
+  | Graph500 -> "graph-500"
+  | Mcf -> "429.mcf"
+  | Memcached -> "memcached"
+  | Netperf -> "netperf"
+  | Otpgen -> "otp-gen"
+
+let of_string s =
+  List.find_opt (fun n -> to_string n = s) all
+
+type profile = {
+  bench : name;
+  app_functions : int;
+  libc_breadth : int;
+  libc_calls_per_fn : int;
+  app_calls_per_fn : int;
+  indirect_sites : int;
+  table_entries : int;
+  data_slots : int;
+  data_bytes : int;
+  bss_bytes : int;
+  giants : int * float;      (* (count, weight multiplier) of outsized functions *)
+  stack_density : float;     (* stack-store probability in filler code *)
+  target_plain : int;
+  target_stack : int;
+  target_ifcc : int;
+}
+
+(* Function counts derive from (Fig4 - Fig3)/7 instruction deltas; the
+   indirect site/entry counts from the Fig5 deltas (4 per site + 2 per
+   table entry); relocation counts from the Fig3 loading-cycle column. *)
+let profile = function
+  | Nginx ->
+      { bench = Nginx; app_functions = 1270; libc_breadth = 300;
+        libc_calls_per_fn = 4; app_calls_per_fn = 3;
+        indirect_sites = 700; table_entries = 1320;
+        data_slots = 1250; data_bytes = 16384; bss_bytes = 65536;
+        giants = (20, 13.0); stack_density = 0.18;
+        target_plain = 262_228; target_stack = 271_106; target_ifcc = 267_669 }
+  | Bzip2 ->
+      { bench = Bzip2; app_functions = 16; libc_breadth = 60;
+        libc_calls_per_fn = 18; app_calls_per_fn = 5;
+        indirect_sites = 9; table_entries = 26;
+        data_slots = 7; data_bytes = 8192; bss_bytes = 1 lsl 20;
+        giants = (1, 30.0); stack_density = 0.17;
+        target_plain = 24_112; target_stack = 24_226; target_ifcc = 24_201 }
+  | Graph500 ->
+      { bench = Graph500; app_functions = 11; libc_breadth = 70;
+        libc_calls_per_fn = 25; app_calls_per_fn = 2;
+        indirect_sites = 1; table_entries = 4;
+        data_slots = 11; data_bytes = 8192; bss_bytes = 1 lsl 20;
+        giants = (0, 1.0); stack_density = 0.006;
+        target_plain = 100_411; target_stack = 100_488; target_ifcc = 100_424 }
+  | Mcf ->
+      { bench = Mcf; app_functions = 12; libc_breadth = 35;
+        libc_calls_per_fn = 22; app_calls_per_fn = 8;
+        indirect_sites = 0; table_entries = 0;
+        data_slots = 9; data_bytes = 4096; bss_bytes = 1 lsl 19;
+        giants = (0, 1.0); stack_density = 0.11;
+        target_plain = 12_903; target_stack = 12_985; target_ifcc = 12_903 }
+  | Memcached ->
+      { bench = Memcached; app_functions = 34; libc_breadth = 150;
+        libc_calls_per_fn = 30; app_calls_per_fn = 6;
+        indirect_sites = 9; table_entries = 17;
+        data_slots = 46; data_bytes = 12288; bss_bytes = 1 lsl 20;
+        giants = (0, 1.0); stack_density = 0.09;
+        target_plain = 71_437; target_stack = 71_677; target_ifcc = 71_508 }
+  | Netperf ->
+      { bench = Netperf; app_functions = 66; libc_breadth = 120;
+        libc_calls_per_fn = 12; app_calls_per_fn = 6;
+        indirect_sites = 4; table_entries = 6;
+        data_slots = 146; data_bytes = 8192; bss_bytes = 1 lsl 19;
+        giants = (2, 4.7); stack_density = 0.135;
+        target_plain = 51_403; target_stack = 51_868; target_ifcc = 51_431 }
+  | Otpgen ->
+      { bench = Otpgen; app_functions = 13; libc_breadth = 80;
+        libc_calls_per_fn = 16; app_calls_per_fn = 7;
+        indirect_sites = 1; table_entries = 1;
+        data_slots = 19; data_bytes = 4096; bss_bytes = 1 lsl 18;
+        giants = (0, 1.0); stack_density = 0.16;
+        target_plain = 28_125; target_stack = 28_217; target_ifcc = 28_125 }
+
+let target p (inst : Codegen.instrumentation) =
+  if inst.Codegen.stack_protector then p.target_stack
+  else if inst.Codegen.ifcc then p.target_ifcc
+  else p.target_plain
+
+type built = {
+  prof : profile;
+  funcs : Asm.func list;
+  libc_names : string list;
+  data : string;
+  data_symbols : (string * int) list;
+  pointer_slots : (int * string) list;
+  bss_size : int;
+  instructions : int;
+}
+
+let app_fn_name k = Printf.sprintf "app_fn_%04d" k
+
+(* Multi-byte-nop sled decoding to exactly [insns] instructions in
+   exactly [bytes] bytes (1-, 3- and 4-byte nops). Needs
+   insns <= bytes <= 4*insns. *)
+let nop_sled ~bytes ~insns =
+  (* With per-instruction sizes {1,3,4}, (bytes, insns) is realizable
+     iff insns <= bytes <= 4*insns and bytes - insns <> 1 (the excess is
+     a sum of {0,2,3} contributions). *)
+  let realizable b i = i >= 0 && b >= i && b <= 4 * i && b - i <> 1 in
+  if not (realizable bytes insns) then
+    invalid_arg (Printf.sprintf "nop_sled: %d insns in %d bytes impossible" insns bytes);
+  let nop4 = X86.Insn.{ mnem = NOP; ops = [ Mem (W32, mem ~base:X86.Reg.RAX 1) ] } in
+  let rec go bytes insns acc =
+    if insns = 0 then acc
+    else begin
+      let choose =
+        if realizable (bytes - 4) (insns - 1) then 4
+        else if realizable (bytes - 3) (insns - 1) then 3
+        else 1
+      in
+      let i = match choose with 4 -> nop4 | 3 -> X86.Insn.nopl | _ -> X86.Insn.nop in
+      go (bytes - choose) (insns - 1) (i :: acc)
+    end
+  in
+  go bytes insns []
+
+let calibration_pad ~insns : Asm.func =
+  (* Sized to a 32-byte multiple so the assembler adds no further
+     padding and the final count is exact. An excess of exactly one
+     byte is not expressible with {1,3,4}-byte nops; widen by a bundle. *)
+  let bytes =
+    let b = (insns + 31) / 32 * 32 in
+    let b = if b - insns = 1 then b + 32 else b in
+    if b > 4 * insns then invalid_arg "calibration_pad: too few instructions" else b
+  in
+  { Asm.fname = "__calibration_pad";
+    items = List.map (fun i -> Asm.Ins i) (nop_sled ~bytes ~insns) }
+
+let libc_memo : (string, Asm.func list) Hashtbl.t = Hashtbl.create 8
+
+let libc_build_cached inst version =
+  let key =
+    Printf.sprintf "%b/%b/%s" inst.Codegen.stack_protector inst.Codegen.ifcc
+      (Libc.version_to_string version)
+  in
+  match Hashtbl.find_opt libc_memo key with
+  | Some fs -> fs
+  | None ->
+      let fs = Libc.build inst version in
+      Hashtbl.replace libc_memo key fs;
+      fs
+
+let build ?(seed = "engarde-workload") ?(libc = Libc.V1_0_5) inst bench =
+  let prof = profile bench in
+  let drbg =
+    Crypto.Drbg.create ~personalization:(to_string bench ^ "/" ^ seed) "workload-synthesis"
+  in
+  (* Which libc functions this binary links (static linking pulls only
+     what is referenced). __stack_chk_fail is always pulled by the
+     stack-protector build. *)
+  let libc_all = libc_build_cached inst libc in
+  let libc_pool =
+    List.filteri (fun i _ -> i < prof.libc_breadth) Libc.function_names
+  in
+  let libc_pool = List.filter (fun n -> n <> "__stack_chk_fail") libc_pool in
+  let needs_chk_fail = inst.Codegen.stack_protector in
+
+  (* Data section: pointer slots first (8 bytes each), then payload. *)
+  let n_slots = prof.data_slots in
+  let data_symbols =
+    List.init 8 (fun i -> (Printf.sprintf "data_obj_%d" i, (n_slots * 8) + (i * 256)))
+  in
+  let data_len = (n_slots * 8) + prof.data_bytes in
+
+  let app_names = List.init prof.app_functions app_fn_name in
+  (* Distribute indirect sites over the first functions, wrapping. *)
+  let site_assignment = Array.make prof.app_functions 0 in
+  for s = 0 to prof.indirect_sites - 1 do
+    let f = s mod prof.app_functions in
+    site_assignment.(f) <- site_assignment.(f) + 1
+  done;
+  let entry_of_table =
+    if inst.Codegen.ifcc && prof.table_entries > 0 then Codegen.jump_table_entry_sym
+    else fun k ->
+      (* No IFCC: the "function pointer" aims straight at a function. *)
+      app_fn_name (k mod prof.app_functions)
+  in
+  (* Fixed seeds keep regeneration identical across tuning iterations. *)
+  let spec_seed = Crypto.Drbg.generate drbg 32 in
+  let body_seed = Crypto.Drbg.generate drbg 32 in
+  (* Per-function structure (size weight, call lists, data refs) is
+     drawn once; only the size scale varies during tuning, so the
+     instruction count is a smooth monotone function of the mean. *)
+  let base_specs =
+    let sdrbg = Crypto.Drbg.create ~personalization:"specs" spec_seed in
+    let draw_pool pool mean =
+      let n = if mean = 0 then 0 else max 0 (mean - 2 + Crypto.Drbg.uniform sdrbg 5) in
+      List.init n (fun _ -> List.nth pool (Crypto.Drbg.uniform sdrbg (List.length pool)))
+    in
+    let n_giants, giant_weight = prof.giants in
+    List.mapi
+      (fun k fname ->
+        (* Weight in [0.5, 1.5) for ordinary functions; the first
+           [n_giants] functions are outsized by [giant_weight] (SPEC
+           bzip2's mainSort-style monsters, nginx's parser functions). *)
+        let weight = 0.5 +. (float_of_int (Crypto.Drbg.uniform sdrbg 1024) /. 1024.) in
+        let weight = if k < n_giants then weight *. giant_weight else weight in
+        let libc_calls = draw_pool libc_pool prof.libc_calls_per_fn in
+        let app_calls = draw_pool app_names prof.app_calls_per_fn in
+        let indirect =
+          List.init site_assignment.(k) (fun j ->
+              Codegen.Indirect ((k + (j * 37)) mod max 1 prof.table_entries))
+        in
+        let calls =
+          List.map (fun c -> Codegen.Direct c) (libc_calls @ app_calls) @ indirect
+        in
+        let data_refs =
+          List.init (Crypto.Drbg.uniform sdrbg 3) (fun _ ->
+              fst (List.nth data_symbols (Crypto.Drbg.uniform sdrbg (List.length data_symbols))))
+        in
+        (weight, fname, calls, data_refs))
+      app_names
+  in
+  let specs mean_body =
+    List.map
+      (fun (weight, fname, calls, data_refs) ->
+        let body = max 8 (int_of_float (weight *. float_of_int mean_body)) in
+        { Codegen.name = fname; body_size = body; calls; data_refs; protected = true;
+          stack_density = prof.stack_density })
+      base_specs
+  in
+  let referenced_libc specs_v =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (s : Codegen.fn_spec) ->
+        List.iter
+          (function
+            | Codegen.Direct c when not (List.mem c app_names) -> Hashtbl.replace tbl c ()
+            | Codegen.Direct _ | Codegen.Indirect _ -> ())
+          s.calls)
+      specs_v;
+    if needs_chk_fail then Hashtbl.replace tbl "__stack_chk_fail" ();
+    List.filter (fun n -> Hashtbl.mem tbl n) Libc.function_names
+  in
+
+  let assemble_all specs_v ~pad =
+    let gen_drbg = Crypto.Fastrand.create ("bodies/" ^ body_seed) in
+    let app_funcs =
+      List.map (fun s -> Codegen.gen_function gen_drbg inst ~entry_of_table s) specs_v
+    in
+    let table =
+      if inst.Codegen.ifcc && prof.table_entries > 0 then
+        [ Codegen.gen_jump_table
+            ~targets:
+              (List.init prof.table_entries (fun k ->
+                   app_fn_name (k mod prof.app_functions))) ]
+      else []
+    in
+    let linked_libc_names = referenced_libc specs_v in
+    let libc_funcs =
+      List.filter (fun (f : Asm.func) -> List.mem f.Asm.fname linked_libc_names) libc_all
+    in
+    let pad_funcs = match pad with 0 -> [] | n -> [ calibration_pad ~insns:n ] in
+    ( [ Codegen.gen_start ~main:(app_fn_name 0) ] @ app_funcs @ table @ libc_funcs @ pad_funcs,
+      linked_libc_names )
+  in
+  let count specs_v ~pad =
+    let funcs, _ = assemble_all specs_v ~pad in
+    Asm.count_only funcs
+  in
+  let tgt = target prof inst in
+  (* Tune the mean body size so un-padded counts land ~1.5% under the
+     target, then a multi-byte-nop pad function closes the gap exactly.
+     The count is affine in the mean with slope ~ the sum of the
+     per-function size weights (giants included), so a secant update
+     converges in a handful of iterations. *)
+  let aim = tgt - (tgt / 64) - 64 in
+  let n_giants, giant_weight = prof.giants in
+  let slope0 =
+    float_of_int prof.app_functions +. (float_of_int n_giants *. (giant_weight -. 1.0))
+  in
+  let rec tune mean_body c_prev m_prev iters =
+    let c = count (specs mean_body) ~pad:0 in
+    (if Sys.getenv_opt "ENGARDE_TRACE_TUNE" <> None then
+       Printf.eprintf "tune: mean=%d c=%d aim=%d tgt=%d iters=%d\n%!" mean_body c aim tgt iters);
+    if iters = 0 || (c <= aim && aim - c <= tgt / 32) then (mean_body, c)
+    else begin
+      let slope =
+        match (c_prev, m_prev) with
+        | Some cp, Some mp when mp <> mean_body && cp <> c ->
+            let s = float_of_int (c - cp) /. float_of_int (mean_body - mp) in
+            if s > 1.0 then s else slope0
+        | _ -> slope0
+      in
+      let step = int_of_float (float_of_int (aim - c) /. slope) in
+      let next = max 8 (mean_body + step) in
+      let next = if next = mean_body then mean_body + compare (aim - c) 0 else next in
+      if next = mean_body || next < 8 then (mean_body, c)
+      else tune next (Some c) (Some mean_body) (iters - 1)
+    end
+  in
+  let libc_est =
+    int_of_float (float_of_int prof.libc_breadth *. Libc.mean_function_instructions ())
+  in
+  let guess =
+    max 8
+      (int_of_float
+         (float_of_int
+            (aim - libc_est
+            - (prof.app_functions * (14 + prof.libc_calls_per_fn + prof.app_calls_per_fn)))
+         /. slope0))
+  in
+  let mean_body, count0 = tune guess None None 10 in
+  let specs_v = specs mean_body in
+  let rec calibrate pad attempts =
+    let funcs, libc_names = assemble_all specs_v ~pad in
+    let c = Asm.count_only funcs in
+    if c = tgt || attempts = 0 then (funcs, libc_names, c)
+    else calibrate (max 16 (pad + (tgt - c))) (attempts - 1)
+  in
+  let funcs, libc_names, instructions =
+    if count0 >= tgt then
+      let funcs, libc_names = assemble_all specs_v ~pad:0 in
+      (funcs, libc_names, count0)
+    else calibrate (max 16 (tgt - count0)) 6
+  in
+  { prof; funcs; libc_names;
+    data = String.make data_len '\x00';
+    data_symbols;
+    pointer_slots =
+      List.init n_slots (fun i -> (i * 8, app_fn_name (i mod prof.app_functions)));
+    bss_size = prof.bss_bytes;
+    instructions }

@@ -1,0 +1,70 @@
+(** The seven evaluation workloads of the paper (Section 5): Nginx,
+    401.bzip2, Graph-500, 429.mcf, Memcached, Netperf and otp-gen.
+
+    EnGarde never executes client code — it inspects it — so what each
+    workload must reproduce is the *static structure* the policies and
+    the disassembler traverse: total instruction count (the paper's
+    "#Inst." column, which this module calibrates to exactly), function
+    count and size distribution (e.g. bzip2's few huge functions, which
+    drive the quadratic stack-protection checking cost), direct-call
+    density into libc (which drives the library-linking hash cost),
+    indirect-call sites and jump-table entries (Figure 5), and the
+    relocation count (which drives loading cost).
+
+    Function counts per application are inferred from the paper's own
+    tables: Figure 4 minus Figure 3 instruction deltas divided by the
+    per-function canary overhead. Indirect-site/table-entry counts come
+    from the Figure 5 deltas the same way. *)
+
+type name = Nginx | Bzip2 | Graph500 | Mcf | Memcached | Netperf | Otpgen
+
+val all : name list
+val to_string : name -> string
+val of_string : string -> name option
+
+type profile = {
+  bench : name;
+  app_functions : int;
+  libc_breadth : int;        (** distinct libc functions called *)
+  libc_calls_per_fn : int;   (** mean direct libc calls per function *)
+  app_calls_per_fn : int;    (** mean direct app-internal calls *)
+  indirect_sites : int;
+  table_entries : int;
+  data_slots : int;          (** relocated function-pointer slots *)
+  data_bytes : int;          (** raw .data payload besides the slots *)
+  bss_bytes : int;
+  giants : int * float;
+      (** (count, weight): the first [count] functions are outsized by
+          [weight] — SPEC bzip2's mainSort-style monsters, whose
+          quadratic stack-protection scan cost Figure 4 exposes *)
+  stack_density : float;
+      (** probability a filler instruction stores to a stack slot (a
+          canary-store candidate for the policy scan) *)
+  target_plain : int;        (** paper Figure 3 #Inst. *)
+  target_stack : int;        (** paper Figure 4 #Inst. *)
+  target_ifcc : int;         (** paper Figure 5 #Inst. *)
+}
+
+val profile : name -> profile
+
+val target : profile -> Codegen.instrumentation -> int
+
+type built = {
+  prof : profile;
+  funcs : Asm.func list;         (** _start, app, jump table, libc, pad *)
+  libc_names : string list;      (** corpus names linked into the binary *)
+  data : string;
+  data_symbols : (string * int) list;  (** symbol -> offset within .data *)
+  pointer_slots : (int * string) list;
+      (** (.data offset, target function) pairs needing
+          [R_X86_64_RELATIVE] relocations *)
+  bss_size : int;
+  instructions : int;            (** decoded instruction count of the text *)
+}
+
+val build :
+  ?seed:string -> ?libc:Libc.version -> Codegen.instrumentation -> name -> built
+(** Deterministically synthesize the workload, calibrated so
+    [instructions] equals the paper's #Inst for the chosen
+    instrumentation (exact for the default corpus; a different [libc]
+    version shifts it by at most the version's size delta). *)

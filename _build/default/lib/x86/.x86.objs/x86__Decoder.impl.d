@@ -1,0 +1,1 @@
+lib/x86/decoder.ml: Char Format Insn List Printf Reg String

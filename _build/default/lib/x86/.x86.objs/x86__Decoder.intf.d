@@ -1,0 +1,1 @@
+lib/x86/decoder.mli: Format Insn

@@ -1,0 +1,1 @@
+lib/x86/encoder.ml: Buffer Char Insn List Printf Reg String

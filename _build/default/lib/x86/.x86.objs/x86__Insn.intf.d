@@ -1,0 +1,1 @@
+lib/x86/insn.mli: Format Reg

@@ -1,0 +1,1 @@
+lib/x86/nacl.ml: Array Decoder Format Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/x86/nacl.mli: Decoder Format

@@ -1,0 +1,1 @@
+lib/x86/reg.ml: Format Printf Stdlib

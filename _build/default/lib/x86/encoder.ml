@@ -1,0 +1,255 @@
+open Insn
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+let fits_i8 v = v >= -128 && v <= 127
+let fits_i32 v = v >= -0x8000_0000 && v <= 0x7fff_ffff
+
+type emit = {
+  buf : Buffer.t;
+  mutable rex_w : bool;
+  mutable rex_r : bool;
+  mutable rex_x : bool;
+  mutable rex_b : bool;
+}
+
+let byte e v = Buffer.add_char e.buf (Char.chr (v land 0xff))
+
+let imm32 e v =
+  if not (fits_i32 v) then unsupported "imm32 out of range: %d" v;
+  byte e v; byte e (v asr 8); byte e (v asr 16); byte e (v asr 24)
+
+let imm8 e v =
+  if not (fits_i8 v) then unsupported "imm8 out of range: %d" v;
+  byte e v
+
+(* ModRM byte plus a closure emitting SIB/disp after it. The register
+   field may be a plain opcode extension (/n). *)
+type rm_encoded = { modrm_mod : int; modrm_rm : int; tail : emit -> unit }
+
+let scale_bits = function
+  | 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3
+  | s -> unsupported "SIB scale %d" s
+
+let encode_mem e (m : mem) : rm_encoded =
+  (match m.index with
+  | Some (i, _) when Reg.equal i Reg.RSP -> unsupported "RSP cannot be an index"
+  | _ -> ());
+  let need_sib =
+    m.index <> None || m.base = None
+    || (match m.base with Some b -> Reg.number b land 7 = 4 | None -> false)
+  in
+  let disp_mode base_reg =
+    (* mod and disp emission for a known base register. *)
+    let low = Reg.number base_reg land 7 in
+    if m.disp = 0 && low <> 5 then (0, fun _ -> ())
+    else if fits_i8 m.disp then (1, fun e -> imm8 e m.disp)
+    else (2, fun e -> imm32 e m.disp)
+  in
+  if not need_sib then begin
+    let base = match m.base with Some b -> b | None -> assert false in
+    let md, emit_disp = disp_mode base in
+    e.rex_b <- e.rex_b || Reg.number base >= 8;
+    { modrm_mod = md; modrm_rm = Reg.number base land 7; tail = emit_disp }
+  end
+  else begin
+    let index_bits =
+      match m.index with
+      | None -> 4 (* no index *)
+      | Some (i, _) ->
+          e.rex_x <- e.rex_x || Reg.number i >= 8;
+          Reg.number i land 7
+    in
+    let scale = match m.index with None -> 0 | Some (_, s) -> scale_bits s in
+    match m.base with
+    | None ->
+        (* [disp32] absolute (or with index): mod=00, SIB base=101. *)
+        { modrm_mod = 0;
+          modrm_rm = 4;
+          tail =
+            (fun e ->
+              byte e ((scale lsl 6) lor (index_bits lsl 3) lor 5);
+              imm32 e m.disp) }
+    | Some base ->
+        let md, emit_disp = disp_mode base in
+        e.rex_b <- e.rex_b || Reg.number base >= 8;
+        { modrm_mod = md;
+          modrm_rm = 4;
+          tail =
+            (fun e ->
+              byte e ((scale lsl 6) lor (index_bits lsl 3) lor (Reg.number base land 7));
+              emit_disp e) }
+  end
+
+let finish e ~seg_fs ~opcode ~reg_field ~rm ~tail_imm =
+  (* Assemble prefix bytes, opcode, ModRM, SIB/disp, then immediates. *)
+  let out = Buffer.create 15 in
+  if seg_fs then Buffer.add_char out '\x64';
+  let rex =
+    0x40
+    lor (if e.rex_w then 8 else 0)
+    lor (if e.rex_r then 4 else 0)
+    lor (if e.rex_x then 2 else 0)
+    lor (if e.rex_b then 1 else 0)
+  in
+  if rex <> 0x40 then Buffer.add_char out (Char.chr rex);
+  List.iter (fun b -> Buffer.add_char out (Char.chr b)) opcode;
+  (match rm with
+  | None -> ()
+  | Some r ->
+      Buffer.add_char out (Char.chr ((r.modrm_mod lsl 6) lor ((reg_field land 7) lsl 3) lor r.modrm_rm));
+      let sub = { e with buf = Buffer.create 8 } in
+      r.tail sub;
+      Buffer.add_buffer out sub.buf);
+  (match tail_imm with None -> () | Some f ->
+      let sub = { e with buf = Buffer.create 8 } in
+      f sub;
+      Buffer.add_buffer out sub.buf);
+  Buffer.contents out
+
+let fresh () = { buf = Buffer.create 0; rex_w = false; rex_r = false; rex_x = false; rex_b = false }
+
+let set_width e = function W32 -> () | W64 -> e.rex_w <- true
+
+let reg_field_of e r =
+  if Reg.number r >= 8 then e.rex_r <- true;
+  Reg.number r
+
+let rm_of_reg e r =
+  if Reg.number r >= 8 then e.rex_b <- true;
+  { modrm_mod = 3; modrm_rm = Reg.number r land 7; tail = (fun _ -> ()) }
+
+let rm_of_rip disp = { modrm_mod = 0; modrm_rm = 5; tail = (fun e -> imm32 e disp) }
+
+(* Standard ALU opcode bytes: MR form (op r/m, r) and imm group /n. *)
+let alu_mr = function
+  | ADD -> 0x01 | OR -> 0x09 | AND -> 0x21 | SUB -> 0x29 | XOR -> 0x31 | CMP -> 0x39
+  | m -> unsupported "alu_mr %s" (mnem_name m)
+
+let alu_rm = function
+  | ADD -> 0x03 | OR -> 0x0b | AND -> 0x23 | SUB -> 0x2b | XOR -> 0x33 | CMP -> 0x3b
+  | m -> unsupported "alu_rm %s" (mnem_name m)
+
+let alu_ext = function
+  | ADD -> 0 | OR -> 1 | AND -> 4 | SUB -> 5 | XOR -> 6 | CMP -> 7
+  | m -> unsupported "alu_ext %s" (mnem_name m)
+
+let cond_code = function
+  | E -> 4 | NE -> 5 | L -> 0xc | LE -> 0xe | G -> 0xf | GE -> 0xd
+  | B -> 2 | BE -> 6 | A -> 7 | AE -> 3 | S -> 8 | NS -> 9
+
+let encode (i : Insn.t) : string =
+  let e = fresh () in
+  match (i.mnem, i.ops) with
+  (* --- data movement --- *)
+  | MOV, [ Imm v; Reg (W64, r) ] ->
+      e.rex_w <- true;
+      let rm = rm_of_reg e r in
+      finish e ~seg_fs:false ~opcode:[ 0xc7 ] ~reg_field:0 ~rm:(Some rm)
+        ~tail_imm:(Some (fun e -> imm32 e v))
+  | MOV, [ Reg (w, src); Reg (w', dst) ] when w = w' ->
+      set_width e w;
+      let reg = reg_field_of e src in
+      let rm = rm_of_reg e dst in
+      finish e ~seg_fs:false ~opcode:[ 0x89 ] ~reg_field:reg ~rm:(Some rm) ~tail_imm:None
+  | MOV, [ Mem (w, m); Reg (w', dst) ] when w = w' ->
+      set_width e w;
+      let reg = reg_field_of e dst in
+      let rm = encode_mem e m in
+      finish e ~seg_fs:m.seg_fs ~opcode:[ 0x8b ] ~reg_field:reg ~rm:(Some rm) ~tail_imm:None
+  | MOV, [ Reg (w, src); Mem (w', m) ] when w = w' ->
+      set_width e w;
+      let reg = reg_field_of e src in
+      let rm = encode_mem e m in
+      finish e ~seg_fs:m.seg_fs ~opcode:[ 0x89 ] ~reg_field:reg ~rm:(Some rm) ~tail_imm:None
+  | LEA, [ Rip disp; Reg (W64, dst) ] ->
+      e.rex_w <- true;
+      let reg = reg_field_of e dst in
+      finish e ~seg_fs:false ~opcode:[ 0x8d ] ~reg_field:reg ~rm:(Some (rm_of_rip disp))
+        ~tail_imm:None
+  | LEA, [ Mem (_, m); Reg (W64, dst) ] ->
+      e.rex_w <- true;
+      let reg = reg_field_of e dst in
+      let rm = encode_mem e m in
+      finish e ~seg_fs:false ~opcode:[ 0x8d ] ~reg_field:reg ~rm:(Some rm) ~tail_imm:None
+  (* --- ALU reg/mem forms --- *)
+  | ((ADD | SUB | AND | OR | XOR | CMP) as op), [ Reg (w, src); Reg (w', dst) ] when w = w' ->
+      set_width e w;
+      let reg = reg_field_of e src in
+      let rm = rm_of_reg e dst in
+      finish e ~seg_fs:false ~opcode:[ alu_mr op ] ~reg_field:reg ~rm:(Some rm) ~tail_imm:None
+  | ((ADD | SUB | AND | OR | XOR | CMP) as op), [ Mem (w, m); Reg (w', dst) ] when w = w' ->
+      set_width e w;
+      let reg = reg_field_of e dst in
+      let rm = encode_mem e m in
+      finish e ~seg_fs:m.seg_fs ~opcode:[ alu_rm op ] ~reg_field:reg ~rm:(Some rm) ~tail_imm:None
+  | ((ADD | SUB | AND | OR | XOR | CMP) as op), [ Reg (w, src); Mem (w', m) ] when w = w' ->
+      set_width e w;
+      let reg = reg_field_of e src in
+      let rm = encode_mem e m in
+      finish e ~seg_fs:m.seg_fs ~opcode:[ alu_mr op ] ~reg_field:reg ~rm:(Some rm) ~tail_imm:None
+  | ((ADD | SUB | AND | OR | XOR | CMP) as op), [ Imm v; Reg (W64, dst) ] ->
+      e.rex_w <- true;
+      let rm = rm_of_reg e dst in
+      if fits_i8 v then
+        finish e ~seg_fs:false ~opcode:[ 0x83 ] ~reg_field:(alu_ext op) ~rm:(Some rm)
+          ~tail_imm:(Some (fun e -> imm8 e v))
+      else
+        finish e ~seg_fs:false ~opcode:[ 0x81 ] ~reg_field:(alu_ext op) ~rm:(Some rm)
+          ~tail_imm:(Some (fun e -> imm32 e v))
+  | TEST, [ Reg (w, src); Reg (w', dst) ] when w = w' ->
+      set_width e w;
+      let reg = reg_field_of e src in
+      let rm = rm_of_reg e dst in
+      finish e ~seg_fs:false ~opcode:[ 0x85 ] ~reg_field:reg ~rm:(Some rm) ~tail_imm:None
+  | IMUL, [ Reg (W64, src); Reg (W64, dst) ] ->
+      e.rex_w <- true;
+      let reg = reg_field_of e dst in
+      let rm = rm_of_reg e src in
+      finish e ~seg_fs:false ~opcode:[ 0x0f; 0xaf ] ~reg_field:reg ~rm:(Some rm) ~tail_imm:None
+  | SHL, [ Imm v; Reg (W64, r) ] ->
+      e.rex_w <- true;
+      let rm = rm_of_reg e r in
+      finish e ~seg_fs:false ~opcode:[ 0xc1 ] ~reg_field:4 ~rm:(Some rm)
+        ~tail_imm:(Some (fun e -> imm8 e v))
+  | SHR, [ Imm v; Reg (W64, r) ] ->
+      e.rex_w <- true;
+      let rm = rm_of_reg e r in
+      finish e ~seg_fs:false ~opcode:[ 0xc1 ] ~reg_field:5 ~rm:(Some rm)
+        ~tail_imm:(Some (fun e -> imm8 e v))
+  (* --- stack --- *)
+  | PUSH, [ Reg (W64, r) ] ->
+      if Reg.number r >= 8 then e.rex_b <- true;
+      finish e ~seg_fs:false ~opcode:[ 0x50 lor (Reg.number r land 7) ] ~reg_field:0 ~rm:None
+        ~tail_imm:None
+  | POP, [ Reg (W64, r) ] ->
+      if Reg.number r >= 8 then e.rex_b <- true;
+      finish e ~seg_fs:false ~opcode:[ 0x58 lor (Reg.number r land 7) ] ~reg_field:0 ~rm:None
+        ~tail_imm:None
+  (* --- control transfer --- *)
+  | CALL, [ Rel d ] ->
+      finish e ~seg_fs:false ~opcode:[ 0xe8 ] ~reg_field:0 ~rm:None
+        ~tail_imm:(Some (fun e -> imm32 e d))
+  | JMP, [ Rel d ] ->
+      finish e ~seg_fs:false ~opcode:[ 0xe9 ] ~reg_field:0 ~rm:None
+        ~tail_imm:(Some (fun e -> imm32 e d))
+  | JCC c, [ Rel d ] ->
+      finish e ~seg_fs:false ~opcode:[ 0x0f; 0x80 lor cond_code c ] ~reg_field:0 ~rm:None
+        ~tail_imm:(Some (fun e -> imm32 e d))
+  | CALL_IND, [ Reg (W64, r) ] ->
+      let rm = rm_of_reg e r in
+      finish e ~seg_fs:false ~opcode:[ 0xff ] ~reg_field:2 ~rm:(Some rm) ~tail_imm:None
+  | JMP_IND, [ Reg (W64, r) ] ->
+      let rm = rm_of_reg e r in
+      finish e ~seg_fs:false ~opcode:[ 0xff ] ~reg_field:4 ~rm:(Some rm) ~tail_imm:None
+  | RET, [] -> "\xc3"
+  | NOP, [] -> "\x90"
+  | NOP, [ Mem (_, m) ] ->
+      let rm = encode_mem e m in
+      finish e ~seg_fs:false ~opcode:[ 0x0f; 0x1f ] ~reg_field:0 ~rm:(Some rm) ~tail_imm:None
+  | UD2, [] -> "\x0f\x0b"
+  | m, _ -> unsupported "encode: %s with given operands" (mnem_name m)
+
+let length i = String.length (encode i)

@@ -1,0 +1,17 @@
+(** x86-64 machine-code emission for the {!Insn} subset.
+
+    The synthetic toolchain uses this to produce the evaluation binaries
+    that EnGarde later disassembles; it is the ground truth the decoder
+    is property-tested against. *)
+
+exception Unsupported of string
+(** Raised for operand combinations outside the supported subset
+    (e.g. RSP as an index register, out-of-range scale). *)
+
+val encode : Insn.t -> string
+(** Machine bytes for one instruction. Relative operands ([Rel], [Rip])
+    hold displacements measured from the instruction's end, exactly as
+    x86 encodes them. *)
+
+val length : Insn.t -> int
+(** [String.length (encode i)] without building the string twice. *)

@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Buffer Channel Char Crypto Lazy List Sgx String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aes Alcotest Bignum Char Crypto Drbg Hmac Lazy List Option QCheck QCheck_alcotest Rsa Sha256 String

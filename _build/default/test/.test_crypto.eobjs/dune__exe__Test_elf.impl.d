@@ -1,0 +1,1 @@
+test/test_elf.ml: Alcotest Char Elf64 List Option Printf QCheck QCheck_alcotest Reader String Types Writer

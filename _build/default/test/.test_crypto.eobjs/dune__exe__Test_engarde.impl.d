@@ -1,0 +1,1 @@
+test/test_engarde.ml: Alcotest Array Asm Astring Bytes Channel Char Codegen Crypto Elf64 Engarde Hashtbl Lazy Libc Linker List Option Printf Result Sgx String Toolchain Workloads X86

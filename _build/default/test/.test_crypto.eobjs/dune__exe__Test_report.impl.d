@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Astring Elf64 Engarde List Result Sgx String Toolchain

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Astring Codegen Elf64 Engarde Lazy Libc Linker List Result Sgx Toolchain Workloads X86

@@ -1,0 +1,1 @@
+test/test_sgx.ml: Alcotest Char Crypto Enclave Epc Host_os Lazy List Option Perf Quote Sgx String

@@ -1,0 +1,1 @@
+test/test_toolchain.ml: Alcotest Asm Codegen Crypto Elf64 Engarde Hashtbl Libc Linker List Printf QCheck QCheck_alcotest String Toolchain Workloads X86

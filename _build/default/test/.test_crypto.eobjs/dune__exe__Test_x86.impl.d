@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Array Buffer Char Crypto Decoder Encoder Insn List Nacl QCheck QCheck_alcotest Reg String X86

@@ -1,0 +1,226 @@
+(* Channel tests: wire-format round trips, session block crypto and
+   authentication, loopback transport, and the client-side attestation
+   verdicts. *)
+
+let msg_samples =
+  [
+    Channel.Wire.Client_hello { challenge = "0123456789abcdef" };
+    Channel.Wire.Quote_response { quote = String.make 100 'q'; enclave_pub = "pubkey" };
+    Channel.Wire.Wrapped_key { wrapped = String.make 64 'w' };
+    Channel.Wire.Code_block { seq = 7; offset = 7 * 4096; ciphertext = "ct-bytes"; tag = String.make 32 't' };
+    Channel.Wire.Transfer_done { total_len = 123456; digest = String.make 32 'd' };
+    Channel.Wire.Verdict { accepted = true; detail = "ok" };
+    Channel.Wire.Verdict { accepted = false; detail = "policy violation" };
+  ]
+
+let wire_roundtrip () =
+  List.iter
+    (fun m ->
+      match Channel.Wire.of_bytes (Channel.Wire.to_bytes m) with
+      | Some m' ->
+          Alcotest.(check bool) (Channel.Wire.describe m) true (Channel.Wire.equal m m')
+      | None -> Alcotest.failf "failed to parse %s" (Channel.Wire.describe m))
+    msg_samples
+
+let wire_rejects_garbage () =
+  Alcotest.(check bool) "empty" true (Channel.Wire.of_bytes "" = None);
+  Alcotest.(check bool) "unknown tag" true (Channel.Wire.of_bytes "\x7fxxxx" = None);
+  List.iter
+    (fun m ->
+      let b = Channel.Wire.to_bytes m in
+      let truncated = String.sub b 0 (String.length b - 1) in
+      Alcotest.(check bool)
+        ("truncated " ^ Channel.Wire.describe m)
+        true
+        (Channel.Wire.of_bytes truncated = None))
+    msg_samples
+
+let wire_rejects_trailing_bytes () =
+  List.iter
+    (fun m ->
+      let b = Channel.Wire.to_bytes m ^ "\x00" in
+      Alcotest.(check bool) ("trailing " ^ Channel.Wire.describe m) true
+        (Channel.Wire.of_bytes b = None))
+    msg_samples
+
+let session_roundtrip () =
+  let s = Channel.Session.create ~key:(String.make 32 'k') in
+  let plain = String.init 5000 (fun i -> Char.chr (i mod 256)) in
+  let pieces = Channel.Session.split_payload plain in
+  Alcotest.(check int) "two blocks" 2 (List.length pieces);
+  let reassembled = Buffer.create 5000 in
+  List.iter
+    (fun (seq, offset, chunk) ->
+      match Channel.Session.encrypt_block s ~seq ~offset chunk with
+      | Channel.Wire.Code_block { seq; offset; ciphertext; tag } -> begin
+          Alcotest.(check bool) "ciphertext differs" true (ciphertext <> chunk);
+          match Channel.Session.decrypt_block s ~seq ~offset ~ciphertext ~tag with
+          | Some p -> Buffer.add_string reassembled p
+          | None -> Alcotest.fail "authentic block rejected"
+        end
+      | _ -> Alcotest.fail "unexpected message")
+    pieces;
+  Alcotest.(check string) "payload reassembled" plain (Buffer.contents reassembled)
+
+let session_rejects_tamper () =
+  let s = Channel.Session.create ~key:(String.make 32 'k') in
+  match Channel.Session.encrypt_block s ~seq:0 ~offset:0 "attack at dawn!" with
+  | Channel.Wire.Code_block { seq; offset; ciphertext; tag } ->
+      let flip str i = String.mapi (fun j c -> if i = j then Char.chr (Char.code c lxor 1) else c) str in
+      Alcotest.(check bool) "flipped ciphertext rejected" true
+        (Channel.Session.decrypt_block s ~seq ~offset ~ciphertext:(flip ciphertext 3) ~tag = None);
+      Alcotest.(check bool) "flipped tag rejected" true
+        (Channel.Session.decrypt_block s ~seq ~offset ~ciphertext ~tag:(flip tag 0) = None);
+      Alcotest.(check bool) "wrong offset rejected" true
+        (Channel.Session.decrypt_block s ~seq ~offset:(offset + 16) ~ciphertext ~tag = None);
+      let s2 = Channel.Session.create ~key:(String.make 32 'x') in
+      Alcotest.(check bool) "wrong key rejected" true
+        (Channel.Session.decrypt_block s2 ~seq ~offset ~ciphertext ~tag = None)
+  | _ -> Alcotest.fail "unexpected message"
+
+let session_key_length () =
+  Alcotest.check_raises "short key" (Invalid_argument "Session.create: need a 32-byte key")
+    (fun () -> ignore (Channel.Session.create ~key:"short"))
+
+let transport_delivers_in_order () =
+  let a, b = Channel.Transport.pair () in
+  List.iter (Channel.Transport.send a) msg_samples;
+  let received = Channel.Transport.drain b in
+  Alcotest.(check int) "all delivered" (List.length msg_samples) (List.length received);
+  List.iter2
+    (fun m m' -> Alcotest.(check bool) "in order" true (Channel.Wire.equal m m'))
+    msg_samples received;
+  Alcotest.(check bool) "nothing for sender" true (Channel.Transport.recv a = None)
+
+let transport_tamper_hook () =
+  let tamper = function
+    | Channel.Wire.Verdict { accepted = _; detail } ->
+        Channel.Wire.Verdict { accepted = true; detail } (* verdict flipping *)
+    | m -> m
+  in
+  let a, b = Channel.Transport.pair ~tamper () in
+  Channel.Transport.send a (Channel.Wire.Verdict { accepted = false; detail = "rejected" });
+  match Channel.Transport.recv b with
+  | Some (Channel.Wire.Verdict { accepted; _ }) ->
+      Alcotest.(check bool) "tampered on the wire" true accepted
+  | _ -> Alcotest.fail "message lost"
+
+(* Client driver against a fake quoting stack. *)
+let device = lazy (Sgx.Quote.device_create ~seed:"channel-test-device")
+
+let make_enclave () =
+  let epc = Sgx.Epc.create ~pages:8 ~seed:"channel-test" () in
+  let e = Sgx.Enclave.ecreate epc ~base:0x10000 ~size:4096 () in
+  Sgx.Enclave.eadd e ~vaddr:0x10000 ~perm:Sgx.Enclave.rw ~content:(String.make 4096 '\x00');
+  ignore (Sgx.Enclave.einit e);
+  e
+
+let quote_response_for ?(pub = "enclave-public-key") e =
+  let q =
+    Sgx.Quote.quote (Lazy.force device) ~enclave:e ~report_data:(Crypto.Sha256.digest pub)
+  in
+  Channel.Wire.Quote_response { quote = Sgx.Quote.to_bytes q; enclave_pub = pub }
+
+let client_accepts_good_quote () =
+  let e = make_enclave () in
+  (* A real RSA key so the wrap step works. *)
+  let kp = Crypto.Rsa.generate (Crypto.Drbg.create "channel-kp") ~bits:512 in
+  let pub = Crypto.Rsa.pub_to_bytes kp.Crypto.Rsa.pub in
+  let client =
+    Channel.Client.create
+      ~device_pub:(Sgx.Quote.device_public (Lazy.force device))
+      ~expected_measurement:(Sgx.Enclave.measurement e)
+      ~seed:"s" ~payload:"payload-bytes"
+  in
+  match Channel.Client.handle_quote client (quote_response_for ~pub e) with
+  | Ok (Channel.Wire.Wrapped_key { wrapped }) -> begin
+      match Crypto.Rsa.decrypt kp wrapped with
+      | Some key ->
+          Alcotest.(check int) "32-byte session key" 32 (String.length key);
+          (* And the code messages decrypt under that key. *)
+          let session = Channel.Session.create ~key in
+          let msgs = Channel.Client.code_messages client in
+          Alcotest.(check int) "one block + done" 2 (List.length msgs);
+          (match List.hd msgs with
+          | Channel.Wire.Code_block { seq; offset; ciphertext; tag } ->
+              Alcotest.(check (option string)) "block decrypts" (Some "payload-bytes")
+                (Channel.Session.decrypt_block session ~seq ~offset ~ciphertext ~tag)
+          | _ -> Alcotest.fail "expected code block")
+      | None -> Alcotest.fail "wrap did not decrypt"
+    end
+  | Ok _ -> Alcotest.fail "expected wrapped key"
+  | Error f -> Alcotest.failf "rejected: %s" (Channel.Client.failure_to_string f)
+
+let client_rejects_wrong_measurement () =
+  let e = make_enclave () in
+  let client =
+    Channel.Client.create
+      ~device_pub:(Sgx.Quote.device_public (Lazy.force device))
+      ~expected_measurement:(String.make 32 'Z') ~seed:"s" ~payload:"p"
+  in
+  match Channel.Client.handle_quote client (quote_response_for e) with
+  | Error (Channel.Client.Wrong_measurement _) -> ()
+  | Ok _ -> Alcotest.fail "accepted wrong measurement"
+  | Error f -> Alcotest.failf "wrong failure: %s" (Channel.Client.failure_to_string f)
+
+let client_rejects_wrong_device () =
+  let e = make_enclave () in
+  let other = Sgx.Quote.device_create ~seed:"evil-device" in
+  let client =
+    Channel.Client.create
+      ~device_pub:(Sgx.Quote.device_public other)
+      ~expected_measurement:(Sgx.Enclave.measurement e) ~seed:"s" ~payload:"p"
+  in
+  match Channel.Client.handle_quote client (quote_response_for e) with
+  | Error Channel.Client.Bad_quote -> ()
+  | Ok _ -> Alcotest.fail "accepted quote from wrong device"
+  | Error f -> Alcotest.failf "wrong failure: %s" (Channel.Client.failure_to_string f)
+
+let client_rejects_swapped_key () =
+  (* A man-in-the-middle replaces the enclave public key: the report
+     data no longer matches its hash. *)
+  let e = make_enclave () in
+  let client =
+    Channel.Client.create
+      ~device_pub:(Sgx.Quote.device_public (Lazy.force device))
+      ~expected_measurement:(Sgx.Enclave.measurement e) ~seed:"s" ~payload:"p"
+  in
+  let msg =
+    match quote_response_for ~pub:"honest-key" e with
+    | Channel.Wire.Quote_response { quote; enclave_pub = _ } ->
+        Channel.Wire.Quote_response { quote; enclave_pub = "attacker-key" }
+    | m -> m
+  in
+  match Channel.Client.handle_quote client msg with
+  | Error Channel.Client.Bad_enclave_key -> ()
+  | Ok _ -> Alcotest.fail "accepted swapped key"
+  | Error f -> Alcotest.failf "wrong failure: %s" (Channel.Client.failure_to_string f)
+
+let () =
+  Alcotest.run "channel"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick wire_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick wire_rejects_garbage;
+          Alcotest.test_case "rejects trailing" `Quick wire_rejects_trailing_bytes;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "roundtrip" `Quick session_roundtrip;
+          Alcotest.test_case "rejects tamper" `Quick session_rejects_tamper;
+          Alcotest.test_case "key length" `Quick session_key_length;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "in order" `Quick transport_delivers_in_order;
+          Alcotest.test_case "tamper hook" `Quick transport_tamper_hook;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "accepts good quote" `Slow client_accepts_good_quote;
+          Alcotest.test_case "rejects wrong measurement" `Slow client_rejects_wrong_measurement;
+          Alcotest.test_case "rejects wrong device" `Slow client_rejects_wrong_device;
+          Alcotest.test_case "rejects swapped key" `Slow client_rejects_swapped_key;
+        ] );
+    ]

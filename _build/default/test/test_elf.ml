@@ -1,0 +1,203 @@
+(* ELF substrate tests: writer->reader round trips, the header checks the
+   paper's loader performs, stripped binaries, and relocation tables. *)
+
+open Elf64
+
+let sample_input =
+  {
+    Writer.default_input with
+    Writer.entry = 0x1040;
+    text_addr = 0x1000;
+    text = String.init 600 (fun i -> Char.chr (i mod 256));
+    data_addr = 0x200000;
+    data = "hello, enclave data";
+    bss_addr = 0x201000;
+    bss_size = 0x800;
+    symbols =
+      [
+        Types.{ st_name = "main"; st_value = 0x1040; st_size = 80;
+                st_info = (stb_global lsl 4) lor stt_func };
+        Types.{ st_name = "helper"; st_value = 0x1090; st_size = 40;
+                st_info = (stb_global lsl 4) lor stt_func };
+        Types.{ st_name = "global_buf"; st_value = 0x200000; st_size = 19;
+                st_info = (stb_global lsl 4) lor stt_object };
+      ];
+    relocations =
+      [
+        Types.{ r_offset = 0x200008; r_type = r_x86_64_relative; r_sym = 0; r_addend = 0x1040 };
+        Types.{ r_offset = 0x200010; r_type = r_x86_64_relative; r_sym = 0; r_addend = 0x1090 };
+      ];
+  }
+
+let parse_exn raw =
+  match Reader.parse raw with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse failed: %s" (Reader.error_to_string e)
+
+let roundtrip_basics () =
+  let t = parse_exn (Writer.build sample_input) in
+  Alcotest.(check int) "entry" 0x1040 t.Reader.entry;
+  let text = Option.get (Reader.section t ".text") in
+  Alcotest.(check string) "text bytes survive" sample_input.Writer.text text.Reader.data;
+  Alcotest.(check int) "text addr" 0x1000 text.Reader.addr;
+  let data = Option.get (Reader.section t ".data") in
+  Alcotest.(check string) "data bytes survive" "hello, enclave data" data.Reader.data;
+  let bss = Option.get (Reader.section t ".bss") in
+  Alcotest.(check int) "bss size" 0x800 bss.Reader.size;
+  Alcotest.(check string) "bss has no file bytes" "" bss.Reader.data
+
+let roundtrip_symbols () =
+  let t = parse_exn (Writer.build sample_input) in
+  Alcotest.(check int) "all symbols" 3 (List.length t.Reader.symbols);
+  let funcs = Reader.function_symbols t in
+  Alcotest.(check (list string)) "function symbols in addr order" [ "main"; "helper" ]
+    (List.map (fun (s : Types.symbol) -> s.st_name) funcs);
+  match Reader.find_symbol t "helper" with
+  | None -> Alcotest.fail "helper missing"
+  | Some s ->
+      Alcotest.(check int) "value" 0x1090 s.Types.st_value;
+      Alcotest.(check int) "size" 40 s.Types.st_size
+
+let roundtrip_relocations () =
+  let t = parse_exn (Writer.build sample_input) in
+  Alcotest.(check int) "rela count" 2 (List.length t.Reader.relocations);
+  let r0 = List.hd t.Reader.relocations in
+  Alcotest.(check int) "r_offset" 0x200008 r0.Types.r_offset;
+  Alcotest.(check int) "r_type" Types.r_x86_64_relative r0.Types.r_type;
+  Alcotest.(check int) "r_addend" 0x1040 r0.Types.r_addend
+
+let stripped_binary_has_no_symbols () =
+  let t = parse_exn (Writer.build { sample_input with Writer.strip_symtab = true }) in
+  Alcotest.(check int) "no symbols" 0 (List.length t.Reader.symbols);
+  Alcotest.(check bool) "no .symtab section" true (Reader.section t ".symtab" = None)
+
+let empty_program () =
+  let t = parse_exn (Writer.build Writer.default_input) in
+  Alcotest.(check int) "no relocations" 0 (List.length t.Reader.relocations);
+  Alcotest.(check int) "no symbols" 0 (List.length t.Reader.symbols)
+
+let corrupt :
+    ?at:int -> ?with_:char -> string -> string =
+ fun ?(at = 0) ?(with_ = 'X') raw ->
+  String.mapi (fun i c -> if i = at then with_ else c) raw
+
+let reject_bad_magic () =
+  match Reader.parse (corrupt ~at:1 (Writer.build sample_input)) with
+  | Error Reader.Bad_magic -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Bad_magic"
+
+let reject_bad_class () =
+  (* Byte 4 is EI_CLASS; 1 = ELFCLASS32. *)
+  match Reader.parse (corrupt ~at:4 ~with_:'\x01' (Writer.build sample_input)) with
+  | Error (Reader.Bad_class 1) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Bad_class"
+
+let reject_bad_encoding () =
+  match Reader.parse (corrupt ~at:5 ~with_:'\x02' (Writer.build sample_input)) with
+  | Error (Reader.Bad_encoding 2) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Bad_encoding"
+
+let reject_bad_type () =
+  (* Byte 16 is e_type low byte; 2 = ET_EXEC (not PIE). *)
+  match Reader.parse (corrupt ~at:16 ~with_:'\x02' (Writer.build sample_input)) with
+  | Error (Reader.Bad_type 2) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Bad_type"
+
+let reject_bad_machine () =
+  (* Byte 18 is e_machine low byte; 0x28 = ARM. *)
+  match Reader.parse (corrupt ~at:18 ~with_:'\x28' (Writer.build sample_input)) with
+  | Error (Reader.Bad_machine 0x28) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Bad_machine"
+
+let reject_truncated () =
+  let raw = Writer.build sample_input in
+  match Reader.parse (String.sub raw 0 (String.length raw / 2)) with
+  | Error (Reader.Malformed _) -> ()
+  | Ok _ -> Alcotest.fail "truncated file parsed"
+  | Error e -> Alcotest.failf "unexpected error: %s" (Reader.error_to_string e)
+
+let reject_short_file () =
+  match Reader.parse "\x7fELF" with
+  | Error Reader.Bad_magic -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Bad_magic for short file"
+
+let layout_overlap_rejected () =
+  Alcotest.check_raises "text overlaps data"
+    (Writer.Layout_error "text overlaps data") (fun () ->
+      ignore
+        (Writer.build
+           { sample_input with Writer.text = String.make 0x300000 '\x90' }))
+
+let layout_header_overlap_rejected () =
+  Alcotest.check_raises "text under header"
+    (Writer.Layout_error "text overlaps ELF header") (fun () ->
+      ignore (Writer.build { sample_input with Writer.text_addr = 0x10; entry = 0x10 }))
+
+(* Property: random text/data content always survives the round trip. *)
+let prop_content_roundtrip =
+  QCheck.Test.make ~name:"writer/reader content roundtrip" ~count:50
+    (QCheck.pair
+       (QCheck.string_gen_of_size (QCheck.Gen.int_range 0 5000) QCheck.Gen.char)
+       (QCheck.string_gen_of_size (QCheck.Gen.int_range 0 2000) QCheck.Gen.char))
+    (fun (text, data) ->
+      let input = { sample_input with Writer.text; data } in
+      match Reader.parse (Writer.build input) with
+      | Error _ -> false
+      | Ok t ->
+          (Option.get (Reader.section t ".text")).Reader.data = text
+          && (Option.get (Reader.section t ".data")).Reader.data = data)
+
+let prop_symbols_roundtrip =
+  QCheck.Test.make ~name:"symbol table roundtrip" ~count:50
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 100)
+       (QCheck.pair (QCheck.string_gen_of_size (QCheck.Gen.int_range 1 20) QCheck.Gen.printable)
+          (QCheck.int_range 0x1000 0xfffff)))
+    (fun syms ->
+      (* Names must be unique, non-empty and NUL-free for a strtab. *)
+      let syms =
+        List.mapi
+          (fun i (n, v) ->
+            let n = String.map (fun c -> if c = '\x00' then '_' else c) n in
+            Types.{ st_name = Printf.sprintf "%s_%d" n i; st_value = v; st_size = 8;
+                    st_info = (stb_global lsl 4) lor stt_func })
+          syms
+      in
+      match Reader.parse (Writer.build { sample_input with Writer.symbols = syms }) with
+      | Error _ -> false
+      | Ok t ->
+          List.length t.Reader.symbols = List.length syms
+          && List.for_all2
+               (fun (a : Types.symbol) (b : Types.symbol) ->
+                 a.st_name = b.st_name && a.st_value = b.st_value)
+               t.Reader.symbols syms)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "elf"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "basics" `Quick roundtrip_basics;
+          Alcotest.test_case "symbols" `Quick roundtrip_symbols;
+          Alcotest.test_case "relocations" `Quick roundtrip_relocations;
+          Alcotest.test_case "stripped" `Quick stripped_binary_has_no_symbols;
+          Alcotest.test_case "empty program" `Quick empty_program;
+        ]
+        @ qsuite [ prop_content_roundtrip; prop_symbols_roundtrip ] );
+      ( "validation",
+        [
+          Alcotest.test_case "bad magic" `Quick reject_bad_magic;
+          Alcotest.test_case "bad class" `Quick reject_bad_class;
+          Alcotest.test_case "bad encoding" `Quick reject_bad_encoding;
+          Alcotest.test_case "bad type" `Quick reject_bad_type;
+          Alcotest.test_case "bad machine" `Quick reject_bad_machine;
+          Alcotest.test_case "truncated" `Quick reject_truncated;
+          Alcotest.test_case "short file" `Quick reject_short_file;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "overlap rejected" `Quick layout_overlap_rejected;
+          Alcotest.test_case "header overlap rejected" `Quick layout_header_overlap_rejected;
+        ] );
+    ]

@@ -1,0 +1,705 @@
+(* EnGarde core tests: symbol hash table, in-enclave disassembly,
+   the three policy modules (accept + seeded violations), the loader,
+   and the full provisioning protocol with every rejection path the
+   paper describes. *)
+
+open Toolchain
+
+let fast_config =
+  {
+    Engarde.Provision.default_config with
+    Engarde.Provision.epc_pages = 4096;
+    heap_pages = 512;
+    bootstrap_pages = 8;
+    image_pages = 1600;
+    rsa_bits = 512;
+    seed = "test-seed";
+  }
+
+let libc_db = lazy (Libc.hash_db Libc.V1_0_5)
+
+let mcf_plain = lazy (Linker.link (Workloads.build Codegen.plain Workloads.Mcf))
+let mcf_stack = lazy (Linker.link (Workloads.build Codegen.with_stack_protector Workloads.Mcf))
+let otp_ifcc = lazy (Linker.link (Workloads.build Codegen.with_ifcc Workloads.Otpgen))
+
+(* Build a disassembly context directly from an image (no enclave). *)
+let context_of_image (img : Linker.image) =
+  let perf = Sgx.Perf.create () in
+  match Elf64.Reader.parse img.Linker.elf with
+  | Error e -> Alcotest.failf "parse: %s" (Elf64.Reader.error_to_string e)
+  | Ok elf -> (
+      let text = List.hd (Elf64.Reader.text_sections elf) in
+      match
+        Engarde.Disasm.run perf ~code:text.Elf64.Reader.data ~base:text.Elf64.Reader.addr
+          ~symbols:elf.Elf64.Reader.symbols
+      with
+      | Error v -> Alcotest.failf "disasm: %s" (X86.Nacl.violation_to_string v)
+      | Ok (buffer, symbols) ->
+          ({ Engarde.Policy.buffer; symbols; perf = Sgx.Perf.create () }, elf))
+
+(* ------------------------------------------------------------------ *)
+(* Symhash + disasm                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let symhash_basics () =
+  let perf = Sgx.Perf.create () in
+  let fn name addr size =
+    Elf64.Types.{ st_name = name; st_value = addr; st_size = size;
+                  st_info = (stb_global lsl 4) lor stt_func }
+  in
+  let obj = Elf64.Types.{ st_name = "obj"; st_value = 0x900; st_size = 8;
+                          st_info = (stb_global lsl 4) lor stt_object } in
+  let t = Engarde.Symhash.build perf [ fn "a" 0x100 32; fn "b" 0x200 32; obj ] in
+  Alcotest.(check int) "only functions" 2 (Engarde.Symhash.size t);
+  Alcotest.(check (option string)) "name at addr" (Some "a") (Engarde.Symhash.name_of_addr t 0x100);
+  Alcotest.(check (option string)) "miss" None (Engarde.Symhash.name_of_addr t 0x104);
+  Alcotest.(check (option int)) "function_end a" (Some 0x200) (Engarde.Symhash.function_end t 0x100);
+  Alcotest.(check (option int)) "function_end b" None (Engarde.Symhash.function_end t 0x200);
+  Alcotest.(check bool) "insert cost charged" true (Sgx.Perf.total_cycles perf > 0)
+
+let disasm_builds_buffer () =
+  let img = Lazy.force mcf_plain in
+  let ctx, _ = context_of_image img in
+  let b = ctx.Engarde.Policy.buffer in
+  Alcotest.(check int) "every instruction decoded" 12903 (Array.length b.Engarde.Disasm.entries);
+  (* Entries are in address order and contiguous. *)
+  let ok = ref true in
+  Array.iteri
+    (fun i (e : Engarde.Disasm.entry) ->
+      if i > 0 then begin
+        let p = b.Engarde.Disasm.entries.(i - 1) in
+        if p.Engarde.Disasm.addr + p.Engarde.Disasm.len <> e.Engarde.Disasm.addr then ok := false
+      end)
+    b.Engarde.Disasm.entries;
+  Alcotest.(check bool) "contiguous" true !ok
+
+let disasm_charges_cycles () =
+  let img = Lazy.force mcf_plain in
+  let perf = Sgx.Perf.create () in
+  (match Elf64.Reader.parse img.Linker.elf with
+  | Ok elf ->
+      let text = List.hd (Elf64.Reader.text_sections elf) in
+      (match
+         Engarde.Disasm.run perf ~code:text.Elf64.Reader.data ~base:text.Elf64.Reader.addr
+           ~symbols:elf.Elf64.Reader.symbols
+       with
+      | Ok _ -> ()
+      | Error v -> Alcotest.failf "disasm: %s" (X86.Nacl.violation_to_string v))
+  | Error e -> Alcotest.failf "parse: %s" (Elf64.Reader.error_to_string e));
+  (* At least decode_base per instruction plus malloc trampolines. *)
+  Alcotest.(check bool) "cycles charged" true
+    (Sgx.Perf.total_cycles perf > 12903 * Engarde.Costmodel.decode_base);
+  Alcotest.(check bool) "trampolines counted" true (Sgx.Perf.sgx_instructions perf > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Policy: library linking                                             *)
+(* ------------------------------------------------------------------ *)
+
+let policy_libc_accepts_good () =
+  let ctx, _ = context_of_image (Lazy.force mcf_plain) in
+  let p = Engarde.Policy_libc.make ~db:(Lazy.force libc_db) () in
+  match p.Engarde.Policy.check ctx with
+  | Engarde.Policy.Compliant -> ()
+  | Engarde.Policy.Violation v -> Alcotest.failf "rejected good binary: %s" v
+
+let policy_libc_rejects_old_version () =
+  (* Linked against v1.0.4; provider demands v1.0.5. *)
+  let img = Linker.link (Workloads.build ~libc:Libc.V1_0_4 Codegen.plain Workloads.Mcf) in
+  let ctx, _ = context_of_image img in
+  let p = Engarde.Policy_libc.make ~db:(Lazy.force libc_db) () in
+  match p.Engarde.Policy.check ctx with
+  | Engarde.Policy.Violation v ->
+      Alcotest.(check bool) "mentions the approved release" true
+        (String.length v > 0
+        && Astring.String.is_infix ~affix:"approved library release" v)
+  | Engarde.Policy.Compliant -> Alcotest.fail "old libc accepted"
+
+let policy_libc_rejects_tampered_memcpy () =
+  (* Client ships v1.0.5 with a backdoored memcpy. mcf must actually
+     call memcpy for the policy to notice; memcpy is in every pool. *)
+  let img = Linker.link (Workloads.build ~libc:Libc.Tampered_1_0_5 Codegen.plain Workloads.Mcf) in
+  let ctx, _ = context_of_image img in
+  let p = Engarde.Policy_libc.make ~db:(Lazy.force libc_db) () in
+  match p.Engarde.Policy.check ctx with
+  | Engarde.Policy.Violation v ->
+      Alcotest.(check bool) "names memcpy" true (Astring.String.is_infix ~affix:"memcpy" v)
+  | Engarde.Policy.Compliant -> Alcotest.fail "tampered memcpy accepted"
+
+let policy_libc_charges_hashing () =
+  let ctx, _ = context_of_image (Lazy.force mcf_plain) in
+  let p = Engarde.Policy_libc.make ~db:(Lazy.force libc_db) () in
+  ignore (p.Engarde.Policy.check ctx);
+  (* Hashing dominates: far more than a bare linear scan. *)
+  Alcotest.(check bool) "hashing cost" true
+    (Sgx.Perf.total_cycles ctx.Engarde.Policy.perf
+    > 5 * 12903 * Engarde.Costmodel.policy_step)
+
+(* ------------------------------------------------------------------ *)
+(* Policy: stack protection                                            *)
+(* ------------------------------------------------------------------ *)
+
+let stack_policy () = Engarde.Policy_stack.make ~exempt:Libc.function_names ()
+
+let policy_stack_accepts_protected () =
+  let ctx, _ = context_of_image (Lazy.force mcf_stack) in
+  match (stack_policy ()).Engarde.Policy.check ctx with
+  | Engarde.Policy.Compliant -> ()
+  | Engarde.Policy.Violation v -> Alcotest.failf "rejected protected binary: %s" v
+
+let policy_stack_rejects_unprotected () =
+  let ctx, _ = context_of_image (Lazy.force mcf_plain) in
+  match (stack_policy ()).Engarde.Policy.check ctx with
+  | Engarde.Policy.Violation _ -> ()
+  | Engarde.Policy.Compliant -> Alcotest.fail "unprotected binary accepted"
+
+(* One function compiled without the flag: build a tiny binary by hand. *)
+let handmade_image ~protect_f2 =
+  let drbg = Crypto.Fastrand.create "handmade" in
+  let inst = Codegen.with_stack_protector in
+  let mk name protected =
+    Codegen.gen_function drbg
+      (if protected then inst else Codegen.plain)
+      ~entry_of_table:(fun _ -> "")
+      { Codegen.name; body_size = 30; calls = []; data_refs = []; protected;
+        stack_density = 0.2 }
+  in
+  let funcs =
+    [ Codegen.gen_start ~main:"f1"; mk "f1" true; mk "f2" protect_f2;
+      { Asm.fname = Codegen.stack_chk_fail_sym; items = [ Asm.Ins X86.Insn.ud2 ] } ]
+  in
+  let asm = Asm.assemble ~base:0x1000 funcs in
+  let symbols =
+    List.map
+      (fun (name, off, size) ->
+        Elf64.Types.{ st_name = name; st_value = 0x1000 + off; st_size = size;
+                      st_info = (stb_global lsl 4) lor stt_func })
+      asm.Asm.functions
+  in
+  Elf64.Writer.build
+    { Elf64.Writer.default_input with
+      Elf64.Writer.entry = 0x1000; text_addr = 0x1000; text = asm.Asm.code; symbols }
+
+let policy_stack_pinpoints_one_function () =
+  let raw = handmade_image ~protect_f2:false in
+  let elf = Result.get_ok (Elf64.Reader.parse raw) in
+  let text = List.hd (Elf64.Reader.text_sections elf) in
+  let perf = Sgx.Perf.create () in
+  let buffer, symbols =
+    Result.get_ok
+      (Engarde.Disasm.run perf ~code:text.Elf64.Reader.data ~base:text.Elf64.Reader.addr
+         ~symbols:elf.Elf64.Reader.symbols)
+  in
+  let ctx = { Engarde.Policy.buffer; symbols; perf } in
+  (match (stack_policy ()).Engarde.Policy.check ctx with
+  | Engarde.Policy.Violation v ->
+      Alcotest.(check bool) "blames f2" true (Astring.String.is_infix ~affix:"f2" v)
+  | Engarde.Policy.Compliant -> Alcotest.fail "missing canary accepted");
+  (* And the fully protected variant passes. *)
+  let raw = handmade_image ~protect_f2:true in
+  let elf = Result.get_ok (Elf64.Reader.parse raw) in
+  let text = List.hd (Elf64.Reader.text_sections elf) in
+  let buffer, symbols =
+    Result.get_ok
+      (Engarde.Disasm.run (Sgx.Perf.create ()) ~code:text.Elf64.Reader.data
+         ~base:text.Elf64.Reader.addr ~symbols:elf.Elf64.Reader.symbols)
+  in
+  let ctx = { Engarde.Policy.buffer; symbols; perf = Sgx.Perf.create () } in
+  match (stack_policy ()).Engarde.Policy.check ctx with
+  | Engarde.Policy.Compliant -> ()
+  | Engarde.Policy.Violation v -> Alcotest.failf "protected variant rejected: %s" v
+
+let policy_stack_quadratic_cost () =
+  (* Same total instructions, one function vs eight: the single big
+     function must cost substantially more to check. *)
+  let build n_fns size =
+    let drbg = Crypto.Fastrand.create "quad" in
+    let funcs =
+      List.init n_fns (fun k ->
+          Codegen.gen_function drbg Codegen.with_stack_protector
+            ~entry_of_table:(fun _ -> "")
+            { Codegen.name = Printf.sprintf "q%d" k; body_size = size; calls = [];
+              data_refs = []; protected = true; stack_density = 0.2 })
+      @ [ { Asm.fname = Codegen.stack_chk_fail_sym; items = [ Asm.Ins X86.Insn.ud2 ] } ]
+    in
+    let asm = Asm.assemble ~base:0x1000 funcs in
+    let symbols =
+      List.map
+        (fun (name, off, size) ->
+          Elf64.Types.{ st_name = name; st_value = 0x1000 + off; st_size = size;
+                        st_info = (stb_global lsl 4) lor stt_func })
+        asm.Asm.functions
+    in
+    let buffer, symhash =
+      Result.get_ok
+        (Engarde.Disasm.run (Sgx.Perf.create ()) ~code:asm.Asm.code ~base:0x1000 ~symbols)
+    in
+    let ctx = { Engarde.Policy.buffer; symbols = symhash; perf = Sgx.Perf.create () } in
+    (match (stack_policy ()).Engarde.Policy.check ctx with
+    | Engarde.Policy.Compliant -> ()
+    | Engarde.Policy.Violation v -> Alcotest.failf "rejected: %s" v);
+    Sgx.Perf.total_cycles ctx.Engarde.Policy.perf
+  in
+  let one_big = build 1 4000 in
+  let many_small = build 8 500 in
+  Alcotest.(check bool)
+    (Printf.sprintf "quadratic: one big (%d) > 2x many small (%d)" one_big many_small)
+    true
+    (one_big > 2 * many_small)
+
+(* ------------------------------------------------------------------ *)
+(* Policy: IFCC                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let policy_ifcc_accepts_instrumented () =
+  let ctx, _ = context_of_image (Lazy.force otp_ifcc) in
+  match (Engarde.Policy_ifcc.make ()).Engarde.Policy.check ctx with
+  | Engarde.Policy.Compliant -> ()
+  | Engarde.Policy.Violation v -> Alcotest.failf "rejected instrumented binary: %s" v
+
+let policy_ifcc_rejects_raw_indirect () =
+  (* The plain build has raw lea+callq* sites without masking. *)
+  let img = Linker.link (Workloads.build Codegen.plain Workloads.Otpgen) in
+  let ctx, _ = context_of_image img in
+  match (Engarde.Policy_ifcc.make ()).Engarde.Policy.check ctx with
+  | Engarde.Policy.Violation v ->
+      Alcotest.(check bool) "mentions masking" true
+        (Astring.String.is_infix ~affix:"IFCC masking" v
+        || Astring.String.is_infix ~affix:"unprotected" v)
+  | Engarde.Policy.Compliant -> Alcotest.fail "raw indirect call accepted"
+
+let policy_ifcc_accepts_no_indirect_calls () =
+  (* mcf has no indirect calls at all: trivially compliant. *)
+  let ctx, _ = context_of_image (Lazy.force mcf_plain) in
+  match (Engarde.Policy_ifcc.make ()).Engarde.Policy.check ctx with
+  | Engarde.Policy.Compliant -> ()
+  | Engarde.Policy.Violation v -> Alcotest.failf "mcf rejected: %s" v
+
+let policy_ifcc_rejects_pointer_outside_table () =
+  (* Handmade site whose masking sequence is correct but whose pointer
+     aims at a function, not a table entry. *)
+  let target = { Asm.fname = "victim"; items = [ Asm.Ins X86.Insn.ret ] } in
+  let site =
+    { Asm.fname = "attacker";
+      items =
+        [
+          Asm.Lea_sym (X86.Reg.RCX, "victim"); (* outside the table *)
+          Asm.Lea_sym (X86.Reg.RAX, Codegen.jump_table_sym);
+          Asm.Ins (X86.Insn.sub_rr ~w:X86.Insn.W32 X86.Reg.RAX X86.Reg.RCX);
+          Asm.Ins (X86.Insn.and_ri X86.Reg.RCX 0x1ff8);
+          Asm.Ins (X86.Insn.add_rr X86.Reg.RAX X86.Reg.RCX);
+          Asm.Ins (X86.Insn.call_ind X86.Reg.RCX);
+          Asm.Ins X86.Insn.ret;
+        ] }
+  in
+  let table = Codegen.gen_jump_table ~targets:[ "victim"; "victim" ] in
+  let asm = Asm.assemble ~base:0x1000 [ Codegen.gen_start ~main:"attacker"; site; table; target ] in
+  let symbols =
+    List.map
+      (fun (name, off, size) ->
+        Elf64.Types.{ st_name = name; st_value = 0x1000 + off; st_size = size;
+                      st_info = (stb_global lsl 4) lor stt_func })
+      asm.Asm.functions
+    @ List.filter_map
+        (fun k ->
+          Option.map
+            (fun off ->
+              Elf64.Types.{ st_name = Codegen.jump_table_entry_sym k;
+                            st_value = 0x1000 + off; st_size = 8;
+                            st_info = (stb_global lsl 4) lor stt_func })
+            (Hashtbl.find_opt asm.Asm.labels (Codegen.jump_table_entry_sym k)))
+        [ 0; 1 ]
+  in
+  let buffer, symhash =
+    Result.get_ok
+      (Engarde.Disasm.run (Sgx.Perf.create ()) ~code:asm.Asm.code ~base:0x1000 ~symbols)
+  in
+  let ctx = { Engarde.Policy.buffer; symbols = symhash; perf = Sgx.Perf.create () } in
+  match (Engarde.Policy_ifcc.make ()).Engarde.Policy.check ctx with
+  | Engarde.Policy.Violation v ->
+      (* Masked pointer falls back inside the table only if it happens
+         to; the lea base is the table though, and the pointer points
+         outside — the masked result must betray it. *)
+      Alcotest.(check bool) "flags the site" true (String.length v > 0)
+  | Engarde.Policy.Compliant -> Alcotest.fail "out-of-table pointer accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Full provisioning protocol                                          *)
+(* ------------------------------------------------------------------ *)
+
+let provision ?tamper ?(policies = []) ?(cfg = fast_config) payload =
+  Engarde.Provision.run ?tamper ~policies cfg ~payload
+
+let provisioning_accepts_compliant () =
+  let img = Lazy.force mcf_plain in
+  let o = provision ~policies:[ Engarde.Policy_libc.make ~db:(Lazy.force libc_db) () ]
+      img.Linker.elf in
+  (match o.Engarde.Provision.result with
+  | Ok loaded ->
+      Alcotest.(check int) "9 relocations" 9 loaded.Engarde.Loader.relocations_applied;
+      Alcotest.(check bool) "entry is biased" true
+        (loaded.Engarde.Loader.entry
+        = img.Linker.entry + Engarde.Provision.image_region_base)
+  | Error r -> Alcotest.failf "rejected: %s" (Engarde.Provision.rejection_to_string r));
+  (match o.Engarde.Provision.client_verdict with
+  | Some (true, _) -> ()
+  | Some (false, d) -> Alcotest.failf "client saw rejection: %s" d
+  | None -> Alcotest.fail "client saw no verdict");
+  (* The enclave is sealed and code pages are X^W at both levels. *)
+  Alcotest.(check bool) "sealed" true
+    (Sgx.Enclave.state o.Engarde.Provision.enclave = Sgx.Enclave.Sealed);
+  match o.Engarde.Provision.result with
+  | Ok loaded ->
+      let code_page = List.hd loaded.Engarde.Loader.exec_pages in
+      let eff =
+        Sgx.Host_os.effective o.Engarde.Provision.host o.Engarde.Provision.enclave
+          ~vaddr:code_page
+      in
+      Alcotest.(check string) "code page r-x" "r-x" (Sgx.Enclave.perm_to_string eff)
+  | Error _ -> ()
+
+let provisioning_counts_instructions () =
+  let img = Lazy.force mcf_plain in
+  let o = provision img.Linker.elf in
+  Alcotest.(check int) "report #inst" 12903
+    o.Engarde.Provision.report.Engarde.Report.instructions
+
+let provisioning_rejects_stripped () =
+  let b = Workloads.build Codegen.plain Workloads.Mcf in
+  let img = Linker.link ~strip:true b in
+  let o = provision img.Linker.elf in
+  match o.Engarde.Provision.result with
+  | Error Engarde.Provision.Stripped_binary -> ()
+  | Ok _ -> Alcotest.fail "stripped binary accepted"
+  | Error r -> Alcotest.failf "wrong rejection: %s" (Engarde.Provision.rejection_to_string r)
+
+let provisioning_rejects_mixed_pages () =
+  let b = Workloads.build Codegen.plain Workloads.Mcf in
+  let img0 = Linker.link b in
+  let text_end = img0.Linker.text_addr + String.length img0.Linker.text in
+  let img = Linker.link ~data_addr_override:text_end b in
+  let o = provision img.Linker.elf in
+  match o.Engarde.Provision.result with
+  | Error (Engarde.Provision.Mixed_pages _) -> ()
+  | Ok _ -> Alcotest.fail "mixed pages accepted"
+  | Error r -> Alcotest.failf "wrong rejection: %s" (Engarde.Provision.rejection_to_string r)
+
+let provisioning_rejects_garbage () =
+  let o = provision (String.make 100_000 '\x41') in
+  match o.Engarde.Provision.result with
+  | Error (Engarde.Provision.Bad_elf _) -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error r -> Alcotest.failf "wrong rejection: %s" (Engarde.Provision.rejection_to_string r)
+
+let provisioning_rejects_policy_violation () =
+  let img = Linker.link (Workloads.build ~libc:Libc.V1_0_4 Codegen.plain Workloads.Mcf) in
+  let o = provision ~policies:[ Engarde.Policy_libc.make ~db:(Lazy.force libc_db) () ]
+      img.Linker.elf in
+  (match o.Engarde.Provision.result with
+  | Error (Engarde.Provision.Policy_violations _) -> ()
+  | Ok _ -> Alcotest.fail "old libc accepted"
+  | Error r -> Alcotest.failf "wrong rejection: %s" (Engarde.Provision.rejection_to_string r));
+  (* The client is told, and told why. *)
+  match o.Engarde.Provision.client_verdict with
+  | Some (false, detail) ->
+      Alcotest.(check bool) "details reach the client" true
+        (Astring.String.is_infix ~affix:"library-linking" detail)
+  | Some (true, _) -> Alcotest.fail "client saw acceptance"
+  | None -> Alcotest.fail "client saw no verdict"
+
+let provisioning_rejects_tampered_block () =
+  let img = Lazy.force mcf_plain in
+  let tamper = function
+    | Channel.Wire.Code_block { seq = 3; offset; ciphertext; tag } ->
+        let c = Bytes.of_string ciphertext in
+        Bytes.set c 0 (Char.chr (Char.code (Bytes.get c 0) lxor 0xff));
+        Channel.Wire.Code_block { seq = 3; offset; ciphertext = Bytes.to_string c; tag }
+    | m -> m
+  in
+  let o = provision ~tamper img.Linker.elf in
+  match o.Engarde.Provision.result with
+  | Error (Engarde.Provision.Transfer_tampered _) -> ()
+  | Ok _ -> Alcotest.fail "tampered transfer accepted"
+  | Error r -> Alcotest.failf "wrong rejection: %s" (Engarde.Provision.rejection_to_string r)
+
+let provisioning_detects_quote_tamper () =
+  let img = Lazy.force mcf_plain in
+  let tamper = function
+    | Channel.Wire.Quote_response { quote; enclave_pub = _ } ->
+        (* MITM swaps in its own key to read the session key. *)
+        Channel.Wire.Quote_response { quote; enclave_pub = "attacker-key-bytes" }
+    | m -> m
+  in
+  let o = provision ~tamper img.Linker.elf in
+  match o.Engarde.Provision.attestation_failure with
+  | Some Channel.Client.Bad_enclave_key -> ()
+  | Some f -> Alcotest.failf "wrong failure: %s" (Channel.Client.failure_to_string f)
+  | None -> Alcotest.fail "client accepted a swapped key"
+
+let provisioning_verdict_flip_is_detectable () =
+  (* The provider can lie about the verdict on the wire, but the paper
+     notes the client can detect cheating: here the flipped verdict
+     still carries the rejection detail, which contradicts it. *)
+  let img = Linker.link ~strip:true (Workloads.build Codegen.plain Workloads.Mcf) in
+  let tamper = function
+    | Channel.Wire.Verdict { accepted = false; detail } ->
+        Channel.Wire.Verdict { accepted = true; detail }
+    | m -> m
+  in
+  let o = provision ~tamper img.Linker.elf in
+  (match o.Engarde.Provision.result with
+  | Error Engarde.Provision.Stripped_binary -> ()
+  | _ -> Alcotest.fail "expected stripped rejection inside the enclave");
+  match o.Engarde.Provision.client_verdict with
+  | Some (true, detail) ->
+      Alcotest.(check bool) "detail betrays the flip" true
+        (Astring.String.is_infix ~affix:"symbol table" detail)
+  | _ -> Alcotest.fail "tampered verdict lost"
+
+let provisioning_different_policies_different_measurement () =
+  let c1 = { fast_config with Engarde.Provision.policy_names = [ "library-linking" ] } in
+  let c2 = { fast_config with Engarde.Provision.policy_names = [ "stack-protection" ] } in
+  Alcotest.(check bool) "policy set changes measurement" true
+    (Engarde.Provision.expected_measurement c1 <> Engarde.Provision.expected_measurement c2)
+
+let provisioning_seals_against_extension () =
+  let img = Lazy.force mcf_plain in
+  let o = provision img.Linker.elf in
+  match o.Engarde.Provision.result with
+  | Ok _ -> (
+      match
+        Sgx.Enclave.eaug o.Engarde.Provision.enclave
+          ~vaddr:(Engarde.Provision.enclave_base + 0x3f00000) ~perm:Sgx.Enclave.rw
+      with
+      | () -> Alcotest.fail "post-provisioning EADD/EAUG succeeded"
+      | exception Sgx.Enclave.Sgx_fault _ -> ())
+  | Error r -> Alcotest.failf "rejected: %s" (Engarde.Provision.rejection_to_string r)
+
+let loader_applies_relocations () =
+  let img = Lazy.force mcf_plain in
+  let o = provision img.Linker.elf in
+  match o.Engarde.Provision.result with
+  | Error r -> Alcotest.failf "rejected: %s" (Engarde.Provision.rejection_to_string r)
+  | Ok loaded ->
+      (* Read the first pointer slot out of enclave memory: it must hold
+         the biased address of its target function. *)
+      let elf = Result.get_ok (Elf64.Reader.parse img.Linker.elf) in
+      let r0 = List.hd elf.Elf64.Reader.relocations in
+      let e = o.Engarde.Provision.enclave in
+      Sgx.Enclave.eenter e;
+      let bytes =
+        Sgx.Enclave.read e ~vaddr:(r0.Elf64.Types.r_offset + loaded.Engarde.Loader.load_bias)
+          ~len:8
+      in
+      Sgx.Enclave.eexit e;
+      let v = ref 0 in
+      for i = 7 downto 0 do v := (!v lsl 8) lor Char.code bytes.[i] done;
+      Alcotest.(check int) "slot holds biased function address"
+        (r0.Elf64.Types.r_addend + loaded.Engarde.Loader.load_bias) !v
+
+(* ------------------------------------------------------------------ *)
+(* Policy: malware signatures                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A distinctive "C&C beacon" instruction sequence used as the seeded
+   malware body and as the scanner's signature. *)
+let beacon_insns =
+  X86.Insn.[ mov_ri X86.Reg.RDI 0x31337; mov_ri X86.Reg.RSI 0xbeef1; imul_rr X86.Reg.RSI X86.Reg.RDI ]
+
+let malware_policy () =
+  [ Engarde.Policy_malware.make
+      ~signatures:[ Engarde.Policy_malware.signature_of_insns ~sig_name:"botnet/beacon" beacon_insns ] ]
+
+let infected_image () =
+  (* Hand-assemble a small binary embedding the beacon. *)
+  let drbg = Crypto.Fastrand.create "malware" in
+  let clean =
+    Codegen.gen_function drbg Codegen.plain
+      ~entry_of_table:(fun _ -> "")
+      { Codegen.name = "worker"; body_size = 40; calls = []; data_refs = []; protected = false;
+        stack_density = 0.1 }
+  in
+  let payload =
+    { Asm.fname = "update_check";
+      items = List.map (fun i -> Asm.Ins i) beacon_insns @ [ Asm.Ins X86.Insn.ret ] }
+  in
+  let funcs = [ Codegen.gen_start ~main:"worker"; clean; payload ] in
+  let asm = Asm.assemble ~base:0x1000 funcs in
+  let symbols =
+    List.map
+      (fun (name, off, size) ->
+        Elf64.Types.{ st_name = name; st_value = 0x1000 + off; st_size = size;
+                      st_info = (stb_global lsl 4) lor stt_func })
+      asm.Asm.functions
+  in
+  Elf64.Writer.build
+    { Elf64.Writer.default_input with
+      Elf64.Writer.entry = 0x1000; text_addr = 0x1000; text = asm.Asm.code; symbols }
+
+let malware_policy_flags_beacon () =
+  let elf = Result.get_ok (Elf64.Reader.parse (infected_image ())) in
+  let text = List.hd (Elf64.Reader.text_sections elf) in
+  let buffer, symbols =
+    Result.get_ok
+      (Engarde.Disasm.run (Sgx.Perf.create ()) ~code:text.Elf64.Reader.data
+         ~base:text.Elf64.Reader.addr ~symbols:elf.Elf64.Reader.symbols)
+  in
+  let ctx = { Engarde.Policy.buffer; symbols; perf = Sgx.Perf.create () } in
+  match (List.hd (malware_policy ())).Engarde.Policy.check ctx with
+  | Engarde.Policy.Violation v ->
+      Alcotest.(check bool) "names the signature" true
+        (Astring.String.is_infix ~affix:"botnet/beacon" v)
+  | Engarde.Policy.Compliant -> Alcotest.fail "beacon not detected"
+
+let malware_policy_passes_clean () =
+  let ctx, _ = context_of_image (Lazy.force mcf_plain) in
+  match (List.hd (malware_policy ())).Engarde.Policy.check ctx with
+  | Engarde.Policy.Compliant -> ()
+  | Engarde.Policy.Violation v -> Alcotest.failf "false positive: %s" v
+
+let malware_policy_in_provisioning () =
+  (* The handmade image keeps Writer's default data/bss addresses, so
+     its file spans ~3 MB: give the staging heap room. *)
+  let cfg = { fast_config with Engarde.Provision.heap_pages = 1024 } in
+  let o =
+    Engarde.Provision.run ~policies:(malware_policy ()) cfg ~payload:(infected_image ())
+  in
+  match o.Engarde.Provision.result with
+  | Error (Engarde.Provision.Policy_violations _) -> ()
+  | Ok _ -> Alcotest.fail "infected binary provisioned"
+  | Error r -> Alcotest.failf "wrong rejection: %s" (Engarde.Provision.rejection_to_string r)
+
+let malware_policy_rejects_short_signature () =
+  Alcotest.check_raises "short pattern"
+    (Invalid_argument "Policy_malware: signature too short: x") (fun () ->
+      ignore
+        (Engarde.Policy_malware.make
+           ~signatures:[ { Engarde.Policy_malware.sig_name = "x"; pattern = "ab" } ]))
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let provisioning_epc_exhaustion () =
+  (* The machine does not have enough EPC pages to commit the enclave:
+     ECREATE/EADD must fault, not corrupt. *)
+  let cfg = { fast_config with Engarde.Provision.epc_pages = 64 } in
+  match Engarde.Provision.run cfg ~payload:(Lazy.force mcf_plain).Linker.elf with
+  | _ -> Alcotest.fail "expected EPC exhaustion fault"
+  | exception Sgx.Enclave.Sgx_fault why ->
+      Alcotest.(check bool) "mentions EPC" true (Astring.String.is_infix ~affix:"EPC" why)
+
+let provisioning_image_too_large () =
+  (* The committed image region is smaller than the binary: the loader
+     write faults and provisioning reports a load failure. *)
+  let cfg = { fast_config with Engarde.Provision.image_pages = 8 } in
+  let o = Engarde.Provision.run cfg ~payload:(Lazy.force mcf_plain).Linker.elf in
+  match o.Engarde.Provision.result with
+  | Error (Engarde.Provision.Load_failed _) -> ()
+  | Ok _ -> Alcotest.fail "oversized image accepted"
+  | Error r -> Alcotest.failf "wrong rejection: %s" (Engarde.Provision.rejection_to_string r)
+
+let provisioning_dropped_block () =
+  (* A block replaced by noise on the wire: the completeness check
+     trips before any content is believed. *)
+  let img = Lazy.force mcf_plain in
+  let dropped = ref false in
+  let tamper = function
+    | Channel.Wire.Code_block { seq = 2; _ } when not !dropped ->
+        dropped := true;
+        Channel.Wire.Client_hello { challenge = "dropped" }
+    | m -> m
+  in
+  let o = Engarde.Provision.run ~tamper fast_config ~payload:img.Linker.elf in
+  match o.Engarde.Provision.result with
+  | Error (Engarde.Provision.Transfer_tampered _) -> ()
+  | Ok _ -> Alcotest.fail "missing block accepted"
+  | Error r -> Alcotest.failf "wrong rejection: %s" (Engarde.Provision.rejection_to_string r)
+
+(* Matrix: every small benchmark x variant pair provisions cleanly
+   under its matching policy. *)
+let all_workloads_provision () =
+  List.iter
+    (fun (inst, policies) ->
+      List.iter
+        (fun bench ->
+          let img = Linker.link (Workloads.build inst bench) in
+          let cfg =
+            { fast_config with
+              Engarde.Provision.image_pages = 2048; heap_pages = 1024;
+              seed = "matrix/" ^ Workloads.to_string bench }
+          in
+          let o = Engarde.Provision.run ~policies:(policies ()) cfg ~payload:img.Linker.elf in
+          match o.Engarde.Provision.result with
+          | Ok _ -> ()
+          | Error r ->
+              Alcotest.failf "%s rejected: %s" (Workloads.to_string bench)
+                (Engarde.Provision.rejection_to_string r))
+        [ Workloads.Bzip2; Workloads.Mcf; Workloads.Otpgen ])
+    [
+      (Codegen.plain, fun () -> [ Engarde.Policy_libc.make ~db:(Lazy.force libc_db) () ]);
+      (Codegen.with_stack_protector, fun () -> [ stack_policy () ]);
+      (Codegen.with_ifcc, fun () -> [ Engarde.Policy_ifcc.make () ]);
+    ]
+
+let () =
+  Alcotest.run "engarde"
+    [
+      ( "symhash",
+        [ Alcotest.test_case "basics" `Quick symhash_basics ] );
+      ( "disasm",
+        [
+          Alcotest.test_case "builds buffer" `Quick disasm_builds_buffer;
+          Alcotest.test_case "charges cycles" `Quick disasm_charges_cycles;
+        ] );
+      ( "policy-libc",
+        [
+          Alcotest.test_case "accepts good" `Quick policy_libc_accepts_good;
+          Alcotest.test_case "rejects old version" `Quick policy_libc_rejects_old_version;
+          Alcotest.test_case "rejects tampered memcpy" `Quick policy_libc_rejects_tampered_memcpy;
+          Alcotest.test_case "charges hashing" `Quick policy_libc_charges_hashing;
+        ] );
+      ( "policy-stack",
+        [
+          Alcotest.test_case "accepts protected" `Quick policy_stack_accepts_protected;
+          Alcotest.test_case "rejects unprotected" `Quick policy_stack_rejects_unprotected;
+          Alcotest.test_case "pinpoints one function" `Quick policy_stack_pinpoints_one_function;
+          Alcotest.test_case "quadratic cost" `Quick policy_stack_quadratic_cost;
+        ] );
+      ( "policy-ifcc",
+        [
+          Alcotest.test_case "accepts instrumented" `Quick policy_ifcc_accepts_instrumented;
+          Alcotest.test_case "rejects raw indirect" `Quick policy_ifcc_rejects_raw_indirect;
+          Alcotest.test_case "no indirect calls ok" `Quick policy_ifcc_accepts_no_indirect_calls;
+          Alcotest.test_case "pointer outside table" `Quick policy_ifcc_rejects_pointer_outside_table;
+        ] );
+      ( "provisioning",
+        [
+          Alcotest.test_case "accepts compliant" `Slow provisioning_accepts_compliant;
+          Alcotest.test_case "counts instructions" `Slow provisioning_counts_instructions;
+          Alcotest.test_case "rejects stripped" `Slow provisioning_rejects_stripped;
+          Alcotest.test_case "rejects mixed pages" `Slow provisioning_rejects_mixed_pages;
+          Alcotest.test_case "rejects garbage" `Slow provisioning_rejects_garbage;
+          Alcotest.test_case "rejects policy violation" `Slow provisioning_rejects_policy_violation;
+          Alcotest.test_case "rejects tampered block" `Slow provisioning_rejects_tampered_block;
+          Alcotest.test_case "detects quote tamper" `Slow provisioning_detects_quote_tamper;
+          Alcotest.test_case "verdict flip detectable" `Slow provisioning_verdict_flip_is_detectable;
+          Alcotest.test_case "policy set in measurement" `Quick
+            provisioning_different_policies_different_measurement;
+          Alcotest.test_case "seals against extension" `Slow provisioning_seals_against_extension;
+          Alcotest.test_case "relocations applied" `Slow loader_applies_relocations;
+        ] );
+      ( "policy-malware",
+        [
+          Alcotest.test_case "flags beacon" `Quick malware_policy_flags_beacon;
+          Alcotest.test_case "passes clean binary" `Quick malware_policy_passes_clean;
+          Alcotest.test_case "rejects in provisioning" `Slow malware_policy_in_provisioning;
+          Alcotest.test_case "rejects short signature" `Quick malware_policy_rejects_short_signature;
+        ] );
+      ( "failure-injection",
+        [
+          Alcotest.test_case "EPC exhaustion" `Slow provisioning_epc_exhaustion;
+          Alcotest.test_case "image too large" `Slow provisioning_image_too_large;
+          Alcotest.test_case "dropped block" `Slow provisioning_dropped_block;
+          Alcotest.test_case "all workloads matrix" `Slow all_workloads_provision;
+        ] );
+    ]
