@@ -1,0 +1,23 @@
+# Convenience entry points; dune is the real build system.
+
+.PHONY: all build test fmt check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	dune build @fmt
+
+# The one target CI / a reviewer needs: formatting, full build, full tests.
+check: fmt build test
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

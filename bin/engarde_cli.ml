@@ -5,7 +5,9 @@
      inspect    disassemble + run policy modules on an ELF (no enclave)
      provision  run the full mutually-trusted provisioning protocol
      rewrite    instrument an unprotected binary into compliance
-     measure    print the enclave measurement a client should expect *)
+     measure    print the enclave measurement a client should expect
+     batch      run many inspection jobs through the service layer
+     serve      demo the multiplexed inspection service front end *)
 
 open Cmdliner
 
@@ -274,8 +276,284 @@ let measure_cmd =
           the given policy set.")
     Term.(const run $ policy_arg)
 
+(* --- service layer: batch + serve --- *)
+
+let commas = Engarde.Report.commas
+
+let fast_provision_config =
+  {
+    Engarde.Provision.default_config with
+    Engarde.Provision.epc_pages = 4096;
+    heap_pages = 512;
+    bootstrap_pages = 8;
+    image_pages = 1600;
+    rsa_bits = 512;
+  }
+
+let check_pool_args ~workers ~queue =
+  if workers <= 0 then begin
+    prerr_endline "engarde: --workers must be positive";
+    exit 2
+  end;
+  if queue <= 0 then begin
+    prerr_endline "engarde: --queue-capacity must be positive";
+    exit 2
+  end
+
+let service_config ~workers ~queue ~no_cache ~fast ~timeout =
+  {
+    Service.Scheduler.default_config with
+    Service.Scheduler.workers;
+    queue_capacity = queue;
+    cache = (if no_cache then `Disabled else Service.Scheduler.default_config.Service.Scheduler.cache);
+    timeout_cycles = timeout;
+    provision =
+      (if fast then fast_provision_config else Engarde.Provision.default_config);
+  }
+
+let workers_arg =
+  Arg.(value & opt int 4 & info [ "w"; "workers" ] ~docv:"N" ~doc:"Worker pool size.")
+
+let queue_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-capacity" ] ~docv:"N"
+        ~doc:"Job queue capacity (submissions beyond it are rejected).")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Disable the content-addressed verdict cache (every job re-inspects).")
+
+let fast_arg =
+  Arg.(
+    value & flag
+    & info [ "fast" ]
+        ~doc:"Use a reduced enclave configuration (smaller EPC and heap) for quick demos.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-cycles" ] ~docv:"CYCLES"
+        ~doc:"Fail any job whose modelled cycles exceed this budget.")
+
+let bench_jobs_arg =
+  Arg.(
+    value
+    & opt_all bench_conv []
+    & info [ "b"; "bench" ] ~docv:"BENCH"
+        ~doc:"Submit this synthesized benchmark as a job. Repeatable.")
+
+let elf_jobs_arg =
+  Arg.(
+    value
+    & opt_all file []
+    & info [ "elf" ] ~docv:"FILE" ~doc:"Submit this ELF file as a job. Repeatable.")
+
+let print_completions completions =
+  Printf.printf "%-4s %-14s %5s %-4s %3s %16s  %s\n" "#" "client" "hit" "try" "ok"
+    "cycles" "verdict";
+  List.iter
+    (fun (c : Service.Scheduler.completion) ->
+      let ok, detail =
+        match c.Service.Scheduler.verdict with
+        | Ok v -> (v.Service.Cache.accepted, v.Service.Cache.detail)
+        | Error f -> (false, Service.Scheduler.failure_to_string f)
+      in
+      Printf.printf "%-4d %-14s %5s %-4d %3s %16s  %s\n" c.Service.Scheduler.seq
+        c.Service.Scheduler.job.Service.Scheduler.client
+        (if c.Service.Scheduler.cache_hit then "hit" else "miss")
+        c.Service.Scheduler.attempts
+        (if ok then "yes" else "NO")
+        (commas c.Service.Scheduler.latency_cycles)
+        detail)
+    completions
+
+let batch_cmd =
+  let variant =
+    Arg.(
+      value
+      & opt variant_conv Toolchain.Codegen.plain
+      & info [ "variant" ] ~docv:"VARIANT"
+          ~doc:"Instrumentation for synthesized benchmarks: plain, stack, ifcc.")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Submit the whole job list N times (duplicate-heavy workloads).")
+  in
+  let run benches elfs variant repeat workers queue no_cache fast timeout policy_names =
+    check_pool_args ~workers ~queue;
+    if benches = [] && elfs = [] then begin
+      prerr_endline "batch: no jobs; pass --bench and/or --elf";
+      exit 2
+    end;
+    let built = Hashtbl.create 8 in
+    let payload_of_bench b =
+      match Hashtbl.find_opt built b with
+      | Some p -> p
+      | None ->
+          let img = Toolchain.Linker.link (Toolchain.Workloads.build variant b) in
+          Hashtbl.add built b img.Toolchain.Linker.elf;
+          img.Toolchain.Linker.elf
+    in
+    let one_round =
+      List.map
+        (fun b ->
+          {
+            Service.Scheduler.client = Toolchain.Workloads.to_string b;
+            payload = payload_of_bench b;
+            policy_names;
+          })
+        benches
+      @ List.map
+          (fun path ->
+            {
+              Service.Scheduler.client = Filename.basename path;
+              payload = read_file path;
+              policy_names;
+            })
+          elfs
+    in
+    let jobs = List.concat (List.init repeat (fun _ -> one_round)) in
+    let config = service_config ~workers ~queue ~no_cache ~fast ~timeout in
+    let t0 = Unix.gettimeofday () in
+    let t = Service.Scheduler.create config in
+    List.iter
+      (fun j ->
+        match Service.Scheduler.submit t j with
+        | Ok _ -> ()
+        | Error why ->
+            Printf.printf "job for %s rejected at admission: %s\n"
+              j.Service.Scheduler.client why)
+      jobs;
+    let completions = Service.Scheduler.run_until_idle t in
+    let dt = Unix.gettimeofday () -. t0 in
+    print_completions completions;
+    let jc = Service.Metrics.job_counts (Service.Scheduler.metrics t) in
+    let ph = Service.Metrics.phase_totals (Service.Scheduler.metrics t) in
+    Printf.printf
+      "\n%d jobs in %.2fs (%.1f jobs/s): %d pipeline runs, %d cache hits, %d failed\n"
+      (List.length completions) dt
+      (float_of_int (List.length completions) /. dt)
+      (jc.Service.Metrics.completed - jc.Service.Metrics.cache_hits)
+      jc.Service.Metrics.cache_hits jc.Service.Metrics.failed;
+    Printf.printf "policy+disassembly cycles actually spent: %s\n"
+      (commas (ph.Service.Metrics.disassembly + ph.Service.Metrics.policy));
+    print_newline ();
+    print_string (Service.Scheduler.report t);
+    if List.exists
+         (fun (c : Service.Scheduler.completion) ->
+           match c.Service.Scheduler.verdict with
+           | Ok v -> not v.Service.Cache.accepted
+           | Error _ -> true)
+         completions
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run many inspection jobs through the service layer (job queue, worker pool, \
+          verdict cache) and print per-job verdicts plus service metrics.")
+    Term.(
+      const run $ bench_jobs_arg $ elf_jobs_arg $ variant $ repeat $ workers_arg
+      $ queue_arg $ no_cache_arg $ fast_arg $ timeout_arg $ policy_arg)
+
+let serve_cmd =
+  let clients =
+    Arg.(value & opt int 3 & info [ "clients" ] ~docv:"N" ~doc:"Simulated client connections.")
+  in
+  let jobs_per_client =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs-per-client" ] ~docv:"N" ~doc:"Payloads each client streams.")
+  in
+  let benches =
+    Arg.(
+      value
+      & opt_all bench_conv []
+      & info [ "b"; "bench" ] ~docv:"BENCH"
+          ~doc:"Benchmarks to cycle client payloads through (default: 429.mcf, otp-gen).")
+  in
+  let run clients jobs_per_client benches workers queue no_cache fast timeout policy_names =
+    check_pool_args ~workers ~queue;
+    let benches =
+      if benches <> [] then benches else [ Toolchain.Workloads.Mcf; Toolchain.Workloads.Otpgen ]
+    in
+    let payloads =
+      List.map
+        (fun b ->
+          (Toolchain.Linker.link (Toolchain.Workloads.build Toolchain.Codegen.plain b))
+            .Toolchain.Linker.elf)
+        benches
+    in
+    let n_payloads = List.length payloads in
+    let mux = Channel.Session.Mux.create () in
+    let client_eps =
+      List.init clients (fun i ->
+          let id = Printf.sprintf "client-%d" i in
+          let key = Crypto.Sha256.digest ("engarde-serve-demo/" ^ id) in
+          let client_ep, server_ep = Channel.Transport.pair () in
+          Channel.Session.Mux.attach mux ~id ~key server_ep;
+          let session = Channel.Session.create ~key in
+          for j = 0 to jobs_per_client - 1 do
+            let payload = List.nth payloads ((i + j) mod n_payloads) in
+            List.iter (Channel.Transport.send client_ep)
+              (Channel.Session.payload_messages session payload)
+          done;
+          (id, client_ep))
+    in
+    Printf.printf "serving %d connections (%s), %d payload(s) each, %d workers\n\n"
+      clients
+      (String.concat ", " (Channel.Session.Mux.connections mux))
+      jobs_per_client workers;
+    let config = service_config ~workers ~queue ~no_cache ~fast ~timeout in
+    let t = Service.Scheduler.create config in
+    let t0 = Unix.gettimeofday () in
+    let completions =
+      Service.Scheduler.serve t ~mux ~policies_for:(fun _ -> policy_names) ()
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    print_completions completions;
+    Printf.printf "\nper-connection verdicts (as each client read them back):\n";
+    List.iter
+      (fun (id, ep) ->
+        List.iter
+          (fun m ->
+            match Channel.Client.read_verdict m with
+            | Ok (ok, detail) ->
+                Printf.printf "  %-10s %s (%s)\n" id
+                  (if ok then "ACCEPTED" else "REJECTED")
+                  detail
+            | Error _ -> Printf.printf "  %-10s unexpected message\n" id)
+          (Channel.Transport.drain ep))
+      client_eps;
+    Printf.printf "\n%d jobs in %.2fs\n\n" (List.length completions) dt;
+    print_string (Service.Scheduler.report t)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Demo the inspection service: a multiplexed server loop feeding the job queue, \
+          a worker pool draining it, verdicts multiplexed back to each connection.")
+    Term.(
+      const run $ clients $ jobs_per_client $ benches $ workers_arg $ queue_arg
+      $ no_cache_arg $ fast_arg $ timeout_arg $ policy_arg)
+
 let () =
   let doc = "EnGarde: mutually-trusted inspection of SGX enclaves (reproduction)" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "engarde" ~doc) [ gen_cmd; inspect_cmd; provision_cmd; rewrite_cmd; measure_cmd ]))
+       (Cmd.group (Cmd.info "engarde" ~doc)
+          [
+            gen_cmd;
+            inspect_cmd;
+            provision_cmd;
+            rewrite_cmd;
+            measure_cmd;
+            batch_cmd;
+            serve_cmd;
+          ]))

@@ -56,17 +56,7 @@ let handle_quote t = function
 let code_messages t =
   match t.session with
   | None -> invalid_arg "Client.code_messages before handle_quote"
-  | Some session ->
-      let blocks =
-        List.map
-          (fun (seq, offset, chunk) -> Session.encrypt_block session ~seq ~offset chunk)
-          (Session.split_payload t.payload)
-      in
-      blocks
-      @ [
-          Wire.Transfer_done
-            { total_len = String.length t.payload; digest = Crypto.Sha256.digest t.payload };
-        ]
+  | Some session -> Session.payload_messages session t.payload
 
 let read_verdict = function
   | Wire.Verdict { accepted; detail } -> Ok (accepted, detail)

@@ -38,3 +38,122 @@ let split_payload payload =
     end
   in
   go 0 0 []
+
+let payload_messages t payload =
+  let blocks =
+    List.map
+      (fun (seq, offset, chunk) -> encrypt_block t ~seq ~offset chunk)
+      (split_payload payload)
+  in
+  blocks
+  @ [
+      Wire.Transfer_done
+        { total_len = String.length payload; digest = Crypto.Sha256.digest payload };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Multiplexed server loop                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Mux = struct
+  let new_session = create
+
+  type event =
+    | Payload of { conn : string; payload : string }
+    | Corrupt of { conn : string; why : string }
+
+  type conn = {
+    id : string;
+    ep : Transport.endpoint;
+    session : t;
+    mutable buf : Bytes.t;
+    mutable received : int;   (* bytes of plaintext accumulated *)
+    mutable poisoned : bool;  (* corrupt transfer: discard until Transfer_done *)
+  }
+
+  type mux = { mutable conns : conn list }
+
+  let create () = { conns = [] }
+
+  let attach m ~id ~key ep =
+    if List.exists (fun c -> c.id = id) m.conns then
+      invalid_arg ("Session.Mux.attach: duplicate connection id " ^ id);
+    m.conns <-
+      m.conns
+      @ [
+          {
+            id;
+            ep;
+            session = new_session ~key;
+            buf = Bytes.create 0;
+            received = 0;
+            poisoned = false;
+          };
+        ]
+
+  let connections m = List.map (fun c -> c.id) m.conns
+
+  let reset c =
+    c.buf <- Bytes.create 0;
+    c.received <- 0
+
+  let store c ~offset plain =
+    let need = offset + String.length plain in
+    if Bytes.length c.buf < need then begin
+      let grown = Bytes.make (max need (2 * Bytes.length c.buf)) '\x00' in
+      Bytes.blit c.buf 0 grown 0 (Bytes.length c.buf);
+      c.buf <- grown
+    end;
+    Bytes.blit_string plain 0 c.buf offset (String.length plain);
+    c.received <- c.received + String.length plain
+
+  (* One protocol step for one connection: at most one message consumed.
+     A transfer that fails authentication is reported once; the rest of
+     it (through its Transfer_done) is discarded silently so one corrupt
+     block yields one error, not an error per remaining message. *)
+  let step c =
+    match Transport.recv c.ep with
+    | None -> None
+    | Some (Wire.Code_block _) when c.poisoned -> None
+    | Some (Wire.Transfer_done _) when c.poisoned ->
+        c.poisoned <- false;
+        None
+    | Some (Wire.Code_block { seq; offset; ciphertext; tag }) -> begin
+        match decrypt_block c.session ~seq ~offset ~ciphertext ~tag with
+        | Some plain ->
+            store c ~offset plain;
+            None
+        | None ->
+            reset c;
+            c.poisoned <- true;
+            Some
+              (Corrupt
+                 {
+                   conn = c.id;
+                   why = Printf.sprintf "block %d failed authentication" seq;
+                 })
+      end
+    | Some (Wire.Transfer_done { total_len; digest }) ->
+        let finish =
+          if c.received <> total_len then
+            Corrupt { conn = c.id; why = "missing blocks" }
+          else begin
+            let payload = Bytes.sub_string c.buf 0 total_len in
+            if Crypto.Sha256.digest payload <> digest then
+              Corrupt { conn = c.id; why = "payload digest mismatch" }
+            else Payload { conn = c.id; payload }
+          end
+        in
+        reset c;
+        Some finish
+    | Some _ -> None (* handshake traffic is not ours to interpret *)
+
+  let poll m = List.filter_map step m.conns
+
+  let pending m = List.exists (fun c -> Transport.pending c.ep) m.conns
+
+  let reply m ~id msg =
+    match List.find_opt (fun c -> c.id = id) m.conns with
+    | Some c -> Transport.send c.ep msg
+    | None -> invalid_arg ("Session.Mux.reply: unknown connection " ^ id)
+end

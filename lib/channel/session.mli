@@ -23,3 +23,46 @@ val decrypt_block :
 
 val split_payload : string -> (int * int * string) list
 (** [(seq, offset, chunk)] page-sized pieces covering the payload. *)
+
+val payload_messages : t -> string -> Wire.t list
+(** The full client-side transfer: every authenticated [Code_block]
+    followed by the [Transfer_done] trailer. *)
+
+(** Multiplexed server loop: the front door of the inspection service.
+
+    One [mux] watches many client connections (one session key each),
+    round-robin — [poll] consumes at most one wire message per
+    connection per call, so a client streaming a large executable cannot
+    starve the others. Completed, digest-verified payloads surface as
+    [Payload] events for the service's job queue; authentication
+    failures surface as [Corrupt] (the connection's reassembly state is
+    dropped, the connection itself stays usable). Connections are
+    persistent: after a [Transfer_done] the client may stream another
+    payload on the same session. *)
+module Mux : sig
+  type event =
+    | Payload of { conn : string; payload : string }
+    | Corrupt of { conn : string; why : string }
+
+  type mux
+
+  val create : unit -> mux
+
+  val attach : mux -> id:string -> key:string -> Transport.endpoint -> unit
+  (** [key] is the connection's 32-byte session key (agreed out of band
+      or via the attestation handshake). Raises [Invalid_argument] on a
+      duplicate [id]. *)
+
+  val connections : mux -> string list
+  (** Ids in attach order — the round-robin order [poll] uses. *)
+
+  val poll : mux -> event list
+  (** One round-robin sweep: at most one message consumed per
+      connection. *)
+
+  val pending : mux -> bool
+  (** Whether any connection has unconsumed incoming traffic. *)
+
+  val reply : mux -> id:string -> Wire.t -> unit
+  (** Send a message (typically a [Verdict]) back to one client. *)
+end

@@ -13,6 +13,7 @@ let send ep msg =
   | None -> () (* garbled beyond parsing: dropped, like a bad frame *)
 
 let recv ep = if Queue.is_empty ep.inbox then None else Some (Queue.pop ep.inbox)
+let pending ep = not (Queue.is_empty ep.inbox)
 
 let pair ?(tamper = Fun.id) () =
   let a = Queue.create () and b = Queue.create () in

@@ -12,6 +12,9 @@ val recv : endpoint -> Wire.t option
 (** [None] when the peer has sent nothing (this transport never
     blocks). *)
 
+val pending : endpoint -> bool
+(** Whether a [recv] would return a message (non-destructive probe). *)
+
 val pair : ?tamper:(Wire.t -> Wire.t) -> unit -> endpoint * endpoint
 (** [pair ()] returns (client_end, enclave_end). [tamper] is applied to
     every message in both directions (default: identity). Messages are

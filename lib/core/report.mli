@@ -24,6 +24,9 @@ type row = {
 
 val row : benchmark:string -> t -> row
 
+val commas : int -> string
+(** Thousands separators, as the paper prints its tables. *)
+
 val row_to_string : row -> string
 (** Fixed-width line matching the paper's table layout. *)
 

@@ -1,0 +1,104 @@
+type verdict = {
+  accepted : bool;
+  detail : string;
+  measurement : string;
+  instructions : int;
+  disassembly_cycles : int;
+  policy_cycles : int;
+  loading_cycles : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; size : int; capacity : int }
+
+let key ~payload ~policy_names ~libc_db_version =
+  let fingerprint =
+    String.concat "," (List.sort_uniq compare policy_names) |> Crypto.Sha256.digest
+  in
+  Crypto.Sha256.digest
+    (Crypto.Sha256.digest payload ^ "\x00" ^ fingerprint ^ "\x00" ^ libc_db_version)
+
+(* Doubly-linked LRU list threaded through the hash table's nodes:
+   head = most recently used, tail = next eviction victim. *)
+type node = {
+  nkey : string;
+  mutable value : verdict;
+  mutable prev : node option;  (* towards head *)
+  mutable next : node option;  (* towards tail *)
+}
+
+type t = {
+  capacity : int;
+  table : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Service.Cache.create: capacity must be positive";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 64);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  unlink t n;
+  push_front t n
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      touch t n;
+      Some n.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let mem t k = Hashtbl.mem t.table k
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some victim ->
+      unlink t victim;
+      Hashtbl.remove t.table victim.nkey;
+      t.evictions <- t.evictions + 1
+
+let add t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+      n.value <- v;
+      touch t n
+  | None ->
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      let n = { nkey = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.table k n;
+      push_front t n
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    size = Hashtbl.length t.table;
+    capacity = t.capacity;
+  }

@@ -1,0 +1,55 @@
+(** Content-addressed verdict cache.
+
+    EnGarde's verdict is a pure function of three inputs: the ELF bytes,
+    the agreed policy set, and the version of the reference libc hash
+    database the library-linking policy compares against. The cache key
+    binds all three — [SHA-256(ELF) x policy-set fingerprint x libc-db
+    version] — so a provider upgrading its reference database (or a
+    client renegotiating policies) can never be served a verdict
+    computed under the old rules, while resubmissions of an
+    already-judged binary skip disassembly and policy checking entirely
+    ("verify once, attest the verdict"). Rejections are cached too: the
+    same binary fails the same policies for the same reason.
+
+    Eviction is LRU over a fixed capacity; hits, misses and evictions
+    are counted for the metrics registry. *)
+
+type verdict = {
+  accepted : bool;
+  detail : string;              (** what the client is told *)
+  measurement : string;         (** enclave measurement of the judging run *)
+  instructions : int;
+  disassembly_cycles : int;     (** modelled cost of the original run *)
+  policy_cycles : int;
+  loading_cycles : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+val key : payload:string -> policy_names:string list -> libc_db_version:string -> string
+(** The content address. The policy-set fingerprint is order- and
+    duplicate-insensitive (policies form a set; [run_all] order does not
+    change any verdict). *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] must be positive. *)
+
+val find : t -> string -> verdict option
+(** Counts a hit or a miss; a hit moves the entry to most-recently-used. *)
+
+val add : t -> string -> verdict -> unit
+(** Inserting at capacity evicts the least-recently-used entry.
+    Re-inserting an existing key refreshes its value and recency. *)
+
+val mem : t -> string -> bool
+(** Pure membership probe: no counter or recency side effects. *)
+
+val stats : t -> stats

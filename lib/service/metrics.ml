@@ -1,0 +1,146 @@
+type job_counts = {
+  submitted : int;
+  rejected : int;
+  completed : int;
+  failed : int;
+  retried : int;
+  cache_hits : int;
+}
+
+type phase_totals = { disassembly : int; policy : int; loading : int; provisioning : int }
+
+(* Roughly decade-spaced in modelled cycles: the fast benchmarks land in
+   the 10^7-10^9 range, full-size nginx runs in the 10^9-10^10 range. *)
+let latency_buckets =
+  [| 1_000_000; 10_000_000; 100_000_000; 1_000_000_000; 10_000_000_000 |]
+
+type t = {
+  mutable submitted : int;
+  mutable rejected : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable retried : int;
+  mutable cache_hits : int;
+  mutable disassembly : int;
+  mutable policy : int;
+  mutable loading : int;
+  mutable provisioning : int;
+  mutable runs : int;  (* real pipeline executions, incl. retries *)
+  buckets : int array; (* latency histogram; last slot is +Inf *)
+  mutable latency_sum : int;
+  mutable latency_count : int;
+  mutable queue_depth : int;
+  mutable queue_depth_peak : int;
+}
+
+let create () =
+  {
+    submitted = 0;
+    rejected = 0;
+    completed = 0;
+    failed = 0;
+    retried = 0;
+    cache_hits = 0;
+    disassembly = 0;
+    policy = 0;
+    loading = 0;
+    provisioning = 0;
+    runs = 0;
+    buckets = Array.make (Array.length latency_buckets + 1) 0;
+    latency_sum = 0;
+    latency_count = 0;
+    queue_depth = 0;
+    queue_depth_peak = 0;
+  }
+
+let job_submitted t = t.submitted <- t.submitted + 1
+let job_rejected t = t.rejected <- t.rejected + 1
+
+let job_completed t ~cache_hit =
+  t.completed <- t.completed + 1;
+  if cache_hit then t.cache_hits <- t.cache_hits + 1
+
+let job_failed t = t.failed <- t.failed + 1
+let job_retried t = t.retried <- t.retried + 1
+
+let observe_run t ~disassembly ~policy ~loading ~provisioning =
+  t.disassembly <- t.disassembly + disassembly;
+  t.policy <- t.policy + policy;
+  t.loading <- t.loading + loading;
+  t.provisioning <- t.provisioning + provisioning;
+  t.runs <- t.runs + 1
+
+let observe_latency t ~cycles =
+  let rec slot i =
+    if i >= Array.length latency_buckets || cycles <= latency_buckets.(i) then i
+    else slot (i + 1)
+  in
+  let i = slot 0 in
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  t.latency_sum <- t.latency_sum + cycles;
+  t.latency_count <- t.latency_count + 1
+
+let set_queue_depth t d =
+  t.queue_depth <- d;
+  t.queue_depth_peak <- max t.queue_depth_peak d
+
+let job_counts t =
+  {
+    submitted = t.submitted;
+    rejected = t.rejected;
+    completed = t.completed;
+    failed = t.failed;
+    retried = t.retried;
+    cache_hits = t.cache_hits;
+  }
+
+let phase_totals t =
+  {
+    disassembly = t.disassembly;
+    policy = t.policy;
+    loading = t.loading;
+    provisioning = t.provisioning;
+  }
+
+let render t ~queue ~cache =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "# engarde service metrics (cycles are modelled; see lib/sgx/perf.mli)";
+  line "jobs_submitted_total %d" t.submitted;
+  line "jobs_rejected_total %d" t.rejected;
+  line "jobs_completed_total %d" t.completed;
+  line "jobs_failed_total %d" t.failed;
+  line "jobs_retried_total %d" t.retried;
+  line "pipeline_runs_total %d" t.runs;
+  line "queue_depth %d" t.queue_depth;
+  line "queue_depth_peak %d" (max t.queue_depth_peak queue.Queue.peak_depth);
+  line "queue_capacity %d" queue.Queue.capacity;
+  line "queue_submitted_total %d" queue.Queue.submitted;
+  line "queue_rejected_total %d" queue.Queue.rejected;
+  (match cache with
+  | None -> line "cache_enabled 0"
+  | Some (c : Cache.stats) ->
+      line "cache_enabled 1";
+      line "cache_size %d" c.Cache.size;
+      line "cache_capacity %d" c.Cache.capacity;
+      line "cache_hits_total %d" c.Cache.hits;
+      line "cache_misses_total %d" c.Cache.misses;
+      line "cache_evictions_total %d" c.Cache.evictions);
+  line "phase_cycles_total{phase=\"disassembly\"} %d" t.disassembly;
+  line "phase_cycles_total{phase=\"policy\"} %d" t.policy;
+  line "phase_cycles_total{phase=\"loading\"} %d" t.loading;
+  line "phase_cycles_total{phase=\"provisioning\"} %d" t.provisioning;
+  (* Cumulative, as Prometheus histograms are. *)
+  let cum = ref 0 in
+  Array.iteri
+    (fun i count ->
+      cum := !cum + count;
+      let le =
+        if i < Array.length latency_buckets then string_of_int latency_buckets.(i)
+        else "+Inf"
+      in
+      line "job_latency_cycles_bucket{le=\"%s\"} %d" le !cum)
+    t.buckets;
+  line "job_latency_cycles_sum %d" t.latency_sum;
+  line "job_latency_cycles_count %d" t.latency_count;
+  Buffer.contents b

@@ -1,0 +1,56 @@
+(** Service-wide metrics registry.
+
+    Aggregates what the one-shot pipeline already measures per job — the
+    per-phase [Sgx.Perf] counters of [Engarde.Report] — across every job
+    the service runs, plus the quantities that only exist at the service
+    layer: queue depth, job latencies (modelled cycles, exponential
+    histogram), retries, and cache effectiveness. [render] emits a
+    Prometheus-style plain-text report, one sample per line, suitable
+    for scraping or diffing in tests. *)
+
+type job_counts = {
+  submitted : int;   (** admitted into the queue *)
+  rejected : int;    (** refused at admission (backpressure, bad request) *)
+  completed : int;   (** finished with a verdict (cached or computed) *)
+  failed : int;      (** finished without a verdict (timeout, channel) *)
+  retried : int;     (** retry attempts scheduled after transient failures *)
+  cache_hits : int;  (** completions served from the verdict cache *)
+}
+
+type phase_totals = {
+  disassembly : int;
+  policy : int;
+  loading : int;
+  provisioning : int;  (** channel + crypto + enclave-build cycles *)
+}
+
+val latency_buckets : int array
+(** Upper bounds (modelled cycles) of the histogram buckets; an implicit
+    +Inf bucket follows the last entry. *)
+
+type t
+
+val create : unit -> t
+
+val job_submitted : t -> unit
+val job_rejected : t -> unit
+val job_completed : t -> cache_hit:bool -> unit
+val job_failed : t -> unit
+val job_retried : t -> unit
+
+val observe_run : t -> disassembly:int -> policy:int -> loading:int -> provisioning:int -> unit
+(** Charge one real pipeline execution's per-phase cycles. Cache hits
+    observe nothing — that is the amortization the cache exists for. *)
+
+val observe_latency : t -> cycles:int -> unit
+(** Total modelled cycles a job spent across all its attempts. *)
+
+val set_queue_depth : t -> int -> unit
+(** Gauge update; also tracks the peak. *)
+
+val job_counts : t -> job_counts
+val phase_totals : t -> phase_totals
+
+val render : t -> queue:Queue.stats -> cache:Cache.stats option -> string
+(** The scrapeable text report. [cache = None] renders the
+    cache-disabled configuration (no cache_* samples). *)

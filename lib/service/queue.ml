@@ -1,0 +1,51 @@
+type 'a t = {
+  capacity : int;
+  items : 'a Stdlib.Queue.t;
+  mutable peak_depth : int;
+  mutable submitted : int;
+  mutable rejected : int;
+}
+
+type stats = {
+  depth : int;
+  peak_depth : int;
+  submitted : int;
+  rejected : int;
+  capacity : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Service.Queue.create: capacity must be positive";
+  {
+    capacity;
+    items = Stdlib.Queue.create ();
+    peak_depth = 0;
+    submitted = 0;
+    rejected = 0;
+  }
+
+let capacity (t : 'a t) = t.capacity
+let depth t = Stdlib.Queue.length t.items
+
+let submit t job =
+  if depth t >= t.capacity then begin
+    t.rejected <- t.rejected + 1;
+    Error `Queue_full
+  end
+  else begin
+    Stdlib.Queue.add job t.items;
+    t.submitted <- t.submitted + 1;
+    t.peak_depth <- max t.peak_depth (depth t);
+    Ok ()
+  end
+
+let take t = if Stdlib.Queue.is_empty t.items then None else Some (Stdlib.Queue.pop t.items)
+
+let stats t =
+  {
+    depth = depth t;
+    peak_depth = t.peak_depth;
+    submitted = t.submitted;
+    rejected = t.rejected;
+    capacity = t.capacity;
+  }

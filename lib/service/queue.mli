@@ -1,0 +1,32 @@
+(** Bounded FIFO job queue with admission control.
+
+    The service layer's front door: submissions beyond [capacity] are
+    rejected immediately (bounded backpressure — the caller learns *now*
+    that the service is saturated, instead of queueing unboundedly and
+    timing out later). The queue is generic so tests can exercise the
+    fairness and backpressure properties without building real jobs. *)
+
+type 'a t
+
+type stats = {
+  depth : int;       (** jobs currently waiting *)
+  peak_depth : int;  (** high-water mark since creation *)
+  submitted : int;   (** total accepted *)
+  rejected : int;    (** total turned away at admission *)
+  capacity : int;
+}
+
+val create : capacity:int -> 'a t
+(** [capacity] must be positive. *)
+
+val capacity : 'a t -> int
+
+val submit : 'a t -> 'a -> (unit, [ `Queue_full ]) result
+(** FIFO admission: accepted jobs are dequeued in submission order. *)
+
+val take : 'a t -> 'a option
+(** Next job in FIFO order, or [None] when idle. *)
+
+val depth : 'a t -> int
+
+val stats : 'a t -> stats

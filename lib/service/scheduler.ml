@@ -1,0 +1,377 @@
+type job = { client : string; payload : string; policy_names : string list }
+
+type failure =
+  | Rejected of string
+  | Timed_out of { attempts : int; cycles : int }
+  | Channel_failure of { attempts : int; last : string }
+
+let failure_to_string = function
+  | Rejected why -> "rejected at admission: " ^ why
+  | Timed_out { attempts; cycles } ->
+      Printf.sprintf "timed out after %d attempt(s) (%d modelled cycles)" attempts cycles
+  | Channel_failure { attempts; last } ->
+      Printf.sprintf "channel failure after %d attempt(s): %s" attempts last
+
+type completion = {
+  job : job;
+  seq : int;
+  verdict : (Cache.verdict, failure) result;
+  cache_hit : bool;
+  attempts : int;
+  latency_cycles : int;
+  worker : int;
+}
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  cache : [ `Enabled of int | `Disabled ];
+  timeout_cycles : int option;
+  max_retries : int;
+  backoff_ticks : int;
+  max_payload_bytes : int option;
+  libc_db : Toolchain.Libc.version;
+  provision : Engarde.Provision.config;
+  fault : attempt:int -> job -> (Channel.Wire.t -> Channel.Wire.t) option;
+  dispatch : (unit -> Engarde.Provision.outcome) -> Engarde.Provision.outcome;
+}
+
+let default_config =
+  {
+    workers = 4;
+    queue_capacity = 64;
+    cache = `Enabled 256;
+    timeout_cycles = None;
+    max_retries = 2;
+    backoff_ticks = 2;
+    max_payload_bytes = Some (16 * 1024 * 1024);
+    libc_db = Toolchain.Libc.V1_0_5;
+    provision = Engarde.Provision.default_config;
+    fault = (fun ~attempt:_ _ -> None);
+    dispatch = (fun pipeline -> pipeline ());
+  }
+
+let known_policies = [ "libc"; "stack"; "ifcc" ]
+
+let policies_of_names ~db names =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | "libc" :: rest -> go (Engarde.Policy_libc.make ~db () :: acc) rest
+    | "stack" :: rest ->
+        go (Engarde.Policy_stack.make ~exempt:Toolchain.Libc.function_names () :: acc) rest
+    | "ifcc" :: rest -> go (Engarde.Policy_ifcc.make () :: acc) rest
+    | unknown :: _ ->
+        Error
+          (Printf.sprintf "unknown policy %S (expected one of: %s)" unknown
+             (String.concat ", " known_policies))
+  in
+  go [] names
+
+(* An admitted job being stepped by a worker. *)
+type active = {
+  ajob : job;
+  aseq : int;
+  akey : string;          (* content address, computed at admission *)
+  mutable attempts : int;
+  mutable cycles : int;   (* accumulated across attempts *)
+}
+
+type worker_state =
+  | Idle
+  | Lookup of active
+  | Run of active
+  | Backoff of active * int  (* ticks until retry *)
+
+type t = {
+  cfg : config;
+  db : (string * string) list lazy_t;  (* reference libc hash database *)
+  libc_db_version : string;
+  queue : active Queue.t;
+  cache : Cache.t option;
+  metrics : Metrics.t;
+  workers : worker_state array;
+  mutable next_seq : int;
+  mutable completions : completion list;  (* newest first *)
+}
+
+let create (cfg : config) =
+  if cfg.workers <= 0 then invalid_arg "Service.Scheduler.create: workers must be positive";
+  {
+    cfg;
+    db = lazy (Toolchain.Libc.hash_db cfg.libc_db);
+    libc_db_version = Toolchain.Libc.version_to_string cfg.libc_db;
+    queue = Queue.create ~capacity:cfg.queue_capacity;
+    cache = (match cfg.cache with `Enabled cap -> Some (Cache.create ~capacity:cap) | `Disabled -> None);
+    metrics = Metrics.create ();
+    workers = Array.make cfg.workers Idle;
+    next_seq = 0;
+    completions = [];
+  }
+
+let config t = t.cfg
+let metrics t = t.metrics
+let cache_stats t = Option.map Cache.stats t.cache
+let queue_stats t = Queue.stats t.queue
+
+let validate t job =
+  match List.find_opt (fun n -> not (List.mem n known_policies)) job.policy_names with
+  | Some unknown -> Some (Printf.sprintf "unknown policy %S" unknown)
+  | None -> (
+      match t.cfg.max_payload_bytes with
+      | Some limit when String.length job.payload > limit ->
+          Some
+            (Printf.sprintf "payload of %d bytes exceeds the %d-byte admission limit"
+               (String.length job.payload) limit)
+      | _ -> None)
+
+let submit t job =
+  match validate t job with
+  | Some why ->
+      Metrics.job_rejected t.metrics;
+      Error why
+  | None ->
+      let seq = t.next_seq in
+      let active =
+        {
+          ajob = job;
+          aseq = seq;
+          akey =
+            Cache.key ~payload:job.payload ~policy_names:job.policy_names
+              ~libc_db_version:t.libc_db_version;
+          attempts = 0;
+          cycles = 0;
+        }
+      in
+      (match Queue.submit t.queue active with
+      | Error `Queue_full ->
+          Metrics.job_rejected t.metrics;
+          Error
+            (Printf.sprintf "queue full (%d jobs waiting); resubmit later"
+               (Queue.depth t.queue))
+      | Ok () ->
+          t.next_seq <- seq + 1;
+          Metrics.job_submitted t.metrics;
+          Ok seq)
+
+let complete t ~worker a verdict ~cache_hit =
+  (match verdict with
+  | Ok _ -> Metrics.job_completed t.metrics ~cache_hit
+  | Error _ -> Metrics.job_failed t.metrics);
+  Metrics.observe_latency t.metrics ~cycles:a.cycles;
+  t.completions <-
+    {
+      job = a.ajob;
+      seq = a.aseq;
+      verdict;
+      cache_hit;
+      attempts = a.attempts;
+      latency_cycles = a.cycles;
+      worker;
+    }
+    :: t.completions
+
+let verdict_of_outcome (o : Engarde.Provision.outcome) =
+  let accepted, detail =
+    match o.Engarde.Provision.result with
+    | Ok loaded ->
+        ( true,
+          Printf.sprintf "policy-compliant; %d executable pages, %d relocations"
+            (List.length loaded.Engarde.Loader.exec_pages)
+            loaded.Engarde.Loader.relocations_applied )
+    | Error r -> (false, Engarde.Provision.rejection_to_string r)
+  in
+  let report = o.Engarde.Provision.report in
+  {
+    Cache.accepted;
+    detail;
+    measurement = o.Engarde.Provision.measurement;
+    instructions = report.Engarde.Report.instructions;
+    disassembly_cycles = Sgx.Perf.total_cycles report.Engarde.Report.disassembly;
+    policy_cycles = Sgx.Perf.total_cycles report.Engarde.Report.policy;
+    loading_cycles = Sgx.Perf.total_cycles report.Engarde.Report.loading;
+  }
+
+(* One real pipeline execution (one attempt) for [a] on [worker]. *)
+let run_attempt t ~worker a =
+  a.attempts <- a.attempts + 1;
+  let job = a.ajob in
+  let policies =
+    match policies_of_names ~db:(Lazy.force t.db) job.policy_names with
+    | Ok ps -> ps
+    | Error why ->
+        (* validate already screened names; defensive completeness *)
+        invalid_arg ("Service.Scheduler: " ^ why)
+  in
+  let provision_cfg =
+    { t.cfg.provision with Engarde.Provision.policy_names = job.policy_names }
+  in
+  let tamper = t.cfg.fault ~attempt:a.attempts job in
+  let outcome =
+    t.cfg.dispatch (fun () ->
+        Engarde.Provision.run ?tamper ~policies provision_cfg ~payload:job.payload)
+  in
+  let report = outcome.Engarde.Provision.report in
+  let phase p = Sgx.Perf.total_cycles p in
+  let disassembly = phase report.Engarde.Report.disassembly in
+  let policy = phase report.Engarde.Report.policy in
+  let loading = phase report.Engarde.Report.loading in
+  let provisioning = phase report.Engarde.Report.provisioning in
+  Metrics.observe_run t.metrics ~disassembly ~policy ~loading ~provisioning;
+  a.cycles <- a.cycles + disassembly + policy + loading + provisioning;
+  let transient =
+    match outcome.Engarde.Provision.result with
+    | Error (Engarde.Provision.Transfer_tampered why) -> Some why
+    | _ -> None
+  in
+  match transient with
+  | Some why ->
+      if a.attempts <= t.cfg.max_retries then begin
+        Metrics.job_retried t.metrics;
+        (* Exponential backoff: base * 2^(attempt-1) idle ticks. *)
+        t.workers.(worker) <-
+          Backoff (a, t.cfg.backoff_ticks * (1 lsl (a.attempts - 1)))
+      end
+      else begin
+        complete t ~worker a (Error (Channel_failure { attempts = a.attempts; last = why }))
+          ~cache_hit:false;
+        t.workers.(worker) <- Idle
+      end
+  | None -> (
+      match t.cfg.timeout_cycles with
+      | Some budget when a.cycles > budget ->
+          (* Over budget: the verdict is discarded and never cached. *)
+          complete t ~worker a
+            (Error (Timed_out { attempts = a.attempts; cycles = a.cycles }))
+            ~cache_hit:false;
+          t.workers.(worker) <- Idle
+      | _ ->
+          let verdict = verdict_of_outcome outcome in
+          Option.iter (fun c -> Cache.add c a.akey verdict) t.cache;
+          complete t ~worker a (Ok verdict) ~cache_hit:false;
+          t.workers.(worker) <- Idle)
+
+let step_worker t worker =
+  match t.workers.(worker) with
+  | Idle -> (
+      match Queue.take t.queue with
+      | None -> ()
+      | Some a -> t.workers.(worker) <- Lookup a)
+  | Lookup a -> (
+      match Option.bind t.cache (fun c -> Cache.find c a.akey) with
+      | Some verdict ->
+          complete t ~worker a (Ok verdict) ~cache_hit:true;
+          t.workers.(worker) <- Idle
+      | None -> t.workers.(worker) <- Run a)
+  | Run a -> run_attempt t ~worker a
+  | Backoff (a, remaining) ->
+      if remaining <= 0 then run_attempt t ~worker a
+      else t.workers.(worker) <- Backoff (a, remaining - 1)
+
+let busy t =
+  Queue.depth t.queue > 0
+  || Array.exists (function Idle -> false | _ -> true) t.workers
+
+let tick t =
+  Array.iteri (fun i _ -> step_worker t i) t.workers;
+  Metrics.set_queue_depth t.metrics (Queue.depth t.queue)
+
+let drain_completions t =
+  let out = List.sort (fun a b -> compare a.seq b.seq) (List.rev t.completions) in
+  t.completions <- [];
+  out
+
+let run_until_idle ?(max_ticks = 1_000_000) t =
+  let ticks = ref 0 in
+  while busy t && !ticks < max_ticks do
+    tick t;
+    incr ticks
+  done;
+  if busy t then failwith "Service.Scheduler.run_until_idle: tick budget exhausted";
+  drain_completions t
+
+let report t = Metrics.render t.metrics ~queue:(Queue.stats t.queue) ~cache:(cache_stats t)
+
+let batch ?(config = default_config) jobs =
+  let t = create config in
+  let rejected = ref [] in
+  let pending = ref jobs in
+  let feed () =
+    let continue = ref true in
+    while !continue && !pending <> [] do
+      match !pending with
+      | [] -> ()
+      | job :: rest -> (
+          if Queue.depth t.queue >= Queue.capacity t.queue then continue := false
+          else
+            match submit t job with
+            | Ok _ -> pending := rest
+            | Error why ->
+                (* Validation failure: record a rejection completion so
+                   the batch result covers every input, in order. *)
+                let seq = t.next_seq in
+                t.next_seq <- seq + 1;
+                rejected :=
+                  {
+                    job;
+                    seq;
+                    verdict = Error (Rejected why);
+                    cache_hit = false;
+                    attempts = 0;
+                    latency_cycles = 0;
+                    worker = -1;
+                  }
+                  :: !rejected;
+                pending := rest)
+    done
+  in
+  feed ();
+  let ticks = ref 0 in
+  while (busy t || !pending <> []) && !ticks < 10_000_000 do
+    tick t;
+    feed ();
+    incr ticks
+  done;
+  if busy t || !pending <> [] then failwith "Service.Scheduler.batch: tick budget exhausted";
+  List.sort (fun a b -> compare a.seq b.seq) (drain_completions t @ !rejected)
+
+(* ------------------------------------------------------------------ *)
+(* Multiplexed serve loop                                              *)
+(* ------------------------------------------------------------------ *)
+
+let serve t ~mux ~policies_for ?(max_ticks = 1_000_000) () =
+  let module Mux = Channel.Session.Mux in
+  let all = ref [] in
+  let reply_verdict conn (c : completion) =
+    let accepted, detail =
+      match c.verdict with
+      | Ok v -> (v.Cache.accepted, v.Cache.detail)
+      | Error f -> (false, failure_to_string f)
+    in
+    Mux.reply mux ~id:conn (Channel.Wire.Verdict { accepted; detail })
+  in
+  let quiet = ref 0 and ticks = ref 0 in
+  while !quiet < 2 && !ticks < max_ticks do
+    let events = Mux.poll mux in
+    List.iter
+      (function
+        | Mux.Payload { conn; payload } -> (
+            let job = { client = conn; payload; policy_names = policies_for conn } in
+            match submit t job with
+            | Ok _ -> ()
+            | Error why ->
+                Mux.reply mux ~id:conn
+                  (Channel.Wire.Verdict
+                     { accepted = false; detail = "rejected at admission: " ^ why }))
+        | Mux.Corrupt { conn; why } ->
+            Mux.reply mux ~id:conn
+              (Channel.Wire.Verdict { accepted = false; detail = "transfer corrupt: " ^ why }))
+      events;
+    tick t;
+    let finished = drain_completions t in
+    List.iter (fun c -> reply_verdict c.job.client c) finished;
+    all := !all @ finished;
+    if events = [] && (not (Mux.pending mux)) && not (busy t) then incr quiet
+    else quiet := 0;
+    incr ticks
+  done;
+  !all

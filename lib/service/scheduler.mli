@@ -1,0 +1,129 @@
+(** Worker pool and scheduler: the first layer above
+    [Engarde.Provision].
+
+    The paper's contract is one client, one ELF, one verdict. A
+    provisioning *service* must run many such inspections concurrently;
+    this module steps up to [workers] provisioning pipelines in a
+    cooperative round-robin — each [tick] advances every active worker
+    by one pipeline stage (dequeue, cache lookup, run, backoff), so a
+    single giant binary cannot monopolize the service and interleaving
+    is deterministic. True parallelism slots in through the [dispatch]
+    hook (run the pipeline closure on a [Domain], return the outcome);
+    everything else — admission, ordering, the cache, metrics — is
+    already written for concurrent completion order.
+
+    Failure handling: channel-layer failures ([Transfer_tampered]) are
+    treated as transient and retried with exponential backoff up to
+    [max_retries]; a job whose accumulated modelled cycles exceed
+    [timeout_cycles] fails with [Timed_out]. Neither failure is cached —
+    only verdicts are content-addressed, and a verdict exists only when
+    the pipeline actually judged the binary. *)
+
+type job = {
+  client : string;            (** identity; reported back, not trusted *)
+  payload : string;           (** the sealed ELF bytes *)
+  policy_names : string list; (** agreed policy set: libc | stack | ifcc *)
+}
+
+type failure =
+  | Rejected of string
+      (** refused at admission: full queue, oversized payload, unknown
+          policy name *)
+  | Timed_out of { attempts : int; cycles : int }
+  | Channel_failure of { attempts : int; last : string }
+      (** transient channel failures exhausted the retry budget *)
+
+val failure_to_string : failure -> string
+
+type completion = {
+  job : job;
+  seq : int;                 (** submission order, 0-based *)
+  verdict : (Cache.verdict, failure) result;
+  cache_hit : bool;
+  attempts : int;            (** pipeline executions, >= 1 unless rejected/hit *)
+  latency_cycles : int;      (** modelled cycles across all attempts *)
+  worker : int;              (** -1 for admission rejections *)
+}
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  cache : [ `Enabled of int | `Disabled ];  (** capacity when enabled *)
+  timeout_cycles : int option;
+  max_retries : int;        (** extra attempts after the first *)
+  backoff_ticks : int;      (** base backoff; doubles per retry *)
+  max_payload_bytes : int option;
+  libc_db : Toolchain.Libc.version;
+      (** the provider's reference hash database — part of the cache key *)
+  provision : Engarde.Provision.config;
+      (** template; [policy_names] is overridden per job so the
+          measurement binds each job's agreed policy set *)
+  fault : attempt:int -> job -> (Channel.Wire.t -> Channel.Wire.t) option;
+      (** adversary/chaos hook: a tamper function for this attempt, or
+          [None] for a clean channel. Tests inject transient failures
+          here. *)
+  dispatch : (unit -> Engarde.Provision.outcome) -> Engarde.Provision.outcome;
+      (** the Domain-parallelism hook point: the scheduler calls
+          [dispatch pipeline] for every real pipeline execution.
+          Default: run in place. *)
+}
+
+val default_config : config
+(** 4 workers, queue of 64, cache of 256 verdicts, no timeout, 2
+    retries, clean channel, in-place dispatch, libc-db v1.0.5,
+    [Engarde.Provision.default_config]. *)
+
+val policies_of_names :
+  db:(string * string) list -> string list -> (Engarde.Policy.t list, string) result
+(** Instantiate policy modules from their agreed names ("libc", "stack",
+    "ifcc"); [Error] names the first unknown policy. *)
+
+type t
+
+val create : config -> t
+val config : t -> config
+val metrics : t -> Metrics.t
+val cache_stats : t -> Cache.stats option
+val queue_stats : t -> Queue.stats
+
+val submit : t -> job -> (int, string) result
+(** Admission control: validates the policy set and payload size, then
+    enqueues. Returns the job's sequence number, or the rejection
+    reason (also counted in the metrics). *)
+
+val busy : t -> bool
+(** Work queued or in flight. *)
+
+val tick : t -> unit
+(** One cooperative step: idle workers dequeue, active workers advance
+    one stage, backoffs count down, gauges update. *)
+
+val drain_completions : t -> completion list
+(** Completions accumulated since the last drain, in submission order. *)
+
+val run_until_idle : ?max_ticks:int -> t -> completion list
+(** Tick until no work remains, then drain. *)
+
+val batch : ?config:config -> job list -> completion list
+(** Run a whole job list to completion on a fresh scheduler, feeding
+    the queue as space frees up (no backpressure rejections; admission
+    validation still applies). Completions come back in submission
+    order, so the result is reproducible regardless of [workers] — same
+    inputs, same verdicts. *)
+
+val report : t -> string
+(** The metrics registry rendered with current queue and cache stats. *)
+
+val serve :
+  t ->
+  mux:Channel.Session.Mux.mux ->
+  policies_for:(string -> string list) ->
+  ?max_ticks:int ->
+  unit ->
+  completion list
+(** The multiplexed server loop: poll the mux, turn completed payload
+    transfers into jobs (the connection id is the client identity),
+    tick the pool, and answer each finished job with a [Verdict] on its
+    originating connection. Admission rejections and corrupt transfers
+    are answered immediately. Returns when the mux has gone quiet and
+    the pool is idle. *)
