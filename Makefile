@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the real build system.
 
-.PHONY: all build test fmt check bench clean
+.PHONY: all build test fmt check bench bench-smoke clean
 
 all: build
 
@@ -13,11 +13,16 @@ test:
 fmt:
 	dune build @fmt
 
-# The one target CI / a reviewer needs: formatting, full build, full tests.
-check: fmt build test
+# The one target CI / a reviewer needs: formatting, full build, full
+# tests, and the reduced benchmark gate (fused single-pass analysis
+# must never lose to independent per-policy scans).
+check: fmt build test bench-smoke
 
 bench:
 	dune exec bench/main.exe
+
+bench-smoke:
+	dune exec bench/main.exe -- --smoke
 
 clean:
 	dune clean

@@ -163,14 +163,26 @@ let inspect_cmd =
             Printf.printf "disassembled %d instructions (%d modelled cycles)\n"
               (Array.length buffer.Engarde.Disasm.entries)
               (Sgx.Perf.total_cycles perf);
-            let ctx = { Engarde.Policy.buffer; symbols; perf = Sgx.Perf.create () } in
+            let analysis_perf = Sgx.Perf.create () in
+            let ctx =
+              Engarde.Policy.context ~analysis_perf ~perf:(Sgx.Perf.create ()) buffer symbols
+            in
             let results = Engarde.Policy.run_all ctx (policies_of_names policy_names) in
             List.iter
               (fun (name, v) ->
-                Printf.printf "policy %-24s %s\n" name (Engarde.Policy.verdict_to_string v))
+                (match v with
+                | Engarde.Policy.Compliant -> Printf.printf "policy %-24s compliant\n" name
+                | Engarde.Policy.Violations fs ->
+                    Printf.printf "policy %-24s %d violation(s)\n" name (List.length fs);
+                    List.iter
+                      (fun f -> Printf.printf "  %s\n" (Engarde.Policy.finding_to_string f))
+                      fs))
               results;
+            Printf.printf "analysis index: %d modelled cycles\n"
+              (Sgx.Perf.total_cycles analysis_perf);
             Printf.printf "policy checking: %d modelled cycles\n"
-              (Sgx.Perf.total_cycles ctx.Engarde.Policy.perf);
+              (Sgx.Perf.total_cycles analysis_perf
+              + Sgx.Perf.total_cycles ctx.Engarde.Policy.perf);
             if not (Engarde.Policy.all_compliant results) then exit 1)
   in
   Cmd.v
@@ -368,7 +380,13 @@ let print_completions completions =
         c.Service.Scheduler.attempts
         (if ok then "yes" else "NO")
         (commas c.Service.Scheduler.latency_cycles)
-        detail)
+        detail;
+      match c.Service.Scheduler.verdict with
+      | Ok { Service.Cache.findings = _ :: _ as fs; _ } ->
+          List.iter
+            (fun f -> Printf.printf "     %s\n" (Engarde.Policy.finding_to_string f))
+            fs
+      | Ok _ | Error _ -> ())
     completions
 
 let batch_cmd =

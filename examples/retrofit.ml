@@ -21,7 +21,7 @@ let inspect label raw =
       (Engarde.Disasm.run (Sgx.Perf.create ()) ~code:text.Elf64.Reader.data
          ~base:text.Elf64.Reader.addr ~symbols:elf.Elf64.Reader.symbols)
   in
-  let ctx = { Engarde.Policy.buffer; symbols; perf = Sgx.Perf.create () } in
+  let ctx = Engarde.Policy.context ~perf:(Sgx.Perf.create ()) buffer symbols in
   Printf.printf "%s: %d instructions, %d bytes of text\n" label
     (Array.length buffer.Engarde.Disasm.entries)
     (String.length text.Elf64.Reader.data);

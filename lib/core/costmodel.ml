@@ -12,6 +12,8 @@ let symhash_insert = 100_000
 
 (* Policy checks *)
 let policy_step = 40
+let index_step = 45
+let hash_memo_lookup = 60
 let call_target_compute = 400
 let hash_per_insn = 300
 let hash_per_byte = 260

@@ -33,7 +33,20 @@ val symhash_insert : int
 (** {1 Policy phase} *)
 
 val policy_step : int
-(** Cycles per instruction-buffer entry visited by a linear policy scan. *)
+(** Cycles per instruction-buffer entry visited by a linear policy scan
+    (after the shared-index refactor: per pre-classified event a policy
+    visits). *)
+
+val index_step : int
+(** Cycles to classify one instruction-buffer entry into the shared
+    program-analysis index ({!Analysis.build}): mnemonic dispatch plus
+    the table/call-site bookkeeping. Charged once per entry for the
+    whole policy set, where the pre-index engine charged
+    {!policy_step} per entry per policy. *)
+
+val hash_memo_lookup : int
+(** Consulting the shared function-hash store for an already-computed
+    digest (one hash-table probe plus a 32-byte compare). *)
 
 val call_target_compute : int
 (** Computing a direct-call target and consulting the symbol table. *)

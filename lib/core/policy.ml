@@ -1,23 +1,44 @@
+type finding = {
+  policy : string;
+  addr : int;
+  code : string;
+  message : string;
+}
+
 type verdict =
   | Compliant
-  | Violation of string
+  | Violations of finding list
 
 type context = {
   buffer : Disasm.buffer;
   symbols : Symhash.t;
   perf : Sgx.Perf.t;
+  index : Analysis.t;
 }
+
+let context ?analysis_perf ~perf buffer symbols =
+  let index_perf = match analysis_perf with Some p -> p | None -> perf in
+  { buffer; symbols; perf; index = Analysis.build index_perf buffer symbols }
 
 type t = {
   name : string;
   check : context -> verdict;
 }
 
+let finding ~policy ~addr ~code message = { policy; addr; code; message }
+let of_findings = function [] -> Compliant | fs -> Violations fs
+
 let run_all ctx policies = List.map (fun p -> (p.name, p.check ctx)) policies
 
 let all_compliant results =
-  List.for_all (fun (_, v) -> match v with Compliant -> true | Violation _ -> false) results
+  List.for_all (fun (_, v) -> match v with Compliant -> true | Violations _ -> false) results
+
+let findings results =
+  List.concat_map (fun (_, v) -> match v with Compliant -> [] | Violations fs -> fs) results
+
+let finding_to_string f = Printf.sprintf "[%s] 0x%x %s: %s" f.policy f.addr f.code f.message
 
 let verdict_to_string = function
   | Compliant -> "compliant"
-  | Violation why -> "violation: " ^ why
+  | Violations fs ->
+      "violation: " ^ String.concat "; " (List.map (fun f -> f.message) fs)

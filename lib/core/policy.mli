@@ -4,26 +4,50 @@
     that are loaded during enclave creation depend upon the policies
     that the client and cloud provider have agreed upon."
 
-    A module receives the disassembled instruction buffer and the symbol
-    hash table, charges its inspection work to the policy-phase cycle
-    counter, and returns a verdict. The only information a verdict leaks
-    to the cloud provider is compliance plus a human-readable reason on
-    rejection — never code contents. *)
+    Since the shared-index refactor, a module no longer sweeps the raw
+    instruction buffer itself: the {!context} carries a program-analysis
+    {!Analysis.t} built once for the whole agreed policy set, and each
+    module visits the pre-classified events it cares about (direct-call
+    sites, indirect-call sites, function slices), charging its own work
+    to the policy-phase counter. A verdict is the full list of
+    violations — every non-compliant site, in ascending address order —
+    not just the first; the only information it leaks to the cloud
+    provider is compliance plus, on rejection, the reason per site —
+    never code contents. *)
+
+type finding = {
+  policy : string;  (** name of the policy module that flagged it *)
+  addr : int;       (** vaddr of the offending site (0 when global) *)
+  code : string;    (** stable machine-readable code, e.g. ["libc-hash-mismatch"] *)
+  message : string; (** human-readable reason shown to the provider *)
+}
 
 type verdict =
   | Compliant
-  | Violation of string  (** why the binary was rejected *)
+  | Violations of finding list
+      (** every violation found, ascending address order *)
 
 type context = {
   buffer : Disasm.buffer;
   symbols : Symhash.t;
   perf : Sgx.Perf.t;       (** the policy-phase counter *)
+  index : Analysis.t;      (** shared program-analysis index *)
 }
+
+val context :
+  ?analysis_perf:Sgx.Perf.t -> perf:Sgx.Perf.t -> Disasm.buffer -> Symhash.t -> context
+(** Build the shared index (charged to [analysis_perf] when given, else
+    to [perf]) and package it with the policy-phase counter. *)
 
 type t = {
   name : string;
   check : context -> verdict;
 }
+
+val finding : policy:string -> addr:int -> code:string -> string -> finding
+
+val of_findings : finding list -> verdict
+(** [Compliant] on the empty list, [Violations] otherwise. *)
 
 val run_all : context -> t list -> (string * verdict) list
 (** Run each module in order (even after a failure: the provider learns
@@ -31,5 +55,11 @@ val run_all : context -> t list -> (string * verdict) list
     different subsets). *)
 
 val all_compliant : (string * verdict) list -> bool
+
+val findings : (string * verdict) list -> finding list
+(** All findings across the result set, in run order. *)
+
+val finding_to_string : finding -> string
+(** [[policy] 0xADDR code: message] — one line per finding. *)
 
 val verdict_to_string : verdict -> string

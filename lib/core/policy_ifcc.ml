@@ -1,47 +1,6 @@
 open X86
 
-let is_table_jmp (i : Insn.t) =
-  match (i.Insn.mnem, i.Insn.ops) with Insn.JMP, [ Insn.Rel _ ] -> true | _ -> false
-
-let is_table_nop (i : Insn.t) =
-  match (i.Insn.mnem, i.Insn.ops) with Insn.NOP, [ Insn.Mem _ ] -> true | _ -> false
-
-(* Detect maximal runs of (jmpq; nopl) entry pairs: [(lo, hi)] vaddr
-   ranges. A pair only counts as a table entry when its jmp resolves to
-   a known function start — that is what distinguishes even a one-entry
-   table from a stray jmp followed by alignment nops. *)
-let detect_tables (ctx : Policy.context) =
-  let entries = ctx.Policy.buffer.Disasm.entries in
-  let n = Array.length entries in
-  let entry_pair_at i =
-    i + 1 < n
-    && is_table_jmp entries.(i).Disasm.insn
-    && is_table_nop entries.(i + 1).Disasm.insn
-    &&
-    match entries.(i).Disasm.insn.Insn.ops with
-    | [ Insn.Rel rel ] ->
-        let e = entries.(i) in
-        Symhash.is_function_start ctx.Policy.symbols (e.Disasm.addr + e.Disasm.len + rel)
-    | _ -> false
-  in
-  let tables = ref [] in
-  let i = ref 0 in
-  while !i < n do
-    Sgx.Perf.count_cycles ctx.Policy.perf Costmodel.policy_step;
-    if entry_pair_at !i then begin
-      let lo = entries.(!i).Disasm.addr in
-      let j = ref !i in
-      while entry_pair_at !j do j := !j + 2 done;
-      let hi =
-        if !j < n then entries.(!j).Disasm.addr
-        else ctx.Policy.buffer.Disasm.base + String.length ctx.Policy.buffer.Disasm.code
-      in
-      tables := (lo, hi) :: !tables;
-      i := !j
-    end
-    else incr i
-  done;
-  List.rev !tables
+let name = "indirect-function-calls"
 
 let lea_rip_target (e : Disasm.entry) =
   match (e.Disasm.insn.Insn.mnem, e.Disasm.insn.Insn.ops) with
@@ -51,89 +10,88 @@ let lea_rip_target (e : Disasm.entry) =
 
 let make () =
   let check (ctx : Policy.context) =
+    let idx = ctx.Policy.index in
+    let perf = ctx.Policy.perf in
     let entries = ctx.Policy.buffer.Disasm.entries in
-    let tables = detect_tables ctx in
-    let in_table addr = List.exists (fun (lo, hi) -> addr >= lo && addr < hi) tables in
-    let violation = ref None in
-    let note v = if !violation = None then violation := Some v in
-    Array.iteri
-      (fun i (e : Disasm.entry) ->
-        Sgx.Perf.count_cycles ctx.Policy.perf Costmodel.policy_step;
-        match (e.Disasm.insn.Insn.mnem, e.Disasm.insn.Insn.ops) with
-        | Insn.CALL_IND, [ Insn.Reg (Insn.W64, target_reg) ] -> begin
-            Sgx.Perf.count_cycles ctx.Policy.perf (5 * Costmodel.pattern_probe);
-            (* Expected preceding sequence (paper's listing):
-               i-5: lea entry(%rip), Rt          (the function pointer)
-               i-4: lea table(%rip), Rb
-               i-3: sub Rb32, Rt32
-               i-2: and $mask, Rt
-               i-1: add Rb, Rt
-               i  : callq *Rt *)
-            (* Collect the five preceding non-nop instructions (NaCl
-               bundle padding may interleave nops with the sequence). *)
-            let preceding =
-              let rec go j acc =
-                if List.length acc = 5 || j < 0 then List.rev acc
-                else if (match entries.(j).Disasm.insn.Insn.mnem with Insn.NOP -> true | _ -> false)
-                then go (j - 1) acc
-                else go (j - 1) (j :: acc)
-              in
-              (* Nearest-first: element 0 is the closest non-nop
-                 instruction before the call. *)
-              go (i - 1) []
-            in
-            if List.length preceding < 5 then
-              note (Printf.sprintf "unprotected indirect call at 0x%x" e.Disasm.addr)
-            else begin
-              let nth k = entries.(List.nth preceding (k - 1)) in
-              let ptr = lea_rip_target (nth 5) in
-              let base = lea_rip_target (nth 4) in
-              let sub_ok =
-                match (nth 3).Disasm.insn with
-                | { Insn.mnem = Insn.SUB; ops = [ Insn.Reg (Insn.W32, s); Insn.Reg (Insn.W32, d) ] } ->
-                    Some (s, d)
-                | _ -> None
-              in
-              let mask =
-                match (nth 2).Disasm.insn with
-                | { Insn.mnem = Insn.AND; ops = [ Insn.Imm m; Insn.Reg (Insn.W64, d) ] }
-                  when Reg.equal d target_reg ->
-                    Some m
-                | _ -> None
-              in
-              let add_ok =
-                match (nth 1).Disasm.insn with
-                | { Insn.mnem = Insn.ADD; ops = [ Insn.Reg (Insn.W64, s); Insn.Reg (Insn.W64, d) ] } ->
-                    Some (s, d)
-                | _ -> None
-              in
-              match (ptr, base, sub_ok, mask, add_ok) with
-              | Some (rp, ptr_addr), Some (rb, base_addr), Some (rs, rd), Some m, Some (ra, rda)
-                when Reg.equal rp target_reg && Reg.equal rs rb && Reg.equal rd target_reg
-                     && Reg.equal ra rb && Reg.equal rda target_reg -> begin
-                  (* Compute the masked target as the hardware would. *)
-                  let masked = base_addr + ((ptr_addr - base_addr) land m) in
-                  if not (in_table base_addr) then
-                    note
-                      (Printf.sprintf
-                         "indirect call at 0x%x masks against 0x%x, outside any jump table"
-                         e.Disasm.addr base_addr)
-                  else if not (in_table masked) then
-                    note
-                      (Printf.sprintf
-                         "indirect call at 0x%x resolves to 0x%x, outside the jump table"
-                         e.Disasm.addr masked)
-                end
-              | _ ->
-                  note
-                    (Printf.sprintf
-                       "indirect call at 0x%x lacks the IFCC masking sequence" e.Disasm.addr)
+    let findings = ref [] in
+    let note ~addr ~code msg = findings := Policy.finding ~policy:name ~addr ~code msg :: !findings in
+    Array.iter
+      (fun (ic : Analysis.indirect_call) ->
+        Sgx.Perf.count_cycles perf
+          (Costmodel.policy_step + (5 * Costmodel.pattern_probe));
+        let addr = ic.Analysis.ic_addr in
+        let target_reg = ic.Analysis.ic_reg in
+        (* Expected preceding sequence (paper's listing):
+           i-5: lea entry(%rip), Rt          (the function pointer)
+           i-4: lea table(%rip), Rb
+           i-3: sub Rb32, Rt32
+           i-2: and $mask, Rt
+           i-1: add Rb, Rt
+           i  : callq *Rt
+           The index's window is the five preceding non-nop entries,
+           nearest first. *)
+        let w = ic.Analysis.ic_window in
+        if Array.length w < 5 then
+          note ~addr ~code:"ifcc-unprotected-call"
+            (Printf.sprintf "unprotected indirect call at 0x%x" addr)
+        else begin
+          let nth k = entries.(w.(k - 1)) in
+          let ptr = lea_rip_target (nth 5) in
+          let base = lea_rip_target (nth 4) in
+          let sub_ok =
+            match (nth 3).Disasm.insn with
+            | { Insn.mnem = Insn.SUB; ops = [ Insn.Reg (Insn.W32, s); Insn.Reg (Insn.W32, d) ] } ->
+                Some (s, d)
+            | _ -> None
+          in
+          let mask =
+            match (nth 2).Disasm.insn with
+            | { Insn.mnem = Insn.AND; ops = [ Insn.Imm m; Insn.Reg (Insn.W64, d) ] }
+              when Reg.equal d target_reg ->
+                Some m
+            | _ -> None
+          in
+          let add_ok =
+            match (nth 1).Disasm.insn with
+            | { Insn.mnem = Insn.ADD; ops = [ Insn.Reg (Insn.W64, s); Insn.Reg (Insn.W64, d) ] } ->
+                Some (s, d)
+            | _ -> None
+          in
+          match (ptr, base, sub_ok, mask, add_ok) with
+          | Some (rp, ptr_addr), Some (rb, base_addr), Some (rs, rd), Some m, Some (ra, rda)
+            when Reg.equal rp target_reg && Reg.equal rs rb && Reg.equal rd target_reg
+                 && Reg.equal ra rb && Reg.equal rda target_reg -> begin
+              (* Compute the masked target as the hardware would; table
+                 membership is a binary search over the index's sorted
+                 range array. *)
+              let masked = base_addr + ((ptr_addr - base_addr) land m) in
+              if not (Analysis.in_table idx base_addr) then
+                note ~addr ~code:"ifcc-mask-base-outside-table"
+                  (Printf.sprintf
+                     "indirect call at 0x%x masks against 0x%x, outside any jump table" addr
+                     base_addr)
+              else if not (Analysis.in_table idx masked) then
+                note ~addr ~code:"ifcc-target-outside-table"
+                  (Printf.sprintf
+                     "indirect call at 0x%x resolves to 0x%x, outside the jump table" addr
+                     masked)
             end
-          end
-        | Insn.JMP_IND, [ Insn.Reg _ ] ->
-            note (Printf.sprintf "unprotected indirect jump at 0x%x" e.Disasm.addr)
-        | _ -> ())
-      entries;
-    match !violation with None -> Policy.Compliant | Some v -> Policy.Violation v
+          | _ ->
+              note ~addr ~code:"ifcc-sequence-missing"
+                (Printf.sprintf "indirect call at 0x%x lacks the IFCC masking sequence" addr)
+        end)
+      idx.Analysis.indirect_calls;
+    Array.iter
+      (fun (_, addr) ->
+        Sgx.Perf.count_cycles perf Costmodel.policy_step;
+        note ~addr ~code:"ifcc-unprotected-jump"
+          (Printf.sprintf "unprotected indirect jump at 0x%x" addr))
+      idx.Analysis.indirect_jumps;
+    (* Calls and jumps come from separate index arrays: merge back into
+       one ascending-address stream. *)
+    Policy.of_findings
+      (List.stable_sort
+         (fun (a : Policy.finding) b -> compare a.Policy.addr b.Policy.addr)
+         (List.rev !findings))
   in
-  { Policy.name = "indirect-function-calls"; check }
+  { Policy.name; check }

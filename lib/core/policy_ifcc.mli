@@ -1,17 +1,20 @@
 (** Indirect function-call compliance (paper, Section 5, "Restricting
     Indirect Function Calls").
 
-    Checks that the executable carries Google IFCC instrumentation: the
-    module first locates the jump table by scanning for runs of
-    [jmpq rel32; nopl (%rax)] entry pairs (the format LLVM's IFCC patch
-    emits), then verifies that every indirect call is immediately
-    preceded by the masking sequence
+    Checks that the executable carries Google IFCC instrumentation. The
+    jump-table ranges (runs of [jmpq rel32; nopl (%rax)] entry pairs,
+    the format LLVM's IFCC patch emits) and the indirect-call sites with
+    their preceding-instruction windows come pre-classified from the
+    shared analysis index; the module verifies that every indirect call
+    is immediately preceded by the masking sequence
 
     {v lea table(%rip),%rax ; sub %eax,%ecx ; and $MASK,%rcx ;
        add %rax,%rcx ; callq *%rcx v}
 
     with consistent register dataflow, and that the computed target —
-    table base plus the masked pointer offset — falls inside the
-    detected jump table. *)
+    table base plus the masked pointer offset — falls inside a detected
+    jump table (a binary search over the index's sorted range array,
+    where the pre-index policy paid a linear [List.exists] per site).
+    Every offending site yields its own finding, in address order. *)
 
 val make : unit -> Policy.t

@@ -1,85 +1,46 @@
-open X86
+let name = "library-linking"
 
-let hash_function ctx ~addr =
-  (* Hash instructions from [addr] until the next function start,
-     reading entries out of the buffer (each read charged) and bytes
-     into SHA-256. *)
-  let b = ctx.Policy.buffer in
-  let stop =
-    match Symhash.function_end ctx.Policy.symbols addr with
-    | Some e -> e
-    | None -> b.Disasm.base + String.length b.Disasm.code
-  in
-  match Disasm.index_of_addr b addr with
-  | None -> None
-  | Some i0 ->
-      let h = Crypto.Sha256.init () in
-      let rec go i =
-        if i >= Array.length b.Disasm.entries then ()
-        else begin
-          let e = b.Disasm.entries.(i) in
-          if e.Disasm.addr >= stop then ()
-          else begin
-            Sgx.Perf.count_cycles ctx.Policy.perf
-              (Costmodel.hash_per_insn + (Costmodel.hash_per_byte * e.Disasm.len));
-            Crypto.Sha256.update_sub h b.Disasm.code
-              ~pos:(e.Disasm.addr - b.Disasm.base) ~len:e.Disasm.len;
-            go (i + 1)
-          end
-        end
-      in
-      go i0;
-      Sgx.Perf.count_cycles ctx.Policy.perf Costmodel.hash_finalize;
-      Some (Crypto.Sha256.hex (Crypto.Sha256.finalize h))
-
-let make ?(memoize = false) ~db () =
+let make ?(memoize = true) ~db () =
   let db_tbl = Hashtbl.create (2 * List.length db) in
-  List.iter (fun (name, hex) -> Hashtbl.replace db_tbl name hex) db;
+  List.iter (fun (fname, hex) -> Hashtbl.replace db_tbl fname hex) db;
   let check (ctx : Policy.context) =
-    let b = ctx.Policy.buffer in
-    let cache = Hashtbl.create 256 in
-    let hash_function ctx ~addr =
-      if not memoize then hash_function ctx ~addr
-      else
-        match Hashtbl.find_opt cache addr with
-        | Some h -> Some h
-        | None ->
-            let h = hash_function ctx ~addr in
-            (match h with Some h -> Hashtbl.replace cache addr h | None -> ());
-            h
+    let idx = ctx.Policy.index in
+    let perf = ctx.Policy.perf in
+    let hash ~addr =
+      if memoize then Analysis.function_hash idx ~perf ~addr
+      else Analysis.function_hash_unmemoized idx ~perf ~addr
     in
-    let violation = ref None in
-    let note v = if !violation = None then violation := Some v in
+    let findings = ref [] in
+    let note ~addr ~code msg = findings := Policy.finding ~policy:name ~addr ~code msg :: !findings in
     Array.iter
-      (fun (e : Disasm.entry) ->
-        Sgx.Perf.count_cycles ctx.Policy.perf Costmodel.policy_step;
-        match (e.Disasm.insn.Insn.mnem, e.Disasm.insn.Insn.ops) with
-        | Insn.CALL, [ Insn.Rel rel ] -> begin
-            Sgx.Perf.count_cycles ctx.Policy.perf Costmodel.call_target_compute;
-            let target = e.Disasm.addr + e.Disasm.len + rel in
-            match Symhash.name_of_addr ctx.Policy.symbols target with
-            | None ->
-                note
-                  (Printf.sprintf
-                     "direct call at 0x%x targets 0x%x, which is not a known function"
-                     e.Disasm.addr target)
-            | Some name -> begin
-                match hash_function ctx ~addr:target with
+      (fun (dc : Analysis.direct_call) ->
+        Sgx.Perf.count_cycles perf Costmodel.policy_step;
+        match dc.Analysis.dc_name with
+        | None ->
+            note ~addr:dc.Analysis.dc_addr ~code:"call-target-unknown"
+              (Printf.sprintf
+                 "direct call at 0x%x targets 0x%x, which is not a known function"
+                 dc.Analysis.dc_addr dc.Analysis.dc_target)
+        | Some fname -> begin
+            (* Only callees named in the reference db are hashed: a local
+               (non-libc) function's digest would be compared against
+               nothing, so computing it is pure wasted cycles. *)
+            match Hashtbl.find_opt db_tbl fname with
+            | None -> ()
+            | Some expected -> begin
+                match hash ~addr:dc.Analysis.dc_target with
                 | None ->
-                    note
-                      (Printf.sprintf "call target %s at 0x%x is outside the code" name target)
-                | Some hex -> begin
-                    match Hashtbl.find_opt db_tbl name with
-                    | Some expected when expected <> hex ->
-                        note
-                          (Printf.sprintf
-                             "function %s does not match the approved library release" name)
-                    | Some _ | None -> ()
-                  end
+                    note ~addr:dc.Analysis.dc_addr ~code:"call-target-outside-code"
+                      (Printf.sprintf "call target %s at 0x%x is outside the code" fname
+                         dc.Analysis.dc_target)
+                | Some hex when expected <> hex ->
+                    note ~addr:dc.Analysis.dc_addr ~code:"libc-hash-mismatch"
+                      (Printf.sprintf "function %s does not match the approved library release"
+                         fname)
+                | Some _ -> ()
               end
-          end
-        | _ -> ())
-      b.Disasm.entries;
-    match !violation with None -> Policy.Compliant | Some v -> Policy.Violation v
+          end)
+      idx.Analysis.direct_calls;
+    Policy.of_findings (List.rev !findings)
   in
-  { Policy.name = "library-linking"; check }
+  { Policy.name; check }

@@ -3,19 +3,19 @@
 
     The provider and client agree on a reference database of SHA-256
     hashes for every function of an approved library release (musl-libc
-    v1.0.5 in the paper). The module walks the instruction buffer; for
-    every direct call it computes the target, resolves it through the
-    symbol hash table (an unresolvable target rejects the binary), and
-    hashes the target function's instructions — reading from the call
-    target up to the next function start, exactly as the paper describes
-    (note: re-hashed at every call site; the paper's policy does not
-    memoize, and this is what makes the policy phase the dominant cost
-    in Figure 3). If the called function's name appears in the reference
-    database, its hash must match. *)
+    v1.0.5 in the paper). The module visits the pre-classified
+    direct-call sites of the shared analysis index; an unresolvable
+    target rejects the binary, and a callee whose name appears in the
+    reference database must hash to the approved digest. Hashing reads
+    from the call target up to the next function start, exactly as the
+    paper describes — but only {e after} the name is found in the
+    database (hashing a local function would compare against nothing),
+    and by default through the index's memoized hash store, so each
+    libc function is hashed once instead of at every call site. *)
 
 val make : ?memoize:bool -> db:(string * string) list -> unit -> Policy.t
 (** [db] maps function name to lowercase SHA-256 hex of the function's
-    linked bytes (see {!Toolchain.Libc.hash_db}). [memoize] caches each
-    function's hash after its first call site — an optimization the
-    paper's policy lacks; the ablation benchmark quantifies it
-    (default [false], i.e. the paper's behaviour). *)
+    linked bytes (see {!Toolchain.Libc.hash_db}). [memoize] (default
+    [true]) routes hashing through the index's shared store
+    ({!Analysis.function_hash}); [memoize:false] recomputes at every
+    call site — the paper's behaviour, kept as the ablation baseline. *)

@@ -1,5 +1,7 @@
 open X86
 
+let name = "stack-protection"
+
 (* A store to a stack slot: mov %reg, disp(%rsp|%rbp). *)
 let stack_store (i : Insn.t) =
   match (i.Insn.mnem, i.Insn.ops) with
@@ -46,11 +48,6 @@ let make ?(exempt = []) () =
     let b = ctx.Policy.buffer in
     let perf = ctx.Policy.perf in
     let entries = b.Disasm.entries in
-    let fn_end addr =
-      match Symhash.function_end ctx.Policy.symbols addr with
-      | Some e -> e
-      | None -> b.Disasm.base + String.length b.Disasm.code
-    in
     (* The canary epilogue pattern, scanned over [i0, i1): cmp preceded
        by a canary load, then jne to a callq of __stack_chk_fail. *)
     (* NaCl bundle padding may interleave nops anywhere, so adjacency
@@ -101,21 +98,15 @@ let make ?(exempt = []) () =
       done;
       !found
     in
-    let check_function (addr, name) =
-      if Hashtbl.mem exempt_tbl name then None
+    let check_function (f : Analysis.func) =
+      if Hashtbl.mem exempt_tbl f.Analysis.fn_name then None
       else begin
-        match Disasm.index_of_addr b addr with
-        | None -> Some (Printf.sprintf "function %s is not within the code" name)
-        | Some i0 ->
-            let stop = fn_end addr in
-            (* Find the function's entry range. *)
-            let i1 =
-              let rec go i =
-                if i >= Array.length entries || entries.(i).Disasm.addr >= stop then i
-                else go (i + 1)
-              in
-              go i0
-            in
+        match f.Analysis.fn_slice with
+        | None ->
+            Some
+              (Policy.finding ~policy:name ~addr:f.Analysis.fn_addr ~code:"function-outside-code"
+                 (Printf.sprintf "function %s is not within the code" f.Analysis.fn_name))
+        | Some (i0, i1) ->
             let protected = ref false in
             let candidates = ref 0 in
             for i = i0 to i1 - 1 do
@@ -144,20 +135,18 @@ let make ?(exempt = []) () =
             done;
             if !candidates = 0 then None (* nothing writes the stack: exempt *)
             else if !protected then None
-            else Some (Printf.sprintf "function %s lacks stack-protector instrumentation" name)
+            else
+              Some
+                (Policy.finding ~policy:name ~addr:f.Analysis.fn_addr
+                   ~code:"missing-stack-protector"
+                   (Printf.sprintf "function %s lacks stack-protector instrumentation"
+                      f.Analysis.fn_name))
       end
     in
-    let rec first_violation = function
-      | [] -> Policy.Compliant
-      | f :: rest -> (
-          match check_function f with
-          | Some v ->
-              (* Keep scanning the remaining functions so the charged
-                 cost reflects a full pass, then report. *)
-              List.iter (fun f -> ignore (check_function f)) rest;
-              Policy.Violation v
-          | None -> first_violation rest)
+    let findings =
+      Array.to_list ctx.Policy.index.Analysis.functions
+      |> List.filter_map check_function
     in
-    first_violation (Symhash.functions ctx.Policy.symbols)
+    Policy.of_findings findings
   in
-  { Policy.name = "stack-protection"; check }
+  { Policy.name; check }

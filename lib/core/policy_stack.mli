@@ -1,7 +1,8 @@
 (** Stack-protection compliance (paper, Section 5, "Compliance for
     Stack Protection").
 
-    For each function, every store to a stack slot is a potential canary
+    The module visits every function slice of the shared analysis index.
+    Within a function, every store to a stack slot is a potential canary
     store. Following the paper's algorithm literally, the module
     (1) identifies the store's source register and scans backwards for
     the instruction that defined it, expecting [mov %fs:0x28, %reg];
@@ -11,7 +12,8 @@
     [__stack_chk_fail]. A function complies when at least one candidate
     completes all three steps. The per-candidate full-function scan is
     what makes this check quadratic in function size — the effect behind
-    401.bzip2's outsized cost in Figure 4.
+    401.bzip2's outsized cost in Figure 4. Every non-compliant function
+    yields its own finding, in address order.
 
     Exemptions: functions named in [exempt] (the prebuilt libc the
     client links was not recompiled with the flag — Figure 4's

@@ -50,11 +50,12 @@ let rejection_to_string = function
   | Disassembly_failed why -> "disassembly failed: " ^ why
   | Policy_violations results ->
       let bad =
-        List.filter_map
+        List.concat_map
           (fun (name, v) ->
             match v with
-            | Policy.Compliant -> None
-            | Policy.Violation why -> Some (name ^ ": " ^ why))
+            | Policy.Compliant -> []
+            | Policy.Violations fs ->
+                List.map (fun (f : Policy.finding) -> name ^ ": " ^ f.Policy.message) fs)
           results
       in
       "policy violations: " ^ String.concat "; " bad
@@ -267,7 +268,10 @@ let run ?tamper ?(policies = []) c ~payload =
             in
             report.Report.instructions <- Array.length buffer.Disasm.entries;
             (* --- policy modules --- *)
-            let ctx = { Policy.buffer; symbols; perf = report.Report.policy } in
+            let ctx =
+              Policy.context ~analysis_perf:report.Report.analysis
+                ~perf:report.Report.policy buffer symbols
+            in
             let policy_results = Policy.run_all ctx policies in
             if not (Policy.all_compliant policy_results) then begin
               ignore (raise (Reject (Policy_violations policy_results)))
@@ -310,3 +314,5 @@ let run ?tamper ?(policies = []) c ~payload =
           finish ~result ~policy_results ~attestation_failure:None ~client_verdict
         end
     end
+
+let findings outcome = Policy.findings outcome.policy_results

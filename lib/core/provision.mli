@@ -56,6 +56,10 @@ type outcome = {
   attestation_failure : Channel.Client.failure option;
 }
 
+val findings : outcome -> Policy.finding list
+(** Every structured violation across the outcome's policy results, in
+    run order (and, within one policy, ascending address order). *)
+
 val expected_measurement : config -> string
 (** What both parties compute for a correctly built EnGarde enclave —
     pure replay of the build log, no EPC needed. *)

@@ -5,6 +5,10 @@
 type t = {
   mutable instructions : int;
   disassembly : Sgx.Perf.t;
+  analysis : Sgx.Perf.t;
+      (** shared program-analysis index construction ({!Analysis.build}) —
+          the amortized part of the policy phase, charged once per
+          inspection regardless of how many policies run *)
   policy : Sgx.Perf.t;
   loading : Sgx.Perf.t;
   provisioning : Sgx.Perf.t;
@@ -18,7 +22,11 @@ type row = {
   benchmark : string;
   n_instructions : int;
   disassembly_cycles : int;
+  analysis_cycles : int;
+      (** index-build share of [policy_cycles], broken out *)
   policy_cycles : int;
+      (** the paper's "Policy Checking" column: index build plus all
+          per-policy visitor work *)
   loading_cycles : int;
 }
 

@@ -6,7 +6,72 @@ type verdict = {
   disassembly_cycles : int;
   policy_cycles : int;
   loading_cycles : int;
+  findings : Engarde.Policy.finding list;
 }
+
+(* Tab/line-structured wire form. Every free-text field goes through
+   [String.escaped], so no raw tab or newline survives inside a field. *)
+let encode_verdict v =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "%c\t%d\t%d\t%d\t%d\n"
+    (if v.accepted then '1' else '0')
+    v.instructions v.disassembly_cycles v.policy_cycles v.loading_cycles;
+  Printf.bprintf b "%s\n" (String.escaped v.detail);
+  Printf.bprintf b "%s\n" (String.escaped v.measurement);
+  List.iter
+    (fun (f : Engarde.Policy.finding) ->
+      Printf.bprintf b "%s\t%d\t%s\t%s\n" (String.escaped f.Engarde.Policy.policy)
+        f.Engarde.Policy.addr (String.escaped f.Engarde.Policy.code)
+        (String.escaped f.Engarde.Policy.message))
+    v.findings;
+  Buffer.contents b
+
+let decode_verdict s =
+  let unescape x = try Some (Scanf.unescaped x) with Scanf.Scan_failure _ | Failure _ -> None in
+  let ( let* ) = Option.bind in
+  match String.split_on_char '\n' s with
+  | header :: detail :: measurement :: rest -> begin
+      match String.split_on_char '\t' header with
+      | [ acc; insns; dis; pol; load ] ->
+          let* accepted =
+            match acc with "1" -> Some true | "0" -> Some false | _ -> None
+          in
+          let* instructions = int_of_string_opt insns in
+          let* disassembly_cycles = int_of_string_opt dis in
+          let* policy_cycles = int_of_string_opt pol in
+          let* loading_cycles = int_of_string_opt load in
+          let* detail = unescape detail in
+          let* measurement = unescape measurement in
+          let* findings =
+            List.fold_left
+              (fun acc line ->
+                let* acc = acc in
+                if line = "" then Some acc
+                else
+                  match String.split_on_char '\t' line with
+                  | [ policy; addr; code; message ] ->
+                      let* policy = unescape policy in
+                      let* addr = int_of_string_opt addr in
+                      let* code = unescape code in
+                      let* message = unescape message in
+                      Some (Engarde.Policy.finding ~policy ~addr ~code message :: acc)
+                  | _ -> None)
+              (Some []) rest
+          in
+          Some
+            {
+              accepted;
+              detail;
+              measurement;
+              instructions;
+              disassembly_cycles;
+              policy_cycles;
+              loading_cycles;
+              findings = List.rev findings;
+            }
+      | _ -> None
+    end
+  | _ -> None
 
 type stats = { hits : int; misses : int; evictions : int; size : int; capacity : int }
 

@@ -22,7 +22,18 @@ type verdict = {
   disassembly_cycles : int;     (** modelled cost of the original run *)
   policy_cycles : int;
   loading_cycles : int;
+  findings : Engarde.Policy.finding list;
+      (** structured violations of the judging run (empty on accept) —
+          cached so a resubmission gets the full machine-readable
+          rejection, not just the rendered detail string *)
 }
+
+val encode_verdict : verdict -> string
+(** Serialize for storage/transmission; free-text fields are escaped so
+    the form is line/tab-structured and round-trips exactly. *)
+
+val decode_verdict : string -> verdict option
+(** Inverse of {!encode_verdict}; [None] on any malformed input. *)
 
 type stats = {
   hits : int;

@@ -187,8 +187,11 @@ let verdict_of_outcome (o : Engarde.Provision.outcome) =
     measurement = o.Engarde.Provision.measurement;
     instructions = report.Engarde.Report.instructions;
     disassembly_cycles = Sgx.Perf.total_cycles report.Engarde.Report.disassembly;
-    policy_cycles = Sgx.Perf.total_cycles report.Engarde.Report.policy;
+    policy_cycles =
+      Sgx.Perf.total_cycles report.Engarde.Report.analysis
+      + Sgx.Perf.total_cycles report.Engarde.Report.policy;
     loading_cycles = Sgx.Perf.total_cycles report.Engarde.Report.loading;
+    findings = Engarde.Provision.findings o;
   }
 
 (* One real pipeline execution (one attempt) for [a] on [worker]. *)
@@ -213,7 +216,7 @@ let run_attempt t ~worker a =
   let report = outcome.Engarde.Provision.report in
   let phase p = Sgx.Perf.total_cycles p in
   let disassembly = phase report.Engarde.Report.disassembly in
-  let policy = phase report.Engarde.Report.policy in
+  let policy = phase report.Engarde.Report.analysis + phase report.Engarde.Report.policy in
   let loading = phase report.Engarde.Report.loading in
   let provisioning = phase report.Engarde.Report.provisioning in
   Metrics.observe_run t.metrics ~disassembly ~policy ~loading ~provisioning;

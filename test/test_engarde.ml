@@ -35,7 +35,10 @@ let context_of_image (img : Linker.image) =
       with
       | Error v -> Alcotest.failf "disasm: %s" (X86.Nacl.violation_to_string v)
       | Ok (buffer, symbols) ->
-          ({ Engarde.Policy.buffer; symbols; perf = Sgx.Perf.create () }, elf))
+          (Engarde.Policy.context ~perf:(Sgx.Perf.create ()) buffer symbols, elf))
+
+(* Render a verdict's messages for affix checks / failure output. *)
+let why v = Engarde.Policy.verdict_to_string v
 
 (* ------------------------------------------------------------------ *)
 (* Symhash + disasm                                                    *)
@@ -100,7 +103,7 @@ let policy_libc_accepts_good () =
   let p = Engarde.Policy_libc.make ~db:(Lazy.force libc_db) () in
   match p.Engarde.Policy.check ctx with
   | Engarde.Policy.Compliant -> ()
-  | Engarde.Policy.Violation v -> Alcotest.failf "rejected good binary: %s" v
+  | Engarde.Policy.Violations _ as v -> Alcotest.failf "rejected good binary: %s" (why v)
 
 let policy_libc_rejects_old_version () =
   (* Linked against v1.0.4; provider demands v1.0.5. *)
@@ -108,10 +111,9 @@ let policy_libc_rejects_old_version () =
   let ctx, _ = context_of_image img in
   let p = Engarde.Policy_libc.make ~db:(Lazy.force libc_db) () in
   match p.Engarde.Policy.check ctx with
-  | Engarde.Policy.Violation v ->
+  | Engarde.Policy.Violations _ as v ->
       Alcotest.(check bool) "mentions the approved release" true
-        (String.length v > 0
-        && Astring.String.is_infix ~affix:"approved library release" v)
+        (Astring.String.is_infix ~affix:"approved library release" (why v))
   | Engarde.Policy.Compliant -> Alcotest.fail "old libc accepted"
 
 let policy_libc_rejects_tampered_memcpy () =
@@ -121,18 +123,27 @@ let policy_libc_rejects_tampered_memcpy () =
   let ctx, _ = context_of_image img in
   let p = Engarde.Policy_libc.make ~db:(Lazy.force libc_db) () in
   match p.Engarde.Policy.check ctx with
-  | Engarde.Policy.Violation v ->
-      Alcotest.(check bool) "names memcpy" true (Astring.String.is_infix ~affix:"memcpy" v)
+  | Engarde.Policy.Violations _ as v ->
+      Alcotest.(check bool) "names memcpy" true
+        (Astring.String.is_infix ~affix:"memcpy" (why v))
   | Engarde.Policy.Compliant -> Alcotest.fail "tampered memcpy accepted"
 
 let policy_libc_charges_hashing () =
-  let ctx, _ = context_of_image (Lazy.force mcf_plain) in
-  let p = Engarde.Policy_libc.make ~db:(Lazy.force libc_db) () in
-  ignore (p.Engarde.Policy.check ctx);
-  (* Hashing dominates: far more than a bare linear scan. *)
-  Alcotest.(check bool) "hashing cost" true
-    (Sgx.Perf.total_cycles ctx.Engarde.Policy.perf
-    > 5 * 12903 * Engarde.Costmodel.policy_step)
+  let run p =
+    let ctx, _ = context_of_image (Lazy.force mcf_plain) in
+    ignore (p.Engarde.Policy.check ctx);
+    Sgx.Perf.total_cycles ctx.Engarde.Policy.perf
+  in
+  let db = Lazy.force libc_db in
+  let memoized = run (Engarde.Policy_libc.make ~db ()) in
+  let unmemoized = run (Engarde.Policy_libc.make ~memoize:false ~db ()) in
+  let no_db = run (Engarde.Policy_libc.make ~db:[] ()) in
+  (* Hashing is charged only for callees named in the reference db:
+     with an empty db nothing is hashed at all. *)
+  Alcotest.(check bool) "db callees cost hashing" true (memoized > no_db);
+  (* The shared hash store pays the full hash once per function, not
+     once per call site. *)
+  Alcotest.(check bool) "memoization cheaper" true (memoized < unmemoized)
 
 (* ------------------------------------------------------------------ *)
 (* Policy: stack protection                                            *)
@@ -144,12 +155,13 @@ let policy_stack_accepts_protected () =
   let ctx, _ = context_of_image (Lazy.force mcf_stack) in
   match (stack_policy ()).Engarde.Policy.check ctx with
   | Engarde.Policy.Compliant -> ()
-  | Engarde.Policy.Violation v -> Alcotest.failf "rejected protected binary: %s" v
+  | Engarde.Policy.Violations _ as v ->
+      Alcotest.failf "rejected protected binary: %s" (why v)
 
 let policy_stack_rejects_unprotected () =
   let ctx, _ = context_of_image (Lazy.force mcf_plain) in
   match (stack_policy ()).Engarde.Policy.check ctx with
-  | Engarde.Policy.Violation _ -> ()
+  | Engarde.Policy.Violations _ -> ()
   | Engarde.Policy.Compliant -> Alcotest.fail "unprotected binary accepted"
 
 (* One function compiled without the flag: build a tiny binary by hand. *)
@@ -189,10 +201,10 @@ let policy_stack_pinpoints_one_function () =
       (Engarde.Disasm.run perf ~code:text.Elf64.Reader.data ~base:text.Elf64.Reader.addr
          ~symbols:elf.Elf64.Reader.symbols)
   in
-  let ctx = { Engarde.Policy.buffer; symbols; perf } in
+  let ctx = Engarde.Policy.context ~perf buffer symbols in
   (match (stack_policy ()).Engarde.Policy.check ctx with
-  | Engarde.Policy.Violation v ->
-      Alcotest.(check bool) "blames f2" true (Astring.String.is_infix ~affix:"f2" v)
+  | Engarde.Policy.Violations _ as v ->
+      Alcotest.(check bool) "blames f2" true (Astring.String.is_infix ~affix:"f2" (why v))
   | Engarde.Policy.Compliant -> Alcotest.fail "missing canary accepted");
   (* And the fully protected variant passes. *)
   let raw = handmade_image ~protect_f2:true in
@@ -203,10 +215,11 @@ let policy_stack_pinpoints_one_function () =
       (Engarde.Disasm.run (Sgx.Perf.create ()) ~code:text.Elf64.Reader.data
          ~base:text.Elf64.Reader.addr ~symbols:elf.Elf64.Reader.symbols)
   in
-  let ctx = { Engarde.Policy.buffer; symbols; perf = Sgx.Perf.create () } in
+  let ctx = Engarde.Policy.context ~perf:(Sgx.Perf.create ()) buffer symbols in
   match (stack_policy ()).Engarde.Policy.check ctx with
   | Engarde.Policy.Compliant -> ()
-  | Engarde.Policy.Violation v -> Alcotest.failf "protected variant rejected: %s" v
+  | Engarde.Policy.Violations _ as v ->
+      Alcotest.failf "protected variant rejected: %s" (why v)
 
 let policy_stack_quadratic_cost () =
   (* Same total instructions, one function vs eight: the single big
@@ -233,10 +246,10 @@ let policy_stack_quadratic_cost () =
       Result.get_ok
         (Engarde.Disasm.run (Sgx.Perf.create ()) ~code:asm.Asm.code ~base:0x1000 ~symbols)
     in
-    let ctx = { Engarde.Policy.buffer; symbols = symhash; perf = Sgx.Perf.create () } in
+    let ctx = Engarde.Policy.context ~perf:(Sgx.Perf.create ()) buffer symhash in
     (match (stack_policy ()).Engarde.Policy.check ctx with
     | Engarde.Policy.Compliant -> ()
-    | Engarde.Policy.Violation v -> Alcotest.failf "rejected: %s" v);
+    | Engarde.Policy.Violations _ as v -> Alcotest.failf "rejected: %s" (why v));
     Sgx.Perf.total_cycles ctx.Engarde.Policy.perf
   in
   let one_big = build 1 4000 in
@@ -254,17 +267,18 @@ let policy_ifcc_accepts_instrumented () =
   let ctx, _ = context_of_image (Lazy.force otp_ifcc) in
   match (Engarde.Policy_ifcc.make ()).Engarde.Policy.check ctx with
   | Engarde.Policy.Compliant -> ()
-  | Engarde.Policy.Violation v -> Alcotest.failf "rejected instrumented binary: %s" v
+  | Engarde.Policy.Violations _ as v ->
+      Alcotest.failf "rejected instrumented binary: %s" (why v)
 
 let policy_ifcc_rejects_raw_indirect () =
   (* The plain build has raw lea+callq* sites without masking. *)
   let img = Linker.link (Workloads.build Codegen.plain Workloads.Otpgen) in
   let ctx, _ = context_of_image img in
   match (Engarde.Policy_ifcc.make ()).Engarde.Policy.check ctx with
-  | Engarde.Policy.Violation v ->
+  | Engarde.Policy.Violations _ as v ->
       Alcotest.(check bool) "mentions masking" true
-        (Astring.String.is_infix ~affix:"IFCC masking" v
-        || Astring.String.is_infix ~affix:"unprotected" v)
+        (Astring.String.is_infix ~affix:"IFCC masking" (why v)
+        || Astring.String.is_infix ~affix:"unprotected" (why v))
   | Engarde.Policy.Compliant -> Alcotest.fail "raw indirect call accepted"
 
 let policy_ifcc_accepts_no_indirect_calls () =
@@ -272,7 +286,7 @@ let policy_ifcc_accepts_no_indirect_calls () =
   let ctx, _ = context_of_image (Lazy.force mcf_plain) in
   match (Engarde.Policy_ifcc.make ()).Engarde.Policy.check ctx with
   | Engarde.Policy.Compliant -> ()
-  | Engarde.Policy.Violation v -> Alcotest.failf "mcf rejected: %s" v
+  | Engarde.Policy.Violations _ as v -> Alcotest.failf "mcf rejected: %s" (why v)
 
 let policy_ifcc_rejects_pointer_outside_table () =
   (* Handmade site whose masking sequence is correct but whose pointer
@@ -313,13 +327,13 @@ let policy_ifcc_rejects_pointer_outside_table () =
     Result.get_ok
       (Engarde.Disasm.run (Sgx.Perf.create ()) ~code:asm.Asm.code ~base:0x1000 ~symbols)
   in
-  let ctx = { Engarde.Policy.buffer; symbols = symhash; perf = Sgx.Perf.create () } in
+  let ctx = Engarde.Policy.context ~perf:(Sgx.Perf.create ()) buffer symhash in
   match (Engarde.Policy_ifcc.make ()).Engarde.Policy.check ctx with
-  | Engarde.Policy.Violation v ->
+  | Engarde.Policy.Violations _ as v ->
       (* Masked pointer falls back inside the table only if it happens
          to; the lea base is the table though, and the pointer points
          outside — the masked result must betray it. *)
-      Alcotest.(check bool) "flags the site" true (String.length v > 0)
+      Alcotest.(check bool) "flags the site" true (String.length (why v) > 0)
   | Engarde.Policy.Compliant -> Alcotest.fail "out-of-table pointer accepted"
 
 (* ------------------------------------------------------------------ *)
@@ -543,18 +557,18 @@ let malware_policy_flags_beacon () =
       (Engarde.Disasm.run (Sgx.Perf.create ()) ~code:text.Elf64.Reader.data
          ~base:text.Elf64.Reader.addr ~symbols:elf.Elf64.Reader.symbols)
   in
-  let ctx = { Engarde.Policy.buffer; symbols; perf = Sgx.Perf.create () } in
+  let ctx = Engarde.Policy.context ~perf:(Sgx.Perf.create ()) buffer symbols in
   match (List.hd (malware_policy ())).Engarde.Policy.check ctx with
-  | Engarde.Policy.Violation v ->
+  | Engarde.Policy.Violations _ as v ->
       Alcotest.(check bool) "names the signature" true
-        (Astring.String.is_infix ~affix:"botnet/beacon" v)
+        (Astring.String.is_infix ~affix:"botnet/beacon" (why v))
   | Engarde.Policy.Compliant -> Alcotest.fail "beacon not detected"
 
 let malware_policy_passes_clean () =
   let ctx, _ = context_of_image (Lazy.force mcf_plain) in
   match (List.hd (malware_policy ())).Engarde.Policy.check ctx with
   | Engarde.Policy.Compliant -> ()
-  | Engarde.Policy.Violation v -> Alcotest.failf "false positive: %s" v
+  | Engarde.Policy.Violations _ as v -> Alcotest.failf "false positive: %s" (why v)
 
 let malware_policy_in_provisioning () =
   (* The handmade image keeps Writer's default data/bss addresses, so
@@ -641,6 +655,73 @@ let all_workloads_provision () =
       (Codegen.with_ifcc, fun () -> [ Engarde.Policy_ifcc.make () ]);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Structured findings                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ascending addrs =
+  let rec go = function a :: (b :: _ as rest) -> a <= b && go rest | _ -> true in
+  go addrs
+
+let findings_report_every_site () =
+  (* A plain build trips both the stack and the IFCC policies; every
+     offending site must surface as its own finding, in address order,
+     deterministically. *)
+  let img = Linker.link (Workloads.build Codegen.plain Workloads.Otpgen) in
+  let run () =
+    let ctx, _ = context_of_image img in
+    Engarde.Policy.run_all ctx [ stack_policy (); Engarde.Policy_ifcc.make () ]
+  in
+  let results = run () in
+  let fs = Engarde.Policy.findings results in
+  let policies = List.sort_uniq compare (List.map (fun f -> f.Engarde.Policy.policy) fs) in
+  Alcotest.(check bool) "both policies report" true (List.length policies >= 2);
+  List.iter
+    (fun (pname, v) ->
+      match v with
+      | Engarde.Policy.Compliant -> Alcotest.failf "%s unexpectedly compliant" pname
+      | Engarde.Policy.Violations per ->
+          Alcotest.(check bool) (pname ^ ": ascending addresses") true
+            (ascending (List.map (fun f -> f.Engarde.Policy.addr) per));
+          List.iter
+            (fun f ->
+              Alcotest.(check string) (pname ^ ": policy field") pname f.Engarde.Policy.policy;
+              Alcotest.(check bool) (pname ^ ": code set") true
+                (String.length f.Engarde.Policy.code > 0))
+            per)
+    results;
+  let multi_site =
+    List.exists
+      (function _, Engarde.Policy.Violations (_ :: _ :: _) -> true | _ -> false)
+      results
+  in
+  Alcotest.(check bool) "some policy reports >= 2 sites" true multi_site;
+  Alcotest.(check bool) "deterministic across runs" true (results = run ())
+
+let findings_pinpoint_address () =
+  (* The one unprotected function in the handmade image is blamed by
+     address, not merely by name in prose. *)
+  let raw = handmade_image ~protect_f2:false in
+  let elf = Result.get_ok (Elf64.Reader.parse raw) in
+  let text = List.hd (Elf64.Reader.text_sections elf) in
+  let buffer, symbols =
+    Result.get_ok
+      (Engarde.Disasm.run (Sgx.Perf.create ()) ~code:text.Elf64.Reader.data
+         ~base:text.Elf64.Reader.addr ~symbols:elf.Elf64.Reader.symbols)
+  in
+  let f2_addr =
+    (List.find (fun s -> s.Elf64.Types.st_name = "f2") elf.Elf64.Reader.symbols)
+      .Elf64.Types.st_value
+  in
+  let ctx = Engarde.Policy.context ~perf:(Sgx.Perf.create ()) buffer symbols in
+  match (stack_policy ()).Engarde.Policy.check ctx with
+  | Engarde.Policy.Compliant -> Alcotest.fail "missing canary accepted"
+  | Engarde.Policy.Violations [ f ] ->
+      Alcotest.(check int) "addr is f2's entry" f2_addr f.Engarde.Policy.addr;
+      Alcotest.(check string) "code" "missing-stack-protector" f.Engarde.Policy.code
+  | Engarde.Policy.Violations fs ->
+      Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
 let () =
   Alcotest.run "engarde"
     [
@@ -694,6 +775,11 @@ let () =
           Alcotest.test_case "passes clean binary" `Quick malware_policy_passes_clean;
           Alcotest.test_case "rejects in provisioning" `Slow malware_policy_in_provisioning;
           Alcotest.test_case "rejects short signature" `Quick malware_policy_rejects_short_signature;
+        ] );
+      ( "findings",
+        [
+          Alcotest.test_case "reports every site" `Quick findings_report_every_site;
+          Alcotest.test_case "pinpoints address" `Quick findings_pinpoint_address;
         ] );
       ( "failure-injection",
         [

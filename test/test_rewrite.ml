@@ -17,8 +17,10 @@ let ctx_of raw =
     Engarde.Disasm.run (Sgx.Perf.create ()) ~code:text.Elf64.Reader.data
       ~base:text.Elf64.Reader.addr ~symbols:elf.Elf64.Reader.symbols
   with
-  | Ok (buffer, symbols) -> { Engarde.Policy.buffer; symbols; perf = Sgx.Perf.create () }
+  | Ok (buffer, symbols) -> Engarde.Policy.context ~perf:(Sgx.Perf.create ()) buffer symbols
   | Error v -> Alcotest.failf "disasm: %s" (X86.Nacl.violation_to_string v)
+
+let why = Engarde.Policy.verdict_to_string
 
 let stack_policy () = Engarde.Policy_stack.make ~exempt:Libc.function_names ()
 
@@ -36,12 +38,13 @@ let rewritten_mcf =
 let rejected_before_accepted_after () =
   (* Before: rejected. *)
   (match (stack_policy ()).Engarde.Policy.check (ctx_of (Lazy.force plain_mcf).Linker.elf) with
-  | Engarde.Policy.Violation _ -> ()
+  | Engarde.Policy.Violations _ -> ()
   | Engarde.Policy.Compliant -> Alcotest.fail "plain binary unexpectedly compliant");
   (* After: accepted. *)
   match (stack_policy ()).Engarde.Policy.check (ctx_of (Lazy.force rewritten_mcf)) with
   | Engarde.Policy.Compliant -> ()
-  | Engarde.Policy.Violation v -> Alcotest.failf "rewritten binary rejected: %s" v
+  | Engarde.Policy.Violations _ as v ->
+      Alcotest.failf "rewritten binary rejected: %s" (why v)
 
 let rewritten_still_nacl_valid () =
   let elf = parse (Lazy.force rewritten_mcf) in
@@ -65,7 +68,7 @@ let rewritten_keeps_libc_hashes () =
       (ctx_of (Lazy.force rewritten_mcf))
   with
   | Engarde.Policy.Compliant -> ()
-  | Engarde.Policy.Violation v -> Alcotest.failf "libc policy broke: %s" v
+  | Engarde.Policy.Violations _ as v -> Alcotest.failf "libc policy broke: %s" (why v)
 
 let rewritten_preserves_structure () =
   let before = parse (Lazy.force plain_mcf).Linker.elf in
@@ -104,7 +107,7 @@ let rewrite_idempotent_on_protected () =
   | Ok raw -> (
       match (stack_policy ()).Engarde.Policy.check (ctx_of raw) with
       | Engarde.Policy.Compliant -> ()
-      | Engarde.Policy.Violation v -> Alcotest.failf "rejected: %s" v)
+      | Engarde.Policy.Violations _ as v -> Alcotest.failf "rejected: %s" (why v))
 
 let rewrite_rejects_stripped () =
   let img = Linker.link ~strip:true (Workloads.build Codegen.plain Workloads.Mcf) in

@@ -69,6 +69,7 @@ let dummy_verdict detail =
     disassembly_cycles = 2;
     policy_cycles = 3;
     loading_cycles = 4;
+    findings = [];
   }
 
 let cache_hit_miss_eviction () =
@@ -92,6 +93,43 @@ let cache_hit_miss_eviction () =
   Alcotest.(check int) "size stable" 2 (Service.Cache.stats c).Service.Cache.size;
   Alcotest.(check (option string)) "value refreshed" (Some "v3'")
     (Option.map (fun v -> v.Service.Cache.detail) (Service.Cache.find c "k3"))
+
+let cache_verdict_round_trip () =
+  (* The serialized form survives hostile free text (tabs, newlines,
+     non-ASCII) in every string field, findings included. *)
+  let nasty = "line1\nline2\ttabbed \xc3\xa9" in
+  let v =
+    {
+      Service.Cache.accepted = false;
+      detail = "rejected: " ^ nasty;
+      measurement = String.init 32 (fun i -> Char.chr i);
+      instructions = 12903;
+      disassembly_cycles = 55;
+      policy_cycles = 66;
+      loading_cycles = 77;
+      findings =
+        [
+          { Engarde.Policy.policy = "stack-protection"; addr = 0x1040;
+            code = "missing-stack-protector"; message = "function f2 " ^ nasty };
+          { Engarde.Policy.policy = "ifcc"; addr = 0x2000;
+            code = "ifcc-unprotected-call"; message = "raw site" };
+        ];
+    }
+  in
+  (match Service.Cache.decode_verdict (Service.Cache.encode_verdict v) with
+  | Some v' -> Alcotest.(check bool) "encode/decode round-trips" true (v = v')
+  | None -> Alcotest.fail "decode failed");
+  Alcotest.(check bool) "garbage decodes to None" true
+    (Service.Cache.decode_verdict "not a verdict" = None);
+  (* And through the cache itself: what comes back is what went in. *)
+  let c = Service.Cache.create ~capacity:2 in
+  Service.Cache.add c "k" v;
+  match Service.Cache.find c "k" with
+  | Some v' ->
+      Alcotest.(check int) "findings survive the cache" 2
+        (List.length v'.Service.Cache.findings);
+      Alcotest.(check bool) "value intact" true (v = v')
+  | None -> Alcotest.fail "cache lost the entry"
 
 let cache_key_sensitivity () =
   let key = Service.Cache.key ~payload:"ELF" in
@@ -395,6 +433,7 @@ let () =
       ( "cache",
         [
           Alcotest.test_case "hit, miss, LRU eviction" `Quick cache_hit_miss_eviction;
+          Alcotest.test_case "verdict round-trip" `Quick cache_verdict_round_trip;
           Alcotest.test_case "key sensitivity" `Quick cache_key_sensitivity;
         ] );
       ( "scheduler",
