@@ -348,6 +348,98 @@ let ablation_fused_scan () =
     Workloads.all
 
 (* ------------------------------------------------------------------ *)
+(* Audit log: append amortization, proof growth, restart cost           *)
+(* ------------------------------------------------------------------ *)
+
+let fast_provision =
+  {
+    Engarde.Provision.default_config with
+    Engarde.Provision.epc_pages = 4096;
+    heap_pages = 512;
+    bootstrap_pages = 8;
+    image_pages = 1600;
+    rsa_bits = 512;
+  }
+
+(* Synthetic verdict leaf for pure tree benchmarks (real leaves come
+   from the scheduler; the tree only sees canonical bytes either way). *)
+let synthetic_leaf i =
+  {
+    Audit.Log.key = Crypto.Sha256.digest (Printf.sprintf "bench-leaf-%d" i);
+    accepted = i mod 7 <> 0;
+    findings_digest = Crypto.Sha256.digest "";
+    measurement = Crypto.Sha256.digest "bench-enclave";
+    instructions = 1000 + i;
+    disassembly_cycles = 10_000 + i;
+    policy_cycles = 20_000 + i;
+    loading_cycles = 30 + i;
+  }
+
+let duplicate_jobs ~payload n =
+  List.init n (fun i ->
+      {
+        Service.Scheduler.client = Printf.sprintf "tenant-%d" i;
+        payload;
+        policy_names = [ "libc" ];
+      })
+
+(* Run [jobs] on a fresh audited scheduler, optionally warm-started from
+   a sealed blob; returns the scheduler and the policy+disassembly
+   cycles it actually spent. *)
+let audited_run ~device ?from_blob jobs =
+  let config =
+    {
+      Service.Scheduler.default_config with
+      Service.Scheduler.audit = true;
+      provision = fast_provision;
+    }
+  in
+  let t = Service.Scheduler.create config in
+  (match from_blob with
+  | Some blob -> (
+      match Service.Scheduler.load_state t ~device blob with
+      | Ok _ -> ()
+      | Error e -> failwith (Audit.Seal.error_to_string e))
+  | None -> ());
+  List.iter (fun j -> ignore (Service.Scheduler.submit t j)) jobs;
+  ignore (Service.Scheduler.run_until_idle t);
+  let ph = Service.Metrics.phase_totals (Service.Scheduler.metrics t) in
+  (t, ph.Service.Metrics.disassembly + ph.Service.Metrics.policy)
+
+let audit_bench () =
+  banner "Audit log: amortized append cost and inclusion-proof growth (RFC 6962 tree)";
+  let log = Audit.Log.create () in
+  Printf.printf "%-8s %12s %14s %14s\n" "leaves" "tree hashes" "hashes/append" "proof hashes";
+  List.iter
+    (fun n ->
+      while Audit.Log.size log < n do
+        ignore (Audit.Log.append log (synthetic_leaf (Audit.Log.size log)))
+      done;
+      let proof = Audit.Log.prove_inclusion log ~index:(n / 2) ~size:n in
+      Printf.printf "%-8d %12d %14.2f %14d\n" n (Audit.Log.hash_count log)
+        (float_of_int (Audit.Log.hash_count log) /. float_of_int n)
+        (List.length proof))
+    [ 16; 64; 256; 1024 ];
+  banner "Warm vs cold restart: sealed state replayed into a fresh service";
+  let device = Sgx.Quote.device_create ~seed:"bench-device" in
+  let mcf = (Linker.link (Workloads.build Codegen.plain Workloads.Mcf)).Linker.elf in
+  let jobs = duplicate_jobs ~payload:mcf 8 in
+  let t0 = Unix.gettimeofday () in
+  let cold, cold_cycles = audited_run ~device jobs in
+  let cold_dt = Unix.gettimeofday () -. t0 in
+  let blob = Service.Scheduler.save_state cold ~device in
+  let t0 = Unix.gettimeofday () in
+  let _, warm_cycles = audited_run ~device ~from_blob:blob jobs in
+  let warm_dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "%-6s %10s %22s %12s\n" "start" "wall (s)" "policy+disasm cycles" "blob bytes";
+  Printf.printf "%-6s %10.2f %22s %12s\n" "cold" cold_dt (commas cold_cycles) "-";
+  Printf.printf "%-6s %10.2f %22s %12s\n" "warm" warm_dt (commas warm_cycles)
+    (commas (String.length blob));
+  Printf.printf
+    "warm restart skipped %.1f%% of re-inspection cycles on duplicate-heavy traffic\n"
+    (100. *. (1. -. (float_of_int warm_cycles /. float_of_int (max 1 cold_cycles))))
+
+(* ------------------------------------------------------------------ *)
 (* Smoke mode: reduced run with hard assertions (wired into `make       *)
 (* check` as bench-smoke)                                               *)
 (* ------------------------------------------------------------------ *)
@@ -378,6 +470,49 @@ let smoke () =
     fused_vs_independent ~policies:libc_only (context_of Workloads.Mcf Codegen.plain)
   in
   row "429.mcf (library-linking)" ~want_2x:true independent fused;
+  banner "bench-smoke: audit-log proofs stay logarithmic; warm restart amortizes";
+  let check label ok detail =
+    if not ok then incr failures;
+    Printf.printf "%-44s %s  %s\n" label detail (if ok then "ok" else "FAIL")
+  in
+  (* 1k-leaf log: every inclusion proof must be O(log n) — at most
+     ceil(log2 1024) = 10 hashes — and actually verify against a
+     quote-signed checkpoint. *)
+  let log = Audit.Log.create () in
+  for i = 0 to 1023 do
+    ignore (Audit.Log.append log (synthetic_leaf i))
+  done;
+  let device = Sgx.Quote.device_create ~seed:"smoke-device" in
+  let pub = Sgx.Quote.device_public device in
+  let ckpt =
+    Audit.Log.checkpoint log ~device ~measurement:(Crypto.Sha256.digest "bench-enclave")
+  in
+  let worst = ref 0 in
+  let all_verify =
+    List.for_all
+      (fun index ->
+        let proof = Audit.Log.prove_inclusion log ~index ~size:1024 in
+        worst := max !worst (List.length proof);
+        Audit.Log.verify_inclusion pub ckpt ~index
+          ~leaf:(Option.get (Audit.Log.leaf log index))
+          ~proof
+        = Ok ())
+      [ 0; 1; 511; 512; 1022; 1023 ]
+  in
+  check "1k-leaf log: proof size <= log2(n)" (!worst <= 10)
+    (Printf.sprintf "worst proof %d hashes (<= 10 required)" !worst);
+  check "1k-leaf log: proofs verify vs signed checkpoint" all_verify
+    (if all_verify then "6/6 indices verified" else "a proof failed");
+  (* Warm restart from sealed state must skip >= 90% of the
+     policy+disassembly cycles on duplicate-heavy traffic. *)
+  let mcf = (Linker.link (Workloads.build Codegen.plain Workloads.Mcf)).Linker.elf in
+  let jobs = duplicate_jobs ~payload:mcf 4 in
+  let cold, cold_cycles = audited_run ~device jobs in
+  let blob = Service.Scheduler.save_state cold ~device in
+  let _, warm_cycles = audited_run ~device ~from_blob:blob jobs in
+  check "warm restart skips >= 90% re-inspection"
+    (cold_cycles > 0 && 10 * warm_cycles <= cold_cycles)
+    (Printf.sprintf "cold %s warm %s cycles" (commas cold_cycles) (commas warm_cycles));
   if !failures > 0 then begin
     Printf.printf "bench-smoke: %d assertion(s) FAILED\n" !failures;
     exit 1
@@ -554,5 +689,6 @@ let () =
   ablation_combined_policies ();
   ablation_fused_scan ();
   service_throughput ();
+  audit_bench ();
   bechamel_suite ();
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -312,16 +312,66 @@ let check_pool_args ~workers ~queue =
     exit 2
   end
 
-let service_config ~workers ~queue ~no_cache ~fast ~timeout =
+let service_config ?(audit = false) ~workers ~queue ~no_cache ~fast ~timeout () =
   {
     Service.Scheduler.default_config with
     Service.Scheduler.workers;
     queue_capacity = queue;
     cache = (if no_cache then `Disabled else Service.Scheduler.default_config.Service.Scheduler.cache);
+    audit;
     timeout_cycles = timeout;
     provision =
       (if fast then fast_provision_config else Engarde.Provision.default_config);
   }
+
+(* --- sealed service state on disk ---------------------------------
+
+   The sealed blob itself is host-storable by design; the monotonic
+   counter, NVRAM on real hardware, is modelled as a sidecar file the
+   platform (not the service) maintains. *)
+
+let counter_path state = state ^ ".ctr"
+
+let restore_counter device t state =
+  match
+    if Sys.file_exists (counter_path state) then
+      int_of_string_opt (String.trim (read_file (counter_path state)))
+    else None
+  with
+  | Some v -> Sgx.Quote.counter_restore device ~id:(Service.Scheduler.state_counter_id t) v
+  | None -> ()
+
+let load_service_state device t state =
+  if Sys.file_exists state then begin
+    restore_counter device t state;
+    match Service.Scheduler.load_state t ~device (read_file state) with
+    | Ok (log_n, cache_n) ->
+        Printf.printf "warm start from %s: %d audit leaves, %d cached verdicts restored\n\n"
+          state log_n cache_n
+    | Error e ->
+        Printf.eprintf "engarde: cannot load %s: %s\n" state (Audit.Seal.error_to_string e);
+        exit 1
+  end
+
+let save_service_state device t state =
+  write_file state (Service.Scheduler.save_state t ~device);
+  write_file (counter_path state)
+    (string_of_int
+       (Sgx.Quote.counter_read device ~id:(Service.Scheduler.state_counter_id t)));
+  let audit_note =
+    match Service.Scheduler.audit_log t with
+    | Some log ->
+        Printf.sprintf " (%d audit leaves, root %s...)" (Audit.Log.size log)
+          (String.sub (Crypto.Sha256.hex (Audit.Log.root log)) 0 16)
+    | None -> ""
+  in
+  Printf.printf "\nstate sealed -> %s%s\n" state audit_note
+
+let write_metrics t = function
+  | None -> ()
+  | Some path ->
+      write_file path (Service.Scheduler.report t);
+      Printf.printf "metrics written -> %s\n" path
 
 let workers_arg =
   Arg.(value & opt int 4 & info [ "w"; "workers" ] ~docv:"N" ~doc:"Worker pool size.")
@@ -350,6 +400,38 @@ let timeout_arg =
     & opt (some int) None
     & info [ "timeout-cycles" ] ~docv:"CYCLES"
         ~doc:"Fail any job whose modelled cycles exceed this budget.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the Prometheus-style metrics report to $(docv) at exit.")
+
+let state_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "state" ] ~docv:"FILE"
+        ~doc:
+          "Sealed service state: warm-start from $(docv) when it exists, seal the audit \
+           log and verdict cache back to it at exit (enables the audit log). The \
+           monotonic-counter NVRAM lives beside it in $(docv).ctr.")
+
+let audit_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:"Append every verdict to the Merkle transparency log (implied by --state).")
+
+let device_seed_arg =
+  Arg.(
+    value
+    & opt string "engarde-device-0"
+    & info [ "device-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed of the SGX device model (attestation key, sealing secret, counters). \
+           Both sides of an audit exchange must name the same device.")
 
 let bench_jobs_arg =
   Arg.(
@@ -403,7 +485,8 @@ let batch_cmd =
       & info [ "repeat" ] ~docv:"N"
           ~doc:"Submit the whole job list N times (duplicate-heavy workloads).")
   in
-  let run benches elfs variant repeat workers queue no_cache fast timeout policy_names =
+  let run benches elfs variant repeat workers queue no_cache fast timeout policy_names
+      audit_on state metrics_out device_seed =
     check_pool_args ~workers ~queue;
     if benches = [] && elfs = [] then begin
       prerr_endline "batch: no jobs; pass --bench and/or --elf";
@@ -437,9 +520,12 @@ let batch_cmd =
           elfs
     in
     let jobs = List.concat (List.init repeat (fun _ -> one_round)) in
-    let config = service_config ~workers ~queue ~no_cache ~fast ~timeout in
+    let audit = audit_on || state <> None in
+    let config = service_config ~audit ~workers ~queue ~no_cache ~fast ~timeout () in
     let t0 = Unix.gettimeofday () in
     let t = Service.Scheduler.create config in
+    let device = Sgx.Quote.device_create ~seed:device_seed in
+    Option.iter (load_service_state device t) state;
     List.iter
       (fun j ->
         match Service.Scheduler.submit t j with
@@ -461,8 +547,15 @@ let batch_cmd =
       jc.Service.Metrics.cache_hits jc.Service.Metrics.failed;
     Printf.printf "policy+disassembly cycles actually spent: %s\n"
       (commas (ph.Service.Metrics.disassembly + ph.Service.Metrics.policy));
+    (match Service.Scheduler.audit_log t with
+    | Some log ->
+        Printf.printf "audit log: %d leaves, root %s\n" (Audit.Log.size log)
+          (Crypto.Sha256.hex (Audit.Log.root log))
+    | None -> ());
     print_newline ();
     print_string (Service.Scheduler.report t);
+    Option.iter (save_service_state device t) state;
+    write_metrics t metrics_out;
     if List.exists
          (fun (c : Service.Scheduler.completion) ->
            match c.Service.Scheduler.verdict with
@@ -475,10 +568,11 @@ let batch_cmd =
     (Cmd.info "batch"
        ~doc:
          "Run many inspection jobs through the service layer (job queue, worker pool, \
-          verdict cache) and print per-job verdicts plus service metrics.")
+          verdict cache, audit log) and print per-job verdicts plus service metrics.")
     Term.(
       const run $ bench_jobs_arg $ elf_jobs_arg $ variant $ repeat $ workers_arg
-      $ queue_arg $ no_cache_arg $ fast_arg $ timeout_arg $ policy_arg)
+      $ queue_arg $ no_cache_arg $ fast_arg $ timeout_arg $ policy_arg $ audit_flag_arg
+      $ state_arg $ metrics_out_arg $ device_seed_arg)
 
 let serve_cmd =
   let clients =
@@ -496,7 +590,8 @@ let serve_cmd =
       & info [ "b"; "bench" ] ~docv:"BENCH"
           ~doc:"Benchmarks to cycle client payloads through (default: 429.mcf, otp-gen).")
   in
-  let run clients jobs_per_client benches workers queue no_cache fast timeout policy_names =
+  let run clients jobs_per_client benches workers queue no_cache fast timeout policy_names
+      audit_on state metrics_out device_seed =
     check_pool_args ~workers ~queue;
     let benches =
       if benches <> [] then benches else [ Toolchain.Workloads.Mcf; Toolchain.Workloads.Otpgen ]
@@ -528,8 +623,11 @@ let serve_cmd =
       clients
       (String.concat ", " (Channel.Session.Mux.connections mux))
       jobs_per_client workers;
-    let config = service_config ~workers ~queue ~no_cache ~fast ~timeout in
+    let audit = audit_on || state <> None in
+    let config = service_config ~audit ~workers ~queue ~no_cache ~fast ~timeout () in
     let t = Service.Scheduler.create config in
+    let device = Sgx.Quote.device_create ~seed:device_seed in
+    Option.iter (load_service_state device t) state;
     let t0 = Unix.gettimeofday () in
     let completions =
       Service.Scheduler.serve t ~mux ~policies_for:(fun _ -> policy_names) ()
@@ -550,7 +648,9 @@ let serve_cmd =
           (Channel.Transport.drain ep))
       client_eps;
     Printf.printf "\n%d jobs in %.2fs\n\n" (List.length completions) dt;
-    print_string (Service.Scheduler.report t)
+    print_string (Service.Scheduler.report t);
+    Option.iter (save_service_state device t) state;
+    write_metrics t metrics_out
   in
   Cmd.v
     (Cmd.info "serve"
@@ -559,7 +659,210 @@ let serve_cmd =
           a worker pool draining it, verdicts multiplexed back to each connection.")
     Term.(
       const run $ clients $ jobs_per_client $ benches $ workers_arg $ queue_arg
-      $ no_cache_arg $ fast_arg $ timeout_arg $ policy_arg)
+      $ no_cache_arg $ fast_arg $ timeout_arg $ policy_arg $ audit_flag_arg $ state_arg
+      $ metrics_out_arg $ device_seed_arg)
+
+(* --- audit: checkpoint / prove / verify ---------------------------
+
+   The transparency workflow across trust domains: the *service host*
+   opens its sealed state to issue quote-signed checkpoints and
+   inclusion proofs; a *client* holding only the checkpoint, the proof
+   and the device public key verifies offline. *)
+
+let hex_decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then None
+  else
+    try
+      Some
+        (String.init (n / 2) (fun i ->
+             Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2))))
+    with _ -> None
+
+let open_sealed_audit device ~fast ~state =
+  if not (Sys.file_exists state) then begin
+    Printf.eprintf "engarde: no sealed state at %s\n" state;
+    exit 2
+  end;
+  let config =
+    service_config ~audit:true ~workers:1 ~queue:4 ~no_cache:false ~fast ~timeout:None ()
+  in
+  let t = Service.Scheduler.create config in
+  load_service_state device t state;
+  match Service.Scheduler.audit_log t with
+  | Some log -> (t, log)
+  | None -> assert false (* audit:true above *)
+
+let state_req_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "state" ] ~docv:"FILE" ~doc:"Sealed service state to open.")
+
+let audit_checkpoint_cmd =
+  let output =
+    Arg.(
+      value & opt string "audit.ckpt"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to write the checkpoint.")
+  in
+  let run state fast device_seed output =
+    let device = Sgx.Quote.device_create ~seed:device_seed in
+    let t, _ = open_sealed_audit device ~fast ~state in
+    match Service.Scheduler.checkpoint t ~device with
+    | None -> assert false
+    | Some ckpt ->
+        write_file output (Audit.Log.checkpoint_to_bytes ckpt);
+        Printf.printf "checkpoint: %d leaves, root %s -> %s\n" ckpt.Audit.Log.ckpt_size
+          (Crypto.Sha256.hex ckpt.Audit.Log.ckpt_root)
+          output
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:
+         "Quote-sign the audit log's current head: the checkpoint binds the log size \
+          and Merkle root in the quote's report data.")
+    Term.(const run $ state_req_arg $ fast_arg $ device_seed_arg $ output)
+
+let audit_prove_cmd =
+  let index =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "index" ] ~docv:"N" ~doc:"Leaf index (0-based) to prove inclusion of.")
+  in
+  let tree_size =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "size" ] ~docv:"N"
+          ~doc:
+            "Tree size to prove against — the checkpoint's leaf count when it trails \
+             the live log (default: the whole log).")
+  in
+  let output =
+    Arg.(
+      value & opt string "audit.proof"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to write the proof.")
+  in
+  let run state fast device_seed index size output =
+    let device = Sgx.Quote.device_create ~seed:device_seed in
+    let _, log = open_sealed_audit device ~fast ~state in
+    let size = match size with Some s -> s | None -> Audit.Log.size log in
+    if index < 0 || index >= size || size > Audit.Log.size log then begin
+      Printf.eprintf "engarde: index %d / size %d out of range (log has %d leaves)\n"
+        index size (Audit.Log.size log);
+      exit 2
+    end;
+    let leaf =
+      match Audit.Log.leaf log index with Some l -> l | None -> assert false
+    in
+    let path = Audit.Log.prove_inclusion log ~index ~size in
+    let b = Buffer.create 256 in
+    Buffer.add_string b "engarde-audit-proof v1\n";
+    Buffer.add_string b (Printf.sprintf "index: %d\n" index);
+    Buffer.add_string b (Printf.sprintf "size: %d\n" size);
+    Buffer.add_string b
+      (Printf.sprintf "leaf: %s\n" (Crypto.Sha256.hex (Audit.Log.leaf_bytes leaf)));
+    List.iter
+      (fun h -> Buffer.add_string b (Printf.sprintf "path: %s\n" (Crypto.Sha256.hex h)))
+      path;
+    write_file output (Buffer.contents b);
+    Printf.printf "inclusion proof for leaf %d of %d (%d hashes) -> %s\n" index size
+      (List.length path) output
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:
+         "Extract a leaf and its Merkle audit path from the sealed log; together with \
+          a checkpoint this is everything a client needs to verify offline.")
+    Term.(const run $ state_req_arg $ fast_arg $ device_seed_arg $ index $ tree_size $ output)
+
+let audit_verify_cmd =
+  let ckpt_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "checkpoint" ] ~docv:"FILE" ~doc:"Quote-signed checkpoint to verify against.")
+  in
+  let proof_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "proof" ] ~docv:"FILE" ~doc:"Proof file written by $(b,audit prove).")
+  in
+  let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("engarde: " ^ s); exit 1) fmt in
+  let run ckpt_path proof_path device_seed =
+    let ckpt =
+      match Audit.Log.checkpoint_of_bytes (read_file ckpt_path) with
+      | Some c -> c
+      | None -> fail "%s is not a checkpoint" ckpt_path
+    in
+    let lines = String.split_on_char '\n' (read_file proof_path) in
+    let field name =
+      List.find_map
+        (fun l ->
+          let prefix = name ^ ": " in
+          if String.length l > String.length prefix
+             && String.sub l 0 (String.length prefix) = prefix
+          then Some (String.sub l (String.length prefix)
+                       (String.length l - String.length prefix))
+          else None)
+        lines
+    in
+    (match lines with
+    | "engarde-audit-proof v1" :: _ -> ()
+    | _ -> fail "%s is not a proof file" proof_path);
+    let req name = match field name with Some v -> v | None -> fail "proof is missing %s" name in
+    let index = match int_of_string_opt (req "index") with
+      | Some i -> i | None -> fail "bad index" in
+    let size = match int_of_string_opt (req "size") with
+      | Some s -> s | None -> fail "bad size" in
+    let leaf =
+      match Option.bind (hex_decode (req "leaf")) Audit.Log.leaf_of_bytes with
+      | Some l -> l
+      | None -> fail "proof leaf is malformed"
+    in
+    let path =
+      List.filter_map
+        (fun l ->
+          if String.length l > 6 && String.sub l 0 6 = "path: " then
+            match hex_decode (String.sub l 6 (String.length l - 6)) with
+            | Some h -> Some h
+            | None -> fail "proof path hash is malformed"
+          else None)
+        lines
+    in
+    if size <> ckpt.Audit.Log.ckpt_size then
+      fail "proof is for size %d but checkpoint covers %d" size ckpt.Audit.Log.ckpt_size;
+    let pub = Sgx.Quote.device_public (Sgx.Quote.device_create ~seed:device_seed) in
+    match Audit.Log.verify_inclusion pub ckpt ~index ~leaf ~proof:path with
+    | Ok () ->
+        Printf.printf
+          "OK: leaf %d of %d is in the log signed by the device\n\
+          \  content key:  %s\n\
+          \  verdict:      %s\n\
+          \  measurement:  %s\n"
+          index ckpt.Audit.Log.ckpt_size
+          (Crypto.Sha256.hex leaf.Audit.Log.key)
+          (if leaf.Audit.Log.accepted then "ACCEPTED" else "REJECTED")
+          (Crypto.Sha256.hex leaf.Audit.Log.measurement)
+    | Error e -> fail "verification failed: %s" (Audit.Log.error_to_string e)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Client-side offline check: the checkpoint is genuinely quote-signed by the \
+          device and the proved verdict is inside the signed tree. Needs neither the \
+          log nor the sealed state.")
+    Term.(const run $ ckpt_arg $ proof_arg $ device_seed_arg)
+
+let audit_cmd =
+  Cmd.group
+    (Cmd.info "audit"
+       ~doc:
+         "Verdict transparency: quote-signed checkpoints over the sealed audit log, \
+          inclusion proofs, and offline verification.")
+    [ audit_checkpoint_cmd; audit_prove_cmd; audit_verify_cmd ]
 
 let () =
   let doc = "EnGarde: mutually-trusted inspection of SGX enclaves (reproduction)" in
@@ -574,4 +877,5 @@ let () =
             measure_cmd;
             batch_cmd;
             serve_cmd;
+            audit_cmd;
           ]))

@@ -1,0 +1,226 @@
+type leaf = {
+  key : string;
+  accepted : bool;
+  findings_digest : string;
+  measurement : string;
+  instructions : int;
+  disassembly_cycles : int;
+  policy_cycles : int;
+  loading_cycles : int;
+}
+
+(* --- canonical byte forms ---------------------------------------- *)
+
+let u16_be n = String.init 2 (fun i -> Char.chr ((n lsr (8 * (1 - i))) land 0xff))
+let u64_be n = String.init 8 (fun i -> Char.chr ((n lsr (8 * (7 - i))) land 0xff))
+
+let leaf_bytes l =
+  let b = Buffer.create 160 in
+  let str s =
+    Buffer.add_string b (u16_be (String.length s));
+    Buffer.add_string b s
+  in
+  str l.key;
+  Buffer.add_char b (if l.accepted then '\x01' else '\x00');
+  str l.findings_digest;
+  str l.measurement;
+  Buffer.add_string b (u64_be l.instructions);
+  Buffer.add_string b (u64_be l.disassembly_cycles);
+  Buffer.add_string b (u64_be l.policy_cycles);
+  Buffer.add_string b (u64_be l.loading_cycles);
+  Buffer.contents b
+
+(* A tiny strict cursor: every read checks bounds, and the caller
+   checks the cursor consumed the whole string. *)
+type cursor = { s : string; mutable pos : int }
+
+let take c n =
+  if c.pos + n > String.length c.s || n < 0 then None
+  else begin
+    let r = String.sub c.s c.pos n in
+    c.pos <- c.pos + n;
+    Some r
+  end
+
+let u16_of c =
+  Option.map (fun s -> (Char.code s.[0] lsl 8) lor Char.code s.[1]) (take c 2)
+
+let u64_of c =
+  Option.map
+    (fun s ->
+      let v = ref 0 in
+      String.iter (fun ch -> v := (!v lsl 8) lor Char.code ch) s;
+      !v)
+    (take c 8)
+
+let str_of c = Option.bind (u16_of c) (take c)
+
+let leaf_of_cursor c =
+  let ( let* ) = Option.bind in
+  let* key = str_of c in
+  let* acc = take c 1 in
+  let* accepted = match acc with "\x01" -> Some true | "\x00" -> Some false | _ -> None in
+  let* findings_digest = str_of c in
+  let* measurement = str_of c in
+  let* instructions = u64_of c in
+  let* disassembly_cycles = u64_of c in
+  let* policy_cycles = u64_of c in
+  let* loading_cycles = u64_of c in
+  Some
+    {
+      key;
+      accepted;
+      findings_digest;
+      measurement;
+      instructions;
+      disassembly_cycles;
+      policy_cycles;
+      loading_cycles;
+    }
+
+let leaf_of_bytes s =
+  let c = { s; pos = 0 } in
+  match leaf_of_cursor c with
+  | Some l when c.pos = String.length s -> Some l
+  | _ -> None
+
+(* --- the log ------------------------------------------------------ *)
+
+type t = { tree : Merkle.t; mutable entries : leaf array; mutable n : int }
+
+let dummy_leaf =
+  {
+    key = "";
+    accepted = false;
+    findings_digest = "";
+    measurement = "";
+    instructions = 0;
+    disassembly_cycles = 0;
+    policy_cycles = 0;
+    loading_cycles = 0;
+  }
+
+let create () = { tree = Merkle.create (); entries = Array.make 16 dummy_leaf; n = 0 }
+
+let size t = t.n
+let leaf t i = if i >= 0 && i < t.n then Some t.entries.(i) else None
+let root t = Merkle.root t.tree
+let hash_count t = Merkle.hash_count t.tree
+
+let append t l =
+  if t.n = Array.length t.entries then begin
+    let bigger = Array.make (2 * t.n) l in
+    Array.blit t.entries 0 bigger 0 t.n;
+    t.entries <- bigger
+  end;
+  t.entries.(t.n) <- l;
+  t.n <- t.n + 1;
+  Merkle.append t.tree (leaf_bytes l)
+
+(* --- checkpoints -------------------------------------------------- *)
+
+type checkpoint = { ckpt_size : int; ckpt_root : string; quote : Sgx.Quote.t }
+
+let binding ~size ~root = Crypto.Sha256.digest ("EGCKPT1\x00" ^ u64_be size ^ root)
+
+let checkpoint t ~device ~measurement =
+  let ckpt_size = t.n and ckpt_root = root t in
+  {
+    ckpt_size;
+    ckpt_root;
+    quote =
+      Sgx.Quote.quote_measured device ~measurement
+        ~report_data:(binding ~size:ckpt_size ~root:ckpt_root);
+  }
+
+let checkpoint_to_bytes c =
+  u64_be c.ckpt_size
+  ^ u16_be (String.length c.ckpt_root)
+  ^ c.ckpt_root
+  ^ Sgx.Quote.to_bytes c.quote
+
+let checkpoint_of_bytes s =
+  let c = { s; pos = 0 } in
+  let ( let* ) = Option.bind in
+  let* ckpt_size = u64_of c in
+  let* ckpt_root = str_of c in
+  let* rest = take c (String.length s - c.pos) in
+  let* quote = Sgx.Quote.of_bytes rest in
+  Some { ckpt_size; ckpt_root; quote }
+
+type error = Quote_invalid | Binding_mismatch | Out_of_range | Proof_invalid | Inconsistent
+
+let error_to_string = function
+  | Quote_invalid -> "checkpoint quote signature invalid under the device public key"
+  | Binding_mismatch -> "checkpoint quote does not bind this size and root"
+  | Out_of_range -> "leaf index is not covered by the checkpoint"
+  | Proof_invalid -> "inclusion proof does not reach the signed root (forged or wrong leaf)"
+  | Inconsistent -> "logs are not prefix-consistent (forked, truncated, or rewritten)"
+
+let verify_checkpoint pub c =
+  if not (Sgx.Quote.verify pub c.quote) then Error Quote_invalid
+  else if
+    not
+      (String.equal c.quote.Sgx.Quote.report_data
+         (binding ~size:c.ckpt_size ~root:c.ckpt_root))
+  then Error Binding_mismatch
+  else Ok ()
+
+let prove_inclusion t ~index ~size = Merkle.inclusion_proof t.tree ~index ~size
+
+let verify_inclusion pub ckpt ~index ~leaf ~proof =
+  let ( let* ) = Result.bind in
+  let* () = verify_checkpoint pub ckpt in
+  if index < 0 || index >= ckpt.ckpt_size then Error Out_of_range
+  else if
+    Merkle.verify_inclusion ~root:ckpt.ckpt_root ~size:ckpt.ckpt_size ~index
+      ~leaf:(leaf_bytes leaf) ~proof
+  then Ok ()
+  else Error Proof_invalid
+
+let prove_consistency t ~old_size ~size = Merkle.consistency_proof t.tree ~old_size ~size
+
+let verify_consistency pub ~old_ckpt ~new_ckpt ~proof =
+  let ( let* ) = Result.bind in
+  let* () = verify_checkpoint pub old_ckpt in
+  let* () = verify_checkpoint pub new_ckpt in
+  if
+    old_ckpt.ckpt_size > 0
+    && old_ckpt.ckpt_size <= new_ckpt.ckpt_size
+    && Merkle.verify_consistency ~old_root:old_ckpt.ckpt_root ~old_size:old_ckpt.ckpt_size
+         ~root:new_ckpt.ckpt_root ~size:new_ckpt.ckpt_size ~proof
+  then Ok ()
+  else Error Inconsistent
+
+(* --- persistence -------------------------------------------------- *)
+
+let export_magic = "EGLOG1\x00\x00"
+
+let export t =
+  let b = Buffer.create (64 + (t.n * 160)) in
+  Buffer.add_string b export_magic;
+  Buffer.add_string b (u64_be t.n);
+  for i = 0 to t.n - 1 do
+    let bytes = leaf_bytes t.entries.(i) in
+    Buffer.add_string b (u16_be (String.length bytes));
+    Buffer.add_string b bytes
+  done;
+  Buffer.contents b
+
+let import s =
+  let c = { s; pos = 0 } in
+  let ( let* ) = Option.bind in
+  let* m = take c 8 in
+  if m <> export_magic then None
+  else
+    let* n = u64_of c in
+    let t = create () in
+    let rec load i =
+      if i = n then if c.pos = String.length s then Some t else None
+      else
+        let* bytes = str_of c in
+        let* l = leaf_of_bytes bytes in
+        ignore (append t l);
+        load (i + 1)
+    in
+    load 0

@@ -1,0 +1,65 @@
+type error =
+  | Truncated
+  | Wrong_enclave of { sealed : string }
+  | Tampered
+  | Stale of { sealed : int; current : int }
+
+let error_to_string = function
+  | Truncated -> "sealed blob truncated or not a sealed blob"
+  | Wrong_enclave { sealed } ->
+      "sealed by a different enclave (measurement " ^ Crypto.Sha256.hex sealed ^ ")"
+  | Tampered -> "sealed blob failed authentication: contents were modified"
+  | Stale { sealed; current } ->
+      Printf.sprintf "stale sealed state (rollback): blob counter %d, device counter %d"
+        sealed current
+
+let magic = "EGSEAL1\x00"
+let u64_be n = String.init 8 (fun i -> Char.chr ((n lsr (8 * (7 - i))) land 0xff))
+
+let u64_of s pos =
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code s.[pos + i]
+  done;
+  !v
+
+(* Independent subkeys per purpose; the CTR nonce is keyed by the
+   counter epoch so no keystream is ever reused across re-seals. *)
+let enc_key key = Crypto.Hmac.sha256 ~key "engarde-seal/encrypt"
+let mac_key key = Crypto.Hmac.sha256 ~key "engarde-seal/mac"
+let nonce key counter = String.sub (Crypto.Hmac.sha256 ~key ("engarde-seal/nonce" ^ u64_be counter)) 0 16
+
+let seal ~key ~measurement ~counter plaintext =
+  if String.length key <> 32 then invalid_arg "Seal.seal: key must be 32 bytes";
+  if String.length measurement <> 32 then invalid_arg "Seal.seal: measurement must be 32 bytes";
+  let ct = Crypto.Aes.ctr ~key:(Crypto.Aes.expand (enc_key key)) ~nonce:(nonce key counter) plaintext in
+  let body = magic ^ measurement ^ u64_be counter ^ u64_be (String.length ct) ^ ct in
+  body ^ Crypto.Hmac.sha256 ~key:(mac_key key) body
+
+(* magic(8) + measurement(32) + counter(8) + length(8) *)
+let header_len = 56
+
+let parse blob =
+  if String.length blob < header_len + 32 then Error Truncated
+  else if String.sub blob 0 8 <> magic then Error Truncated
+  else
+    let measurement = String.sub blob 8 32 in
+    let counter = u64_of blob 40 in
+    let ct_len = u64_of blob 48 in
+    if String.length blob <> header_len + ct_len + 32 then Error Truncated
+    else Ok (measurement, counter, String.sub blob header_len ct_len)
+
+let sealed_counter blob = match parse blob with Ok (_, c, _) -> Some c | Error _ -> None
+
+let unseal ~key ~measurement ~counter blob =
+  match parse blob with
+  | Error e -> Error e
+  | Ok (sealed_m, sealed_c, ct) ->
+      if not (String.equal sealed_m measurement) then Error (Wrong_enclave { sealed = sealed_m })
+      else
+        let body = String.sub blob 0 (String.length blob - 32) in
+        let tag = String.sub blob (String.length blob - 32) 32 in
+        if not (Crypto.Hmac.verify ~key:(mac_key key) ~msg:body ~tag) then Error Tampered
+        else if sealed_c <> counter then Error (Stale { sealed = sealed_c; current = counter })
+        else
+          Ok (Crypto.Aes.ctr ~key:(Crypto.Aes.expand (enc_key key)) ~nonce:(nonce key sealed_c) ct)

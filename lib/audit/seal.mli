@@ -1,0 +1,47 @@
+(** Sealed storage for service state (the data-at-rest analogue of the
+    paper's "enclave sealed against further extension").
+
+    A blob is AES-256-CTR encrypted and HMAC-SHA256 authenticated under
+    keys derived from a sealing key that the platform binds to the
+    enclave measurement ({!Sgx.Quote.seal_key} — the EGETKEY
+    MRENCLAVE-policy model), and carries the monotonic-counter value
+    current when it was written. Unsealing demands all three bindings
+    and reports which one failed with a distinct error:
+
+    - a blob written by a *different enclave identity* fails
+      [Wrong_enclave] (its clear-text measurement header disagrees)
+      before any key is derived — cross-enclave replay;
+    - a blob whose bytes were *modified* fails [Tampered] (the MAC,
+      which also covers the header and counter, does not verify);
+    - an *old but authentic* blob fails [Stale] (its counter is behind
+      the device's — the host replayed yesterday's state).
+
+    The encryption nonce is derived from the sealing key and counter
+    value, so each counter epoch uses a fresh keystream and sealing is
+    deterministic (reproducible experiments, no ambient randomness). *)
+
+type error =
+  | Truncated  (** missing magic, short header, or length mismatch *)
+  | Wrong_enclave of { sealed : string }
+      (** sealed by a different measurement (32 bytes, reported) *)
+  | Tampered  (** authentication tag mismatch: contents were modified *)
+  | Stale of { sealed : int; current : int }
+      (** rollback: the blob's counter is not the device's current one *)
+
+val error_to_string : error -> string
+
+val seal : key:string -> measurement:string -> counter:int -> string -> string
+(** [seal ~key ~measurement ~counter plaintext]: [key] is the 32-byte
+    sealing key for [measurement] (32 bytes); [counter] the freshly
+    incremented monotonic-counter value.
+    @raise Invalid_argument on wrong key/measurement lengths. *)
+
+val unseal :
+  key:string -> measurement:string -> counter:int -> string -> (string, error) result
+(** [unseal ~key ~measurement ~counter blob] recovers the plaintext iff
+    the blob was sealed by this [measurement] under [key] at exactly the
+    current [counter] value. *)
+
+val sealed_counter : string -> int option
+(** The counter value a blob claims (unauthenticated — for diagnostics
+    and for hosts persisting counter NVRAM externally). *)

@@ -11,6 +11,21 @@ type verdict = {
 
 (* Tab/line-structured wire form. Every free-text field goes through
    [String.escaped], so no raw tab or newline survives inside a field. *)
+let add_findings b findings =
+  List.iter
+    (fun (f : Engarde.Policy.finding) ->
+      Printf.bprintf b "%s\t%d\t%s\t%s\n" (String.escaped f.Engarde.Policy.policy)
+        f.Engarde.Policy.addr (String.escaped f.Engarde.Policy.code)
+        (String.escaped f.Engarde.Policy.message))
+    findings
+
+let encode_findings findings =
+  let b = Buffer.create 128 in
+  add_findings b findings;
+  Buffer.contents b
+
+let findings_digest findings = Crypto.Sha256.digest (encode_findings findings)
+
 let encode_verdict v =
   let b = Buffer.create 256 in
   Printf.bprintf b "%c\t%d\t%d\t%d\t%d\n"
@@ -18,12 +33,7 @@ let encode_verdict v =
     v.instructions v.disassembly_cycles v.policy_cycles v.loading_cycles;
   Printf.bprintf b "%s\n" (String.escaped v.detail);
   Printf.bprintf b "%s\n" (String.escaped v.measurement);
-  List.iter
-    (fun (f : Engarde.Policy.finding) ->
-      Printf.bprintf b "%s\t%d\t%s\t%s\n" (String.escaped f.Engarde.Policy.policy)
-        f.Engarde.Policy.addr (String.escaped f.Engarde.Policy.code)
-        (String.escaped f.Engarde.Policy.message))
-    v.findings;
+  add_findings b v.findings;
   Buffer.contents b
 
 let decode_verdict s =
@@ -167,3 +177,67 @@ let stats t =
     size = Hashtbl.length t.table;
     capacity = t.capacity;
   }
+
+(* --- persistence (warm restart) ----------------------------------- *)
+
+let export_magic = "EGCACHE1"
+let u32_be n = String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xff))
+
+let export t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b export_magic;
+  Buffer.add_string b (u32_be (Hashtbl.length t.table));
+  (* Tail (LRU) first: replaying [add] in this order reproduces the
+     recency ordering exactly, and a smaller-capacity importer keeps
+     the most recently used entries. *)
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+        let v = encode_verdict n.value in
+        Buffer.add_string b (u32_be (String.length n.nkey));
+        Buffer.add_string b n.nkey;
+        Buffer.add_string b (u32_be (String.length v));
+        Buffer.add_string b v;
+        walk n.prev
+  in
+  walk t.tail;
+  Buffer.contents b
+
+let import t s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let take n =
+    if !pos + n > len || n < 0 then None
+    else begin
+      let r = String.sub s !pos n in
+      pos := !pos + n;
+      Some r
+    end
+  in
+  let u32 () =
+    Option.map
+      (fun b ->
+        let v = ref 0 in
+        String.iter (fun c -> v := (!v lsl 8) lor Char.code c) b;
+        !v)
+      (take 4)
+  in
+  let ( let* ) o f = match o with Some x -> f x | None -> Error "cache state truncated" in
+  let* m = take 8 in
+  if m <> export_magic then Error "not a cache state blob"
+  else
+    let* n = u32 () in
+    let rec load i =
+      if i = n then if !pos = len then Ok n else Error "trailing bytes after cache state"
+      else
+        let* klen = u32 () in
+        let* key = take klen in
+        let* vlen = u32 () in
+        let* enc = take vlen in
+        match decode_verdict enc with
+        | None -> Error (Printf.sprintf "cache entry %d does not decode" i)
+        | Some v ->
+            add t key v;
+            load (i + 1)
+    in
+    load 0

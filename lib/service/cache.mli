@@ -32,6 +32,13 @@ val encode_verdict : verdict -> string
 (** Serialize for storage/transmission; free-text fields are escaped so
     the form is line/tab-structured and round-trips exactly. *)
 
+val encode_findings : Engarde.Policy.finding list -> string
+(** The findings section of {!encode_verdict} alone — the canonical
+    form the audit log digests. *)
+
+val findings_digest : Engarde.Policy.finding list -> string
+(** SHA-256 of {!encode_findings} (32 raw bytes). *)
+
 val decode_verdict : string -> verdict option
 (** Inverse of {!encode_verdict}; [None] on any malformed input. *)
 
@@ -64,3 +71,15 @@ val mem : t -> string -> bool
 (** Pure membership probe: no counter or recency side effects. *)
 
 val stats : t -> stats
+
+val export : t -> string
+(** Serialize every entry, least recently used first, so that replaying
+    {!add} on import reproduces the recency order (and a
+    smaller-capacity importer retains the hottest entries). Hit/miss
+    counters are not part of the state. *)
+
+val import : t -> string -> (int, string) result
+(** Load an {!export} blob into [t] (normally freshly created); returns
+    the number of entries inserted. Malformed input — wrong magic,
+    truncation, an entry that does not decode — is an [Error] naming
+    the problem; entries already inserted before the error remain. *)

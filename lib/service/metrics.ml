@@ -31,6 +31,9 @@ type t = {
   mutable latency_count : int;
   mutable queue_depth : int;
   mutable queue_depth_peak : int;
+  mutable audit_appends : int;
+  mutable audit_checkpoints : int;
+  mutable audit_log_size : int;
 }
 
 let create () =
@@ -51,6 +54,9 @@ let create () =
     latency_count = 0;
     queue_depth = 0;
     queue_depth_peak = 0;
+    audit_appends = 0;
+    audit_checkpoints = 0;
+    audit_log_size = 0;
   }
 
 let job_submitted t = t.submitted <- t.submitted + 1
@@ -83,6 +89,13 @@ let observe_latency t ~cycles =
 let set_queue_depth t d =
   t.queue_depth <- d;
   t.queue_depth_peak <- max t.queue_depth_peak d
+
+let audit_appended t ~log_size =
+  t.audit_appends <- t.audit_appends + 1;
+  t.audit_log_size <- log_size
+
+let audit_checkpointed t = t.audit_checkpoints <- t.audit_checkpoints + 1
+let set_audit_log_size t n = t.audit_log_size <- n
 
 let job_counts t =
   {
@@ -126,6 +139,9 @@ let render t ~queue ~cache =
       line "cache_hits_total %d" c.Cache.hits;
       line "cache_misses_total %d" c.Cache.misses;
       line "cache_evictions_total %d" c.Cache.evictions);
+  line "audit_appends_total %d" t.audit_appends;
+  line "audit_checkpoints_total %d" t.audit_checkpoints;
+  line "audit_log_size %d" t.audit_log_size;
   line "phase_cycles_total{phase=\"disassembly\"} %d" t.disassembly;
   line "phase_cycles_total{phase=\"policy\"} %d" t.policy;
   line "phase_cycles_total{phase=\"loading\"} %d" t.loading;

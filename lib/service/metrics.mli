@@ -48,6 +48,16 @@ val observe_latency : t -> cycles:int -> unit
 val set_queue_depth : t -> int -> unit
 (** Gauge update; also tracks the peak. *)
 
+val audit_appended : t -> log_size:int -> unit
+(** One verdict appended to the audit transparency log; [log_size] is
+    the log's new leaf count (kept as a gauge). *)
+
+val audit_checkpointed : t -> unit
+(** One quote-signed checkpoint issued over the audit log. *)
+
+val set_audit_log_size : t -> int -> unit
+(** Gauge update without counting an append (warm restart restores). *)
+
 val job_counts : t -> job_counts
 val phase_totals : t -> phase_totals
 

@@ -26,6 +26,7 @@ type config = {
   workers : int;
   queue_capacity : int;
   cache : [ `Enabled of int | `Disabled ];
+  audit : bool;
   timeout_cycles : int option;
   max_retries : int;
   backoff_ticks : int;
@@ -41,6 +42,7 @@ let default_config =
     workers = 4;
     queue_capacity = 64;
     cache = `Enabled 256;
+    audit = false;
     timeout_cycles = None;
     max_retries = 2;
     backoff_ticks = 2;
@@ -88,6 +90,7 @@ type t = {
   libc_db_version : string;
   queue : active Queue.t;
   cache : Cache.t option;
+  mutable audit_log : Audit.Log.t option;
   metrics : Metrics.t;
   workers : worker_state array;
   mutable next_seq : int;
@@ -102,6 +105,7 @@ let create (cfg : config) =
     libc_db_version = Toolchain.Libc.version_to_string cfg.libc_db;
     queue = Queue.create ~capacity:cfg.queue_capacity;
     cache = (match cfg.cache with `Enabled cap -> Some (Cache.create ~capacity:cap) | `Disabled -> None);
+    audit_log = (if cfg.audit then Some (Audit.Log.create ()) else None);
     metrics = Metrics.create ();
     workers = Array.make cfg.workers Idle;
     next_seq = 0;
@@ -112,6 +116,88 @@ let config t = t.cfg
 let metrics t = t.metrics
 let cache_stats t = Option.map Cache.stats t.cache
 let queue_stats t = Queue.stats t.queue
+let audit_log t = t.audit_log
+
+(* The service's own enclave identity: the measurement of the EnGarde
+   enclave its provisioning template builds. Sealing and checkpoint
+   quotes are bound to it. *)
+let measurement t = Engarde.Provision.expected_measurement t.cfg.provision
+
+let checkpoint t ~device =
+  Option.map
+    (fun log ->
+      Metrics.audit_checkpointed t.metrics;
+      Audit.Log.checkpoint log ~device ~measurement:(measurement t))
+    t.audit_log
+
+(* --- sealed persistence (warm restart) ----------------------------- *)
+
+let state_magic = "EGSTATE1"
+let state_counter_prefix = "engarde-state/"
+let u64_be n = String.init 8 (fun i -> Char.chr ((n lsr (8 * (7 - i))) land 0xff))
+
+let state_counter_id_of measurement = state_counter_prefix ^ Crypto.Sha256.hex measurement
+let state_counter_id t = state_counter_id_of (measurement t)
+
+let save_state t ~device =
+  let measurement = measurement t in
+  let counter = Sgx.Quote.counter_increment device ~id:(state_counter_id_of measurement) in
+  let section s = u64_be (String.length s) ^ s in
+  let log_blob = match t.audit_log with Some l -> Audit.Log.export l | None -> "" in
+  let cache_blob = match t.cache with Some c -> Cache.export c | None -> "" in
+  Audit.Seal.seal
+    ~key:(Sgx.Quote.seal_key device ~measurement)
+    ~measurement ~counter
+    (state_magic ^ section log_blob ^ section cache_blob)
+
+let load_state t ~device blob =
+  let measurement = measurement t in
+  let counter = Sgx.Quote.counter_read device ~id:(state_counter_id_of measurement) in
+  match Audit.Seal.unseal ~key:(Sgx.Quote.seal_key device ~measurement) ~measurement ~counter blob with
+  | Error e -> Error e
+  | Ok plain ->
+      (* The MAC already vouched for these bytes; a parse failure here
+         means the blob predates the format and cannot be loaded. *)
+      let len = String.length plain in
+      let u64_at pos =
+        let v = ref 0 in
+        for i = pos to pos + 7 do
+          v := (!v lsl 8) lor Char.code plain.[i]
+        done;
+        !v
+      in
+      let section pos =
+        if pos + 8 > len then None
+        else
+          let n = u64_at pos in
+          if pos + 8 + n > len then None else Some (String.sub plain (pos + 8) n, pos + 8 + n)
+      in
+      let ( let* ) o f = match o with Some x -> f x | None -> Error Audit.Seal.Truncated in
+      if len < 8 || String.sub plain 0 8 <> state_magic then Error Audit.Seal.Truncated
+      else
+        let* log_blob, pos = section 8 in
+        let* cache_blob, pos = section pos in
+        if pos <> len then Error Audit.Seal.Truncated
+        else
+          let* log_n =
+            if log_blob = "" || not t.cfg.audit then Some 0
+            else
+              match Audit.Log.import log_blob with
+              | None -> None
+              | Some log ->
+                  t.audit_log <- Some log;
+                  Metrics.set_audit_log_size t.metrics (Audit.Log.size log);
+                  Some (Audit.Log.size log)
+          in
+          let* cache_n =
+            if cache_blob = "" then Some 0
+            else
+              match t.cache with
+              | None -> Some 0
+              | Some c -> (
+                  match Cache.import c cache_blob with Ok n -> Some n | Error _ -> None)
+          in
+          Ok (log_n, cache_n)
 
 let validate t job =
   match List.find_opt (fun n -> not (List.mem n known_policies)) job.policy_names with
@@ -153,9 +239,35 @@ let submit t job =
           Metrics.job_submitted t.metrics;
           Ok seq)
 
+(* Every completion carrying a verdict becomes one transparency-log
+   leaf: the log records verdict *events* (cache hits included — the
+   provider answered from the cache and is accountable for it), so the
+   audit trail covers exactly what clients were told. Failures reach no
+   verdict and leave no leaf, mirroring the cache. *)
+let audit_append t a (v : Cache.verdict) =
+  match t.audit_log with
+  | None -> ()
+  | Some log ->
+      let leaf =
+        {
+          Audit.Log.key = a.akey;
+          accepted = v.Cache.accepted;
+          findings_digest = Cache.findings_digest v.Cache.findings;
+          measurement = v.Cache.measurement;
+          instructions = v.Cache.instructions;
+          disassembly_cycles = v.Cache.disassembly_cycles;
+          policy_cycles = v.Cache.policy_cycles;
+          loading_cycles = v.Cache.loading_cycles;
+        }
+      in
+      ignore (Audit.Log.append log leaf);
+      Metrics.audit_appended t.metrics ~log_size:(Audit.Log.size log)
+
 let complete t ~worker a verdict ~cache_hit =
   (match verdict with
-  | Ok _ -> Metrics.job_completed t.metrics ~cache_hit
+  | Ok v ->
+      Metrics.job_completed t.metrics ~cache_hit;
+      audit_append t a v
   | Error _ -> Metrics.job_failed t.metrics);
   Metrics.observe_latency t.metrics ~cycles:a.cycles;
   t.completions <-

@@ -49,6 +49,9 @@ type config = {
   workers : int;
   queue_capacity : int;
   cache : [ `Enabled of int | `Disabled ];  (** capacity when enabled *)
+  audit : bool;
+      (** maintain the Merkle transparency log: every completion that
+          carries a verdict (cache hits included) appends one leaf *)
   timeout_cycles : int option;
   max_retries : int;        (** extra attempts after the first *)
   backoff_ticks : int;      (** base backoff; doubles per retry *)
@@ -69,9 +72,9 @@ type config = {
 }
 
 val default_config : config
-(** 4 workers, queue of 64, cache of 256 verdicts, no timeout, 2
-    retries, clean channel, in-place dispatch, libc-db v1.0.5,
-    [Engarde.Provision.default_config]. *)
+(** 4 workers, queue of 64, cache of 256 verdicts, audit off, no
+    timeout, 2 retries, clean channel, in-place dispatch, libc-db
+    v1.0.5, [Engarde.Provision.default_config]. *)
 
 val policies_of_names :
   db:(string * string) list -> string list -> (Engarde.Policy.t list, string) result
@@ -85,6 +88,37 @@ val config : t -> config
 val metrics : t -> Metrics.t
 val cache_stats : t -> Cache.stats option
 val queue_stats : t -> Queue.stats
+
+val audit_log : t -> Audit.Log.t option
+(** The verdict transparency log ([None] unless [config.audit]). *)
+
+val measurement : t -> string
+(** The service's own enclave identity: the measurement of the EnGarde
+    enclave built from the provisioning template. Checkpoint quotes and
+    sealed state are bound to it. *)
+
+val checkpoint : t -> device:Sgx.Quote.device -> Audit.Log.checkpoint option
+(** Quote-sign the audit log's current head (counted in the metrics);
+    [None] when auditing is off. *)
+
+val save_state : t -> device:Sgx.Quote.device -> string
+(** Serialize the audit log and verdict cache, increment the service's
+    monotonic counter, and seal the result to the service measurement
+    ({!Audit.Seal}). The returned blob is safe to hand to the untrusted
+    host for storage. *)
+
+val state_counter_id : t -> string
+(** Name of the monotonic counter guarding this service's sealed state
+    (derived from the service measurement). A host that persists
+    counter NVRAM externally restores it under this id
+    ({!Sgx.Quote.counter_restore}). *)
+
+val load_state : t -> device:Sgx.Quote.device -> string -> (int * int, Audit.Seal.error) result
+(** Warm-start a freshly created scheduler from a {!save_state} blob:
+    restores the audit log (when [config.audit]) and cache contents.
+    Returns [(log_leaves, cache_entries)] restored. Rollback, blobs
+    sealed by a different enclave identity, and tampered blobs are
+    rejected with the corresponding distinct {!Audit.Seal.error}. *)
 
 val submit : t -> job -> (int, string) result
 (** Admission control: validates the policy set and payload size, then

@@ -1,13 +1,37 @@
-type device = { keypair : Crypto.Rsa.keypair }
+type device = {
+  keypair : Crypto.Rsa.keypair;
+  seal_secret : string; (* fused per-device sealing root (EGETKEY input) *)
+  counters : (string, int) Hashtbl.t; (* monotonic-counter NVRAM *)
+}
 
 (* 1024-bit device key: the quoting enclave signs one digest per
    attestation, so keygen cost dominates and stays off the measured
    path (device provisioning happens once per machine). *)
 let device_create ~seed =
   let drbg = Crypto.Drbg.create ~personalization:"sgx-device-key" seed in
-  { keypair = Crypto.Rsa.generate drbg ~bits:1024 }
+  let seal_drbg = Crypto.Drbg.create ~personalization:"sgx-seal-secret" seed in
+  {
+    keypair = Crypto.Rsa.generate drbg ~bits:1024;
+    seal_secret = Crypto.Drbg.generate seal_drbg 32;
+    counters = Hashtbl.create 4;
+  }
 
 let device_public d = d.keypair.Crypto.Rsa.pub
+
+let seal_key d ~measurement =
+  if String.length measurement <> 32 then
+    invalid_arg "Quote.seal_key: measurement must be 32 bytes";
+  Crypto.Hmac.sha256 ~key:d.seal_secret ("egetkey-mrenclave\x00" ^ measurement)
+
+let counter_read d ~id = Option.value ~default:0 (Hashtbl.find_opt d.counters id)
+
+let counter_increment d ~id =
+  let v = counter_read d ~id + 1 in
+  Hashtbl.replace d.counters id v;
+  v
+
+let counter_restore d ~id v =
+  if v > counter_read d ~id then Hashtbl.replace d.counters id v
 
 type t = {
   measurement : string;
@@ -17,16 +41,22 @@ type t = {
 
 let signed_payload ~measurement ~report_data = "SGX-QUOTE\x00" ^ measurement ^ report_data
 
+let quote_measured device ~measurement ~report_data =
+  if String.length measurement <> 32 then
+    invalid_arg "Quote.quote_measured: measurement must be 32 bytes";
+  if String.length report_data <> 32 then
+    invalid_arg "Quote.quote_measured: report_data must be 32 bytes";
+  let signature =
+    Crypto.Rsa.sign device.keypair (signed_payload ~measurement ~report_data)
+  in
+  { measurement; report_data; signature }
+
 let quote device ~enclave ~report_data =
   if String.length report_data <> 32 then
     invalid_arg "Quote.quote: report_data must be 32 bytes";
   (* EREPORT runs inside the target enclave to extract the measurement. *)
   Perf.count_sgx (Enclave.perf enclave) 1;
-  let measurement = Enclave.measurement enclave in
-  let signature =
-    Crypto.Rsa.sign device.keypair (signed_payload ~measurement ~report_data)
-  in
-  { measurement; report_data; signature }
+  quote_measured device ~measurement:(Enclave.measurement enclave) ~report_data
 
 let verify pub t =
   String.length t.measurement = 32

@@ -16,6 +16,27 @@ val device_create : seed:string -> device
 val device_public : device -> Crypto.Rsa.public
 (** What Intel's attestation service would publish for verification. *)
 
+val seal_key : device -> measurement:string -> string
+(** EGETKEY model, MRENCLAVE policy: a 32-byte sealing key derived from
+    the device's fused sealing secret and the enclave measurement. Only
+    the same enclave identity on the same machine re-derives it — a
+    blob sealed under it is useless to other enclaves and other hosts.
+    @raise Invalid_argument unless [measurement] is 32 bytes. *)
+
+val counter_read : device -> id:string -> int
+(** Current value of the named monotonic counter (0 if never used).
+    Models the SGX platform-services counters backing rollback
+    protection for sealed state. *)
+
+val counter_increment : device -> id:string -> int
+(** Bump the named counter; returns the post-increment value. Counters
+    never decrease through this interface. *)
+
+val counter_restore : device -> id:string -> int -> unit
+(** Reload counter NVRAM in a fresh process from externally persisted
+    platform state (simulation escape hatch for multi-invocation CLI
+    runs; never lowers the counter within a live device). *)
+
 type t = {
   measurement : string;   (** 32 bytes *)
   report_data : string;   (** 32 bytes, e.g. SHA-256 of the enclave pubkey *)
@@ -25,6 +46,13 @@ type t = {
 val quote : device -> enclave:Enclave.t -> report_data:string -> t
 (** EREPORT + quoting-enclave signing. [report_data] must be 32 bytes.
     @raise Enclave.Sgx_fault if the enclave is not initialized. *)
+
+val quote_measured : device -> measurement:string -> report_data:string -> t
+(** The signing path of {!quote} for a long-running service enclave
+    attesting its own derived state (audit-log checkpoints): EREPORT on
+    the caller yields [measurement], the quoting enclave signs it with
+    [report_data]. No model-enclave perf counter is charged.
+    @raise Invalid_argument unless both arguments are 32 bytes. *)
 
 val verify : Crypto.Rsa.public -> t -> bool
 

@@ -94,6 +94,29 @@ let cache_hit_miss_eviction () =
   Alcotest.(check (option string)) "value refreshed" (Some "v3'")
     (Option.map (fun v -> v.Service.Cache.detail) (Service.Cache.find c "k3"))
 
+let cache_readd_no_spurious_eviction () =
+  (* Re-adding a resident key must refresh it in place — an unrelated
+     entry must NOT be evicted to make room for a key that already has
+     a slot. *)
+  let c = Service.Cache.create ~capacity:3 in
+  Service.Cache.add c "k1" (dummy_verdict "v1");
+  Service.Cache.add c "k2" (dummy_verdict "v2");
+  Service.Cache.add c "k3" (dummy_verdict "v3");
+  Service.Cache.add c "k2" (dummy_verdict "v2'");
+  Alcotest.(check int) "no eviction on re-add" 0 (Service.Cache.stats c).Service.Cache.evictions;
+  List.iter
+    (fun k -> Alcotest.(check bool) (k ^ " still resident") true (Service.Cache.mem c k))
+    [ "k1"; "k2"; "k3" ];
+  Alcotest.(check int) "size unchanged" 3 (Service.Cache.stats c).Service.Cache.size;
+  (* The re-add also counts as a touch: k1 (not k2) is now the LRU
+     victim when a genuinely new key arrives. *)
+  Service.Cache.add c "k4" (dummy_verdict "v4");
+  Alcotest.(check bool) "k1 evicted as true LRU" false (Service.Cache.mem c "k1");
+  Alcotest.(check bool) "k2 survives (refreshed)" true (Service.Cache.mem c "k2");
+  Alcotest.(check bool) "k3 survives" true (Service.Cache.mem c "k3");
+  Alcotest.(check (option string)) "refreshed value visible" (Some "v2'")
+    (Option.map (fun v -> v.Service.Cache.detail) (Service.Cache.find c "k2"))
+
 let cache_verdict_round_trip () =
   (* The serialized form survives hostile free text (tabs, newlines,
      non-ASCII) in every string field, findings included. *)
@@ -356,6 +379,100 @@ let retry_budget_exhausts () =
             | Error f -> Service.Scheduler.failure_to_string f))
   | l -> Alcotest.failf "expected one completion, got %d" (List.length l)
 
+(* Worker count must not change outcomes even when the mix includes a
+   transiently failing job (retry + backoff reordering pressure) and a
+   job that exhausts the timeout budget. *)
+let batch_determinism_with_failures () =
+  let plain = Lazy.force mcf_plain in
+  let flaky_payload =
+    (Linker.link (Workloads.build ~seed:"flaky" Codegen.plain Workloads.Mcf)).Linker.elf
+  in
+  (* Slow job: the duplicate-heavy bzip2 under all three policies costs
+     more than two whole attempts of the cheap mcf/libc job (whose
+     latency is dominated by provisioning), so one timeout budget can
+     separate them. *)
+  let slow_payload =
+    (Linker.link
+       (Workloads.build { Codegen.stack_protector = true; ifcc = true } Workloads.Bzip2))
+      .Linker.elf
+  in
+  (* Modelled cycles are deterministic, so probe runs give exact
+     budgets: the timeout must catch the all-policies job but spare the
+     cheap job even across its two attempts. *)
+  let probe ?fault payload policies =
+    let cfg =
+      match fault with
+      | None -> service_config ~workers:1 ()
+      | Some f ->
+          { (service_config ~workers:1 ()) with
+            Service.Scheduler.max_retries = 2; fault = f }
+    in
+    match Service.Scheduler.batch ~config:cfg [ job ~policies payload ] with
+    | [ { Service.Scheduler.verdict = Ok _; latency_cycles; _ } ] -> latency_cycles
+    | _ -> Alcotest.fail "probe job did not complete"
+  in
+  let slow_cycles = probe slow_payload [ "libc"; "stack"; "ifcc" ] in
+  let flaky_cycles =
+    probe
+      ~fault:(fun ~attempt _ -> if attempt = 1 then Some corrupt_first_block else None)
+      flaky_payload [ "libc" ]
+  in
+  Alcotest.(check bool) "budget separates the jobs" true (flaky_cycles < slow_cycles - 1);
+  let jobs =
+    [
+      job ~client:"cheap" plain;
+      job ~client:"flaky" flaky_payload;
+      job ~client:"slow" ~policies:[ "libc"; "stack"; "ifcc" ] slow_payload;
+      job ~client:"cheap-again" plain;  (* duplicate: hit or re-run, same verdict *)
+    ]
+  in
+  let run workers =
+    let cfg =
+      {
+        (service_config ~workers ()) with
+        Service.Scheduler.max_retries = 2;
+        timeout_cycles = Some (slow_cycles - 1);
+        fault =
+          (fun ~attempt j ->
+            if j.Service.Scheduler.client = "flaky" && attempt = 1 then
+              Some corrupt_first_block
+            else None);
+      }
+    in
+    let completions, t = batch_with cfg jobs in
+    let summary =
+      List.map
+        (fun (c : Service.Scheduler.completion) ->
+          ( c.Service.Scheduler.seq,
+            c.Service.Scheduler.job.Service.Scheduler.client,
+            match c.Service.Scheduler.verdict with
+            | Ok v ->
+                (v.Service.Cache.accepted, v.Service.Cache.detail,
+                 v.Service.Cache.measurement)
+            | Error f -> (false, Service.Scheduler.failure_to_string f, "") ))
+        completions
+    in
+    (summary, (Service.Metrics.job_counts (Service.Scheduler.metrics t)).Service.Metrics.retried)
+  in
+  let one, retried1 = run 1 in
+  let two, retried2 = run 2 in
+  let eight, retried8 = run 8 in
+  Alcotest.(check int) "4 completions" 4 (List.length one);
+  Alcotest.(check bool) "1 and 2 workers agree" true (one = two);
+  Alcotest.(check bool) "1 and 8 workers agree" true (one = eight);
+  Alcotest.(check (list int)) "exactly one retry at every worker count" [ 1; 1; 1 ]
+    [ retried1; retried2; retried8 ];
+  (* And the mix really exercised all three shapes. *)
+  List.iter2
+    (fun (_, client, (accepted, detail, _)) expect ->
+      match expect with
+      | `Ok -> Alcotest.(check bool) (client ^ " accepted") true accepted
+      | `Timeout ->
+          Alcotest.(check bool) (client ^ " timed out") true
+            (Astring.String.is_infix ~affix:"timed out" detail && not accepted))
+    one
+    [ `Ok; `Ok; `Timeout; `Ok ]
+
 (* ------------------------------------------------------------------ *)
 (* Serve: the multiplexed front door                                   *)
 (* ------------------------------------------------------------------ *)
@@ -433,6 +550,8 @@ let () =
       ( "cache",
         [
           Alcotest.test_case "hit, miss, LRU eviction" `Quick cache_hit_miss_eviction;
+          Alcotest.test_case "re-add refreshes without spurious eviction" `Quick
+            cache_readd_no_spurious_eviction;
           Alcotest.test_case "verdict round-trip" `Quick cache_verdict_round_trip;
           Alcotest.test_case "key sensitivity" `Quick cache_key_sensitivity;
         ] );
@@ -446,6 +565,8 @@ let () =
           Alcotest.test_case "retry recovers from transient failure" `Quick
             retry_recovers_from_transient;
           Alcotest.test_case "retry budget exhausts" `Quick retry_budget_exhausts;
+          Alcotest.test_case "determinism with retries and timeouts" `Quick
+            batch_determinism_with_failures;
         ] );
       ( "serve",
         [ Alcotest.test_case "multiplexed verdicts" `Quick serve_multiplexed ] );
