@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the real build system.
 
-.PHONY: all build test fmt check bench bench-smoke clean
+.PHONY: all build test fmt check bench bench-smoke lint clean
 
 all: build
 
@@ -14,9 +14,25 @@ fmt:
 	dune build @fmt
 
 # The one target CI / a reviewer needs: formatting, full build, full
-# tests, and the reduced benchmark gate (fused single-pass analysis
-# must never lose to independent per-policy scans).
-check: fmt build test bench-smoke
+# tests (incl. the qcheck CFG/dataflow properties), the reduced
+# benchmark gate (fused single-pass analysis must never lose to
+# independent per-policy scans; flow-sensitive policies within budget
+# of the pattern scans), and the control-flow lint over every example
+# workload.
+check: fmt build test bench-smoke lint
+
+bench:
+	dune exec bench/main.exe
+
+bench-smoke:
+	dune exec bench/main.exe -- --smoke
+
+# Every synthesized evaluation workload, fully instrumented, must come
+# out of the CFG lint with zero findings.
+lint:
+	dune exec bin/engarde_cli.exe -- lint --variant stack+ifcc \
+	  -b nginx -b 401.bzip2 -b graph-500 -b 429.mcf -b memcached \
+	  -b netperf -b otp-gen
 
 bench:
 	dune exec bench/main.exe

@@ -6,6 +6,8 @@
      provision  run the full mutually-trusted provisioning protocol
      rewrite    instrument an unprotected binary into compliance
      measure    print the enclave measurement a client should expect
+     cfg        recover per-function CFGs, summarize or export as DOT
+     lint       run the control-flow lint policy, fail on findings
      batch      run many inspection jobs through the service layer
      serve      demo the multiplexed inspection service front end *)
 
@@ -74,15 +76,34 @@ let policies_of_names names =
           Engarde.Policy_libc.make ~db:(Toolchain.Libc.hash_db Toolchain.Libc.V1_0_5) ()
       | "stack" -> Engarde.Policy_stack.make ~exempt:Toolchain.Libc.function_names ()
       | "ifcc" -> Engarde.Policy_ifcc.make ()
-      | s -> failwith (Printf.sprintf "unknown policy %S (libc|stack|ifcc)" s))
+      | "lint" -> Engarde.Policy_lint.make ()
+      | "stack-pattern" ->
+          Engarde.Policy_stack.make ~exempt:Toolchain.Libc.function_names ~mode:`Pattern ()
+      | "ifcc-pattern" -> Engarde.Policy_ifcc.make ~mode:`Pattern ()
+      | s ->
+          failwith
+            (Printf.sprintf
+               "unknown policy %S (libc|stack|ifcc|lint|stack-pattern|ifcc-pattern)" s))
     names
 
 let policy_arg =
   Arg.(
     value
-    & opt_all (enum [ ("libc", "libc"); ("stack", "stack"); ("ifcc", "ifcc") ]) []
+    & opt_all
+        (enum
+           [
+             ("libc", "libc");
+             ("stack", "stack");
+             ("ifcc", "ifcc");
+             ("lint", "lint");
+             ("stack-pattern", "stack-pattern");
+             ("ifcc-pattern", "ifcc-pattern");
+           ])
+        []
     & info [ "p"; "policy" ] ~docv:"POLICY"
-        ~doc:"Policy module to enforce: libc, stack or ifcc. Repeatable.")
+        ~doc:
+          "Policy module to enforce: libc, stack, ifcc, lint, or the paper's \
+           window-scan baselines stack-pattern / ifcc-pattern. Repeatable.")
 
 (* --- gen --- *)
 
@@ -164,8 +185,10 @@ let inspect_cmd =
               (Array.length buffer.Engarde.Disasm.entries)
               (Sgx.Perf.total_cycles perf);
             let analysis_perf = Sgx.Perf.create () in
+            let cfg_perf = Sgx.Perf.create () in
             let ctx =
-              Engarde.Policy.context ~analysis_perf ~perf:(Sgx.Perf.create ()) buffer symbols
+              Engarde.Policy.context ~analysis_perf ~cfg_perf ~perf:(Sgx.Perf.create ())
+                buffer symbols
             in
             let results = Engarde.Policy.run_all ctx (policies_of_names policy_names) in
             List.iter
@@ -180,8 +203,11 @@ let inspect_cmd =
               results;
             Printf.printf "analysis index: %d modelled cycles\n"
               (Sgx.Perf.total_cycles analysis_perf);
+            Printf.printf "cfg recovery: %d modelled cycles\n"
+              (Sgx.Perf.total_cycles cfg_perf);
             Printf.printf "policy checking: %d modelled cycles\n"
               (Sgx.Perf.total_cycles analysis_perf
+              + Sgx.Perf.total_cycles cfg_perf
               + Sgx.Perf.total_cycles ctx.Engarde.Policy.perf);
             if not (Engarde.Policy.all_compliant results) then exit 1)
   in
@@ -287,6 +313,193 @@ let measure_cmd =
          "Print the measurement a client should expect for an EnGarde enclave built with \
           the given policy set.")
     Term.(const run $ policy_arg)
+
+(* --- cfg + lint: the flow-sensitive surface --- *)
+
+let disasm_payload ~what raw =
+  match Elf64.Reader.parse raw with
+  | Error e ->
+      Printf.eprintf "engarde: %s: %s\n" what (Elf64.Reader.error_to_string e);
+      exit 1
+  | Ok elf -> (
+      match Elf64.Reader.text_sections elf with
+      | [] ->
+          Printf.eprintf "engarde: %s: no text section\n" what;
+          exit 1
+      | text :: _ -> (
+          match
+            Engarde.Disasm.run (Sgx.Perf.create ()) ~code:text.Elf64.Reader.data
+              ~base:text.Elf64.Reader.addr ~symbols:elf.Elf64.Reader.symbols
+          with
+          | Error v ->
+              Printf.eprintf "engarde: %s: disassembly: %s\n" what
+                (X86.Nacl.violation_to_string v);
+              exit 1
+          | Ok (buffer, symbols) -> (buffer, symbols)))
+
+(* (label, elf bytes) for every --elf file and synthesized --bench *)
+let payload_sources elfs benches variant =
+  List.map (fun path -> (Filename.basename path, read_file path)) elfs
+  @ List.map
+      (fun b ->
+        let img = Toolchain.Linker.link (Toolchain.Workloads.build variant b) in
+        (Toolchain.Workloads.to_string b, img.Toolchain.Linker.elf))
+      benches
+
+let variant_arg =
+  Arg.(
+    value
+    & opt variant_conv Toolchain.Codegen.plain
+    & info [ "variant" ] ~docv:"VARIANT"
+        ~doc:"Instrumentation for synthesized benchmarks: plain, stack, ifcc, stack+ifcc.")
+
+let elf_files_arg =
+  Arg.(
+    value
+    & opt_all file []
+    & info [ "elf" ] ~docv:"FILE" ~doc:"Inspect this ELF file. Repeatable.")
+
+let cfg_cmd =
+  let elf_pos =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"ELF" ~doc:"Executable to recover CFGs from.")
+  in
+  let bench =
+    Arg.(
+      value
+      & opt (some bench_conv) None
+      & info [ "b"; "bench" ] ~docv:"BENCH" ~doc:"Synthesize this benchmark instead.")
+  in
+  let fn_filter =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "function" ] ~docv:"NAME" ~doc:"Only this function.")
+  in
+  let dot_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"Write the Graphviz DOT of the selected function's CFG (needs --function).")
+  in
+  let run elf_pos bench variant fn_filter dot_out =
+    let what, raw =
+      match (elf_pos, bench) with
+      | Some path, None -> (Filename.basename path, read_file path)
+      | None, Some b ->
+          ( Toolchain.Workloads.to_string b,
+            (Toolchain.Linker.link (Toolchain.Workloads.build variant b)).Toolchain.Linker.elf )
+      | _ ->
+          prerr_endline "cfg: pass exactly one of ELF or --bench";
+          exit 2
+    in
+    let buffer, symbols = disasm_payload ~what raw in
+    let cfg_perf = Sgx.Perf.create () in
+    let ctx = Engarde.Policy.context ~cfg_perf ~perf:(Sgx.Perf.create ()) buffer symbols in
+    let idx = ctx.Engarde.Policy.index in
+    let funcs =
+      let all = Array.to_list idx.Engarde.Analysis.functions in
+      match fn_filter with
+      | None -> all
+      | Some n -> (
+          match
+            List.filter (fun (f : Engarde.Analysis.func) -> f.Engarde.Analysis.fn_name = n) all
+          with
+          | [] ->
+              Printf.eprintf "engarde: no function %S in %s\n" n what;
+              exit 2
+          | l -> l)
+    in
+    Printf.printf "%-32s %10s %6s %7s %6s %12s\n" "function" "addr" "insns" "blocks"
+      "edges" "unreachable";
+    List.iter
+      (fun (f : Engarde.Analysis.func) ->
+        match Engarde.Policy.cfg_of ctx f with
+        | None ->
+            Printf.printf "%-32s %#10x %6s %7s %6s %12s\n" f.Engarde.Analysis.fn_name
+              f.Engarde.Analysis.fn_addr "-" "-" "-" "-"
+        | Some cfg ->
+            let lo, hi =
+              match f.Engarde.Analysis.fn_slice with Some s -> s | None -> (0, 0)
+            in
+            let unreachable =
+              Array.fold_left (fun n r -> if r then n else n + 1) 0 cfg.Engarde.Cfg.reachable
+            in
+            Printf.printf "%-32s %#10x %6d %7d %6d %12d\n" f.Engarde.Analysis.fn_name
+              f.Engarde.Analysis.fn_addr (hi - lo)
+              (Array.length cfg.Engarde.Cfg.blocks)
+              cfg.Engarde.Cfg.n_edges unreachable)
+      funcs;
+    Printf.printf "\ncfg recovery: %d modelled cycles\n" (Sgx.Perf.total_cycles cfg_perf);
+    match dot_out with
+    | None -> ()
+    | Some path -> (
+        match (fn_filter, funcs) with
+        | Some _, [ f ] -> (
+            match Engarde.Policy.cfg_of ctx f with
+            | Some cfg ->
+                write_file path (Engarde.Cfg.to_dot cfg buffer);
+                Printf.printf "dot -> %s\n" path
+            | None ->
+                Printf.eprintf "engarde: %s has no code to export\n"
+                  f.Engarde.Analysis.fn_name;
+                exit 2)
+        | _ ->
+            prerr_endline "cfg: --dot needs --function naming a single function";
+            exit 2)
+  in
+  Cmd.v
+    (Cmd.info "cfg"
+       ~doc:
+         "Recover per-function basic-block CFGs (the flow-sensitive policies' substrate) \
+          and print block/edge/reachability summaries, optionally exporting Graphviz DOT.")
+    Term.(const run $ elf_pos $ bench $ variant_arg $ fn_filter $ dot_out)
+
+let lint_cmd =
+  let benches =
+    Arg.(
+      value
+      & opt_all bench_conv []
+      & info [ "b"; "bench" ] ~docv:"BENCH" ~doc:"Lint this synthesized benchmark. Repeatable.")
+  in
+  let run elfs benches variant =
+    let sources = payload_sources elfs benches variant in
+    if sources = [] then begin
+      prerr_endline "lint: no inputs; pass ELF files with --elf and/or --bench";
+      exit 2
+    end;
+    let total =
+      List.fold_left
+        (fun total (what, raw) ->
+          let buffer, symbols = disasm_payload ~what raw in
+          let ctx = Engarde.Policy.context ~perf:(Sgx.Perf.create ()) buffer symbols in
+          match (Engarde.Policy_lint.make ()).Engarde.Policy.check ctx with
+          | Engarde.Policy.Compliant ->
+              Printf.printf "%-14s clean\n" what;
+              total
+          | Engarde.Policy.Violations fs ->
+              Printf.printf "%-14s %d finding(s)\n" what (List.length fs);
+              List.iter
+                (fun f -> Printf.printf "  %s\n" (Engarde.Policy.finding_to_string f))
+                fs;
+              total + List.length fs)
+        0 sources
+    in
+    if total > 0 then begin
+      Printf.printf "\n%d lint finding(s)\n" total;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the control-flow lint policy (unreachable blocks, branches into the middle \
+          of instructions, computed jumps outside IFCC tables, fallthrough off a function \
+          end) and fail if anything is flagged.")
+    Term.(const run $ elf_files_arg $ benches $ variant_arg)
 
 (* --- service layer: batch + serve --- *)
 
@@ -875,6 +1088,8 @@ let () =
             provision_cmd;
             rewrite_cmd;
             measure_cmd;
+            cfg_cmd;
+            lint_cmd;
             batch_cmd;
             serve_cmd;
             audit_cmd;

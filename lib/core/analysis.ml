@@ -29,11 +29,17 @@ type t = {
   indirect_calls : indirect_call array;
   indirect_jumps : (int * int) array;
   tables : (int * int) array;
+  branch_targets : int array;
   hashes : (int, string) Hashtbl.t;
   mutable build_cycles : int;
 }
 
-let is_nop (i : Insn.t) = match i.Insn.mnem with Insn.NOP -> true | _ -> false
+(* The one padding predicate shared by the indirect-call window scan,
+   the CFG leader scan, and the lint policy. Covers every NOP encoding
+   the toolchain emits as bundle padding: the one-byte [0x90], the
+   operand-size-prefixed form, and the multi-byte [nopl (%rax)] used
+   inside jump tables — all of which decode to mnemonic [NOP]. *)
+let is_padding (i : Insn.t) = match i.Insn.mnem with Insn.NOP -> true | _ -> false
 
 let is_table_jmp (i : Insn.t) =
   match (i.Insn.mnem, i.Insn.ops) with Insn.JMP, [ Insn.Rel _ ] -> true | _ -> false
@@ -76,10 +82,11 @@ let build perf (b : Disasm.buffer) symbols =
   let indirect_calls = ref [] in
   let indirect_jumps = ref [] in
   let tables = ref [] in
+  let branch_targets = ref [] in
   let window_of i =
     let rec go j acc k =
       if k = 5 || j < 0 then Array.of_list (List.rev acc)
-      else if is_nop entries.(j).Disasm.insn then go (j - 1) acc k
+      else if is_padding entries.(j).Disasm.insn then go (j - 1) acc k
       else go (j - 1) (j :: acc) (k + 1)
     in
     (* Nearest first: element 0 is the closest non-nop instruction
@@ -121,6 +128,8 @@ let build perf (b : Disasm.buffer) symbols =
             :: !indirect_calls
       | Insn.JMP_IND, [ Insn.Reg _ ] ->
           indirect_jumps := (!i, e.Disasm.addr) :: !indirect_jumps
+      | (Insn.JMP | Insn.JCC _), [ Insn.Rel rel ] ->
+          branch_targets := (e.Disasm.addr + e.Disasm.len + rel) :: !branch_targets
       | _ -> ());
       incr i
     end
@@ -151,6 +160,7 @@ let build perf (b : Disasm.buffer) symbols =
       indirect_calls = Array.of_list (List.rev !indirect_calls);
       indirect_jumps = Array.of_list (List.rev !indirect_jumps);
       tables = Array.of_list (List.rev !tables);
+      branch_targets = Array.of_list (List.sort_uniq compare !branch_targets);
       hashes = Hashtbl.create 64;
       build_cycles = 0;
     }
@@ -191,6 +201,39 @@ let in_table t addr =
     end
   in
   go 0 n
+
+(* Greatest function whose start is <= addr, then a bounds check
+   against its exclusive end. *)
+let function_containing t addr =
+  let fns = t.functions in
+  let n = Array.length fns in
+  let rec go lo hi =
+    if lo >= hi then
+      if lo > 0 then begin
+        let f = fns.(lo - 1) in
+        if addr >= f.fn_addr && addr < f.fn_end then Some f else None
+      end
+      else None
+    else begin
+      let mid = (lo + hi) / 2 in
+      if fns.(mid).fn_addr <= addr then go (mid + 1) hi else go lo mid
+    end
+  in
+  go 0 n
+
+(* Smallest branch target >= lo, then one compare against hi. *)
+let branch_target_within t ~lo ~hi =
+  let ts = t.branch_targets in
+  let n = Array.length ts in
+  let rec go l h =
+    if l >= h then l
+    else begin
+      let mid = (l + h) / 2 in
+      if ts.(mid) < lo then go (mid + 1) h else go l mid
+    end
+  in
+  let i = go 0 n in
+  i < n && ts.(i) < hi
 
 let function_hash_unmemoized t ~perf ~addr =
   let b = t.buffer in

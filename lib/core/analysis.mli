@@ -40,9 +40,12 @@ type indirect_call = {
   ic_addr : int;
   ic_reg : X86.Reg.t;        (** the [callq *%reg] target register *)
   ic_window : int array;
-      (** up to five preceding non-nop entry indices, nearest first —
-          the IFCC masking sequence lives here (NaCl bundle padding may
-          interleave nops) *)
+      (** up to five preceding non-padding entry indices, nearest first
+          — the IFCC masking sequence lives here. "Padding" means
+          exactly {!is_padding} (every NOP encoding the toolchain emits
+          as bundle fill, including the multi-byte [nopl]); the window
+          skips those and nothing else, so any real instruction —
+          including a stray branch — occupies a window slot. *)
 }
 
 type t = {
@@ -56,6 +59,11 @@ type t = {
   tables : (int * int) array;
       (** IFCC jump-table vaddr ranges [(lo, hi)), sorted by [lo],
           non-overlapping *)
+  branch_targets : int array;
+      (** sorted, deduplicated vaddrs targeted by any direct [jmp] or
+          [jcc] outside the jump tables — the straight-line soundness
+          oracle: a range with no branch target in it cannot be entered
+          sideways *)
   hashes : (int, string) Hashtbl.t;
       (** the shared function-hash store: function start vaddr ->
           lowercase SHA-256 hex (use {!function_hash}) *)
@@ -73,8 +81,26 @@ val build : Sgx.Perf.t -> Disasm.buffer -> Symhash.t -> t
     maximal runs of [(jmpq; nopl)] jump-table entry pairs. The hash
     store starts empty — hashes are computed lazily. *)
 
+val is_padding : X86.Insn.t -> bool
+(** The shared padding predicate: true exactly for NOP-mnemonic
+    instructions (one-byte [0x90], prefixed forms, multi-byte [nopl]).
+    Used by the indirect-call window scan, the CFG leader scan
+    ({!Cfg.build}), and the lint policy so all three agree on what
+    counts as toolchain fill. *)
+
 val function_of_addr : t -> int -> func option
 (** The function whose start address is exactly [addr]. *)
+
+val function_containing : t -> int -> func option
+(** Binary search for the function whose [fn_addr, fn_end) range
+    contains [addr]. *)
+
+val branch_target_within : t -> lo:int -> hi:int -> bool
+(** Is any direct-branch target in the half-open vaddr range
+    [lo, hi)? One binary search over {!field-branch_targets}; callers
+    charge {!Costmodel.range_probe}. This is the fast soundness check
+    for straight-line code: if a masking sequence and its call span a
+    range no branch targets, the sequence cannot be bypassed. *)
 
 val in_table : t -> int -> bool
 (** Binary search over the sorted table ranges: is [addr] inside an

@@ -1,0 +1,72 @@
+(** Per-function basic-block control-flow graph recovery.
+
+    Flow-sensitive policy mode (PR 4) needs more than the paper's
+    peephole windows: it must know which instructions can actually
+    execute before a given site. This module rebuilds a conservative
+    CFG for one function from the already-decoded instruction buffer
+    and the shared {!Analysis.t} index — no bytes are re-decoded, so
+    the work is charged at the cheap {!Costmodel.cfg_leader_step} /
+    [cfg_block] / [cfg_edge] rates, far below disassembly cost.
+
+    Block leaders are the function entry, every direct-branch target
+    that lands on a decoded instruction inside the function, and the
+    instruction after any [jmp]/[jcc]/[call]/[ret]/[ud2] (calls end
+    blocks so that dominance queries can reason about the call site
+    itself). Edges: [jcc] gets a branch edge plus fallthrough; [jmp]
+    gets a branch edge when the target is a decoded instruction inside
+    the function (a target outside the function, or in the middle of
+    an instruction, contributes no edge — the lint policy reports the
+    latter); [call] falls through; [ret]/[ud2]/[jmpq *reg] terminate.
+
+    Construction never raises, whatever the buffer contents: malformed
+    targets simply produce fewer edges. This is load-bearing — the
+    inspection service runs it on adversarial provider binaries. *)
+
+type block = {
+  b_lo : int;      (** first entry index (inclusive) in the buffer *)
+  b_hi : int;      (** last entry index (exclusive) *)
+  b_addr : int;    (** vaddr of the first instruction *)
+  mutable b_succ : int list;  (** successor block ids, ascending *)
+  mutable b_pred : int list;  (** predecessor block ids, ascending *)
+  b_padding : bool;
+      (** every instruction in the block is {!Analysis.is_padding} —
+          bundle fill between code, exempt from lint reachability *)
+}
+
+type t = {
+  fn : Analysis.func;
+  blocks : block array;       (** in address order, partitioning the
+                                  function slice *)
+  entry : int;                (** block id of the function entry (0) *)
+  idom : int array;
+      (** immediate dominator per block id; the entry maps to itself,
+          unreachable blocks map to [-1] *)
+  reachable : bool array;     (** reachable from the entry block *)
+  rpo_order : int array;      (** reachable block ids in reverse
+                                  postorder — the iteration order for
+                                  {!Dataflow.solve} *)
+  n_edges : int;
+}
+
+val build : Sgx.Perf.t -> Analysis.t -> Analysis.func -> t option
+(** Recover the CFG of one function. [None] when the function has no
+    decoded slice ([fn_slice = None]) or the slice is empty. Charges
+    {!Costmodel.cfg_leader_step} per instruction scanned,
+    {!Costmodel.cfg_block} per block, {!Costmodel.cfg_edge} per edge
+    and {!Costmodel.dom_step} per block visited by the dominator
+    fixpoint. Never raises. *)
+
+val block_of_index : t -> int -> int option
+(** Block id containing a buffer entry index (binary search); [None]
+    when the index lies outside the function slice. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does block [a] lie on every path from the entry
+    to block [b]? False when either block is unreachable. Walks the
+    immediate-dominator chain, so O(depth). *)
+
+val to_dot : t -> Disasm.buffer -> string
+(** Graphviz rendering for debugging: one box per block with its vaddr
+    range and instruction count, dashed for unreachable blocks, gray
+    for padding blocks. Findings-grade provider safety applies here
+    too: the label shows addresses and counts, never code bytes. *)

@@ -20,6 +20,15 @@ let hash_per_byte = 260
 let hash_finalize = 4_000
 let backtrack_step = 30
 let pattern_probe = 55
+let range_probe = 60
+
+(* CFG recovery and dataflow (flow-sensitive policy mode) *)
+let cfg_leader_step = 12
+let cfg_block = 25
+let cfg_edge = 20
+let dom_step = 18
+let dataflow_step = 15
+let dataflow_join = 25
 
 (* Loading *)
 let load_setup = 3_000

@@ -66,6 +66,39 @@ val backtrack_step : int
 val pattern_probe : int
 (** Matching one instruction against the canary epilogue pattern. *)
 
+val range_probe : int
+(** One sorted-array range query over the shared index (binary search
+    over branch targets or table bounds: ~log2 n probes of a cache-warm
+    int array plus bounds compares). *)
+
+(** {1 CFG recovery and dataflow}
+
+    Flow-sensitive policy mode recovers a per-function basic-block CFG
+    from the already-built instruction buffer and shared index, then
+    runs worklist dataflow over it. All work operates on pre-decoded
+    entries, so the unit costs sit well below {!decode_base}. *)
+
+val cfg_leader_step : int
+(** Scanning one instruction-buffer entry during the block-leader pass
+    (mnemonic test plus a bitset mark for branch targets). *)
+
+val cfg_block : int
+(** Materializing one basic block record (bounds, kind, edge slots). *)
+
+val cfg_edge : int
+(** Adding one CFG edge (successor append plus predecessor backlink). *)
+
+val dom_step : int
+(** One block visited by an iteration of the dominator fixpoint
+    (intersection walk over the immediate-dominator array). *)
+
+val dataflow_step : int
+(** Applying one transfer function to one instruction during forward
+    dataflow iteration. *)
+
+val dataflow_join : int
+(** Joining two dataflow facts across one CFG edge. *)
+
 (** {1 Loading phase} *)
 
 val load_setup : int

@@ -1,0 +1,157 @@
+open X86
+
+type 'a problem = {
+  init : 'a;
+  transfer : Disasm.entry -> 'a -> 'a;
+  join : 'a -> 'a -> 'a;
+  equal : 'a -> 'a -> bool;
+}
+
+type 'a solution = { in_facts : 'a option array }
+
+let join_opt p a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some x, Some y -> Some (p.join x y)
+
+let equal_opt p a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> p.equal x y
+  | _ -> false
+
+(* Fold the transfer function over a block's instructions, charging
+   one dataflow_step per instruction. *)
+let flow_block perf (buffer : Disasm.buffer) (b : Cfg.block) p fact =
+  let entries = buffer.Disasm.entries in
+  let f = ref fact in
+  for i = b.Cfg.b_lo to min b.Cfg.b_hi (Array.length entries) - 1 do
+    Sgx.Perf.count_cycles perf Costmodel.dataflow_step;
+    f := p.transfer entries.(i) !f
+  done;
+  !f
+
+let solve perf buffer (cfg : Cfg.t) p =
+  let nb = Array.length cfg.Cfg.blocks in
+  let in_facts = Array.make nb None in
+  let out_facts = Array.make nb None in
+  if nb > 0 then in_facts.(cfg.Cfg.entry) <- Some p.init;
+  (* Finite-height domains converge in height * blocks sweeps; the cap
+     only guards against domains with infinite ascending chains. *)
+  let max_sweeps = (4 * nb) + 64 in
+  let changed = ref true in
+  let sweeps = ref 0 in
+  while !changed && !sweeps < max_sweeps do
+    changed := false;
+    incr sweeps;
+    Array.iter
+      (fun k ->
+        let b = cfg.Cfg.blocks.(k) in
+        let incoming =
+          List.fold_left
+            (fun acc pr ->
+              Sgx.Perf.count_cycles perf Costmodel.dataflow_join;
+              join_opt p acc out_facts.(pr))
+            (if k = cfg.Cfg.entry then Some p.init else None)
+            b.Cfg.b_pred
+        in
+        if not (equal_opt p incoming in_facts.(k)) then begin
+          in_facts.(k) <- incoming;
+          changed := true
+        end;
+        let out =
+          match in_facts.(k) with
+          | None -> None
+          | Some f -> Some (flow_block perf buffer b p f)
+        in
+        if not (equal_opt p out out_facts.(k)) then begin
+          out_facts.(k) <- out;
+          changed := true
+        end)
+      cfg.Cfg.rpo_order
+  done;
+  { in_facts }
+
+let fact_at perf (buffer : Disasm.buffer) (cfg : Cfg.t) p sol ~index =
+  match Cfg.block_of_index cfg index with
+  | None -> None
+  | Some k -> (
+      match sol.in_facts.(k) with
+      | None -> None
+      | Some fact ->
+          let entries = buffer.Disasm.entries in
+          let b = cfg.Cfg.blocks.(k) in
+          let f = ref fact in
+          for i = b.Cfg.b_lo to min index (Array.length entries) - 1 do
+            Sgx.Perf.count_cycles perf Costmodel.dataflow_step;
+            f := p.transfer entries.(i) !f
+          done;
+          Some !f)
+
+module Regs = struct
+  type av =
+    | Top
+    | Addr of int
+    | Diff of int * int
+    | Masked of int * int * int
+    | Target of int * int
+
+  type t = av array
+
+  let all_top : t = Array.make 16 Top
+  let get (t : t) r = t.(Reg.number r)
+
+  let set (t : t) r v =
+    let t' = Array.copy t in
+    t'.(Reg.number r) <- v;
+    t'
+
+  (* Registers an instruction writes outside the recognized IFCC
+     shapes: the AT&T destination (last operand) of the ALU/mov
+     vocabulary, or the popped register. *)
+  let generic_def (i : Insn.t) =
+    match i.Insn.mnem with
+    | Insn.MOV | Insn.LEA | Insn.ADD | Insn.SUB | Insn.AND | Insn.OR
+    | Insn.XOR | Insn.IMUL | Insn.SHL | Insn.SHR -> (
+        match List.rev i.Insn.ops with
+        | Insn.Reg (_, r) :: _ -> Some r
+        | _ -> None)
+    | Insn.POP -> (
+        match i.Insn.ops with [ Insn.Reg (_, r) ] -> Some r | _ -> None)
+    | _ -> None
+
+  let transfer (e : Disasm.entry) (t : t) =
+    let i = e.Disasm.insn in
+    match (i.Insn.mnem, i.Insn.ops) with
+    (* A call may clobber any register in the callee. *)
+    | (Insn.CALL | Insn.CALL_IND), _ -> all_top
+    (* lea disp(%rip), %r : r := vaddr *)
+    | Insn.LEA, [ Insn.Rip disp; Insn.Reg (_, rd) ] ->
+        set t rd (Addr (e.Disasm.addr + e.Disasm.len + disp))
+    (* mov %rs, %rd : copy the abstract value *)
+    | Insn.MOV, [ Insn.Reg (_, rs); Insn.Reg (_, rd) ] -> set t rd (get t rs)
+    (* sub %rs, %rd : pointer - base, the 32-bit IFCC subtract *)
+    | Insn.SUB, [ Insn.Reg (_, rs); Insn.Reg (_, rd) ] -> (
+        match (get t rd, get t rs) with
+        | Addr p, Addr b -> set t rd (Diff (p, b))
+        | _ -> set t rd Top)
+    (* and $m, %rd : mask the table offset *)
+    | Insn.AND, [ Insn.Imm m; Insn.Reg (_, rd) ] -> (
+        match get t rd with
+        | Diff (p, b) -> set t rd (Masked (p, b, m))
+        | _ -> set t rd Top)
+    (* add %rs, %rd : re-add the base, yielding a proven target *)
+    | Insn.ADD, [ Insn.Reg (_, rs); Insn.Reg (_, rd) ] -> (
+        match (get t rd, get t rs) with
+        | Masked (p, b, m), Addr b' when b' = b ->
+            set t rd (Target (b, b + ((p - b) land m)))
+        | Addr b', Masked (p, b, m) when b' = b ->
+            set t rd (Target (b, b + ((p - b) land m)))
+        | _ -> set t rd Top)
+    | _ -> ( match generic_def i with Some rd -> set t rd Top | None -> t)
+
+  let join_av a b = if a = b then a else Top
+  let join (a : t) (b : t) : t = Array.init 16 (fun k -> join_av a.(k) b.(k))
+  let equal (a : t) (b : t) = a = b
+  let problem = { init = all_top; transfer; join; equal }
+end

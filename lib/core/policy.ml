@@ -14,11 +14,29 @@ type context = {
   symbols : Symhash.t;
   perf : Sgx.Perf.t;
   index : Analysis.t;
+  cfg_perf : Sgx.Perf.t;
+  cfgs : (int, Cfg.t option) Hashtbl.t;
 }
 
-let context ?analysis_perf ~perf buffer symbols =
+let context ?analysis_perf ?cfg_perf ~perf buffer symbols =
   let index_perf = match analysis_perf with Some p -> p | None -> perf in
-  { buffer; symbols; perf; index = Analysis.build index_perf buffer symbols }
+  let cfg_perf = match cfg_perf with Some p -> p | None -> perf in
+  {
+    buffer;
+    symbols;
+    perf;
+    index = Analysis.build index_perf buffer symbols;
+    cfg_perf;
+    cfgs = Hashtbl.create 16;
+  }
+
+let cfg_of ctx (fn : Analysis.func) =
+  match Hashtbl.find_opt ctx.cfgs fn.Analysis.fn_addr with
+  | Some c -> c
+  | None ->
+      let c = Cfg.build ctx.cfg_perf ctx.index fn in
+      Hashtbl.replace ctx.cfgs fn.Analysis.fn_addr c;
+      c
 
 type t = {
   name : string;

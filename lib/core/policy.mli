@@ -32,12 +32,25 @@ type context = {
   symbols : Symhash.t;
   perf : Sgx.Perf.t;       (** the policy-phase counter *)
   index : Analysis.t;      (** shared program-analysis index *)
+  cfg_perf : Sgx.Perf.t;   (** the CFG-recovery counter (flow mode) *)
+  cfgs : (int, Cfg.t option) Hashtbl.t;
+      (** shared per-function CFG memo, keyed by function start vaddr:
+          like the function-hash store, a CFG is recovered (and
+          charged) at most once per context, then reused by every
+          flow-sensitive policy — use {!cfg_of} *)
 }
 
 val context :
-  ?analysis_perf:Sgx.Perf.t -> perf:Sgx.Perf.t -> Disasm.buffer -> Symhash.t -> context
+  ?analysis_perf:Sgx.Perf.t -> ?cfg_perf:Sgx.Perf.t -> perf:Sgx.Perf.t ->
+  Disasm.buffer -> Symhash.t -> context
 (** Build the shared index (charged to [analysis_perf] when given, else
-    to [perf]) and package it with the policy-phase counter. *)
+    to [perf]) and package it with the policy-phase counter. CFG
+    recovery is charged to [cfg_perf] (default [perf]) so reports can
+    break the flow-sensitive overhead out of per-policy work. *)
+
+val cfg_of : context -> Analysis.func -> Cfg.t option
+(** Memoized {!Cfg.build} through the shared store, charged to
+    [cfg_perf] on first recovery only. *)
 
 type t = {
   name : string;

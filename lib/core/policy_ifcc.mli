@@ -15,6 +15,19 @@
     table base plus the masked pointer offset — falls inside a detected
     jump table (a binary search over the index's sorted range array,
     where the pre-index policy paid a linear [List.exists] per site).
-    Every offending site yields its own finding, in address order. *)
+    Every offending site yields its own finding, in address order.
 
-val make : unit -> Policy.t
+    Two modes. [`Pattern] is the paper's peephole exactly as described
+    above — unsound: it only inspects the five instructions textually
+    preceding the call, so a branch that jumps between mask and call
+    passes. [`Flow] (the default) upgrades the check to a proof that
+    the masking sequence {e dominates} the call with the target
+    register unclobbered on every path: a matched pattern whose span
+    contains no direct-branch target (one {!Analysis.branch_target_within}
+    probe) is already straight-line sound and costs only two
+    {!Costmodel.range_probe}s over the pattern price; any other site
+    falls back to register dataflow ({!Dataflow.Regs}) over the
+    function's recovered {!Cfg.t}. A call reachable with the register
+    demoted to [Top] yields [ifcc-unmasked-on-path]. *)
+
+val make : ?mode:[ `Flow | `Pattern ] -> unit -> Policy.t

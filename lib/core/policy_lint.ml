@@ -1,0 +1,140 @@
+open X86
+
+let name = "lint"
+
+let branch_target (e : Disasm.entry) =
+  match (e.Disasm.insn.Insn.mnem, e.Disasm.insn.Insn.ops) with
+  | (Insn.JMP | Insn.JCC _), [ Insn.Rel rel ] ->
+      Some (e.Disasm.addr + e.Disasm.len + rel)
+  | _ -> None
+
+let can_fall_through (i : Insn.t) =
+  match i.Insn.mnem with
+  | Insn.JMP | Insn.JMP_IND | Insn.RET | Insn.UD2 -> false
+  | _ -> true
+
+let make () =
+  let check (ctx : Policy.context) =
+    let idx = ctx.Policy.index in
+    let b = ctx.Policy.buffer in
+    let perf = ctx.Policy.perf in
+    let entries = b.Disasm.entries in
+    let code_end = b.Disasm.base + String.length b.Disasm.code in
+    let findings = ref [] in
+    let note ~addr ~code msg =
+      findings := Policy.finding ~policy:name ~addr ~code msg :: !findings
+    in
+    (* Computed-jump resolution shares the register domain with the
+       flow-sensitive IFCC policy; one dataflow solve per function
+       that actually contains an indirect jump. *)
+    let solutions = Hashtbl.create 4 in
+    let fact_before (fn : Analysis.func) cfg index =
+      let sol =
+        match Hashtbl.find_opt solutions fn.Analysis.fn_addr with
+        | Some s -> s
+        | None ->
+            let s = Dataflow.solve perf b cfg Dataflow.Regs.problem in
+            Hashtbl.replace solutions fn.Analysis.fn_addr s;
+            s
+      in
+      Dataflow.fact_at perf b cfg Dataflow.Regs.problem sol ~index
+    in
+    let lint_function (f : Analysis.func) =
+      (* Jump-table pseudo-functions: every entry past the first is
+         reached through the table, not from the function entry —
+         reachability over the local CFG would be all noise. *)
+      if Analysis.in_table idx f.Analysis.fn_addr then ()
+      else begin
+        match f.Analysis.fn_slice with
+        | None -> ()
+        | Some (i0, i1) -> (
+            match Policy.cfg_of ctx f with
+            | None -> ()
+            | Some cfg ->
+                (* Direct branches must land on decoded instructions. *)
+                for i = i0 to min i1 (Array.length entries) - 1 do
+                  Sgx.Perf.count_cycles perf Costmodel.policy_step;
+                  match branch_target entries.(i) with
+                  | Some t
+                    when t >= b.Disasm.base && t < code_end
+                         && Disasm.index_of_addr b t = None ->
+                      note ~addr:entries.(i).Disasm.addr
+                        ~code:"lint-branch-into-instruction"
+                        (Printf.sprintf
+                           "branch at 0x%x targets 0x%x, inside another instruction"
+                           entries.(i).Disasm.addr t)
+                  | _ -> ()
+                done;
+                (* Unreachable non-padding blocks. *)
+                Array.iteri
+                  (fun k (blk : Cfg.block) ->
+                    Sgx.Perf.count_cycles perf Costmodel.policy_step;
+                    if (not cfg.Cfg.reachable.(k)) && not blk.Cfg.b_padding then
+                      note ~addr:blk.Cfg.b_addr ~code:"lint-unreachable-block"
+                        (Printf.sprintf
+                           "unreachable block at 0x%x (%d instructions) in %s"
+                           blk.Cfg.b_addr
+                           (blk.Cfg.b_hi - blk.Cfg.b_lo)
+                           f.Analysis.fn_name))
+                  cfg.Cfg.blocks;
+                (* Computed jumps with a resolvable target. *)
+                Array.iter
+                  (fun (j_idx, j_addr) ->
+                    if j_idx >= i0 && j_idx < i1 then begin
+                      let reg =
+                        match entries.(j_idx).Disasm.insn.Insn.ops with
+                        | [ Insn.Reg (_, r) ] -> Some r
+                        | _ -> None
+                      in
+                      match reg with
+                      | None -> ()
+                      | Some r -> (
+                          match fact_before f cfg j_idx with
+                          | None -> ()
+                          | Some facts -> (
+                              let resolved =
+                                match Dataflow.Regs.get facts r with
+                                | Dataflow.Regs.Addr t -> Some t
+                                | Dataflow.Regs.Target (_, t) -> Some t
+                                | _ -> None
+                              in
+                              match resolved with
+                              | Some t
+                                when (not (Analysis.in_table idx t))
+                                     && not (Symhash.is_function_start ctx.Policy.symbols t)
+                                ->
+                                  note ~addr:j_addr
+                                    ~code:"lint-computed-jump-outside-table"
+                                    (Printf.sprintf
+                                       "computed jump at 0x%x resolves to 0x%x, outside \
+                                        every jump table and function start"
+                                       j_addr t)
+                              | _ -> ()))
+                    end)
+                  idx.Analysis.indirect_jumps;
+                (* Fallthrough off the end of the function. *)
+                let nb = Array.length cfg.Cfg.blocks in
+                if nb > 0 then begin
+                  let last = cfg.Cfg.blocks.(nb - 1) in
+                  if
+                    cfg.Cfg.reachable.(nb - 1)
+                    && (not last.Cfg.b_padding)
+                    && last.Cfg.b_hi - 1 < Array.length entries
+                    && can_fall_through entries.(last.Cfg.b_hi - 1).Disasm.insn
+                  then begin
+                    let e = entries.(last.Cfg.b_hi - 1) in
+                    note ~addr:e.Disasm.addr ~code:"lint-fallthrough-off-end"
+                      (Printf.sprintf
+                         "control can fall through 0x%x off the end of %s" e.Disasm.addr
+                         f.Analysis.fn_name)
+                  end
+                end)
+      end
+    in
+    Array.iter lint_function idx.Analysis.functions;
+    Policy.of_findings
+      (List.stable_sort
+         (fun (a : Policy.finding) b -> compare a.Policy.addr b.Policy.addr)
+         (List.rev !findings))
+  in
+  { Policy.name; check }

@@ -1,0 +1,30 @@
+(** Structural lint over the recovered CFG.
+
+    Not one of the paper's three policies: a correctness net the
+    flow-sensitive layer makes cheap. The module walks every
+    function's {!Cfg.t} (shared through the context memo with the
+    flow-sensitive IFCC/stack policies) and reports structure that a
+    well-formed toolchain never emits but an adversarial provider
+    binary might:
+
+    - [lint-unreachable-block]: a non-padding basic block no path from
+      the function entry reaches (dead code is a favorite place to
+      park a gadget);
+    - [lint-branch-into-instruction]: a direct [jmp]/[jcc] whose
+      target lies inside the code range but in the middle of a decoded
+      instruction (overlapping-instruction tricks);
+    - [lint-computed-jump-outside-table]: a [jmpq *%reg] whose target
+      the register dataflow resolves to a concrete address outside
+      every IFCC jump table and every known function start;
+    - [lint-fallthrough-off-end]: a reachable non-padding block that
+      can fall through past the function's last instruction.
+
+    Exemptions keep clean binaries at zero findings: jump-table
+    pseudo-functions (entries past the first are only ever reached
+    through the table, not from entry 0) and all-padding blocks (NaCl
+    bundle fill between functions is executable nops by design).
+
+    Findings are provider-safe like every other policy: addresses and
+    stable codes only, never code bytes. *)
+
+val make : unit -> Policy.t

@@ -30,8 +30,6 @@ let defines r (i : Insn.t) =
   | Insn.POP, [ Insn.Reg (_, dst) ] -> Reg.equal dst r
   | _ -> false
 
-let is_nop (i : Insn.t) = match i.Insn.mnem with Insn.NOP -> true | _ -> false
-
 let cmp_rsp_reg (i : Insn.t) =
   match (i.Insn.mnem, i.Insn.ops) with
   | Insn.CMP, [ Insn.Mem (_, m); Insn.Reg (_, r) ] -> begin
@@ -41,82 +39,106 @@ let cmp_rsp_reg (i : Insn.t) =
     end
   | _ -> None
 
-let make ?(exempt = []) () =
+let make ?(exempt = []) ?(mode = `Flow) () =
   let exempt_tbl = Hashtbl.create 64 in
   List.iter (fun n -> Hashtbl.replace exempt_tbl n ()) exempt;
   let check (ctx : Policy.context) =
     let b = ctx.Policy.buffer in
     let perf = ctx.Policy.perf in
     let entries = b.Disasm.entries in
-    (* The canary epilogue pattern, scanned over [i0, i1): cmp preceded
-       by a canary load, then jne to a callq of __stack_chk_fail. *)
     (* NaCl bundle padding may interleave nops anywhere, so adjacency
-       is modulo padding: [prev]/[next] skip nop runs. *)
-    let prev_non_nop i lo =
-      let rec go j = if j < lo then None else if is_nop entries.(j).Disasm.insn then go (j - 1) else Some j in
+       is modulo padding: [prev]/[next] skip runs of the shared
+       {!Analysis.is_padding} predicate. *)
+    let prev_non_pad i lo =
+      let rec go j =
+        if j < lo then None
+        else if Analysis.is_padding entries.(j).Disasm.insn then go (j - 1)
+        else Some j
+      in
       go (i - 1)
     in
-    let next_non_nop i hi =
-      let rec go j = if j >= hi then None else if is_nop entries.(j).Disasm.insn then go (j + 1) else Some j in
+    let next_non_pad i hi =
+      let rec go j =
+        if j >= hi then None
+        else if Analysis.is_padding entries.(j).Disasm.insn then go (j + 1)
+        else Some j
+      in
       go (i + 1)
     in
+    (* Is entry [i] the [cmp (%rsp), %r] of a full canary check — the
+       cmp preceded (modulo padding) by a canary load into the same
+       register and followed by a [jne] to a [callq __stack_chk_fail]?
+       Returns the entry index of the [jne], the check's block
+       terminator. *)
+    let check_site i i0 i1 =
+      match cmp_rsp_reg entries.(i).Disasm.insn with
+      | Some r2
+        when (match prev_non_pad i i0 with
+             | Some p -> canary_load_into r2 entries.(p).Disasm.insn
+             | None -> false) -> begin
+          match next_non_pad i i1 with
+          | None -> None
+          | Some inext -> begin
+              match entries.(inext).Disasm.insn with
+              | { Insn.mnem = Insn.JCC Insn.NE; ops = [ Insn.Rel rel ] } -> begin
+                  let e = entries.(inext) in
+                  let jt = e.Disasm.addr + e.Disasm.len + rel in
+                  match Disasm.index_of_addr b jt with
+                  | Some k -> begin
+                      match entries.(k).Disasm.insn with
+                      | { Insn.mnem = Insn.CALL; ops = [ Insn.Rel crel ] } ->
+                          let ct = entries.(k).Disasm.addr + entries.(k).Disasm.len + crel in
+                          (match Symhash.name_of_addr ctx.Policy.symbols ct with
+                          | Some "__stack_chk_fail" -> Some inext
+                          | Some _ | None -> None)
+                      | _ -> None
+                    end
+                  | None -> None
+                end
+              | _ -> None
+            end
+        end
+      | Some _ | None -> None
+    in
+    (* The paper's whole-function epilogue probe, re-run per candidate
+       store — the quadratic part of pattern mode. *)
     let epilogue_pattern_found i0 i1 =
       let found = ref false in
       for i = i0 + 1 to i1 - 1 do
         Sgx.Perf.count_cycles perf Costmodel.pattern_probe;
         if not !found then
-          match cmp_rsp_reg entries.(i).Disasm.insn with
-          | Some r2
-            when (match prev_non_nop i i0 with
-                 | Some p -> canary_load_into r2 entries.(p).Disasm.insn
-                 | None -> false) -> begin
-              (* Next instruction must be a jne whose target is a callq
-                 resolving to __stack_chk_fail. *)
-              match next_non_nop i i1 with
-              | None -> ()
-              | Some inext -> begin
-                match entries.(inext).Disasm.insn with
-                | { Insn.mnem = Insn.JCC Insn.NE; ops = [ Insn.Rel rel ] } -> begin
-                    let e = entries.(inext) in
-                    let jt = e.Disasm.addr + e.Disasm.len + rel in
-                    match Disasm.index_of_addr b jt with
-                    | Some k -> begin
-                        match entries.(k).Disasm.insn with
-                        | { Insn.mnem = Insn.CALL; ops = [ Insn.Rel crel ] } ->
-                            let ct = entries.(k).Disasm.addr + entries.(k).Disasm.len + crel in
-                            (match Symhash.name_of_addr ctx.Policy.symbols ct with
-                            | Some "__stack_chk_fail" -> found := true
-                            | Some _ | None -> ())
-                        | _ -> ()
-                      end
-                    | None -> ()
-                  end
-                | _ -> ()
-              end
-            end
-          | Some _ | None -> ()
+          match check_site i i0 i1 with Some _ -> found := true | None -> ()
       done;
       !found
     in
+    let missing (f : Analysis.func) =
+      Policy.finding ~policy:name ~addr:f.Analysis.fn_addr ~code:"missing-stack-protector"
+        (Printf.sprintf "function %s lacks stack-protector instrumentation"
+           f.Analysis.fn_name)
+    in
     let check_function (f : Analysis.func) =
-      if Hashtbl.mem exempt_tbl f.Analysis.fn_name then None
+      if Hashtbl.mem exempt_tbl f.Analysis.fn_name then []
       else begin
         match f.Analysis.fn_slice with
         | None ->
-            Some
-              (Policy.finding ~policy:name ~addr:f.Analysis.fn_addr ~code:"function-outside-code"
-                 (Printf.sprintf "function %s is not within the code" f.Analysis.fn_name))
-        | Some (i0, i1) ->
-            let protected = ref false in
+            [
+              Policy.finding ~policy:name ~addr:f.Analysis.fn_addr
+                ~code:"function-outside-code"
+                (Printf.sprintf "function %s is not within the code" f.Analysis.fn_name);
+            ]
+        | Some (i0, i1) -> begin
+            (* Step 1 (both modes): find candidate canary stores and
+               trace each store's source register backwards to its
+               definition, expecting the canary load. *)
             let candidates = ref 0 in
+            let canary_store = ref false in
+            let pattern_protected = ref false in
             for i = i0 to i1 - 1 do
               Sgx.Perf.count_cycles perf Costmodel.policy_step;
               match stack_store entries.(i).Disasm.insn with
               | None -> ()
               | Some src ->
                   incr candidates;
-                  (* Backward scan for the defining instruction of the
-                     store's source register. *)
                   let rec back j =
                     if j < i0 then false
                     else begin
@@ -127,25 +149,74 @@ let make ?(exempt = []) () =
                     end
                   in
                   let source_is_canary = back (i - 1) in
-                  (* The paper's policy then checks whether the function
-                     contains the epilogue pattern — a full scan per
-                     candidate (the quadratic part). *)
-                  let pattern = epilogue_pattern_found i0 i1 in
-                  if source_is_canary && pattern then protected := true
+                  if source_is_canary then canary_store := true;
+                  (* Pattern mode follows the paper literally: a full
+                     epilogue scan per candidate. *)
+                  if mode = `Pattern then begin
+                    let pattern = epilogue_pattern_found i0 i1 in
+                    if source_is_canary && pattern then pattern_protected := true
+                  end
             done;
-            if !candidates = 0 then None (* nothing writes the stack: exempt *)
-            else if !protected then None
-            else
-              Some
-                (Policy.finding ~policy:name ~addr:f.Analysis.fn_addr
-                   ~code:"missing-stack-protector"
-                   (Printf.sprintf "function %s lacks stack-protector instrumentation"
-                      f.Analysis.fn_name))
+            if !candidates = 0 then [] (* nothing writes the stack: exempt *)
+            else begin
+              match mode with
+              | `Pattern -> if !pattern_protected then [] else [ missing f ]
+              | `Flow -> begin
+                  (* One linear scan collects every complete canary
+                     check; dominance then decides whether the check
+                     actually guards each return. *)
+                  let sites = ref [] in
+                  for i = i0 + 1 to i1 - 1 do
+                    Sgx.Perf.count_cycles perf Costmodel.pattern_probe;
+                    match check_site i i0 i1 with
+                    | Some inext -> sites := inext :: !sites
+                    | None -> ()
+                  done;
+                  if (not !canary_store) || !sites = [] then [ missing f ]
+                  else begin
+                    match Policy.cfg_of ctx f with
+                    | None -> [] (* sites exist; without a CFG the pattern verdict stands *)
+                    | Some cfg ->
+                        let site_blocks =
+                          List.filter_map (Cfg.block_of_index cfg) !sites
+                        in
+                        let bad = ref [] in
+                        for i = i0 to i1 - 1 do
+                          if entries.(i).Disasm.insn.Insn.mnem = Insn.RET then begin
+                            match Cfg.block_of_index cfg i with
+                            | None -> ()
+                            | Some rb ->
+                                if cfg.Cfg.reachable.(rb) then begin
+                                  let guarded =
+                                    List.exists
+                                      (fun sb ->
+                                        Sgx.Perf.count_cycles perf Costmodel.dom_step;
+                                        Cfg.dominates cfg sb rb)
+                                      site_blocks
+                                  in
+                                  if not guarded then
+                                    bad :=
+                                      Policy.finding ~policy:name
+                                        ~addr:entries.(i).Disasm.addr
+                                        ~code:"stack-ret-unprotected"
+                                        (Printf.sprintf
+                                           "function %s can return at 0x%x without passing \
+                                            the canary check"
+                                           f.Analysis.fn_name entries.(i).Disasm.addr)
+                                      :: !bad
+                                end
+                          end
+                        done;
+                        List.rev !bad
+                  end
+                end
+            end
+          end
       end
     in
     let findings =
       Array.to_list ctx.Policy.index.Analysis.functions
-      |> List.filter_map check_function
+      |> List.concat_map check_function
     in
     Policy.of_findings findings
   in

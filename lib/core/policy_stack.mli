@@ -19,6 +19,20 @@
     client links was not recompiled with the flag — Figure 4's
     instruction deltas show only application code gained canaries), and
     functions containing no stack stores at all (nothing to protect:
-    [_start], jump-table entries, pure-compute pads). *)
+    [_start], jump-table entries, pure-compute pads).
 
-val make : ?exempt:string list -> unit -> Policy.t
+    Two modes. [`Pattern] is the paper's algorithm exactly as above —
+    unsound (the epilogue pattern may exist anywhere in the function,
+    so an early [ret] that skips the compare passes) and quadratic
+    (the per-candidate full-function probe). [`Flow] (the default)
+    collects every complete canary check in ONE linear scan, recovers
+    the function's {!Cfg.t}, and requires the check's block to
+    {e dominate} every reachable [ret]: a return reachable without
+    passing the compare yields [stack-ret-unprotected] at the exact
+    return vaddr. A function with candidates but no canary store or no
+    complete check keeps the pattern-mode [missing-stack-protector]
+    finding at the function address. Flow mode is linear in function
+    size plus CFG cost — on large single-epilogue functions (401.bzip2)
+    it is far cheaper than the paper's quadratic probe. *)
+
+val make : ?exempt:string list -> ?mode:[ `Flow | `Pattern ] -> unit -> Policy.t

@@ -270,7 +270,7 @@ let run ?tamper ?(policies = []) c ~payload =
             (* --- policy modules --- *)
             let ctx =
               Policy.context ~analysis_perf:report.Report.analysis
-                ~perf:report.Report.policy buffer symbols
+                ~cfg_perf:report.Report.cfg ~perf:report.Report.policy buffer symbols
             in
             let policy_results = Policy.run_all ctx policies in
             if not (Policy.all_compliant policy_results) then begin

@@ -2,6 +2,7 @@ type t = {
   mutable instructions : int;
   disassembly : Sgx.Perf.t;
   analysis : Sgx.Perf.t;
+  cfg : Sgx.Perf.t;
   policy : Sgx.Perf.t;
   loading : Sgx.Perf.t;
   provisioning : Sgx.Perf.t;
@@ -12,6 +13,7 @@ let create () =
     instructions = 0;
     disassembly = Sgx.Perf.create ();
     analysis = Sgx.Perf.create ();
+    cfg = Sgx.Perf.create ();
     policy = Sgx.Perf.create ();
     loading = Sgx.Perf.create ();
     provisioning = Sgx.Perf.create ();
@@ -22,20 +24,24 @@ type row = {
   n_instructions : int;
   disassembly_cycles : int;
   analysis_cycles : int;
+  cfg_cycles : int;
   policy_cycles : int;
   loading_cycles : int;
 }
 
 let row ~benchmark t =
   let analysis_cycles = Sgx.Perf.total_cycles t.analysis in
+  let cfg_cycles = Sgx.Perf.total_cycles t.cfg in
   {
     benchmark;
     n_instructions = t.instructions;
     disassembly_cycles = Sgx.Perf.total_cycles t.disassembly;
     analysis_cycles;
+    cfg_cycles;
     (* The paper's "Policy Checking" column is the whole phase: shared
-       index construction plus per-policy visitors. *)
-    policy_cycles = analysis_cycles + Sgx.Perf.total_cycles t.policy;
+       index construction, CFG recovery (flow mode) and per-policy
+       visitors. *)
+    policy_cycles = analysis_cycles + cfg_cycles + Sgx.Perf.total_cycles t.policy;
     loading_cycles = Sgx.Perf.total_cycles t.loading;
   }
 

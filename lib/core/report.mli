@@ -9,6 +9,10 @@ type t = {
       (** shared program-analysis index construction ({!Analysis.build}) —
           the amortized part of the policy phase, charged once per
           inspection regardless of how many policies run *)
+  cfg : Sgx.Perf.t;
+      (** per-function CFG recovery ({!Cfg.build}) through the shared
+          context memo — like [analysis], amortized across every
+          flow-sensitive policy in the agreed set *)
   policy : Sgx.Perf.t;
   loading : Sgx.Perf.t;
   provisioning : Sgx.Perf.t;
@@ -24,9 +28,11 @@ type row = {
   disassembly_cycles : int;
   analysis_cycles : int;
       (** index-build share of [policy_cycles], broken out *)
+  cfg_cycles : int;
+      (** CFG-recovery share of [policy_cycles], broken out *)
   policy_cycles : int;
-      (** the paper's "Policy Checking" column: index build plus all
-          per-policy visitor work *)
+      (** the paper's "Policy Checking" column: index build plus CFG
+          recovery plus all per-policy visitor work *)
   loading_cycles : int;
 }
 

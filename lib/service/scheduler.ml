@@ -53,7 +53,8 @@ let default_config =
     dispatch = (fun pipeline -> pipeline ());
   }
 
-let known_policies = [ "libc"; "stack"; "ifcc" ]
+let known_policies =
+  [ "libc"; "stack"; "ifcc"; "lint"; "stack-pattern"; "ifcc-pattern" ]
 
 let policies_of_names ~db names =
   let rec go acc = function
@@ -62,6 +63,16 @@ let policies_of_names ~db names =
     | "stack" :: rest ->
         go (Engarde.Policy_stack.make ~exempt:Toolchain.Libc.function_names () :: acc) rest
     | "ifcc" :: rest -> go (Engarde.Policy_ifcc.make () :: acc) rest
+    | "lint" :: rest -> go (Engarde.Policy_lint.make () :: acc) rest
+    (* The paper's peephole baselines, kept addressable so clients can
+       request (and audit logs can distinguish) the unsound mode. *)
+    | "stack-pattern" :: rest ->
+        go
+          (Engarde.Policy_stack.make ~exempt:Toolchain.Libc.function_names
+             ~mode:`Pattern ()
+          :: acc)
+          rest
+    | "ifcc-pattern" :: rest -> go (Engarde.Policy_ifcc.make ~mode:`Pattern () :: acc) rest
     | unknown :: _ ->
         Error
           (Printf.sprintf "unknown policy %S (expected one of: %s)" unknown

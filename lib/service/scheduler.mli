@@ -79,7 +79,9 @@ val default_config : config
 val policies_of_names :
   db:(string * string) list -> string list -> (Engarde.Policy.t list, string) result
 (** Instantiate policy modules from their agreed names ("libc", "stack",
-    "ifcc"); [Error] names the first unknown policy. *)
+    "ifcc", "lint", plus the paper-baseline "stack-pattern" /
+    "ifcc-pattern" peephole modes); [Error] names the first unknown
+    policy. *)
 
 type t
 

@@ -104,3 +104,8 @@ let link ?text_addr ?strip ?data_addr_override (b : Workloads.built) =
   link_raw ?text_addr ?strip ?data_addr_override ~funcs:b.Workloads.funcs
     ~data:b.Workloads.data ~data_symbols:b.Workloads.data_symbols
     ~pointer_slots:b.Workloads.pointer_slots ~bss_size:b.Workloads.bss_size ()
+
+let link_adversarial ?text_addr adv =
+  link_raw ?text_addr
+    ~funcs:(Workloads.adversarial_funcs adv)
+    ~data:"" ~data_symbols:[] ~pointer_slots:[] ~bss_size:0 ()

@@ -43,3 +43,8 @@ val link_raw :
   image
 (** The general form {!link} wraps: link an arbitrary function list —
     used by EnGarde's binary rewriter to re-link instrumented code. *)
+
+val link_adversarial : ?text_addr:int -> Workloads.adversarial -> image
+(** Link one of the adversarial fixtures
+    ({!Workloads.adversarial_funcs}) into a complete ELF: no data, no
+    relocations, just the code and its symbols. *)

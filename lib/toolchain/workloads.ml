@@ -336,3 +336,92 @@ let build ?(seed = "engarde-workload") ?(libc = Libc.V1_0_5) inst bench =
       List.init n_slots (fun i -> (i * 8, app_fn_name (i mod prof.app_functions)));
     bss_size = prof.bss_bytes;
     instructions }
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial fixtures                                                *)
+(* ------------------------------------------------------------------ *)
+
+type adversarial = Jump_past_mask | Early_ret
+
+let adversarial_all = [ Jump_past_mask; Early_ret ]
+
+let adversarial_to_string = function
+  | Jump_past_mask -> "jump-past-mask"
+  | Early_ret -> "early-ret"
+
+(* A conditional branch lands directly on the indirect call, skipping
+   the IFCC masking sequence. The five instructions textually before
+   the call ARE the full legitimate sequence, so the paper's window
+   check accepts the site — yet on the branch-taken path the target
+   register still holds whatever the caller put in it. *)
+let jump_past_mask_funcs () =
+  let open X86 in
+  let skip = "attacker$skip" in
+  let attacker =
+    { Asm.fname = "attacker";
+      items =
+        [
+          Asm.Ins (Insn.test_rr Reg.RDI Reg.RDI);
+          Asm.Jcc_sym (Insn.NE, skip);
+          Asm.Lea_sym (Reg.RCX, Codegen.jump_table_entry_sym 0);
+          Asm.Lea_sym (Reg.RAX, Codegen.jump_table_sym);
+          Asm.Ins (Insn.sub_rr ~w:Insn.W32 Reg.RAX Reg.RCX);
+          Asm.Ins (Insn.and_ri Reg.RCX 0x1ff8);
+          Asm.Ins (Insn.add_rr Reg.RAX Reg.RCX);
+          Asm.Label skip;
+          Asm.Ins (Insn.call_ind Reg.RCX);
+          Asm.Ins Insn.ret;
+        ] }
+  in
+  let victim = { Asm.fname = "victim"; items = [ Asm.Ins Insn.ret ] } in
+  [
+    Codegen.gen_start ~main:"attacker";
+    attacker;
+    Codegen.gen_jump_table ~targets:[ "victim"; "victim" ];
+    victim;
+  ]
+
+(* A full, correct canary prologue AND epilogue — but a conditional
+   early return unwinds the frame without passing the compare. The
+   paper's policy scans the whole function for the epilogue pattern,
+   finds it, and accepts; only dominance over every [ret] exposes the
+   unguarded exit. *)
+let early_ret_funcs () =
+  let open X86 in
+  let early = "guarded$early" in
+  let fail = "guarded$fail" in
+  let guarded =
+    { Asm.fname = "guarded";
+      items =
+        [
+          Asm.Ins (Insn.push Reg.RBP);
+          Asm.Ins (Insn.mov_rr Reg.RSP Reg.RBP);
+          Asm.Ins (Insn.sub_ri Reg.RSP 0x18);
+          Asm.Ins (Insn.mov_fs_canary Reg.RAX);
+          Asm.Ins (Insn.store_rsp Reg.RAX);
+          Asm.Ins (Insn.test_rr Reg.RDI Reg.RDI);
+          Asm.Jcc_sym (Insn.E, early);
+          Asm.Ins (Insn.mov_ri Reg.RAX 1);
+          Asm.Ins (Insn.mov_fs_canary Reg.RCX);
+          Asm.Ins (Insn.cmp_rsp Reg.RCX);
+          Asm.Jcc_sym (Insn.NE, fail);
+          Asm.Ins (Insn.add_ri Reg.RSP 0x18);
+          Asm.Ins (Insn.pop Reg.RBP);
+          Asm.Ins Insn.ret;
+          Asm.Label early;
+          Asm.Ins (Insn.add_ri Reg.RSP 0x18);
+          Asm.Ins (Insn.pop Reg.RBP);
+          Asm.Ins Insn.ret;
+          Asm.Label fail;
+          Asm.Call_sym Codegen.stack_chk_fail_sym;
+          Asm.Ins Insn.ud2;
+        ] }
+  in
+  let chk_fail =
+    { Asm.fname = Codegen.stack_chk_fail_sym; items = [ Asm.Ins Insn.ud2 ] }
+  in
+  [ Codegen.gen_start ~main:"guarded"; guarded; chk_fail ]
+
+let adversarial_funcs = function
+  | Jump_past_mask -> jump_past_mask_funcs ()
+  | Early_ret -> early_ret_funcs ()

@@ -68,3 +68,33 @@ val build :
     [instructions] equals the paper's #Inst for the chosen
     instrumentation (exact for the default corpus; a different [libc]
     version shifts it by at most the version's size delta). *)
+
+(** {1 Adversarial fixtures}
+
+    Two tiny binaries that defeat the paper's window-based policy
+    checks — the soundness gap the flow-sensitive mode closes:
+
+    - [Jump_past_mask]: a conditional branch lands directly on a
+      [callq *%rcx] whose five textually-preceding instructions are a
+      complete, legitimate IFCC masking sequence. The pattern-mode
+      IFCC policy accepts; flow mode sees the unmasked branch-taken
+      path join in and rejects with [ifcc-unmasked-on-path] at the
+      call.
+    - [Early_ret]: a function with a correct canary prologue and a
+      correct compare+[jne __stack_chk_fail] epilogue, plus a
+      conditional early [ret] that unwinds without the compare. The
+      pattern-mode stack policy finds the epilogue somewhere in the
+      function and accepts; flow mode rejects with
+      [stack-ret-unprotected] at the early return.
+
+    Link them with {!Linker.link_adversarial}. *)
+
+type adversarial = Jump_past_mask | Early_ret
+
+val adversarial_all : adversarial list
+val adversarial_to_string : adversarial -> string
+
+val adversarial_funcs : adversarial -> Asm.func list
+(** The fixture's function list ([_start], the attacking function, and
+    its victims/handlers), ready for {!Asm.assemble} or
+    {!Linker.link_raw}. *)

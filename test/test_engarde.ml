@@ -222,9 +222,12 @@ let policy_stack_pinpoints_one_function () =
       Alcotest.failf "protected variant rejected: %s" (why v)
 
 let policy_stack_quadratic_cost () =
-  (* Same total instructions, one function vs eight: the single big
-     function must cost substantially more to check. *)
-  let build n_fns size =
+  (* Same total instructions, one function vs eight: under the paper's
+     pattern mode the single big function must cost substantially more
+     to check (the per-candidate epilogue probe is quadratic), while
+     flow mode — one linear site scan plus CFG dominance — stays near
+     parity and far below the pattern price on the big function. *)
+  let build ?mode n_fns size =
     let drbg = Crypto.Fastrand.create "quad" in
     let funcs =
       List.init n_fns (fun k ->
@@ -247,17 +250,24 @@ let policy_stack_quadratic_cost () =
         (Engarde.Disasm.run (Sgx.Perf.create ()) ~code:asm.Asm.code ~base:0x1000 ~symbols)
     in
     let ctx = Engarde.Policy.context ~perf:(Sgx.Perf.create ()) buffer symhash in
-    (match (stack_policy ()).Engarde.Policy.check ctx with
+    let policy = Engarde.Policy_stack.make ~exempt:Libc.function_names ?mode () in
+    (match policy.Engarde.Policy.check ctx with
     | Engarde.Policy.Compliant -> ()
     | Engarde.Policy.Violations _ as v -> Alcotest.failf "rejected: %s" (why v));
     Sgx.Perf.total_cycles ctx.Engarde.Policy.perf
   in
-  let one_big = build 1 4000 in
-  let many_small = build 8 500 in
+  let one_big = build ~mode:`Pattern 1 4000 in
+  let many_small = build ~mode:`Pattern 8 500 in
   Alcotest.(check bool)
     (Printf.sprintf "quadratic: one big (%d) > 2x many small (%d)" one_big many_small)
     true
-    (one_big > 2 * many_small)
+    (one_big > 2 * many_small);
+  let one_big_flow = build ~mode:`Flow 1 4000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "flow is linear: one big flow (%d) < one big pattern (%d) / 2"
+       one_big_flow one_big)
+    true
+    (one_big_flow < one_big / 2)
 
 (* ------------------------------------------------------------------ *)
 (* Policy: IFCC                                                        *)

@@ -387,10 +387,11 @@ let batch_determinism_with_failures () =
   let flaky_payload =
     (Linker.link (Workloads.build ~seed:"flaky" Codegen.plain Workloads.Mcf)).Linker.elf
   in
-  (* Slow job: the duplicate-heavy bzip2 under all three policies costs
-     more than two whole attempts of the cheap mcf/libc job (whose
-     latency is dominated by provisioning), so one timeout budget can
-     separate them. *)
+  (* Slow job: the duplicate-heavy bzip2 under libc plus the paper's
+     quadratic pattern-mode stack/ifcc baselines costs more than two
+     whole attempts of the cheap mcf/libc job (whose latency is
+     dominated by provisioning), so one timeout budget can separate
+     them. *)
   let slow_payload =
     (Linker.link
        (Workloads.build { Codegen.stack_protector = true; ifcc = true } Workloads.Bzip2))
@@ -411,7 +412,7 @@ let batch_determinism_with_failures () =
     | [ { Service.Scheduler.verdict = Ok _; latency_cycles; _ } ] -> latency_cycles
     | _ -> Alcotest.fail "probe job did not complete"
   in
-  let slow_cycles = probe slow_payload [ "libc"; "stack"; "ifcc" ] in
+  let slow_cycles = probe slow_payload [ "libc"; "stack-pattern"; "ifcc-pattern" ] in
   let flaky_cycles =
     probe
       ~fault:(fun ~attempt _ -> if attempt = 1 then Some corrupt_first_block else None)
@@ -422,7 +423,7 @@ let batch_determinism_with_failures () =
     [
       job ~client:"cheap" plain;
       job ~client:"flaky" flaky_payload;
-      job ~client:"slow" ~policies:[ "libc"; "stack"; "ifcc" ] slow_payload;
+      job ~client:"slow" ~policies:[ "libc"; "stack-pattern"; "ifcc-pattern" ] slow_payload;
       job ~client:"cheap-again" plain;  (* duplicate: hit or re-run, same verdict *)
     ]
   in
