@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the real build system.
 
-.PHONY: all build test fmt check bench bench-smoke lint clean
+.PHONY: all build test fmt check bench bench-smoke bench-json lint clean
 
 all: build
 
@@ -17,8 +17,9 @@ fmt:
 # tests (incl. the qcheck CFG/dataflow properties), the reduced
 # benchmark gate (fused single-pass analysis must never lose to
 # independent per-policy scans; flow-sensitive policies within budget
-# of the pattern scans), and the control-flow lint over every example
-# workload.
+# of the pattern scans; domains=4 batch >= 1.8x faster than domains=1
+# wall-clock, skipped on machines with < 4 recommended domains), and
+# the control-flow lint over every example workload.
 check: fmt build test bench-smoke lint
 
 bench:
@@ -27,18 +28,17 @@ bench:
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
 
+# The domains=1/2/4/8 wall-clock scaling table alone, written to
+# BENCH_service.json for trend tracking.
+bench-json:
+	dune exec bench/main.exe -- --scaling
+
 # Every synthesized evaluation workload, fully instrumented, must come
 # out of the CFG lint with zero findings.
 lint:
 	dune exec bin/engarde_cli.exe -- lint --variant stack+ifcc \
 	  -b nginx -b 401.bzip2 -b graph-500 -b 429.mcf -b memcached \
 	  -b netperf -b otp-gen
-
-bench:
-	dune exec bench/main.exe
-
-bench-smoke:
-	dune exec bench/main.exe -- --smoke
 
 clean:
 	dune clean

@@ -476,6 +476,123 @@ let audit_bench () =
     (100. *. (1. -. (float_of_int warm_cycles /. float_of_int (max 1 cold_cycles))))
 
 (* ------------------------------------------------------------------ *)
+(* Multicore scaling: batch wall-clock by domain count                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Modelled cycles cannot see parallelism — they are identical at every
+   domain count by design — so this table is measured on the monotonic
+   wall clock. *)
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let scaling_domain_counts = [ 1; 2; 4; 8 ]
+
+let scaling_jobs () =
+  List.map
+    (fun b ->
+      {
+        Service.Scheduler.client = Workloads.to_string b;
+        payload = (Linker.link (Workloads.build Codegen.plain b)).Linker.elf;
+        policy_names = [ "libc" ];
+      })
+    Workloads.all
+
+(* Workers stay fixed at 8 (enough in-flight slots for the widest run)
+   and the cache is off, so the only thing that varies between rows is
+   the number of domains actually executing pipelines. [domains = 1] is
+   the plain cooperative scheduler — the baseline the speedup column
+   and the smoke gate compare against. *)
+let scaling_run ~jobs ~domains =
+  let base =
+    {
+      Service.Scheduler.default_config with
+      Service.Scheduler.workers = 8;
+      cache = `Disabled;
+      provision = fast_provision;
+    }
+  in
+  let config, pool =
+    if domains = 1 then (base, None)
+    else
+      let c, p = Service.Scheduler.parallel_config ~config:base ~domains () in
+      (c, Some p)
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Service.Pool.shutdown pool)
+    (fun () ->
+      let t0 = now_s () in
+      let t = Service.Scheduler.create config in
+      List.iter (fun j -> ignore (Service.Scheduler.submit t j)) jobs;
+      let completions = Service.Scheduler.run_until_idle t in
+      let dt = now_s () -. t0 in
+      List.iter
+        (fun (c : Service.Scheduler.completion) ->
+          match c.Service.Scheduler.verdict with
+          | Ok v when v.Service.Cache.accepted -> ()
+          | Ok _ | Error _ ->
+              failwith
+                (Printf.sprintf "scaling run (domains=%d): job %s did not pass" domains
+                   c.Service.Scheduler.job.Service.Scheduler.client))
+        completions;
+      dt)
+
+let bench_json_path = Filename.concat repo_root "BENCH_service.json"
+
+let write_scaling_json ~recommended ~jobs_n rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"benchmark\": \"service-batch-scaling\",\n";
+  Buffer.add_string b "  \"policy\": \"libc\",\n";
+  Printf.bprintf b "  \"workloads\": [%s],\n"
+    (String.concat ", "
+       (List.map (fun w -> Printf.sprintf "%S" (Workloads.to_string w)) Workloads.all));
+  Printf.bprintf b "  \"jobs\": %d,\n" jobs_n;
+  Buffer.add_string b "  \"workers\": 8,\n";
+  Printf.bprintf b "  \"recommended_domains\": %d,\n" recommended;
+  Buffer.add_string b "  \"runs\": [\n";
+  let base_dt = List.assoc 1 rows in
+  List.iteri
+    (fun i (domains, dt) ->
+      Printf.bprintf b
+        "    {\"domains\": %d, \"wall_s\": %.3f, \"jobs_per_s\": %.3f, \
+         \"speedup_vs_1\": %.3f}%s\n"
+        domains dt
+        (float_of_int jobs_n /. dt)
+        (base_dt /. dt)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out bench_json_path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+let scaling_table () =
+  banner
+    "Multicore scaling: seven-workload batch wall-clock by domain count (8 workers, \
+     cache off, libc policy)";
+  let recommended = Domain.recommended_domain_count () in
+  Printf.printf "machine: %d recommended domain(s)\n" recommended;
+  let jobs = scaling_jobs () in
+  let jobs_n = List.length jobs in
+  let rows =
+    List.map
+      (fun domains ->
+        let dt = scaling_run ~jobs ~domains in
+        Printf.printf "  domains=%d done in %.2fs\n%!" domains dt;
+        (domains, dt))
+      scaling_domain_counts
+  in
+  let base_dt = List.assoc 1 rows in
+  Printf.printf "\n%-8s %10s %10s %10s\n" "domains" "wall (s)" "jobs/s" "speedup";
+  List.iter
+    (fun (domains, dt) ->
+      Printf.printf "%-8d %10.2f %10.2f %9.2fx\n" domains dt
+        (float_of_int jobs_n /. dt)
+        (base_dt /. dt))
+    rows;
+  write_scaling_json ~recommended ~jobs_n rows;
+  Printf.printf "machine-readable results -> %s\n" bench_json_path
+
+(* ------------------------------------------------------------------ *)
 (* Smoke mode: reduced run with hard assertions (wired into `make       *)
 (* check` as bench-smoke)                                               *)
 (* ------------------------------------------------------------------ *)
@@ -569,6 +686,20 @@ let smoke () =
   check "warm restart skips >= 90% re-inspection"
     (cold_cycles > 0 && 10 * warm_cycles <= cold_cycles)
     (Printf.sprintf "cold %s warm %s cycles" (commas cold_cycles) (commas warm_cycles));
+  banner "bench-smoke: multicore scaling gate (domains=4 vs domains=1 wall-clock)";
+  (let recommended = Domain.recommended_domain_count () in
+   if recommended < 4 then
+     Printf.printf
+       "skipped: machine recommends %d domain(s) (< 4); the >=1.8x gate needs 4 cores\n"
+       recommended
+   else begin
+     let jobs = scaling_jobs () in
+     let d1 = scaling_run ~jobs ~domains:1 in
+     let d4 = scaling_run ~jobs ~domains:4 in
+     check "domains=4 batch >= 1.8x faster than domains=1"
+       (d1 >= 1.8 *. d4)
+       (Printf.sprintf "domains=1 %.2fs, domains=4 %.2fs (%.2fx)" d1 d4 (d1 /. d4))
+   end);
   if !failures > 0 then begin
     Printf.printf "bench-smoke: %d assertion(s) FAILED\n" !failures;
     exit 1
@@ -721,6 +852,11 @@ let () =
     smoke ();
     exit 0
   end;
+  (* Just the multicore table + BENCH_service.json (`make bench-json`). *)
+  if Array.exists (fun a -> a = "--scaling") Sys.argv then begin
+    scaling_table ();
+    exit 0
+  end;
   let t0 = Unix.gettimeofday () in
   print_endline "EnGarde reproduction benchmark suite";
   print_endline
@@ -749,6 +885,7 @@ let () =
   ablation_combined_policies ();
   ablation_fused_scan ();
   service_throughput ();
+  scaling_table ();
   audit_bench ();
   bechamel_suite ();
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

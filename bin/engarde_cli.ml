@@ -589,6 +589,32 @@ let write_metrics t = function
 let workers_arg =
   Arg.(value & opt int 4 & info [ "w"; "workers" ] ~docv:"N" ~doc:"Worker pool size.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Run provisioning pipelines on $(docv) OCaml domains (true multicore \
+           parallelism). 1 (the default) keeps the cooperative single-domain \
+           scheduler. Verdicts, cache statistics and the audit log are identical \
+           either way; only wall-clock time changes.")
+
+(* [domains = 1] is the plain cooperative scheduler; above that, rewire
+   the config onto a domain pool and guarantee its shutdown. [f] gets
+   the effective config so headers can print what actually runs. *)
+let with_domains config ~domains f =
+  if domains <= 0 then begin
+    prerr_endline "engarde: --domains must be positive";
+    exit 2
+  end;
+  if domains = 1 then f config
+  else begin
+    let config, pool = Service.Scheduler.parallel_config ~config ~domains () in
+    Fun.protect
+      ~finally:(fun () -> Service.Pool.shutdown pool)
+      (fun () -> f config)
+  end
+
 let queue_arg =
   Arg.(
     value & opt int 64
@@ -698,8 +724,8 @@ let batch_cmd =
       & info [ "repeat" ] ~docv:"N"
           ~doc:"Submit the whole job list N times (duplicate-heavy workloads).")
   in
-  let run benches elfs variant repeat workers queue no_cache fast timeout policy_names
-      audit_on state metrics_out device_seed =
+  let run benches elfs variant repeat workers queue domains no_cache fast timeout
+      policy_names audit_on state metrics_out device_seed =
     check_pool_args ~workers ~queue;
     if benches = [] && elfs = [] then begin
       prerr_endline "batch: no jobs; pass --bench and/or --elf";
@@ -735,47 +761,52 @@ let batch_cmd =
     let jobs = List.concat (List.init repeat (fun _ -> one_round)) in
     let audit = audit_on || state <> None in
     let config = service_config ~audit ~workers ~queue ~no_cache ~fast ~timeout () in
-    let t0 = Unix.gettimeofday () in
-    let t = Service.Scheduler.create config in
-    let device = Sgx.Quote.device_create ~seed:device_seed in
-    Option.iter (load_service_state device t) state;
-    List.iter
-      (fun j ->
-        match Service.Scheduler.submit t j with
-        | Ok _ -> ()
-        | Error why ->
-            Printf.printf "job for %s rejected at admission: %s\n"
-              j.Service.Scheduler.client why)
-      jobs;
-    let completions = Service.Scheduler.run_until_idle t in
-    let dt = Unix.gettimeofday () -. t0 in
-    print_completions completions;
-    let jc = Service.Metrics.job_counts (Service.Scheduler.metrics t) in
-    let ph = Service.Metrics.phase_totals (Service.Scheduler.metrics t) in
-    Printf.printf
-      "\n%d jobs in %.2fs (%.1f jobs/s): %d pipeline runs, %d cache hits, %d failed\n"
-      (List.length completions) dt
-      (float_of_int (List.length completions) /. dt)
-      (jc.Service.Metrics.completed - jc.Service.Metrics.cache_hits)
-      jc.Service.Metrics.cache_hits jc.Service.Metrics.failed;
-    Printf.printf "policy+disassembly cycles actually spent: %s\n"
-      (commas (ph.Service.Metrics.disassembly + ph.Service.Metrics.policy));
-    (match Service.Scheduler.audit_log t with
-    | Some log ->
-        Printf.printf "audit log: %d leaves, root %s\n" (Audit.Log.size log)
-          (Crypto.Sha256.hex (Audit.Log.root log))
-    | None -> ());
-    print_newline ();
-    print_string (Service.Scheduler.report t);
-    Option.iter (save_service_state device t) state;
-    write_metrics t metrics_out;
-    if List.exists
-         (fun (c : Service.Scheduler.completion) ->
-           match c.Service.Scheduler.verdict with
-           | Ok v -> not v.Service.Cache.accepted
-           | Error _ -> true)
-         completions
-    then exit 1
+    let any_failed =
+      with_domains config ~domains (fun config ->
+          Printf.printf "batch: %d job(s), %d workers, %d domain(s)\n\n"
+            (List.length jobs) config.Service.Scheduler.workers domains;
+          let t0 = Unix.gettimeofday () in
+          let t = Service.Scheduler.create config in
+          let device = Sgx.Quote.device_create ~seed:device_seed in
+          Option.iter (load_service_state device t) state;
+          List.iter
+            (fun j ->
+              match Service.Scheduler.submit t j with
+              | Ok _ -> ()
+              | Error why ->
+                  Printf.printf "job for %s rejected at admission: %s\n"
+                    j.Service.Scheduler.client why)
+            jobs;
+          let completions = Service.Scheduler.run_until_idle t in
+          let dt = Unix.gettimeofday () -. t0 in
+          print_completions completions;
+          let jc = Service.Metrics.job_counts (Service.Scheduler.metrics t) in
+          let ph = Service.Metrics.phase_totals (Service.Scheduler.metrics t) in
+          Printf.printf
+            "\n%d jobs in %.2fs (%.1f jobs/s): %d pipeline runs, %d cache hits, %d failed\n"
+            (List.length completions) dt
+            (float_of_int (List.length completions) /. dt)
+            (jc.Service.Metrics.completed - jc.Service.Metrics.cache_hits)
+            jc.Service.Metrics.cache_hits jc.Service.Metrics.failed;
+          Printf.printf "policy+disassembly cycles actually spent: %s\n"
+            (commas (ph.Service.Metrics.disassembly + ph.Service.Metrics.policy));
+          (match Service.Scheduler.audit_log t with
+          | Some log ->
+              Printf.printf "audit log: %d leaves, root %s\n" (Audit.Log.size log)
+                (Crypto.Sha256.hex (Audit.Log.root log))
+          | None -> ());
+          print_newline ();
+          print_string (Service.Scheduler.report t);
+          Option.iter (save_service_state device t) state;
+          write_metrics t metrics_out;
+          List.exists
+            (fun (c : Service.Scheduler.completion) ->
+              match c.Service.Scheduler.verdict with
+              | Ok v -> not v.Service.Cache.accepted
+              | Error _ -> true)
+            completions)
+    in
+    if any_failed then exit 1
   in
   Cmd.v
     (Cmd.info "batch"
@@ -784,8 +815,8 @@ let batch_cmd =
           verdict cache, audit log) and print per-job verdicts plus service metrics.")
     Term.(
       const run $ bench_jobs_arg $ elf_jobs_arg $ variant $ repeat $ workers_arg
-      $ queue_arg $ no_cache_arg $ fast_arg $ timeout_arg $ policy_arg $ audit_flag_arg
-      $ state_arg $ metrics_out_arg $ device_seed_arg)
+      $ queue_arg $ domains_arg $ no_cache_arg $ fast_arg $ timeout_arg $ policy_arg
+      $ audit_flag_arg $ state_arg $ metrics_out_arg $ device_seed_arg)
 
 let serve_cmd =
   let clients =
@@ -803,8 +834,8 @@ let serve_cmd =
       & info [ "b"; "bench" ] ~docv:"BENCH"
           ~doc:"Benchmarks to cycle client payloads through (default: 429.mcf, otp-gen).")
   in
-  let run clients jobs_per_client benches workers queue no_cache fast timeout policy_names
-      audit_on state metrics_out device_seed =
+  let run clients jobs_per_client benches workers queue domains no_cache fast timeout
+      policy_names audit_on state metrics_out device_seed =
     check_pool_args ~workers ~queue;
     let benches =
       if benches <> [] then benches else [ Toolchain.Workloads.Mcf; Toolchain.Workloads.Otpgen ]
@@ -832,38 +863,40 @@ let serve_cmd =
           done;
           (id, client_ep))
     in
-    Printf.printf "serving %d connections (%s), %d payload(s) each, %d workers\n\n"
-      clients
-      (String.concat ", " (Channel.Session.Mux.connections mux))
-      jobs_per_client workers;
     let audit = audit_on || state <> None in
     let config = service_config ~audit ~workers ~queue ~no_cache ~fast ~timeout () in
-    let t = Service.Scheduler.create config in
-    let device = Sgx.Quote.device_create ~seed:device_seed in
-    Option.iter (load_service_state device t) state;
-    let t0 = Unix.gettimeofday () in
-    let completions =
-      Service.Scheduler.serve t ~mux ~policies_for:(fun _ -> policy_names) ()
-    in
-    let dt = Unix.gettimeofday () -. t0 in
-    print_completions completions;
-    Printf.printf "\nper-connection verdicts (as each client read them back):\n";
-    List.iter
-      (fun (id, ep) ->
+    with_domains config ~domains (fun config ->
+        Printf.printf
+          "serving %d connections (%s), %d payload(s) each, %d workers, %d domain(s)\n\n"
+          clients
+          (String.concat ", " (Channel.Session.Mux.connections mux))
+          jobs_per_client config.Service.Scheduler.workers domains;
+        let t = Service.Scheduler.create config in
+        let device = Sgx.Quote.device_create ~seed:device_seed in
+        Option.iter (load_service_state device t) state;
+        let t0 = Unix.gettimeofday () in
+        let completions =
+          Service.Scheduler.serve t ~mux ~policies_for:(fun _ -> policy_names) ()
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        print_completions completions;
+        Printf.printf "\nper-connection verdicts (as each client read them back):\n";
         List.iter
-          (fun m ->
-            match Channel.Client.read_verdict m with
-            | Ok (ok, detail) ->
-                Printf.printf "  %-10s %s (%s)\n" id
-                  (if ok then "ACCEPTED" else "REJECTED")
-                  detail
-            | Error _ -> Printf.printf "  %-10s unexpected message\n" id)
-          (Channel.Transport.drain ep))
-      client_eps;
-    Printf.printf "\n%d jobs in %.2fs\n\n" (List.length completions) dt;
-    print_string (Service.Scheduler.report t);
-    Option.iter (save_service_state device t) state;
-    write_metrics t metrics_out
+          (fun (id, ep) ->
+            List.iter
+              (fun m ->
+                match Channel.Client.read_verdict m with
+                | Ok (ok, detail) ->
+                    Printf.printf "  %-10s %s (%s)\n" id
+                      (if ok then "ACCEPTED" else "REJECTED")
+                      detail
+                | Error _ -> Printf.printf "  %-10s unexpected message\n" id)
+              (Channel.Transport.drain ep))
+          client_eps;
+        Printf.printf "\n%d jobs in %.2fs\n\n" (List.length completions) dt;
+        print_string (Service.Scheduler.report t);
+        Option.iter (save_service_state device t) state;
+        write_metrics t metrics_out)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -872,8 +905,8 @@ let serve_cmd =
           a worker pool draining it, verdicts multiplexed back to each connection.")
     Term.(
       const run $ clients $ jobs_per_client $ benches $ workers_arg $ queue_arg
-      $ no_cache_arg $ fast_arg $ timeout_arg $ policy_arg $ audit_flag_arg $ state_arg
-      $ metrics_out_arg $ device_seed_arg)
+      $ domains_arg $ no_cache_arg $ fast_arg $ timeout_arg $ policy_arg
+      $ audit_flag_arg $ state_arg $ metrics_out_arg $ device_seed_arg)
 
 (* --- audit: checkpoint / prove / verify ---------------------------
 

@@ -31,8 +31,12 @@ type t = {
   tables : (int * int) array;
   branch_targets : int array;
   hashes : (int, string) Hashtbl.t;
+  precomputed : (int, string * int) Hashtbl.t;
   mutable build_cycles : int;
 }
+
+type hash_task = unit -> (int * (string * int)) list
+type hash_runner = hash_task list -> (int * (string * int)) list list
 
 (* The one padding predicate shared by the indirect-call window scan,
    the CFG leader scan, and the lint policy. Covers every NOP encoding
@@ -162,6 +166,7 @@ let build perf (b : Disasm.buffer) symbols =
       tables = Array.of_list (List.rev !tables);
       branch_targets = Array.of_list (List.sort_uniq compare !branch_targets);
       hashes = Hashtbl.create 64;
+      precomputed = Hashtbl.create 64;
       build_cycles = 0;
     }
   in
@@ -235,7 +240,11 @@ let branch_target_within t ~lo ~hi =
   let i = go 0 n in
   i < n && ts.(i) < hi
 
-let function_hash_unmemoized t ~perf ~addr =
+(* Digest plus the modelled cycles the sequential policy would charge
+   for computing it — the cost is carried alongside so a digest computed
+   off-thread (prehash) can be charged identically, later, on the
+   inspecting thread. Pure w.r.t. [t]: only reads the buffer/symbols. *)
+let hash_and_cost t ~addr =
   let b = t.buffer in
   let stop =
     match Symhash.function_end t.symbols addr with
@@ -247,14 +256,14 @@ let function_hash_unmemoized t ~perf ~addr =
   | Some i0 ->
       let h = Crypto.Sha256.init () in
       let n = Array.length b.Disasm.entries in
+      let cost = ref Costmodel.hash_finalize in
       let rec go i =
         if i >= n then ()
         else begin
           let e = b.Disasm.entries.(i) in
           if e.Disasm.addr >= stop then ()
           else begin
-            Sgx.Perf.count_cycles perf
-              (Costmodel.hash_per_insn + (Costmodel.hash_per_byte * e.Disasm.len));
+            cost := !cost + Costmodel.hash_per_insn + (Costmodel.hash_per_byte * e.Disasm.len);
             Crypto.Sha256.update_sub h b.Disasm.code
               ~pos:(e.Disasm.addr - b.Disasm.base) ~len:e.Disasm.len;
             go (i + 1)
@@ -262,8 +271,14 @@ let function_hash_unmemoized t ~perf ~addr =
         end
       in
       go i0;
-      Sgx.Perf.count_cycles perf Costmodel.hash_finalize;
-      Some (Crypto.Sha256.hex (Crypto.Sha256.finalize h))
+      Some (Crypto.Sha256.hex (Crypto.Sha256.finalize h), !cost)
+
+let function_hash_unmemoized t ~perf ~addr =
+  match hash_and_cost t ~addr with
+  | None -> None
+  | Some (hex, cost) ->
+      Sgx.Perf.count_cycles perf cost;
+      Some hex
 
 let function_hash t ~perf ~addr =
   match Hashtbl.find_opt t.hashes addr with
@@ -271,8 +286,64 @@ let function_hash t ~perf ~addr =
       Sgx.Perf.count_cycles perf Costmodel.hash_memo_lookup;
       Some hex
   | None -> (
-      match function_hash_unmemoized t ~perf ~addr with
-      | Some hex ->
+      (* A prehashed digest is charged exactly what computing it now
+         would cost: prehash is a wall-clock optimization and must be
+         invisible to the modelled-cycle accounting. *)
+      match Hashtbl.find_opt t.precomputed addr with
+      | Some (hex, cost) ->
+          Sgx.Perf.count_cycles perf cost;
           Hashtbl.replace t.hashes addr hex;
           Some hex
-      | None -> None)
+      | None -> (
+          match function_hash_unmemoized t ~perf ~addr with
+          | Some hex ->
+              Hashtbl.replace t.hashes addr hex;
+              Some hex
+          | None -> None))
+
+(* --- parallel prehash --------------------------------------------- *)
+
+(* The functions whose digests an inspection can ask for: targets of
+   direct calls that resolve to a known function start (exactly the
+   candidates the library-linking policy hashes, before its db
+   filter). *)
+let hash_candidates t =
+  let addrs = Hashtbl.create 64 in
+  Array.iter
+    (fun (dc : direct_call) ->
+      if dc.dc_name <> None && not (Hashtbl.mem addrs dc.dc_target) then
+        Hashtbl.replace addrs dc.dc_target ())
+    t.direct_calls;
+  Hashtbl.fold (fun addr () acc -> addr :: acc) addrs []
+  |> List.sort compare
+
+let chunk n xs =
+  let rec go i cur acc = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if i = n then go 1 [ x ] (List.rev cur :: acc) rest
+        else go (i + 1) (x :: cur) acc rest
+  in
+  go 0 [] [] xs
+
+let prehash ?(tasks = 8) ?(threshold = 16) ~run_all t =
+  let candidates = List.filter (fun a -> not (Hashtbl.mem t.hashes a)) (hash_candidates t) in
+  let n = List.length candidates in
+  if n >= threshold then begin
+    let per_task = max 1 ((n + tasks - 1) / tasks) in
+    let work =
+      List.map
+        (fun addrs () ->
+          List.filter_map
+            (fun addr ->
+              Option.map (fun hc -> (addr, hc)) (hash_and_cost t ~addr))
+            addrs)
+        (chunk per_task candidates)
+    in
+    (* Tasks only read [t]; the merge back into the store happens here,
+       on the calling thread, so the index's tables are never mutated
+       concurrently. *)
+    List.iter
+      (List.iter (fun (addr, hc) -> Hashtbl.replace t.precomputed addr hc))
+      (run_all work)
+  end

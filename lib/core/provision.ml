@@ -104,10 +104,21 @@ let build_plan c =
   in
   bootstrap @ heap @ image
 
+(* Process-wide memo shared by every concurrent pipeline; the mutex is
+   the only cross-domain synchronization in this module. The replay
+   itself runs outside the lock — a racing duplicate computes the same
+   digest, so a lost update is harmless. *)
 let measurement_memo : (config, string) Hashtbl.t = Hashtbl.create 4
+let measurement_memo_lock = Mutex.create ()
 
 let expected_measurement c =
-  match Hashtbl.find_opt measurement_memo c with
+  let memoized =
+    Mutex.lock measurement_memo_lock;
+    let r = Hashtbl.find_opt measurement_memo c in
+    Mutex.unlock measurement_memo_lock;
+    r
+  in
+  match memoized with
   | Some m -> m
   | None ->
       let m = Sgx.Measurement.start ~base:enclave_base ~size:enclave_size in
@@ -117,7 +128,9 @@ let expected_measurement c =
           Sgx.Measurement.extend m ~vaddr ~content)
         (build_plan c);
       let d = Sgx.Measurement.finalize m in
+      Mutex.lock measurement_memo_lock;
       Hashtbl.replace measurement_memo c d;
+      Mutex.unlock measurement_memo_lock;
       d
 
 let build_enclave c epc perf =
@@ -130,7 +143,7 @@ let build_enclave c epc perf =
 
 exception Reject of rejection
 
-let run ?tamper ?(policies = []) c ~payload =
+let run ?tamper ?hash_runner ?(policies = []) c ~payload =
   let report = Report.create () in
   let epc = Sgx.Epc.create ~pages:c.epc_pages ~seed:(c.seed ^ "/epc") () in
   let host = Sgx.Host_os.create () in
@@ -272,6 +285,12 @@ let run ?tamper ?(policies = []) c ~payload =
               Policy.context ~analysis_perf:report.Report.analysis
                 ~cfg_perf:report.Report.cfg ~perf:report.Report.policy buffer symbols
             in
+            (* Warm the function-hash store in parallel before the
+               policies run. Uncharged — see [Analysis.prehash] — so
+               the modelled-cycle accounting below is unchanged. *)
+            (match hash_runner with
+            | None -> ()
+            | Some run_all -> Analysis.prehash ~run_all ctx.Policy.index);
             let policy_results = Policy.run_all ctx policies in
             if not (Policy.all_compliant policy_results) then begin
               ignore (raise (Reject (Policy_violations policy_results)))

@@ -66,10 +66,15 @@ val expected_measurement : config -> string
 
 val run :
   ?tamper:(Channel.Wire.t -> Channel.Wire.t) ->
+  ?hash_runner:Analysis.hash_runner ->
   ?policies:(Policy.t list) ->
   config ->
   payload:string ->
   outcome
 (** Execute the whole protocol over a loopback transport. [tamper]
     models an adversary on the untrusted path. [policies] defaults to
-    none (pure loading); pass the agreed modules for compliance runs. *)
+    none (pure loading); pass the agreed modules for compliance runs.
+    [hash_runner] (e.g. a domain pool's [run_all]) lets the inspection
+    prehash candidate function digests in parallel before the policies
+    run; it never changes verdicts or modelled cycles, only wall-clock
+    time. *)

@@ -14,119 +14,133 @@ type phase_totals = { disassembly : int; policy : int; loading : int; provisioni
 let latency_buckets =
   [| 1_000_000; 10_000_000; 100_000_000; 1_000_000_000; 10_000_000_000 |]
 
+(* Every counter is an [Atomic.t]: the registry is written from the
+   scheduler thread and read (rendered) from anywhere, and with the
+   parallel dispatch path pipelines may one day record directly. Atomics
+   make each sample individually coherent; [render] is a point-in-time
+   snapshot, not a transaction across samples — the usual Prometheus
+   contract. *)
 type t = {
-  mutable submitted : int;
-  mutable rejected : int;
-  mutable completed : int;
-  mutable failed : int;
-  mutable retried : int;
-  mutable cache_hits : int;
-  mutable disassembly : int;
-  mutable policy : int;
-  mutable loading : int;
-  mutable provisioning : int;
-  mutable runs : int;  (* real pipeline executions, incl. retries *)
-  buckets : int array; (* latency histogram; last slot is +Inf *)
-  mutable latency_sum : int;
-  mutable latency_count : int;
-  mutable queue_depth : int;
-  mutable queue_depth_peak : int;
-  mutable audit_appends : int;
-  mutable audit_checkpoints : int;
-  mutable audit_log_size : int;
+  submitted : int Atomic.t;
+  rejected : int Atomic.t;
+  completed : int Atomic.t;
+  failed : int Atomic.t;
+  retried : int Atomic.t;
+  cache_hits : int Atomic.t;
+  disassembly : int Atomic.t;
+  policy : int Atomic.t;
+  loading : int Atomic.t;
+  provisioning : int Atomic.t;
+  runs : int Atomic.t;          (* real pipeline executions, incl. retries *)
+  buckets : int Atomic.t array; (* latency histogram; last slot is +Inf *)
+  latency_sum : int Atomic.t;
+  latency_count : int Atomic.t;
+  queue_depth : int Atomic.t;
+  queue_depth_peak : int Atomic.t;
+  audit_appends : int Atomic.t;
+  audit_checkpoints : int Atomic.t;
+  audit_log_size : int Atomic.t;
 }
 
 let create () =
   {
-    submitted = 0;
-    rejected = 0;
-    completed = 0;
-    failed = 0;
-    retried = 0;
-    cache_hits = 0;
-    disassembly = 0;
-    policy = 0;
-    loading = 0;
-    provisioning = 0;
-    runs = 0;
-    buckets = Array.make (Array.length latency_buckets + 1) 0;
-    latency_sum = 0;
-    latency_count = 0;
-    queue_depth = 0;
-    queue_depth_peak = 0;
-    audit_appends = 0;
-    audit_checkpoints = 0;
-    audit_log_size = 0;
+    submitted = Atomic.make 0;
+    rejected = Atomic.make 0;
+    completed = Atomic.make 0;
+    failed = Atomic.make 0;
+    retried = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    disassembly = Atomic.make 0;
+    policy = Atomic.make 0;
+    loading = Atomic.make 0;
+    provisioning = Atomic.make 0;
+    runs = Atomic.make 0;
+    buckets = Array.init (Array.length latency_buckets + 1) (fun _ -> Atomic.make 0);
+    latency_sum = Atomic.make 0;
+    latency_count = Atomic.make 0;
+    queue_depth = Atomic.make 0;
+    queue_depth_peak = Atomic.make 0;
+    audit_appends = Atomic.make 0;
+    audit_checkpoints = Atomic.make 0;
+    audit_log_size = Atomic.make 0;
   }
 
-let job_submitted t = t.submitted <- t.submitted + 1
-let job_rejected t = t.rejected <- t.rejected + 1
+let incr c = ignore (Atomic.fetch_and_add c 1)
+let addto c n = ignore (Atomic.fetch_and_add c n)
+
+let job_submitted t = incr t.submitted
+let job_rejected t = incr t.rejected
 
 let job_completed t ~cache_hit =
-  t.completed <- t.completed + 1;
-  if cache_hit then t.cache_hits <- t.cache_hits + 1
+  incr t.completed;
+  if cache_hit then incr t.cache_hits
 
-let job_failed t = t.failed <- t.failed + 1
-let job_retried t = t.retried <- t.retried + 1
+let job_failed t = incr t.failed
+let job_retried t = incr t.retried
 
 let observe_run t ~disassembly ~policy ~loading ~provisioning =
-  t.disassembly <- t.disassembly + disassembly;
-  t.policy <- t.policy + policy;
-  t.loading <- t.loading + loading;
-  t.provisioning <- t.provisioning + provisioning;
-  t.runs <- t.runs + 1
+  addto t.disassembly disassembly;
+  addto t.policy policy;
+  addto t.loading loading;
+  addto t.provisioning provisioning;
+  incr t.runs
 
 let observe_latency t ~cycles =
   let rec slot i =
     if i >= Array.length latency_buckets || cycles <= latency_buckets.(i) then i
     else slot (i + 1)
   in
-  let i = slot 0 in
-  t.buckets.(i) <- t.buckets.(i) + 1;
-  t.latency_sum <- t.latency_sum + cycles;
-  t.latency_count <- t.latency_count + 1
+  incr t.buckets.(slot 0);
+  addto t.latency_sum cycles;
+  incr t.latency_count
+
+(* Monotone max via CAS: a concurrent larger peak never regresses. *)
+let rec raise_peak c candidate =
+  let seen = Atomic.get c in
+  if candidate > seen && not (Atomic.compare_and_set c seen candidate) then
+    raise_peak c candidate
 
 let set_queue_depth t d =
-  t.queue_depth <- d;
-  t.queue_depth_peak <- max t.queue_depth_peak d
+  Atomic.set t.queue_depth d;
+  raise_peak t.queue_depth_peak d
 
 let audit_appended t ~log_size =
-  t.audit_appends <- t.audit_appends + 1;
-  t.audit_log_size <- log_size
+  incr t.audit_appends;
+  Atomic.set t.audit_log_size log_size
 
-let audit_checkpointed t = t.audit_checkpoints <- t.audit_checkpoints + 1
-let set_audit_log_size t n = t.audit_log_size <- n
+let audit_checkpointed t = incr t.audit_checkpoints
+let set_audit_log_size t n = Atomic.set t.audit_log_size n
 
 let job_counts t =
   {
-    submitted = t.submitted;
-    rejected = t.rejected;
-    completed = t.completed;
-    failed = t.failed;
-    retried = t.retried;
-    cache_hits = t.cache_hits;
+    submitted = Atomic.get t.submitted;
+    rejected = Atomic.get t.rejected;
+    completed = Atomic.get t.completed;
+    failed = Atomic.get t.failed;
+    retried = Atomic.get t.retried;
+    cache_hits = Atomic.get t.cache_hits;
   }
 
 let phase_totals t =
   {
-    disassembly = t.disassembly;
-    policy = t.policy;
-    loading = t.loading;
-    provisioning = t.provisioning;
+    disassembly = Atomic.get t.disassembly;
+    policy = Atomic.get t.policy;
+    loading = Atomic.get t.loading;
+    provisioning = Atomic.get t.provisioning;
   }
 
 let render t ~queue ~cache =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   line "# engarde service metrics (cycles are modelled; see lib/sgx/perf.mli)";
-  line "jobs_submitted_total %d" t.submitted;
-  line "jobs_rejected_total %d" t.rejected;
-  line "jobs_completed_total %d" t.completed;
-  line "jobs_failed_total %d" t.failed;
-  line "jobs_retried_total %d" t.retried;
-  line "pipeline_runs_total %d" t.runs;
-  line "queue_depth %d" t.queue_depth;
-  line "queue_depth_peak %d" (max t.queue_depth_peak queue.Queue.peak_depth);
+  line "jobs_submitted_total %d" (Atomic.get t.submitted);
+  line "jobs_rejected_total %d" (Atomic.get t.rejected);
+  line "jobs_completed_total %d" (Atomic.get t.completed);
+  line "jobs_failed_total %d" (Atomic.get t.failed);
+  line "jobs_retried_total %d" (Atomic.get t.retried);
+  line "pipeline_runs_total %d" (Atomic.get t.runs);
+  line "queue_depth %d" (Atomic.get t.queue_depth);
+  line "queue_depth_peak %d" (max (Atomic.get t.queue_depth_peak) queue.Queue.peak_depth);
   line "queue_capacity %d" queue.Queue.capacity;
   line "queue_submitted_total %d" queue.Queue.submitted;
   line "queue_rejected_total %d" queue.Queue.rejected;
@@ -139,24 +153,24 @@ let render t ~queue ~cache =
       line "cache_hits_total %d" c.Cache.hits;
       line "cache_misses_total %d" c.Cache.misses;
       line "cache_evictions_total %d" c.Cache.evictions);
-  line "audit_appends_total %d" t.audit_appends;
-  line "audit_checkpoints_total %d" t.audit_checkpoints;
-  line "audit_log_size %d" t.audit_log_size;
-  line "phase_cycles_total{phase=\"disassembly\"} %d" t.disassembly;
-  line "phase_cycles_total{phase=\"policy\"} %d" t.policy;
-  line "phase_cycles_total{phase=\"loading\"} %d" t.loading;
-  line "phase_cycles_total{phase=\"provisioning\"} %d" t.provisioning;
+  line "audit_appends_total %d" (Atomic.get t.audit_appends);
+  line "audit_checkpoints_total %d" (Atomic.get t.audit_checkpoints);
+  line "audit_log_size %d" (Atomic.get t.audit_log_size);
+  line "phase_cycles_total{phase=\"disassembly\"} %d" (Atomic.get t.disassembly);
+  line "phase_cycles_total{phase=\"policy\"} %d" (Atomic.get t.policy);
+  line "phase_cycles_total{phase=\"loading\"} %d" (Atomic.get t.loading);
+  line "phase_cycles_total{phase=\"provisioning\"} %d" (Atomic.get t.provisioning);
   (* Cumulative, as Prometheus histograms are. *)
   let cum = ref 0 in
   Array.iteri
     (fun i count ->
-      cum := !cum + count;
+      cum := !cum + Atomic.get count;
       let le =
         if i < Array.length latency_buckets then string_of_int latency_buckets.(i)
         else "+Inf"
       in
       line "job_latency_cycles_bucket{le=\"%s\"} %d" le !cum)
     t.buckets;
-  line "job_latency_cycles_sum %d" t.latency_sum;
-  line "job_latency_cycles_count %d" t.latency_count;
+  line "job_latency_cycles_sum %d" (Atomic.get t.latency_sum);
+  line "job_latency_cycles_count %d" (Atomic.get t.latency_count);
   Buffer.contents b

@@ -6,7 +6,11 @@
     layer: queue depth, job latencies (modelled cycles, exponential
     histogram), retries, and cache effectiveness. [render] emits a
     Prometheus-style plain-text report, one sample per line, suitable
-    for scraping or diffing in tests. *)
+    for scraping or diffing in tests.
+
+    Every counter is atomic: recording from any domain is safe, and
+    [render] is a coherent point-in-time read of each sample (not a
+    transaction across samples — the standard Prometheus contract). *)
 
 type job_counts = {
   submitted : int;   (** admitted into the queue *)

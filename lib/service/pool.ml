@@ -1,0 +1,137 @@
+(* A task cell lives on the shared queue until some thread — a pool
+   domain, or a help-first run_all caller — claims it by flipping
+   [taken] under the pool mutex. Claim-then-run-outside-the-lock means
+   the queue can hand the same cell to a popper after a helper claimed
+   it; the flag makes the duplicate a no-op. *)
+type cell = { run : unit -> unit; mutable taken : bool }
+
+type t = {
+  m : Mutex.t;
+  work : Condition.t; (* new cell queued, or shutdown *)
+  queue : cell Stdlib.Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list; (* [] once joined *)
+  size : int;
+}
+
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable st : 'a state;
+}
+
+let size t = t.size
+
+let resolve fut st =
+  Mutex.lock fut.fm;
+  fut.st <- st;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+let await fut =
+  Mutex.lock fut.fm;
+  while fut.st = Pending do
+    Condition.wait fut.fc fut.fm
+  done;
+  let st = fut.st in
+  Mutex.unlock fut.fm;
+  match st with
+  | Done v -> v
+  | Failed e -> raise e
+  | Pending -> assert false
+
+(* Pop cells until an unclaimed one turns up; [None] only at shutdown
+   with an empty queue (graceful: queued work always completes). *)
+let rec next_cell t =
+  if not (Stdlib.Queue.is_empty t.queue) then begin
+    let c = Stdlib.Queue.pop t.queue in
+    if c.taken then next_cell t
+    else begin
+      c.taken <- true;
+      Some c
+    end
+  end
+  else if t.closed then None
+  else begin
+    Condition.wait t.work t.m;
+    next_cell t
+  end
+
+let worker_loop t =
+  let rec go () =
+    Mutex.lock t.m;
+    let cell = next_cell t in
+    Mutex.unlock t.m;
+    match cell with
+    | None -> ()
+    | Some c ->
+        c.run ();
+        go ()
+  in
+  go ()
+
+let create ~domains =
+  if domains <= 0 then invalid_arg "Service.Pool.create: domains must be positive";
+  let t =
+    {
+      m = Mutex.create ();
+      work = Condition.create ();
+      queue = Stdlib.Queue.create ();
+      closed = false;
+      workers = [];
+      size = domains;
+    }
+  in
+  t.workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit_cell t f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); st = Pending } in
+  let run () =
+    match f () with
+    | v -> resolve fut (Done v)
+    | exception e -> resolve fut (Failed e)
+  in
+  let cell = { run; taken = false } in
+  Mutex.lock t.m;
+  if t.closed then begin
+    Mutex.unlock t.m;
+    invalid_arg "Service.Pool.submit: pool is shut down"
+  end;
+  Stdlib.Queue.add cell t.queue;
+  Condition.signal t.work;
+  Mutex.unlock t.m;
+  (cell, fut)
+
+let submit t f = snd (submit_cell t f)
+
+let run_all t fs =
+  let cells = List.map (fun f -> submit_cell t f) fs in
+  (* Help-first: claim every cell of this batch no domain has started
+     yet and run it here. Whatever remains is in flight on the pool. *)
+  List.iter
+    (fun (cell, _) ->
+      Mutex.lock t.m;
+      let mine = not cell.taken in
+      if mine then cell.taken <- true;
+      Mutex.unlock t.m;
+      if mine then cell.run ())
+    cells;
+  (* Every cell is claimed by now; first failure in list order wins. *)
+  let results = List.map (fun (_, fut) -> try Ok (await fut) with e -> Error e) cells in
+  List.map (function Ok v -> v | Error e -> raise e) results
+
+let shutdown t =
+  Mutex.lock t.m;
+  let workers = t.workers in
+  t.closed <- true;
+  t.workers <- [];
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  List.iter Domain.join workers
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

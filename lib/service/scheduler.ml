@@ -34,7 +34,9 @@ type config = {
   libc_db : Toolchain.Libc.version;
   provision : Engarde.Provision.config;
   fault : attempt:int -> job -> (Channel.Wire.t -> Channel.Wire.t) option;
-  dispatch : (unit -> Engarde.Provision.outcome) -> Engarde.Provision.outcome;
+  dispatch :
+    (unit -> Engarde.Provision.outcome) -> unit -> Engarde.Provision.outcome;
+  hash_runner : Engarde.Analysis.hash_runner option;
 }
 
 let default_config =
@@ -50,8 +52,34 @@ let default_config =
     libc_db = Toolchain.Libc.V1_0_5;
     provision = Engarde.Provision.default_config;
     fault = (fun ~attempt:_ _ -> None);
-    dispatch = (fun pipeline -> pipeline ());
+    (* Sequential: the pipeline runs at submission, the join is a
+       no-op. [parallel_config] swaps in a domain-pool dispatch with
+       the same two-phase shape. *)
+    dispatch =
+      (fun pipeline ->
+        let r = pipeline () in
+        fun () -> r);
+    hash_runner = None;
   }
+
+(* The domain-pool dispatch: submit on the Run tick, block on the Join
+   tick. Pipelines for distinct jobs overlap on the pool's domains
+   while the scheduler keeps stepping its cooperative tick loop. *)
+let parallel_dispatch pool pipeline =
+  let fut = Pool.submit pool pipeline in
+  fun () -> Pool.await fut
+
+let parallel_config ?(config = default_config) ~domains () =
+  let pool = Pool.create ~domains in
+  ( {
+      config with
+      (* At least one scheduler worker per domain, or in-flight slots —
+         not cores — would bound the parallelism. *)
+      workers = max config.workers domains;
+      dispatch = parallel_dispatch pool;
+      hash_runner = Some (fun tasks -> Pool.run_all pool tasks);
+    },
+    pool )
 
 let known_policies =
   [ "libc"; "stack"; "ifcc"; "lint"; "stack-pattern"; "ifcc-pattern" ]
@@ -93,6 +121,9 @@ type worker_state =
   | Idle
   | Lookup of active
   | Run of active
+  | Join of active * (unit -> Engarde.Provision.outcome)
+      (* attempt in flight on the dispatch substrate; the thunk blocks
+         until its outcome is ready *)
   | Backoff of active * int  (* ticks until retry *)
 
 type t = {
@@ -317,8 +348,12 @@ let verdict_of_outcome (o : Engarde.Provision.outcome) =
     findings = Engarde.Provision.findings o;
   }
 
-(* One real pipeline execution (one attempt) for [a] on [worker]. *)
-let run_attempt t ~worker a =
+(* Launch one real pipeline execution (one attempt) for [a]. Everything
+   the pipeline closure touches is prepared here, on the scheduler
+   thread — the libc db is forced, the policy instances are fresh
+   per-attempt — so the closure only reads immutable or private state
+   and is safe to run on any domain the dispatch picks. *)
+let start_attempt t ~worker a =
   a.attempts <- a.attempts + 1;
   let job = a.ajob in
   let policies =
@@ -332,10 +367,17 @@ let run_attempt t ~worker a =
     { t.cfg.provision with Engarde.Provision.policy_names = job.policy_names }
   in
   let tamper = t.cfg.fault ~attempt:a.attempts job in
-  let outcome =
+  let hash_runner = t.cfg.hash_runner in
+  let join =
     t.cfg.dispatch (fun () ->
-        Engarde.Provision.run ?tamper ~policies provision_cfg ~payload:job.payload)
+        Engarde.Provision.run ?tamper ?hash_runner ~policies provision_cfg
+          ~payload:job.payload)
   in
+  t.workers.(worker) <- Join (a, join)
+
+(* The attempt's outcome is in hand (the join returned): charge the
+   modelled cycles and decide — retry, fail, time out, or complete. *)
+let finish_attempt t ~worker a outcome =
   let report = outcome.Engarde.Provision.report in
   let phase p = Sgx.Perf.total_cycles p in
   let disassembly = phase report.Engarde.Report.disassembly in
@@ -388,9 +430,10 @@ let step_worker t worker =
           complete t ~worker a (Ok verdict) ~cache_hit:true;
           t.workers.(worker) <- Idle
       | None -> t.workers.(worker) <- Run a)
-  | Run a -> run_attempt t ~worker a
+  | Run a -> start_attempt t ~worker a
+  | Join (a, join) -> finish_attempt t ~worker a (join ())
   | Backoff (a, remaining) ->
-      if remaining <= 0 then run_attempt t ~worker a
+      if remaining <= 0 then start_attempt t ~worker a
       else t.workers.(worker) <- Backoff (a, remaining - 1)
 
 let busy t =

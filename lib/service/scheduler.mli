@@ -8,9 +8,14 @@
     by one pipeline stage (dequeue, cache lookup, run, backoff), so a
     single giant binary cannot monopolize the service and interleaving
     is deterministic. True parallelism slots in through the [dispatch]
-    hook (run the pipeline closure on a [Domain], return the outcome);
-    everything else — admission, ordering, the cache, metrics — is
-    already written for concurrent completion order.
+    hook: the scheduler submits the pipeline closure on one tick and
+    joins its outcome on the next, so with {!parallel_config} the
+    closures of distinct jobs overlap on a {!Pool} of domains while
+    admission, ordering, the cache, metrics and the audit log keep
+    their sequential semantics — completions are re-sequenced by [seq],
+    and modelled cycles (hence verdicts, retries and timeouts) do not
+    depend on which domain ran a pipeline or in what order they
+    finished.
 
     Failure handling: channel-layer failures ([Transfer_tampered]) are
     treated as transient and retried with exponential backoff up to
@@ -65,16 +70,36 @@ type config = {
       (** adversary/chaos hook: a tamper function for this attempt, or
           [None] for a clean channel. Tests inject transient failures
           here. *)
-  dispatch : (unit -> Engarde.Provision.outcome) -> Engarde.Provision.outcome;
-      (** the Domain-parallelism hook point: the scheduler calls
-          [dispatch pipeline] for every real pipeline execution.
-          Default: run in place. *)
+  dispatch :
+    (unit -> Engarde.Provision.outcome) -> unit -> Engarde.Provision.outcome;
+      (** the Domain-parallelism hook point, in two phases: the
+          scheduler calls [dispatch pipeline] when a worker starts an
+          attempt (submit) and the returned thunk one tick later
+          (join — may block until the outcome is ready). The default
+          runs the pipeline in place at submit time and joins
+          instantly; {!parallel_config} submits to a domain pool. *)
+  hash_runner : Engarde.Analysis.hash_runner option;
+      (** when set, passed to [Engarde.Provision.run] so each pipeline
+          prehashes its candidate function digests in parallel
+          (see {!Engarde.Analysis.prehash}); never changes verdicts or
+          modelled cycles *)
 }
 
 val default_config : config
 (** 4 workers, queue of 64, cache of 256 verdicts, audit off, no
-    timeout, 2 retries, clean channel, in-place dispatch, libc-db
-    v1.0.5, [Engarde.Provision.default_config]. *)
+    timeout, 2 retries, clean channel, in-place dispatch, no hash
+    runner, libc-db v1.0.5, [Engarde.Provision.default_config]. *)
+
+val parallel_config : ?config:config -> domains:int -> unit -> config * Pool.t
+(** [config] (default {!default_config}) rewired for true parallelism:
+    [dispatch] submits every pipeline to a fresh [domains]-wide {!Pool},
+    [hash_runner] fans per-function hashing out over the same pool, and
+    [workers] is raised to at least [domains] so in-flight slots never
+    bound the parallelism. The pool is returned so the caller can
+    {!Pool.shutdown} it when the scheduler is done. Verdicts, cache
+    statistics and the audit-log root are identical to the sequential
+    configuration on the same job mix — wall-clock time is the only
+    observable difference. *)
 
 val policies_of_names :
   db:(string * string) list -> string list -> (Engarde.Policy.t list, string) result

@@ -1,0 +1,277 @@
+(* Domain-pool and sharded-cache tests: run_all ordering and failure
+   semantics, graceful shutdown, nested (help-first) run_all from
+   inside a pool task, the qcheck property that the striped cache is
+   observationally the single-lock cache behind key-hash routing, and a
+   multi-domain stress run hammering one cache stripe. *)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let pool_run_all_order () =
+  Service.Pool.with_pool ~domains:3 (fun pool ->
+      let n = 20 in
+      let results =
+        Service.Pool.run_all pool
+          (List.init n (fun i () ->
+               (* Stagger so completion order differs from input order. *)
+               if i mod 3 = 0 then Unix.sleepf 0.002;
+               i * i))
+      in
+      Alcotest.(check (list int))
+        "results in input order"
+        (List.init n (fun i -> i * i))
+        results;
+      Alcotest.(check int) "pool size" 3 (Service.Pool.size pool))
+
+exception Boom_a
+exception Boom_b
+
+let pool_exception_rethrow () =
+  Service.Pool.with_pool ~domains:2 (fun pool ->
+      (* submit/await: the task's exception surfaces at await, every
+         time (await is idempotent). *)
+      let fut = Service.Pool.submit pool (fun () -> raise Boom_a) in
+      Alcotest.check_raises "await rethrows" Boom_a (fun () ->
+          ignore (Service.Pool.await fut));
+      Alcotest.check_raises "await rethrows again" Boom_a (fun () ->
+          ignore (Service.Pool.await fut));
+      (* run_all: first failure in LIST order wins, even when a later
+         task fails first on the clock. *)
+      let ran_after = ref false in
+      (try
+         ignore
+           (Service.Pool.run_all pool
+              [
+                (fun () -> 1);
+                (fun () ->
+                  Unix.sleepf 0.01;
+                  raise Boom_a);
+                (fun () -> raise Boom_b);
+                (fun () ->
+                  ran_after := true;
+                  4);
+              ]);
+         Alcotest.fail "run_all did not raise"
+       with
+      | Boom_a -> ()
+      | Boom_b -> Alcotest.fail "later failure won over earlier one");
+      (* No task is abandoned: the one after the failures still ran. *)
+      Alcotest.(check bool) "all tasks claimed and run" true !ran_after)
+
+let pool_shutdown () =
+  let pool = Service.Pool.create ~domains:2 in
+  let fut = Service.Pool.submit pool (fun () -> 41 + 1) in
+  (* Graceful: queued work completes across shutdown. *)
+  Service.Pool.shutdown pool;
+  Alcotest.(check int) "queued task still completed" 42 (Service.Pool.await fut);
+  (* Idempotent. *)
+  Service.Pool.shutdown pool;
+  (* Submissions after shutdown are refused loudly. *)
+  (match Service.Pool.submit pool (fun () -> 0) with
+  | _ -> Alcotest.fail "submit after shutdown did not raise"
+  | exception Invalid_argument _ -> ());
+  match Service.Pool.create ~domains:0 with
+  | _ -> Alcotest.fail "domains:0 accepted"
+  | exception Invalid_argument _ -> ()
+
+(* The shape parallel hashing produces: a pipeline running ON a pool
+   domain fans its own sub-tasks out through run_all on the same
+   (fully busy) pool. Help-first claiming means this cannot deadlock
+   even at domains:1. *)
+let pool_nested_run_all () =
+  Service.Pool.with_pool ~domains:1 (fun pool ->
+      let fut =
+        Service.Pool.submit pool (fun () ->
+            Service.Pool.run_all pool (List.init 4 (fun i () -> i + 10)))
+      in
+      Alcotest.(check (list int))
+        "nested run_all completes on a saturated pool" [ 10; 11; 12; 13 ]
+        (Service.Pool.await fut))
+
+(* ------------------------------------------------------------------ *)
+(* Sharded cache vs single-lock shards (qcheck)                        *)
+(* ------------------------------------------------------------------ *)
+
+let dummy_verdict detail =
+  {
+    Service.Cache.accepted = true;
+    detail;
+    measurement = "m";
+    instructions = 1;
+    disassembly_cycles = 2;
+    policy_cycles = 3;
+    loading_cycles = 4;
+    findings = [];
+  }
+
+type op = Add of string * string | Find of string | Mem of string
+
+let op_gen =
+  let open QCheck.Gen in
+  (* A dozen keys over a tiny capacity: adds constantly evict, so the
+     sequences are get/put/evict-heavy by construction. *)
+  let key = map (Printf.sprintf "key-%d") (int_bound 11) in
+  frequency
+    [
+      (3, map2 (fun k i -> Add (k, Printf.sprintf "%s=%d" k i)) key (int_bound 99));
+      (2, map (fun k -> Find k) key);
+      (1, map (fun k -> Mem k) key);
+    ]
+
+let scenario_gen =
+  QCheck.Gen.(triple (int_range 1 4) (int_range 1 6) (list_size (int_range 1 120) op_gen))
+
+let scenario_print (shards, capacity, ops) =
+  Printf.sprintf "shards=%d capacity=%d ops=[%s]" shards capacity
+    (String.concat "; "
+       (List.map
+          (function
+            | Add (k, v) -> Printf.sprintf "Add(%s,%s)" k v
+            | Find k -> Printf.sprintf "Find(%s)" k
+            | Mem k -> Printf.sprintf "Mem(%s)" k)
+          ops))
+
+(* The defining property of the striped cache: it IS key-hash routing
+   onto independent single-lock LRU caches, one per stripe, with the
+   capacity budget distributed the same way. At shards=1 this is full
+   observational equivalence with the classic global-LRU cache,
+   evictions included. *)
+let sharded_matches_routed_single_locks =
+  QCheck.Test.make ~count:300 ~name:"sharded cache = routed single-lock caches"
+    (QCheck.make ~print:scenario_print scenario_gen)
+    (fun (shards, capacity, ops) ->
+      let striped = Service.Cache.sharded ~shards ~capacity in
+      let base = capacity / shards and extra = capacity mod shards in
+      let model =
+        Array.init shards (fun i ->
+            Service.Cache.create
+              ~capacity:(max 1 (base + if i < extra then 1 else 0)))
+      in
+      let route k = model.(Hashtbl.hash k mod shards) in
+      let value v = Option.map (fun c -> c.Service.Cache.detail) v in
+      List.for_all
+        (fun op ->
+          match op with
+          | Add (k, v) ->
+              Service.Cache.add striped k (dummy_verdict v);
+              Service.Cache.add (route k) k (dummy_verdict v);
+              true
+          | Find k ->
+              value (Service.Cache.find striped k)
+              = value (Service.Cache.find (route k) k)
+          | Mem k -> Service.Cache.mem striped k = Service.Cache.mem (route k) k)
+        ops
+      &&
+      let s = Service.Cache.stats striped in
+      let m =
+        Array.fold_left
+          (fun (acc : Service.Cache.stats) shard ->
+            let s = Service.Cache.stats shard in
+            {
+              Service.Cache.hits = acc.Service.Cache.hits + s.Service.Cache.hits;
+              misses = acc.Service.Cache.misses + s.Service.Cache.misses;
+              evictions = acc.Service.Cache.evictions + s.Service.Cache.evictions;
+              size = acc.Service.Cache.size + s.Service.Cache.size;
+              capacity = acc.Service.Cache.capacity + s.Service.Cache.capacity;
+            })
+          {
+            Service.Cache.hits = 0;
+            misses = 0;
+            evictions = 0;
+            size = 0;
+            capacity = 0;
+          }
+          model
+      in
+      s = m)
+
+(* Export/import across different stripe layouts: the blob format is
+   layout-independent, and same-layout round-trips preserve recency
+   (evict order) exactly. *)
+let sharded_export_import () =
+  (* 6 entries per stripe: uneven key routing cannot evict anything. *)
+  let a = Service.Cache.sharded ~shards:3 ~capacity:18 in
+  List.iter
+    (fun i ->
+      let k = Printf.sprintf "key-%d" i in
+      Service.Cache.add a k (dummy_verdict k))
+    [ 0; 1; 2; 3; 4; 5 ];
+  (* Into the same layout. *)
+  let b = Service.Cache.sharded ~shards:3 ~capacity:18 in
+  (match Service.Cache.import b (Service.Cache.export a) with
+  | Ok n -> Alcotest.(check int) "all entries replayed" 6 n
+  | Error e -> Alcotest.failf "import failed: %s" e);
+  List.iter
+    (fun i ->
+      let k = Printf.sprintf "key-%d" i in
+      Alcotest.(check bool) (k ^ " present after import") true (Service.Cache.mem b k))
+    [ 0; 1; 2; 3; 4; 5 ];
+  (* Into a single-lock cache: same blob, different layout. *)
+  let c = Service.Cache.create ~capacity:8 in
+  (match Service.Cache.import c (Service.Cache.export a) with
+  | Ok n -> Alcotest.(check int) "layout-independent import" 6 n
+  | Error e -> Alcotest.failf "import failed: %s" e);
+  Alcotest.(check int) "single-lock holds all entries" 6
+    (Service.Cache.stats c).Service.Cache.size
+
+(* ------------------------------------------------------------------ *)
+(* Stress: many domains, one hot key                                   *)
+(* ------------------------------------------------------------------ *)
+
+let cache_stress_one_hot_key () =
+  let domains = 4 and iters = 400 in
+  let cache = Service.Cache.sharded ~shards:2 ~capacity:3 in
+  let hot = "the-hot-key" in
+  Service.Pool.with_pool ~domains (fun pool ->
+      ignore
+        (Service.Pool.run_all pool
+           (List.init domains (fun d () ->
+                for i = 1 to iters do
+                  (* Everyone hammers the hot key; a rotating cold key
+                     keeps the eviction path busy on both stripes. *)
+                  Service.Cache.add cache hot (dummy_verdict (Printf.sprintf "%d/%d" d i));
+                  ignore (Service.Cache.find cache hot);
+                  let cold = Printf.sprintf "cold-%d" (i mod 7) in
+                  ignore (Service.Cache.find cache cold);
+                  Service.Cache.add cache cold (dummy_verdict cold);
+                  ignore (Service.Cache.mem cache hot)
+                done)));
+      ());
+  let s = Service.Cache.stats cache in
+  Alcotest.(check bool) "size within capacity" true
+    (s.Service.Cache.size <= s.Service.Cache.capacity);
+  Alcotest.(check int) "capacity as configured" 3 s.Service.Cache.capacity;
+  (* Counters were taken under the stripe locks: every find is exactly
+     one hit or one miss, none lost to races. *)
+  Alcotest.(check int) "hits + misses = finds"
+    (2 * domains * iters)
+    (s.Service.Cache.hits + s.Service.Cache.misses);
+  (* At quiescence the cache behaves as an ordinary sequential
+     structure again. *)
+  Service.Cache.add cache hot (dummy_verdict "post-stress");
+  match Service.Cache.find cache hot with
+  | Some v ->
+      Alcotest.(check string) "post-stress value readable" "post-stress"
+        v.Service.Cache.detail
+  | None -> Alcotest.fail "hot key missing immediately after add"
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "run_all preserves input order" `Quick pool_run_all_order;
+          Alcotest.test_case "exceptions rethrow (first in list order)" `Quick
+            pool_exception_rethrow;
+          Alcotest.test_case "graceful, idempotent shutdown" `Quick pool_shutdown;
+          Alcotest.test_case "nested run_all cannot deadlock" `Quick pool_nested_run_all;
+        ] );
+      ( "sharded-cache",
+        [
+          QCheck_alcotest.to_alcotest sharded_matches_routed_single_locks;
+          Alcotest.test_case "export/import across layouts" `Quick sharded_export_import;
+          Alcotest.test_case "multi-domain stress on one hot key" `Quick
+            cache_stress_one_hot_key;
+        ] );
+    ]

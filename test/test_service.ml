@@ -474,6 +474,109 @@ let batch_determinism_with_failures () =
     one
     [ `Ok; `Ok; `Timeout; `Ok ]
 
+(* The parallel scheduler's acceptance check: dispatching pipelines onto
+   a domain pool overlaps wall-clock work but replays the exact
+   modelled-cycle schedule, so the completion set — verdicts with their
+   cycle counts, cache hit totals, retry counts and the audit log's
+   Merkle root — must be bit-identical at domains 1 / 2 / 8, including
+   the retry (flaky) and timeout (slow) jobs. *)
+let parallel_matches_sequential () =
+  let plain = Lazy.force mcf_plain in
+  let flaky_payload =
+    (Linker.link (Workloads.build ~seed:"flaky" Codegen.plain Workloads.Mcf)).Linker.elf
+  in
+  let slow_payload =
+    (Linker.link
+       (Workloads.build { Codegen.stack_protector = true; ifcc = true } Workloads.Bzip2))
+      .Linker.elf
+  in
+  (* Modelled cycles are deterministic: one probe run gives the exact
+     timeout budget that catches the slow job but spares the others
+     (asserted below by the expected completion shapes). *)
+  let slow_cycles =
+    match
+      Service.Scheduler.batch
+        ~config:(service_config ~workers:1 ())
+        [ job ~policies:[ "libc"; "stack-pattern"; "ifcc-pattern" ] slow_payload ]
+    with
+    | [ { Service.Scheduler.verdict = Ok _; latency_cycles; _ } ] -> latency_cycles
+    | _ -> Alcotest.fail "probe job did not complete"
+  in
+  let jobs =
+    [
+      job ~client:"cheap" plain;
+      job ~client:"flaky" flaky_payload;
+      job ~client:"slow" ~policies:[ "libc"; "stack-pattern"; "ifcc-pattern" ] slow_payload;
+      job ~client:"cheap-again" plain;  (* duplicate: hit or re-run, same verdict *)
+    ]
+  in
+  let run domains =
+    let base =
+      {
+        (service_config ~workers:8 ()) with
+        Service.Scheduler.max_retries = 2;
+        timeout_cycles = Some (slow_cycles - 1);
+        audit = true;
+        fault =
+          (fun ~attempt j ->
+            if j.Service.Scheduler.client = "flaky" && attempt = 1 then
+              Some corrupt_first_block
+            else None);
+      }
+    in
+    let cfg, pool =
+      if domains = 1 then (base, None)
+      else
+        let cfg, pool = Service.Scheduler.parallel_config ~config:base ~domains () in
+        (cfg, Some pool)
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Service.Pool.shutdown pool)
+      (fun () ->
+        let completions, t = batch_with cfg jobs in
+        let summary =
+          List.map
+            (fun (c : Service.Scheduler.completion) ->
+              ( c.Service.Scheduler.seq,
+                c.Service.Scheduler.job.Service.Scheduler.client,
+                (c.Service.Scheduler.attempts, c.Service.Scheduler.cache_hit,
+                 c.Service.Scheduler.latency_cycles),
+                match c.Service.Scheduler.verdict with
+                | Ok v ->
+                    (v.Service.Cache.accepted, v.Service.Cache.detail,
+                     v.Service.Cache.measurement)
+                | Error f -> (false, Service.Scheduler.failure_to_string f, "") ))
+            completions
+        in
+        let jc = Service.Metrics.job_counts (Service.Scheduler.metrics t) in
+        let root =
+          match Service.Scheduler.audit_log t with
+          | Some log -> Audit.Log.root log
+          | None -> Alcotest.fail "audit log missing with audit = true"
+        in
+        (summary, jc.Service.Metrics.retried, jc.Service.Metrics.cache_hits, root))
+  in
+  let seq = run 1 in
+  let par2 = run 2 in
+  let par8 = run 8 in
+  let summary, retried, _, _ = seq in
+  Alcotest.(check int) "4 completions" 4 (List.length summary);
+  Alcotest.(check int) "the flaky job retried" 1 retried;
+  Alcotest.(check bool)
+    "domains 1 and 2 agree (verdicts, cycles, cache hits, retries, audit root)" true
+    (seq = par2);
+  Alcotest.(check bool) "domains 1 and 8 agree" true (seq = par8);
+  (* And the mix really exercised retry, timeout and duplicate shapes. *)
+  List.iter2
+    (fun (_, client, _, (accepted, detail, _)) expect ->
+      match expect with
+      | `Ok -> Alcotest.(check bool) (client ^ " accepted") true accepted
+      | `Timeout ->
+          Alcotest.(check bool) (client ^ " timed out") true
+            (Astring.String.is_infix ~affix:"timed out" detail && not accepted))
+    summary
+    [ `Ok; `Ok; `Timeout; `Ok ]
+
 (* ------------------------------------------------------------------ *)
 (* Serve: the multiplexed front door                                   *)
 (* ------------------------------------------------------------------ *)
@@ -568,6 +671,8 @@ let () =
           Alcotest.test_case "retry budget exhausts" `Quick retry_budget_exhausts;
           Alcotest.test_case "determinism with retries and timeouts" `Quick
             batch_determinism_with_failures;
+          Alcotest.test_case "parallel matches sequential (domains 1/2/8)" `Quick
+            parallel_matches_sequential;
         ] );
       ( "serve",
         [ Alcotest.test_case "multiplexed verdicts" `Quick serve_multiplexed ] );
