@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the real build system.
 
-.PHONY: all build test fmt check bench bench-smoke bench-json lint clean
+.PHONY: all build test fmt check bench bench-smoke bench-json policy-oracle lint clean
 
 all: build
 
@@ -17,16 +17,25 @@ fmt:
 # tests (incl. the qcheck CFG/dataflow properties), the reduced
 # benchmark gate (fused single-pass analysis must never lose to
 # independent per-policy scans; flow-sensitive policies within budget
-# of the pattern scans; domains=4 batch >= 1.8x faster than domains=1
-# wall-clock, skipped on machines with < 4 recommended domains), and
-# the control-flow lint over every example workload.
-check: fmt build test bench-smoke lint
+# of the pattern scans; the DSL libc program within 1.5x of the native
+# module including interpreter overhead; domains=4 batch >= 1.8x
+# faster than domains=1 wall-clock, skipped on machines with < 4
+# recommended domains), the DSL-vs-native differential oracle over
+# every workload, and the control-flow lint over every example
+# workload.
+check: fmt build test bench-smoke policy-oracle lint
 
 bench:
 	dune exec bench/main.exe
 
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
+
+# The full differential: every workload (and adversarial fixture), the
+# four builtin DSL programs vs the native modules — verdicts, findings
+# and modelled cycles must match bit for bit.
+policy-oracle:
+	dune exec bench/main.exe -- --policy-oracle
 
 # The domains=1/2/4/8 wall-clock scaling table alone, written to
 # BENCH_service.json for trend tracking.

@@ -405,6 +405,7 @@ let synthetic_leaf i =
     accepted = i mod 7 <> 0;
     findings_digest = Crypto.Sha256.digest "";
     measurement = Crypto.Sha256.digest "bench-enclave";
+    programs_digest = Crypto.Sha256.digest "bench-programs";
     instructions = 1000 + i;
     disassembly_cycles = 10_000 + i;
     policy_cycles = 20_000 + i;
@@ -593,6 +594,83 @@ let scaling_table () =
   Printf.printf "machine-readable results -> %s\n" bench_json_path
 
 (* ------------------------------------------------------------------ *)
+(* Policy oracle: DSL programs vs native modules on every workload      *)
+(* ------------------------------------------------------------------ *)
+
+(* The full differential sweep (`make policy-oracle`): the four builtin
+   DSL programs must reproduce the native modules' verdicts, findings
+   and modelled cycles bit for bit on all seven workloads (fully
+   instrumented, so every policy exercises its accept path) plus the
+   adversarial fixtures (the reject paths). The in-runtest suite covers
+   a small core of this; here nothing is sampled. *)
+let native_oracle_policies () =
+  [
+    Engarde.Policy_libc.make ~db:(Lazy.force libc_db) ();
+    Engarde.Policy_stack.make ~exempt:Libc.function_names ();
+    Engarde.Policy_ifcc.make ();
+    Engarde.Policy_lint.make ();
+  ]
+
+let vm_oracle_policies vm_perf =
+  List.map
+    (fun (_, p) -> Policyvm.Vm.policy ~vm_perf p)
+    (Policyvm.Builtin.all ~db:(Lazy.force libc_db) ~exempt:Libc.function_names)
+
+let oracle_ctx pre =
+  let ctx, _ = make_ctx ~analysis_perf:(Sgx.Perf.create ()) pre in
+  ctx
+
+let policy_oracle () =
+  banner
+    "policy-oracle: DSL builtins vs native modules — verdicts, findings and \
+     modelled cycles must match bit for bit";
+  Printf.printf "%-22s %16s %16s %7s  %s\n" "workload" "modelled cycles" "vm overhead"
+    "ratio" "verdict";
+  let failures = ref 0 in
+  let compare_engines label pre =
+    let ctx_n = oracle_ctx pre in
+    let res_n = Engarde.Policy.run_all ctx_n (native_oracle_policies ()) in
+    let ctx_v = oracle_ctx pre in
+    let vm_perf = Sgx.Perf.create () in
+    let res_v = Engarde.Policy.run_all ctx_v (vm_oracle_policies vm_perf) in
+    let cycles p = (Sgx.Perf.native_cycles p, Sgx.Perf.sgx_instructions p) in
+    let native_c = cycles ctx_n.Engarde.Policy.perf in
+    let ok =
+      res_n = res_v
+      && native_c = cycles ctx_v.Engarde.Policy.perf
+      && cycles ctx_n.Engarde.Policy.cfg_perf = cycles ctx_v.Engarde.Policy.cfg_perf
+    in
+    if not ok then incr failures;
+    let overhead = Sgx.Perf.total_cycles vm_perf in
+    let modelled = fst native_c in
+    Printf.printf "%-22s %16s %16s %6.2fx  %s\n" label (commas modelled)
+      (commas overhead)
+      (float_of_int (modelled + overhead) /. float_of_int (max 1 modelled))
+      (if ok then
+         if Engarde.Policy.all_compliant res_n then "identical (compliant)"
+         else "identical (violations)"
+       else "ENGINES DISAGREE")
+  in
+  List.iter
+    (fun bench ->
+      compare_engines (Workloads.to_string bench) (context_of bench both_variants))
+    Workloads.all;
+  List.iter
+    (fun adv ->
+      let img = Linker.link_adversarial adv in
+      let elf = Result.get_ok (Elf64.Reader.parse img.Linker.elf) in
+      let text = List.hd (Elf64.Reader.text_sections elf) in
+      compare_engines
+        ("adv/" ^ Workloads.adversarial_to_string adv)
+        (text.Elf64.Reader.data, text.Elf64.Reader.addr, elf.Elf64.Reader.symbols))
+    Workloads.adversarial_all;
+  if !failures > 0 then begin
+    Printf.printf "policy-oracle: %d workload(s) FAILED the differential\n" !failures;
+    exit 1
+  end;
+  print_endline "policy-oracle: DSL = native on every workload"
+
+(* ------------------------------------------------------------------ *)
 (* Smoke mode: reduced run with hard assertions (wired into `make       *)
 (* check` as bench-smoke)                                               *)
 (* ------------------------------------------------------------------ *)
@@ -648,6 +726,30 @@ let smoke () =
    let flow = policy_cycles pre (stack_mode `Flow) in
    check "401.bzip2: flow stack beats quadratic scan" (flow < pat)
      (Printf.sprintf "pattern %s flow %s cycles" (commas pat) (commas flow)));
+  banner "bench-smoke: policy-VM interpretation gate (DSL libc <= 1.5x native)";
+  (* The negotiated DSL program charges the same modelled cycles as the
+     native module by construction; the interpreter's own overhead is
+     metered separately and must stay within half the modelled cost. *)
+  (let pre = context_of Workloads.Mcf Codegen.plain in
+   let native =
+     let ctx = oracle_ctx pre in
+     expect_compliant (Engarde.Policy_libc.make ~db:(Lazy.force libc_db) ()) ctx;
+     Sgx.Perf.total_cycles ctx.Engarde.Policy.perf
+   in
+   let vm_perf = Sgx.Perf.create () in
+   let vm =
+     let ctx = oracle_ctx pre in
+     let prog = Policyvm.Builtin.libc ~db:(Lazy.force libc_db) in
+     expect_compliant (Policyvm.Vm.policy ~vm_perf prog) ctx;
+     Sgx.Perf.total_cycles ctx.Engarde.Policy.perf
+   in
+   let overhead = Sgx.Perf.total_cycles vm_perf in
+   check "DSL libc: modelled cycles identical to native" (vm = native)
+     (Printf.sprintf "native %s DSL %s" (commas native) (commas vm));
+   check "DSL libc: modelled + interpreter <= 1.5x native"
+     (2 * (vm + overhead) <= 3 * native)
+     (Printf.sprintf "DSL %s + %s vm = %.2fx native" (commas vm) (commas overhead)
+        (float_of_int (vm + overhead) /. float_of_int native)));
   (* 1k-leaf log: every inclusion proof must be O(log n) — at most
      ceil(log2 1024) = 10 hashes — and actually verify against a
      quote-signed checkpoint. *)
@@ -850,6 +952,11 @@ let bechamel_suite () =
 let () =
   if Array.exists (fun a -> a = "--smoke") Sys.argv then begin
     smoke ();
+    exit 0
+  end;
+  (* Just the full DSL-vs-native differential (`make policy-oracle`). *)
+  if Array.exists (fun a -> a = "--policy-oracle") Sys.argv then begin
+    policy_oracle ();
     exit 0
   end;
   (* Just the multicore table + BENCH_service.json (`make bench-json`). *)

@@ -9,7 +9,8 @@
      cfg        recover per-function CFGs, summarize or export as DOT
      lint       run the control-flow lint policy, fail on findings
      batch      run many inspection jobs through the service layer
-     serve      demo the multiplexed inspection service front end *)
+     serve      demo the multiplexed inspection service front end
+     policy     compile/hash/run negotiated policy-VM programs *)
 
 open Cmdliner
 
@@ -69,41 +70,74 @@ let libc_conv =
   let print fmt v = Format.pp_print_string fmt (Toolchain.Libc.version_to_string v) in
   Arg.conv (parse, print)
 
+(* The scheduler's registry is the single source of truth for which
+   policies are name-addressable: the flag's enum, the error text and
+   the service's admission control can never drift apart again.
+   (Policy_malware stays library-only — it needs a caller-supplied
+   signature database, so there is no sensible name to register.) *)
+let reference_db = lazy (Toolchain.Libc.hash_db Toolchain.Libc.V1_0_5)
+
 let policies_of_names names =
-  List.map
-    (function
-      | "libc" ->
-          Engarde.Policy_libc.make ~db:(Toolchain.Libc.hash_db Toolchain.Libc.V1_0_5) ()
-      | "stack" -> Engarde.Policy_stack.make ~exempt:Toolchain.Libc.function_names ()
-      | "ifcc" -> Engarde.Policy_ifcc.make ()
-      | "lint" -> Engarde.Policy_lint.make ()
-      | "stack-pattern" ->
-          Engarde.Policy_stack.make ~exempt:Toolchain.Libc.function_names ~mode:`Pattern ()
-      | "ifcc-pattern" -> Engarde.Policy_ifcc.make ~mode:`Pattern ()
-      | s ->
-          failwith
-            (Printf.sprintf
-               "unknown policy %S (libc|stack|ifcc|lint|stack-pattern|ifcc-pattern)" s))
-    names
+  match Service.Scheduler.policies_of_names ~db:(Lazy.force reference_db) names with
+  | Ok ps -> ps
+  | Error msg ->
+      Printf.eprintf "engarde: %s\n" msg;
+      exit 2
 
 let policy_arg =
   Arg.(
     value
     & opt_all
-        (enum
-           [
-             ("libc", "libc");
-             ("stack", "stack");
-             ("ifcc", "ifcc");
-             ("lint", "lint");
-             ("stack-pattern", "stack-pattern");
-             ("ifcc-pattern", "ifcc-pattern");
-           ])
+        (enum (List.map (fun n -> (n, n)) Service.Scheduler.known_policies))
         []
     & info [ "p"; "policy" ] ~docv:"POLICY"
         ~doc:
-          "Policy module to enforce: libc, stack, ifcc, lint, or the paper's \
-           window-scan baselines stack-pattern / ifcc-pattern. Repeatable.")
+          (Printf.sprintf
+             "Policy module to enforce: %s. Repeatable. (The window-scan \
+              *-pattern modes are the paper's unsound baselines; the malware \
+              scanner is library-only, it needs a signature database.)"
+             (String.concat ", " Service.Scheduler.known_policies)))
+
+(* NAME=FILE (or bare FILE, named after its basename): a custom policy
+   program in canonical blob form, negotiated as data — no recompile. *)
+let policy_file_conv =
+  let parse s =
+    let name, path =
+      match String.index_opt s '=' with
+      | Some i ->
+          (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+      | None -> (Filename.remove_extension (Filename.basename s), s)
+    in
+    if not (Sys.file_exists path) then
+      Error (`Msg (Printf.sprintf "no such file: %s" path))
+    else if name = "" then Error (`Msg "empty policy name")
+    else Ok (name, read_file path)
+  in
+  let print fmt (name, _) = Format.fprintf fmt "%s=<blob>" name in
+  Arg.conv (parse, print)
+
+let policy_file_arg =
+  Arg.(
+    value
+    & opt_all policy_file_conv []
+    & info [ "policy-file" ] ~docv:"NAME=FILE"
+        ~doc:
+          "Enforce the custom policy program in $(b,FILE) (canonical blob, see \
+           $(b,engarde policy compile)) under NAME. The program joins the \
+           negotiated set: its bytes are part of the measured policy-set \
+           digest. Repeatable.")
+
+(* Decode custom blobs into runnable policies, or die with the decoder's
+   reason — a blob the negotiation would reject should fail here too. *)
+let custom_policies files =
+  List.map
+    (fun (name, blob) ->
+      match Policyvm.Vm.of_blob blob with
+      | Ok p -> p
+      | Error e ->
+          Printf.eprintf "engarde: policy %s: %s\n" name e;
+          exit 2)
+    files
 
 (* --- gen --- *)
 
@@ -155,7 +189,7 @@ let elf_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"ELF" ~doc:"Executable to inspect.")
 
 let inspect_cmd =
-  let run path policy_names =
+  let run path policy_names policy_files =
     let raw = read_file path in
     match Elf64.Reader.parse raw with
     | Error e ->
@@ -190,7 +224,10 @@ let inspect_cmd =
               Engarde.Policy.context ~analysis_perf ~cfg_perf ~perf:(Sgx.Perf.create ())
                 buffer symbols
             in
-            let results = Engarde.Policy.run_all ctx (policies_of_names policy_names) in
+            let results =
+              Engarde.Policy.run_all ctx
+                (policies_of_names policy_names @ custom_policies policy_files)
+            in
             List.iter
               (fun (name, v) ->
                 (match v with
@@ -214,7 +251,7 @@ let inspect_cmd =
   Cmd.v
     (Cmd.info "inspect"
        ~doc:"Disassemble an ELF and run policy modules on it (static, no enclave).")
-    Term.(const run $ elf_arg $ policy_arg)
+    Term.(const run $ elf_arg $ policy_arg $ policy_file_arg)
 
 (* --- provision --- *)
 
@@ -725,12 +762,13 @@ let batch_cmd =
           ~doc:"Submit the whole job list N times (duplicate-heavy workloads).")
   in
   let run benches elfs variant repeat workers queue domains no_cache fast timeout
-      policy_names audit_on state metrics_out device_seed =
+      policy_names policy_files audit_on state metrics_out device_seed =
     check_pool_args ~workers ~queue;
     if benches = [] && elfs = [] then begin
       prerr_endline "batch: no jobs; pass --bench and/or --elf";
       exit 2
     end;
+    let policy_names = policy_names @ List.map fst policy_files in
     let built = Hashtbl.create 8 in
     let payload_of_bench b =
       match Hashtbl.find_opt built b with
@@ -760,7 +798,12 @@ let batch_cmd =
     in
     let jobs = List.concat (List.init repeat (fun _ -> one_round)) in
     let audit = audit_on || state <> None in
-    let config = service_config ~audit ~workers ~queue ~no_cache ~fast ~timeout () in
+    let config =
+      {
+        (service_config ~audit ~workers ~queue ~no_cache ~fast ~timeout ()) with
+        Service.Scheduler.programs = policy_files;
+      }
+    in
     let any_failed =
       with_domains config ~domains (fun config ->
           Printf.printf "batch: %d job(s), %d workers, %d domain(s)\n\n"
@@ -816,7 +859,8 @@ let batch_cmd =
     Term.(
       const run $ bench_jobs_arg $ elf_jobs_arg $ variant $ repeat $ workers_arg
       $ queue_arg $ domains_arg $ no_cache_arg $ fast_arg $ timeout_arg $ policy_arg
-      $ audit_flag_arg $ state_arg $ metrics_out_arg $ device_seed_arg)
+      $ policy_file_arg $ audit_flag_arg $ state_arg $ metrics_out_arg
+      $ device_seed_arg)
 
 let serve_cmd =
   let clients =
@@ -835,8 +879,9 @@ let serve_cmd =
           ~doc:"Benchmarks to cycle client payloads through (default: 429.mcf, otp-gen).")
   in
   let run clients jobs_per_client benches workers queue domains no_cache fast timeout
-      policy_names audit_on state metrics_out device_seed =
+      policy_names policy_files audit_on state metrics_out device_seed =
     check_pool_args ~workers ~queue;
+    let policy_names = policy_names @ List.map fst policy_files in
     let benches =
       if benches <> [] then benches else [ Toolchain.Workloads.Mcf; Toolchain.Workloads.Otpgen ]
     in
@@ -864,7 +909,12 @@ let serve_cmd =
           (id, client_ep))
     in
     let audit = audit_on || state <> None in
-    let config = service_config ~audit ~workers ~queue ~no_cache ~fast ~timeout () in
+    let config =
+      {
+        (service_config ~audit ~workers ~queue ~no_cache ~fast ~timeout ()) with
+        Service.Scheduler.programs = policy_files;
+      }
+    in
     with_domains config ~domains (fun config ->
         Printf.printf
           "serving %d connections (%s), %d payload(s) each, %d workers, %d domain(s)\n\n"
@@ -906,7 +956,8 @@ let serve_cmd =
     Term.(
       const run $ clients $ jobs_per_client $ benches $ workers_arg $ queue_arg
       $ domains_arg $ no_cache_arg $ fast_arg $ timeout_arg $ policy_arg
-      $ audit_flag_arg $ state_arg $ metrics_out_arg $ device_seed_arg)
+      $ policy_file_arg $ audit_flag_arg $ state_arg $ metrics_out_arg
+      $ device_seed_arg)
 
 (* --- audit: checkpoint / prove / verify ---------------------------
 
@@ -1110,6 +1161,135 @@ let audit_cmd =
           inclusion proofs, and offline verification.")
     [ audit_checkpoint_cmd; audit_prove_cmd; audit_verify_cmd ]
 
+(* --- policy: compile / hash / run ---------------------------------
+   The negotiated-VM workflow: policies are measured data. [compile]
+   emits a builtin's canonical blob, [hash] prints program and
+   policy-set digests (exactly what gets measured into the judging
+   enclave), [run] interprets a blob against a binary without any
+   enclave or service. *)
+
+let policy_compile_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun n -> (n, n)) [ "libc"; "stack"; "ifcc"; "lint" ]))) None
+      & info [] ~docv:"NAME"
+          ~doc:"Builtin to compile: libc, stack, ifcc or lint. (The *-pattern \
+                baselines have no DSL form; they negotiate as native markers.)")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path (default: NAME.pvm).")
+  in
+  let run name output =
+    let prog =
+      List.assoc name
+        (Policyvm.Builtin.all ~db:(Lazy.force reference_db)
+           ~exempt:Toolchain.Libc.function_names)
+    in
+    let blob = Policyvm.Encode.to_bytes prog in
+    let output = match output with Some o -> o | None -> name ^ ".pvm" in
+    write_file output blob;
+    Printf.printf "%s: %d bytes, digest %s -> %s\n" name (String.length blob)
+      (Policyvm.Encode.digest_hex prog) output
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Emit a builtin policy's canonical VM blob — the negotiable, measurable \
+          form a client and provider agree on.")
+    Term.(const run $ name_arg $ output)
+
+let policy_hash_cmd =
+  let run policy_names policy_files =
+    if policy_names = [] && policy_files = [] then begin
+      prerr_endline "policy hash: nothing to hash; pass --policy and/or --policy-file";
+      exit 2
+    end;
+    let config =
+      { Service.Scheduler.default_config with Service.Scheduler.programs = policy_files }
+    in
+    let t = Service.Scheduler.create config in
+    let names = policy_names @ List.map fst policy_files in
+    let set = Service.Scheduler.program_set t names in
+    List.iter
+      (fun (name, blob) ->
+        Printf.printf "%-24s %s\n" name (Crypto.Sha256.hex (Crypto.Sha256.digest blob)))
+      set;
+    Printf.printf "%-24s %s\n" "policy-set"
+      (Crypto.Sha256.hex (Service.Scheduler.programs_digest t names))
+  in
+  Cmd.v
+    (Cmd.info "hash"
+       ~doc:
+         "Print per-program digests and the negotiated policy-set digest for a \
+          policy selection — the value measured into the judging enclave, offered \
+          over the channel, recorded in audit leaves and folded into cache keys.")
+    Term.(const run $ policy_arg $ policy_file_arg)
+
+let policy_run_cmd =
+  let blob_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BLOB" ~doc:"Canonical policy program blob to interpret.")
+  in
+  let elf_pos =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"ELF" ~doc:"Executable to run the program against.")
+  in
+  let run blob_path elf_path =
+    let vm_perf = Sgx.Perf.create () in
+    let policy =
+      match Policyvm.Vm.of_blob ~vm_perf (read_file blob_path) with
+      | Ok p -> p
+      | Error e ->
+          Printf.eprintf "engarde: %s: %s\n" blob_path e;
+          exit 2
+    in
+    let buffer, symbols =
+      disasm_payload ~what:(Filename.basename elf_path) (read_file elf_path)
+    in
+    let perf = Sgx.Perf.create () in
+    let cfg_perf = Sgx.Perf.create () in
+    let ctx = Engarde.Policy.context ~cfg_perf ~perf buffer symbols in
+    let results = Engarde.Policy.run_all ctx [ policy ] in
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Engarde.Policy.Compliant -> Printf.printf "policy %-24s compliant\n" name
+        | Engarde.Policy.Violations fs ->
+            Printf.printf "policy %-24s %d violation(s)\n" name (List.length fs);
+            List.iter
+              (fun f -> Printf.printf "  %s\n" (Engarde.Policy.finding_to_string f))
+              fs)
+      results;
+    Printf.printf "modelled policy cycles: %d (+%d cfg)\n"
+      (Sgx.Perf.total_cycles perf) (Sgx.Perf.total_cycles cfg_perf);
+    Printf.printf "interpreter overhead:   %d cycles (separate stream)\n"
+      (Sgx.Perf.total_cycles vm_perf);
+    if not (Engarde.Policy.all_compliant results) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Interpret a policy blob against an ELF (static, no enclave): the verdict \
+          and modelled cycles are exactly what the provisioning pipeline would \
+          charge; interpreter overhead is metered separately.")
+    Term.(const run $ blob_arg $ elf_pos)
+
+let policy_cmd =
+  Cmd.group
+    (Cmd.info "policy"
+       ~doc:
+         "The negotiated policy VM: compile builtins to canonical blobs, hash \
+          negotiated policy sets, and run programs directly.")
+    [ policy_compile_cmd; policy_hash_cmd; policy_run_cmd ]
+
 let () =
   let doc = "EnGarde: mutually-trusted inspection of SGX enclaves (reproduction)" in
   exit
@@ -1126,4 +1306,5 @@ let () =
             batch_cmd;
             serve_cmd;
             audit_cmd;
+            policy_cmd;
           ]))

@@ -3,6 +3,7 @@ type leaf = {
   accepted : bool;
   findings_digest : string;
   measurement : string;
+  programs_digest : string;
   instructions : int;
   disassembly_cycles : int;
   policy_cycles : int;
@@ -24,6 +25,7 @@ let leaf_bytes l =
   Buffer.add_char b (if l.accepted then '\x01' else '\x00');
   str l.findings_digest;
   str l.measurement;
+  str l.programs_digest;
   Buffer.add_string b (u64_be l.instructions);
   Buffer.add_string b (u64_be l.disassembly_cycles);
   Buffer.add_string b (u64_be l.policy_cycles);
@@ -62,6 +64,7 @@ let leaf_of_cursor c =
   let* accepted = match acc with "\x01" -> Some true | "\x00" -> Some false | _ -> None in
   let* findings_digest = str_of c in
   let* measurement = str_of c in
+  let* programs_digest = str_of c in
   let* instructions = u64_of c in
   let* disassembly_cycles = u64_of c in
   let* policy_cycles = u64_of c in
@@ -72,6 +75,7 @@ let leaf_of_cursor c =
       accepted;
       findings_digest;
       measurement;
+      programs_digest;
       instructions;
       disassembly_cycles;
       policy_cycles;
@@ -94,6 +98,7 @@ let dummy_leaf =
     accepted = false;
     findings_digest = "";
     measurement = "";
+    programs_digest = "";
     instructions = 0;
     disassembly_cycles = 0;
     policy_cycles = 0;
@@ -194,7 +199,8 @@ let verify_consistency pub ~old_ckpt ~new_ckpt ~proof =
 
 (* --- persistence -------------------------------------------------- *)
 
-let export_magic = "EGLOG1\x00\x00"
+(* v2: leaves carry the negotiated policy-program digest. *)
+let export_magic = "EGLOG2\x00\x00"
 
 let export t =
   let b = Buffer.create (64 + (t.n * 160)) in

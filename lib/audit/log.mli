@@ -23,6 +23,10 @@ type leaf = {
       (** SHA-256 of the canonical findings encoding (digest of "" when
           the binary was accepted) *)
   measurement : string;  (** enclave measurement of the judging run *)
+  programs_digest : string;
+      (** negotiated policy-set digest of the judging run ([""] when
+          the run predates negotiation) — auditors can tie every
+          verdict event to the exact programs that produced it *)
   instructions : int;
   disassembly_cycles : int;
   policy_cycles : int;

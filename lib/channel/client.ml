@@ -2,6 +2,7 @@ type t = {
   device_pub : Crypto.Rsa.public;
   expected_measurement : string;
   payload : string;
+  programs : (string * string) list;
   session_key : string;
   challenge_bytes : string;
   mutable session : Session.t option;
@@ -19,16 +20,23 @@ let failure_to_string = function
   | Bad_enclave_key -> "quote does not bind the enclave's public key"
   | Protocol why -> "protocol error: " ^ why
 
-let create ~device_pub ~expected_measurement ~seed ~payload =
+let create ?(programs = []) ~device_pub ~expected_measurement ~seed ~payload () =
   let drbg = Crypto.Drbg.create ~personalization:"engarde-client" seed in
   {
     device_pub;
     expected_measurement;
     payload;
+    programs;
     session_key = Crypto.Drbg.generate drbg 32;
     challenge_bytes = Crypto.Drbg.generate drbg 16;
     session = None;
   }
+
+let offered_digest t =
+  if t.programs = [] then None else Some (Session.policy_set_digest t.programs)
+
+let policy_offer t =
+  if t.programs = [] then None else Some (Wire.Policy_offer { programs = t.programs })
 
 let challenge t = Wire.Client_hello { challenge = t.challenge_bytes }
 

@@ -18,13 +18,25 @@ type failure =
 val failure_to_string : failure -> string
 
 val create :
+  ?programs:(string * string) list ->
   device_pub:Crypto.Rsa.public ->
   expected_measurement:string ->
   seed:string ->
   payload:string ->
+  unit ->
   t
 (** [payload] is the ELF executable to ship. [seed] drives the client's
-    session-key generation deterministically. *)
+    session-key generation deterministically. [programs] is the
+    negotiated policy-program set ([(name, canonical blob)] pairs) the
+    client will offer before streaming code; empty means no
+    negotiation step. *)
+
+val offered_digest : t -> string option
+(** {!Session.policy_set_digest} of [programs]; [None] when the client
+    negotiates nothing. *)
+
+val policy_offer : t -> Wire.t option
+(** The [Policy_offer] message, when there is a program set to offer. *)
 
 val challenge : t -> Wire.t
 (** Step 1: the attestation challenge. *)

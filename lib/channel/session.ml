@@ -39,6 +39,22 @@ let split_payload payload =
   in
   go 0 0 []
 
+(* Canonical digest of a negotiated policy set: order-sensitive,
+   length-prefixed, domain-separated. Both sides compute it — the
+   client over what it offers, the enclave over what arrived — and the
+   enclave compares against the digest measured into it at build. *)
+let policy_set_digest programs =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "EGPSET1\x00";
+  List.iter
+    (fun (name, blob) ->
+      Buffer.add_string b (u32 (String.length name));
+      Buffer.add_string b name;
+      Buffer.add_string b (u32 (String.length blob));
+      Buffer.add_string b blob)
+    programs;
+  Crypto.Sha256.digest (Buffer.contents b)
+
 let payload_messages t payload =
   let blocks =
     List.map

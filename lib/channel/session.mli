@@ -24,6 +24,12 @@ val decrypt_block :
 val split_payload : string -> (int * int * string) list
 (** [(seq, offset, chunk)] page-sized pieces covering the payload. *)
 
+val policy_set_digest : (string * string) list -> string
+(** Canonical 32-byte digest of a negotiated policy-program set
+    ([(name, blob)] pairs, order-sensitive). The provider measures it
+    into the enclave; the enclave recomputes it over the client's
+    {!Wire.Policy_offer} and accepts only on a match. *)
+
 val payload_messages : t -> string -> Wire.t list
 (** The full client-side transfer: every authenticated [Code_block]
     followed by the [Transfer_done] trailer. *)

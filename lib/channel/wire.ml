@@ -5,6 +5,8 @@ type t =
   | Code_block of { seq : int; offset : int; ciphertext : string; tag : string }
   | Transfer_done of { total_len : int; digest : string }
   | Verdict of { accepted : bool; detail : string }
+  | Policy_offer of { programs : (string * string) list }
+  | Policy_accept of { digest : string }
 
 let u32 n = String.init 4 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
 
@@ -34,6 +36,10 @@ let to_bytes = function
   | Transfer_done { total_len; digest } -> "\x05" ^ u32 total_len ^ field digest
   | Verdict { accepted; detail } ->
       "\x06" ^ (if accepted then "\x01" else "\x00") ^ field detail
+  | Policy_offer { programs } ->
+      "\x07" ^ u32 (List.length programs)
+      ^ String.concat "" (List.map (fun (name, blob) -> field name ^ field blob) programs)
+  | Policy_accept { digest } -> "\x08" ^ field digest
 
 let of_bytes s =
   try
@@ -69,6 +75,27 @@ let of_bytes s =
             let detail, fin = read_field s 2 in
             if fin <> String.length s then None else Some (Verdict { accepted; detail })
           end
+      | '\x07' ->
+          let count = read_u32 s 1 in
+          (* An honest offer is small; cap before allocating. *)
+          if count > 0xffff then None
+          else begin
+            let rec pairs n pos acc =
+              if n = 0 then Some (List.rev acc, pos)
+              else begin
+                let name, p = read_field s pos in
+                let blob, p = read_field s p in
+                pairs (n - 1) p ((name, blob) :: acc)
+              end
+            in
+            match pairs count 5 [] with
+            | Some (programs, fin) when fin = String.length s ->
+                Some (Policy_offer { programs })
+            | _ -> None
+          end
+      | '\x08' ->
+          let digest, fin = read_field s (body 1) in
+          if fin <> String.length s then None else Some (Policy_accept { digest })
       | _ -> None
   with Short -> None
 
@@ -81,3 +108,5 @@ let describe = function
   | Code_block { seq; _ } -> Printf.sprintf "code-block #%d" seq
   | Transfer_done _ -> "transfer-done"
   | Verdict { accepted; _ } -> if accepted then "verdict: accepted" else "verdict: rejected"
+  | Policy_offer { programs } -> Printf.sprintf "policy-offer (%d programs)" (List.length programs)
+  | Policy_accept _ -> "policy-accept"

@@ -5,6 +5,9 @@
     + the enclave answers with an attestation quote whose report data
       binds its freshly generated RSA public key;
     + the client wraps a 256-bit AES session key under that public key;
+    + when a policy set was negotiated out of band, the client offers
+      the serialized policy programs; the enclave checks their digest
+      against the one measured into it and acknowledges;
     + the client streams its executable in encrypted, authenticated
       page-sized blocks, then a final digest;
     + the enclave reports the per-policy verdicts.
@@ -19,6 +22,11 @@ type t =
   | Code_block of { seq : int; offset : int; ciphertext : string; tag : string }
   | Transfer_done of { total_len : int; digest : string }
   | Verdict of { accepted : bool; detail : string }
+  | Policy_offer of { programs : (string * string) list }
+      (** [(name, canonical blob)] pairs, in the agreed order *)
+  | Policy_accept of { digest : string }
+      (** the policy-set digest the enclave verified against its
+          measurement *)
 
 val to_bytes : t -> string
 val of_bytes : string -> t option

@@ -34,3 +34,10 @@ let dataflow_join = 25
 let load_setup = 3_000
 let load_per_page = 2
 let reloc_apply = 100
+
+(* Policy VM (negotiated programs interpreted in-enclave) *)
+let vm_step = 6
+let vm_decode_per_byte = 8
+let vm_fuel_base = 1_000_000
+let vm_fuel_per_entry = 4_000
+let vm_charge_cap = 1_024

@@ -109,3 +109,36 @@ val load_per_page : int
 
 val reloc_apply : int
 (** Applying one R_X86_64_RELATIVE relocation (read, add, write). *)
+
+(** {1 Policy VM}
+
+    Negotiated policies travel as canonical program blobs and are
+    interpreted in-enclave by {!Policyvm.Vm}. The semantic work a
+    program performs is charged through the same policy-phase
+    constants above (a program's [charge] statements replicate the
+    native modules' accounting bit for bit); the constants below
+    price only the interpreter itself, on a separate counter, so
+    DSL-vs-native cycle comparisons stay meaningful. *)
+
+val vm_step : int
+(** Evaluating one VM node (statement or expression): a tag dispatch
+    plus operand fetches from the locals frame. *)
+
+val vm_decode_per_byte : int
+(** Validating one byte of a serialized program blob during canonical
+    decoding (length checks, bounds checks, tree construction). *)
+
+val vm_fuel_base : int
+(** Fuel granted to a program before any per-entry scaling: enough for
+    fixed setup whatever the workload size. One fuel unit is one VM
+    node evaluation. *)
+
+val vm_fuel_per_entry : int
+(** Additional fuel per instruction-buffer entry. The bound must cover
+    the quadratic stack-policy backtracking on real workloads while
+    still forcing hostile programs to terminate. *)
+
+val vm_charge_cap : int
+(** Largest repeat count one [charge] statement may carry; the decoder
+    rejects programs above it so a blob cannot inflate modelled cycles
+    faster than it burns fuel. *)

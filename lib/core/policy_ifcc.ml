@@ -2,11 +2,7 @@ open X86
 
 let name = "indirect-function-calls"
 
-let lea_rip_target (e : Disasm.entry) =
-  match (e.Disasm.insn.Insn.mnem, e.Disasm.insn.Insn.ops) with
-  | Insn.LEA, [ Insn.Rip disp; Insn.Reg (Insn.W64, r) ] ->
-      Some (r, e.Disasm.addr + e.Disasm.len + disp)
-  | _ -> None
+let lea_rip_target = Patterns.lea_rip_target
 
 (* The paper's peephole verdict for one site. [`Matched seq_start]
    means the full masking sequence immediately precedes the call
@@ -33,25 +29,13 @@ let pattern_verdict idx entries (ic : Analysis.indirect_call) =
     let nth k = entries.(w.(k - 1)) in
     let ptr = lea_rip_target (nth 5) in
     let base = lea_rip_target (nth 4) in
-    let sub_ok =
-      match (nth 3).Disasm.insn with
-      | { Insn.mnem = Insn.SUB; ops = [ Insn.Reg (Insn.W32, s); Insn.Reg (Insn.W32, d) ] } ->
-          Some (s, d)
-      | _ -> None
-    in
+    let sub_ok = Patterns.ifcc_sub32 (nth 3).Disasm.insn in
     let mask =
-      match (nth 2).Disasm.insn with
-      | { Insn.mnem = Insn.AND; ops = [ Insn.Imm m; Insn.Reg (Insn.W64, d) ] }
-        when Reg.equal d target_reg ->
-          Some m
-      | _ -> None
+      match Patterns.ifcc_and64 (nth 2).Disasm.insn with
+      | Some (m, d) when Reg.equal d target_reg -> Some m
+      | Some _ | None -> None
     in
-    let add_ok =
-      match (nth 1).Disasm.insn with
-      | { Insn.mnem = Insn.ADD; ops = [ Insn.Reg (Insn.W64, s); Insn.Reg (Insn.W64, d) ] } ->
-          Some (s, d)
-      | _ -> None
-    in
+    let add_ok = Patterns.ifcc_add64 (nth 1).Disasm.insn in
     match (ptr, base, sub_ok, mask, add_ok) with
     | Some (rp, ptr_addr), Some (rb, base_addr), Some (rs, rd), Some m, Some (ra, rda)
       when Reg.equal rp target_reg && Reg.equal rs rb && Reg.equal rd target_reg

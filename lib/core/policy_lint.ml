@@ -1,17 +1,7 @@
-open X86
-
 let name = "lint"
 
-let branch_target (e : Disasm.entry) =
-  match (e.Disasm.insn.Insn.mnem, e.Disasm.insn.Insn.ops) with
-  | (Insn.JMP | Insn.JCC _), [ Insn.Rel rel ] ->
-      Some (e.Disasm.addr + e.Disasm.len + rel)
-  | _ -> None
-
-let can_fall_through (i : Insn.t) =
-  match i.Insn.mnem with
-  | Insn.JMP | Insn.JMP_IND | Insn.RET | Insn.UD2 -> false
-  | _ -> true
+let branch_target = Patterns.branch_target
+let can_fall_through = Patterns.can_fall_through
 
 let make () =
   let check (ctx : Policy.context) =
@@ -81,12 +71,7 @@ let make () =
                 Array.iter
                   (fun (j_idx, j_addr) ->
                     if j_idx >= i0 && j_idx < i1 then begin
-                      let reg =
-                        match entries.(j_idx).Disasm.insn.Insn.ops with
-                        | [ Insn.Reg (_, r) ] -> Some r
-                        | _ -> None
-                      in
-                      match reg with
+                      match Patterns.sole_reg_operand entries.(j_idx).Disasm.insn with
                       | None -> ()
                       | Some r -> (
                           match fact_before f cfg j_idx with

@@ -2,42 +2,11 @@ open X86
 
 let name = "stack-protection"
 
-(* A store to a stack slot: mov %reg, disp(%rsp|%rbp). *)
-let stack_store (i : Insn.t) =
-  match (i.Insn.mnem, i.Insn.ops) with
-  | Insn.MOV, [ Insn.Reg (_, src); Insn.Mem (_, m) ] -> begin
-      match m.Insn.base with
-      | Some b when (Reg.equal b Reg.RSP || Reg.equal b Reg.RBP) && not m.Insn.seg_fs ->
-          Some src
-      | Some _ | None -> None
-    end
-  | _ -> None
-
-let canary_load_into r (i : Insn.t) =
-  match (i.Insn.mnem, i.Insn.ops) with
-  | Insn.MOV, [ Insn.Mem (_, m); Insn.Reg (_, dst) ] ->
-      m.Insn.seg_fs && m.Insn.disp = 0x28 && m.Insn.base = None && Reg.equal dst r
-  | _ -> false
-
-(* Does this instruction (re)define register r? Destination is the last
-   operand under the AT&T convention the IR uses. *)
-let defines r (i : Insn.t) =
-  match (i.Insn.mnem, List.rev i.Insn.ops) with
-  | (Insn.MOV | Insn.LEA | Insn.ADD | Insn.SUB | Insn.AND | Insn.OR | Insn.XOR
-    | Insn.IMUL | Insn.SHL | Insn.SHR),
-    Insn.Reg (_, dst) :: _ ->
-      Reg.equal dst r
-  | Insn.POP, [ Insn.Reg (_, dst) ] -> Reg.equal dst r
-  | _ -> false
-
-let cmp_rsp_reg (i : Insn.t) =
-  match (i.Insn.mnem, i.Insn.ops) with
-  | Insn.CMP, [ Insn.Mem (_, m); Insn.Reg (_, r) ] -> begin
-      match m.Insn.base with
-      | Some b when Reg.equal b Reg.RSP && m.Insn.disp = 0 && not m.Insn.seg_fs -> Some r
-      | Some _ | None -> None
-    end
-  | _ -> None
+(* Instruction-shape recognizers live in {!Patterns}, shared with the
+   policy VM's primitives. *)
+let stack_store = Patterns.stack_store
+let canary_load_into = Patterns.canary_load_into
+let defines = Patterns.defines
 
 let make ?(exempt = []) ?(mode = `Flow) () =
   let exempt_tbl = Hashtbl.create 64 in
@@ -46,59 +15,8 @@ let make ?(exempt = []) ?(mode = `Flow) () =
     let b = ctx.Policy.buffer in
     let perf = ctx.Policy.perf in
     let entries = b.Disasm.entries in
-    (* NaCl bundle padding may interleave nops anywhere, so adjacency
-       is modulo padding: [prev]/[next] skip runs of the shared
-       {!Analysis.is_padding} predicate. *)
-    let prev_non_pad i lo =
-      let rec go j =
-        if j < lo then None
-        else if Analysis.is_padding entries.(j).Disasm.insn then go (j - 1)
-        else Some j
-      in
-      go (i - 1)
-    in
-    let next_non_pad i hi =
-      let rec go j =
-        if j >= hi then None
-        else if Analysis.is_padding entries.(j).Disasm.insn then go (j + 1)
-        else Some j
-      in
-      go (i + 1)
-    in
-    (* Is entry [i] the [cmp (%rsp), %r] of a full canary check — the
-       cmp preceded (modulo padding) by a canary load into the same
-       register and followed by a [jne] to a [callq __stack_chk_fail]?
-       Returns the entry index of the [jne], the check's block
-       terminator. *)
     let check_site i i0 i1 =
-      match cmp_rsp_reg entries.(i).Disasm.insn with
-      | Some r2
-        when (match prev_non_pad i i0 with
-             | Some p -> canary_load_into r2 entries.(p).Disasm.insn
-             | None -> false) -> begin
-          match next_non_pad i i1 with
-          | None -> None
-          | Some inext -> begin
-              match entries.(inext).Disasm.insn with
-              | { Insn.mnem = Insn.JCC Insn.NE; ops = [ Insn.Rel rel ] } -> begin
-                  let e = entries.(inext) in
-                  let jt = e.Disasm.addr + e.Disasm.len + rel in
-                  match Disasm.index_of_addr b jt with
-                  | Some k -> begin
-                      match entries.(k).Disasm.insn with
-                      | { Insn.mnem = Insn.CALL; ops = [ Insn.Rel crel ] } ->
-                          let ct = entries.(k).Disasm.addr + entries.(k).Disasm.len + crel in
-                          (match Symhash.name_of_addr ctx.Policy.symbols ct with
-                          | Some "__stack_chk_fail" -> Some inext
-                          | Some _ | None -> None)
-                      | _ -> None
-                    end
-                  | None -> None
-                end
-              | _ -> None
-            end
-        end
-      | Some _ | None -> None
+      Patterns.canary_check_site b ctx.Policy.symbols ~lo:i0 ~hi:i1 i
     in
     (* The paper's whole-function epilogue probe, re-run per candidate
        store — the quadratic part of pattern mode. *)

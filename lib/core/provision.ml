@@ -7,6 +7,7 @@ type config = {
   stack_pages : int;
   seed : string;
   policy_names : string list;
+  policy_digest : string;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     stack_pages = 16;
     seed = "engarde-default-seed";
     policy_names = [];
+    policy_digest = "";
   }
 
 let page = Sgx.Epc.page_size
@@ -70,6 +72,7 @@ type outcome = {
   host : Sgx.Host_os.t;
   client_verdict : (bool * string) option;
   attestation_failure : Channel.Client.failure option;
+  negotiated_digest : string option;
 }
 
 (* The EnGarde bootstrap pages: deterministic content derived from the
@@ -127,6 +130,8 @@ let expected_measurement c =
           Sgx.Measurement.add_page m ~vaddr ~perms:(Sgx.Enclave.perm_to_string perm);
           Sgx.Measurement.extend m ~vaddr ~content)
         (build_plan c);
+      if c.policy_digest <> "" then
+        Sgx.Measurement.measure_data m ~tag:"EGPOLICY" ~content:c.policy_digest;
       let d = Sgx.Measurement.finalize m in
       Mutex.lock measurement_memo_lock;
       Hashtbl.replace measurement_memo c d;
@@ -138,12 +143,14 @@ let build_enclave c epc perf =
   List.iter
     (fun (vaddr, perm, content) -> Sgx.Enclave.eadd enclave ~vaddr ~perm ~content)
     (build_plan c);
+  if c.policy_digest <> "" then
+    Sgx.Enclave.measure_data enclave ~tag:"EGPOLICY" ~content:c.policy_digest;
   let measurement = Sgx.Enclave.einit enclave in
   (enclave, measurement)
 
 exception Reject of rejection
 
-let run ?tamper ?hash_runner ?(policies = []) c ~payload =
+let run ?tamper ?hash_runner ?(policies = []) ?(programs = []) c ~payload =
   let report = Report.create () in
   let epc = Sgx.Epc.create ~pages:c.epc_pages ~seed:(c.seed ^ "/epc") () in
   let host = Sgx.Host_os.create () in
@@ -159,11 +166,12 @@ let run ?tamper ?hash_runner ?(policies = []) c ~payload =
   in
 
   let client =
-    Channel.Client.create
+    Channel.Client.create ~programs
       ~device_pub:(Sgx.Quote.device_public device)
       ~expected_measurement:(expected_measurement c)
-      ~seed:(c.seed ^ "/client") ~payload
+      ~seed:(c.seed ^ "/client") ~payload ()
   in
+  let negotiated = ref None in
   let client_ep, enclave_ep = Channel.Transport.pair ?tamper () in
 
   (* --- attestation handshake over the channel --- *)
@@ -182,6 +190,7 @@ let run ?tamper ?hash_runner ?(policies = []) c ~payload =
       host;
       client_verdict;
       attestation_failure;
+      negotiated_digest = !negotiated;
     }
   in
   match Channel.Transport.recv client_ep with
@@ -200,6 +209,9 @@ let run ?tamper ?hash_runner ?(policies = []) c ~payload =
             ~policy_results:[] ~attestation_failure:(Some failure) ~client_verdict:None
       | Ok wrapped_key_msg -> begin
           Channel.Transport.send client_ep wrapped_key_msg;
+          (match Channel.Client.policy_offer client with
+          | Some offer -> Channel.Transport.send client_ep offer
+          | None -> ());
           List.iter (Channel.Transport.send client_ep) (Channel.Client.code_messages client);
           (* --- enclave side: unwrap the key, decrypt blocks --- *)
           Sgx.Enclave.eenter enclave;
@@ -217,6 +229,28 @@ let run ?tamper ?hash_runner ?(policies = []) c ~payload =
                     (Reject (Transfer_tampered ("expected wrapped key, got " ^ Channel.Wire.describe m)))
               | None -> raise (Reject (Transfer_tampered "no wrapped key"))
             in
+            (* Policy negotiation: an enclave measured with a policy-set
+               digest refuses to proceed until the client's offer hashes
+               to exactly that digest — the programs about to judge the
+               code are the ones both parties agreed on and attested. *)
+            if c.policy_digest <> "" then begin
+              match Channel.Transport.recv enclave_ep with
+              | Some (Channel.Wire.Policy_offer { programs }) ->
+                  let d = Channel.Session.policy_set_digest programs in
+                  if d <> c.policy_digest then
+                    raise
+                      (Reject
+                         (Transfer_tampered
+                            "offered policy set does not match the measured digest"));
+                  negotiated := Some d;
+                  Channel.Transport.send enclave_ep (Channel.Wire.Policy_accept { digest = d })
+              | Some m ->
+                  raise
+                    (Reject
+                       (Transfer_tampered
+                          ("expected policy offer, got " ^ Channel.Wire.describe m)))
+              | None -> raise (Reject (Transfer_tampered "no policy offer"))
+            end;
             (* Receive blocks into the staging area. *)
             let staging = staging_base c in
             let total = ref None in
@@ -326,8 +360,24 @@ let run ?tamper ?hash_runner ?(policies = []) c ~payload =
           in
           Channel.Transport.send enclave_ep (Channel.Wire.Verdict { accepted; detail });
           let client_verdict =
-            match Channel.Transport.drain client_ep with
-            | [ v ] -> (match Channel.Client.read_verdict v with Ok r -> Some r | Error _ -> None)
+            let accepts, rest =
+              List.partition
+                (function Channel.Wire.Policy_accept _ -> true | _ -> false)
+                (Channel.Transport.drain client_ep)
+            in
+            (* The client only honors a verdict when the negotiation
+               transcript matches what it offered: no offer -> no
+               accept; an offer -> exactly one accept echoing its own
+               digest. *)
+            let accept_ok =
+              match (accepts, Channel.Client.offered_digest client) with
+              | [], None -> true
+              | [ Channel.Wire.Policy_accept { digest } ], Some d -> digest = d
+              | _ -> false
+            in
+            match rest with
+            | [ v ] when accept_ok ->
+                (match Channel.Client.read_verdict v with Ok r -> Some r | Error _ -> None)
             | _ -> None
           in
           finish ~result ~policy_results ~attestation_failure:None ~client_verdict

@@ -25,6 +25,10 @@ type config = {
   policy_names : string list;
       (** measured into the enclave: changing the agreed policy set
           changes the measurement the client expects *)
+  policy_digest : string;
+      (** {!Channel.Session.policy_set_digest} of the negotiated policy
+          programs, measured into the enclave as an ["EGPOLICY"] record;
+          [""] disables the negotiation step entirely *)
 }
 
 val default_config : config
@@ -52,8 +56,13 @@ type outcome = {
   enclave : Sgx.Enclave.t;
   host : Sgx.Host_os.t;
   client_verdict : (bool * string) option;
-      (** what the client read back over the channel *)
+      (** what the client read back over the channel; [None] also when a
+          negotiated run saw no (or a wrong) [Policy_accept] *)
   attestation_failure : Channel.Client.failure option;
+  negotiated_digest : string option;
+      (** the policy-set digest the enclave verified against its
+          measurement; [None] when no negotiation happened or the offer
+          was rejected *)
 }
 
 val findings : outcome -> Policy.finding list
@@ -68,12 +77,16 @@ val run :
   ?tamper:(Channel.Wire.t -> Channel.Wire.t) ->
   ?hash_runner:Analysis.hash_runner ->
   ?policies:(Policy.t list) ->
+  ?programs:(string * string) list ->
   config ->
   payload:string ->
   outcome
 (** Execute the whole protocol over a loopback transport. [tamper]
     models an adversary on the untrusted path. [policies] defaults to
     none (pure loading); pass the agreed modules for compliance runs.
+    [programs] is what the client offers in the negotiation step; when
+    [config.policy_digest] is non-empty the enclave requires an offer
+    hashing to exactly that digest before accepting any code.
     [hash_runner] (e.g. a domain pool's [run_all]) lets the inspection
     prehash candidate function digests in parallel before the policies
     run; it never changes verdicts or modelled cycles, only wall-clock

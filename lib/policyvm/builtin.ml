@@ -1,0 +1,775 @@
+open Prog
+
+(* Combinator shorthand for authoring programs. *)
+let ci n = Const (C_int n)
+let v i = Var i
+let ( +: ) a b = Bin (B_add, a, b)
+let ( -: ) a b = Bin (B_sub, a, b)
+let ( =: ) a b = Bin (B_eq, a, b)
+let ( <: ) a b = Bin (B_lt, a, b)
+let min_ a b = Bin (B_min, a, b)
+let land_ a b = Bin (B_land, a, b)
+let reg_eq a b = Bin (B_reg_eq, a, b)
+let not_ e = Un (U_not, e)
+let is_some e = Un (U_is_some, e)
+let is_none e = not_ (is_some e)
+let fst_ e = Un (U_fst, e)
+let snd_ e = Un (U_snd, e)
+let get e = Get e
+let prim p args = Prim (p, args)
+
+let all_of = function
+  | [] -> Const (C_bool true)
+  | e :: es -> List.fold_left (fun a b -> And (a, b)) e es
+
+let if_ c t = If (c, t, Nop)
+let emit ~code ~addr ~fmt args = Emit { code; addr; fmt; args }
+
+(* ---- library-linking ----------------------------------------------- *)
+
+let libc ~db =
+  let di = 0 and nm = 1 and expected = 2 and h = 3 in
+  let dc p = prim p [ v di ] in
+  {
+    name = "library-linking";
+    locals = 4;
+    sort_findings = false;
+    tables = [| db |];
+    body =
+      For
+        ( di,
+          ci 0,
+          prim P_num_direct_calls [],
+          Seq
+            [
+              Charge (C_policy_step, 1);
+              Set (nm, dc P_dc_name);
+              If
+                ( is_some (v nm),
+                  Seq
+                    [
+                      Set (expected, prim P_table_lookup [ ci 0; get (v nm) ]);
+                      if_ (is_some (v expected))
+                        (Seq
+                           [
+                             Set (h, prim P_function_hash [ dc P_dc_target ]);
+                             If
+                               ( is_some (v h),
+                                 if_
+                                   (not_ (get (v expected) =: get (v h)))
+                                   (emit ~code:"libc-hash-mismatch" ~addr:(dc P_dc_addr)
+                                      ~fmt:
+                                        "function %s does not match the approved \
+                                         library release"
+                                      [ get (v nm) ]),
+                                 emit ~code:"call-target-outside-code"
+                                   ~addr:(dc P_dc_addr)
+                                   ~fmt:"call target %s at 0x%x is outside the code"
+                                   [ get (v nm); dc P_dc_target ] );
+                           ]);
+                    ],
+                  emit ~code:"call-target-unknown" ~addr:(dc P_dc_addr)
+                    ~fmt:
+                      "direct call at 0x%x targets 0x%x, which is not a known function"
+                    [ dc P_dc_addr; dc P_dc_target ] );
+            ] );
+  }
+
+(* ---- stack-protection (flow mode) ---------------------------------- *)
+
+let stack ~exempt =
+  let fi = 0
+  and slice = 1
+  and i0 = 2
+  and i1 = 3
+  and i = 4
+  and candidates = 5
+  and canary_store = 6
+  and src = 7
+  and j = 8
+  and found = 9
+  and sites = 10
+  and tmp = 11
+  and site_blocks = 12
+  and scratch = 13
+  and guarded = 14
+  and elt = 15
+  and probe = 16
+  and fname = 17
+  and nsites = 18 in
+  {
+    name = "stack-protection";
+    locals = 19;
+    sort_findings = false;
+    tables = [| List.map (fun n -> (n, "")) exempt |];
+    body =
+      For
+        ( fi,
+          ci 0,
+          prim P_num_functions [],
+          Seq
+            [
+              Set (fname, prim P_fn_name [ v fi ]);
+              if_
+                (is_none (prim P_table_lookup [ ci 0; v fname ]))
+                (Seq
+                   [
+                     Set (slice, prim P_fn_slice [ v fi ]);
+                     If
+                       ( is_none (v slice),
+                         emit ~code:"function-outside-code"
+                           ~addr:(prim P_fn_addr [ v fi ])
+                           ~fmt:"function %s is not within the code" [ v fname ],
+                         Seq
+                           [
+                             Set (i0, fst_ (get (v slice)));
+                             Set (i1, snd_ (get (v slice)));
+                             Set (candidates, ci 0);
+                             Set (canary_store, ci 0);
+                             (* step 1: candidate canary stores, source
+                                traced backwards to its definition *)
+                             For
+                               ( i,
+                                 v i0,
+                                 v i1,
+                                 Seq
+                                   [
+                                     Charge (C_policy_step, 1);
+                                     Set (scratch, prim P_stack_store [ v i ]);
+                                     if_ (is_some (v scratch))
+                                       (Seq
+                                          [
+                                            Set (src, get (v scratch));
+                                            Set (candidates, v candidates +: ci 1);
+                                            Set (found, ci 0);
+                                            For_down
+                                              ( j,
+                                                v i -: ci 1,
+                                                v i0,
+                                                Seq
+                                                  [
+                                                    Charge (C_backtrack_step, 1);
+                                                    If
+                                                      ( prim P_canary_load_into
+                                                          [ v src; v j ],
+                                                        Seq [ Set (found, ci 1); Break ],
+                                                        if_
+                                                          (prim P_defines [ v src; v j ])
+                                                          Break );
+                                                  ] );
+                                            if_ (v found =: ci 1) (Set (canary_store, ci 1));
+                                          ]);
+                                   ] );
+                             if_
+                               (not_ (v candidates =: ci 0))
+                               (Seq
+                                  [
+                                    (* one linear scan collects every
+                                       complete canary check *)
+                                    Set (sites, Const C_nil);
+                                    Set (nsites, ci 0);
+                                    For
+                                      ( i,
+                                        v i0 +: ci 1,
+                                        v i1,
+                                        Seq
+                                          [
+                                            Charge (C_pattern_probe, 1);
+                                            Set
+                                              ( probe,
+                                                prim P_canary_check_site
+                                                  [ v i; v i0; v i1 ] );
+                                            if_ (is_some (v probe))
+                                              (Seq
+                                                 [
+                                                   Push (sites, get (v probe));
+                                                   Set (nsites, v nsites +: ci 1);
+                                                 ]);
+                                          ] );
+                                    If
+                                      ( Or (v canary_store =: ci 0, v nsites =: ci 0),
+                                        emit ~code:"missing-stack-protector"
+                                          ~addr:(prim P_fn_addr [ v fi ])
+                                          ~fmt:
+                                            "function %s lacks stack-protector \
+                                             instrumentation"
+                                          [ v fname ],
+                                        if_
+                                          (prim P_has_cfg [ v fi ])
+                                          (Seq
+                                             [
+                                               (* map sites to blocks; the
+                                                  double reversal preserves
+                                                  the native scan's
+                                                  descending site order *)
+                                               Set (tmp, Const C_nil);
+                                               For_list
+                                                 ( elt,
+                                                   sites,
+                                                   Seq
+                                                     [
+                                                       Set
+                                                         ( probe,
+                                                           prim P_block_of_index
+                                                             [ v fi; v elt ] );
+                                                       if_ (is_some (v probe))
+                                                         (Push (tmp, get (v probe)));
+                                                     ] );
+                                               Set (site_blocks, Const C_nil);
+                                               For_list
+                                                 (elt, tmp, Push (site_blocks, v elt));
+                                               (* dominance decides whether a
+                                                  check guards each return *)
+                                               For
+                                                 ( i,
+                                                   v i0,
+                                                   v i1,
+                                                   if_
+                                                     (prim P_is_ret [ v i ])
+                                                     (Seq
+                                                        [
+                                                          Set
+                                                            ( scratch,
+                                                              prim P_block_of_index
+                                                                [ v fi; v i ] );
+                                                          if_ (is_some (v scratch))
+                                                            (if_
+                                                               (prim P_block_reachable
+                                                                  [ v fi; get (v scratch) ])
+                                                               (Seq
+                                                                  [
+                                                                    Set (guarded, ci 0);
+                                                                    For_list
+                                                                      ( elt,
+                                                                        site_blocks,
+                                                                        Seq
+                                                                          [
+                                                                            Charge
+                                                                              ( C_dom_step,
+                                                                                1 );
+                                                                            if_
+                                                                              (prim
+                                                                                 P_dominates
+                                                                                 [
+                                                                                   v fi;
+                                                                                   v elt;
+                                                                                   get
+                                                                                     (v
+                                                                                        scratch);
+                                                                                 ])
+                                                                              (Seq
+                                                                                 [
+                                                                                   Set
+                                                                                     ( guarded,
+                                                                                       ci 1
+                                                                                     );
+                                                                                   Break;
+                                                                                 ]);
+                                                                          ] );
+                                                                    if_
+                                                                      (v guarded =: ci 0)
+                                                                      (emit
+                                                                         ~code:
+                                                                           "stack-ret-unprotected"
+                                                                         ~addr:
+                                                                           (prim
+                                                                              P_entry_addr
+                                                                              [ v i ])
+                                                                         ~fmt:
+                                                                           "function %s \
+                                                                            can return \
+                                                                            at 0x%x \
+                                                                            without \
+                                                                            passing the \
+                                                                            canary check"
+                                                                         [
+                                                                           v fname;
+                                                                           prim
+                                                                             P_entry_addr
+                                                                             [ v i ];
+                                                                         ]);
+                                                                  ]));
+                                                        ]) );
+                                             ]) );
+                                  ]);
+                           ] );
+                   ]);
+            ] );
+  }
+
+(* ---- indirect-function-calls (flow mode) --------------------------- *)
+
+let ifcc () =
+  let ii = 0
+  and addr = 1
+  and treg = 2
+  and wlen = 3
+  and matched = 4
+  and seq_start = 5
+  and bad_code = 6
+  and bad_arg = 7
+  and ptr = 8
+  and base = 9
+  and sub = 10
+  and mask = 11
+  and add = 12
+  and ptr_addr = 13
+  and base_addr = 14
+  and m = 15
+  and masked = 16
+  and sound = 17
+  and f1 = 18
+  and fact = 19
+  and kind = 20
+  and fa = 21
+  and fb = 22
+  and f2 = 23 in
+  let win k = prim P_ic_window [ v ii; ci k ] in
+  (* re-emit the pattern verdict recorded in [bad_code]/[bad_arg] — the
+     native `Bad f` fallback *)
+  let emit_bad =
+    If
+      ( v bad_code =: ci 0,
+        emit ~code:"ifcc-unprotected-call" ~addr:(v addr)
+          ~fmt:"unprotected indirect call at 0x%x" [ v addr ],
+        If
+          ( v bad_code =: ci 1,
+            emit ~code:"ifcc-mask-base-outside-table" ~addr:(v addr)
+              ~fmt:"indirect call at 0x%x masks against 0x%x, outside any jump table"
+              [ v addr; v bad_arg ],
+            If
+              ( v bad_code =: ci 2,
+                emit ~code:"ifcc-target-outside-table" ~addr:(v addr)
+                  ~fmt:"indirect call at 0x%x resolves to 0x%x, outside the jump table"
+                  [ v addr; v bad_arg ],
+                emit ~code:"ifcc-sequence-missing" ~addr:(v addr)
+                  ~fmt:"indirect call at 0x%x lacks the IFCC masking sequence"
+                  [ v addr ] ) ) )
+  in
+  let fallback = if_ (v matched =: ci 0) emit_bad in
+  {
+    name = "indirect-function-calls";
+    locals = 24;
+    sort_findings = true;
+    tables = [||];
+    body =
+      Seq
+        [
+          For
+            ( ii,
+              ci 0,
+              prim P_num_indirect_calls [],
+              Seq
+                [
+                  Charge (C_policy_step, 1);
+                  Charge (C_pattern_probe, 5);
+                  Set (addr, prim P_ic_addr [ v ii ]);
+                  Set (treg, prim P_ic_reg [ v ii ]);
+                  (* the paper's peephole verdict over the preceding
+                     five-entry window *)
+                  Set (matched, ci 0);
+                  Set (bad_code, ci 3);
+                  Set (wlen, prim P_ic_window_len [ v ii ]);
+                  If
+                    ( v wlen <: ci 5,
+                      Set (bad_code, ci 0),
+                      Seq
+                        [
+                          Set (ptr, prim P_lea_rip_target [ win 5 ]);
+                          Set (base, prim P_lea_rip_target [ win 4 ]);
+                          Set (sub, prim P_ifcc_sub32 [ win 3 ]);
+                          Set (mask, prim P_ifcc_and64 [ win 2 ]);
+                          Set (add, prim P_ifcc_add64 [ win 1 ]);
+                          if_
+                            (all_of
+                               [
+                                 is_some (v ptr);
+                                 is_some (v base);
+                                 is_some (v sub);
+                                 is_some (v mask);
+                                 is_some (v add);
+                                 reg_eq (fst_ (get (v ptr))) (v treg);
+                                 reg_eq (snd_ (get (v mask))) (v treg);
+                                 reg_eq (fst_ (get (v sub))) (fst_ (get (v base)));
+                                 reg_eq (snd_ (get (v sub))) (v treg);
+                                 reg_eq (fst_ (get (v add))) (fst_ (get (v base)));
+                                 reg_eq (snd_ (get (v add))) (v treg);
+                               ])
+                            (Seq
+                               [
+                                 Set (ptr_addr, snd_ (get (v ptr)));
+                                 Set (base_addr, snd_ (get (v base)));
+                                 Set (m, fst_ (get (v mask)));
+                                 Set
+                                   ( masked,
+                                     v base_addr
+                                     +: land_ (v ptr_addr -: v base_addr) (v m) );
+                                 If
+                                   ( not_ (prim P_in_table [ v base_addr ]),
+                                     Seq
+                                       [ Set (bad_code, ci 1); Set (bad_arg, v base_addr) ],
+                                     If
+                                       ( not_ (prim P_in_table [ v masked ]),
+                                         Seq
+                                           [
+                                             Set (bad_code, ci 2);
+                                             Set (bad_arg, v masked);
+                                           ],
+                                         Seq
+                                           [
+                                             Set (matched, ci 1);
+                                             Set (seq_start, prim P_entry_addr [ win 5 ]);
+                                           ] ) );
+                               ]);
+                        ] );
+                  (* straight-line soundness fast path *)
+                  Set (sound, ci 0);
+                  if_
+                    (v matched =: ci 1)
+                    (Seq
+                       [
+                         Charge (C_range_probe, 2);
+                         if_
+                           (not_
+                              (prim P_branch_target_within
+                                 [ v seq_start +: ci 1; v addr +: ci 1 ]))
+                           (Seq
+                              [
+                                Set (f1, prim P_function_containing [ v seq_start ]);
+                                Set (f2, prim P_function_containing [ v addr ]);
+                                if_
+                                  (all_of
+                                     [
+                                       is_some (v f1);
+                                       is_some (v f2);
+                                       prim P_fn_addr [ get (v f1) ]
+                                       =: prim P_fn_addr [ get (v f2) ];
+                                     ])
+                                  (Set (sound, ci 1));
+                              ]);
+                       ]);
+                  if_
+                    (v sound =: ci 0)
+                    (Seq
+                       [
+                         (* flow verdict: the register fact just before
+                            the call decides *)
+                         Set (f1, prim P_function_containing [ v addr ]);
+                         If
+                           ( is_none (v f1),
+                             fallback,
+                             If
+                               ( not_ (prim P_has_cfg [ get (v f1) ]),
+                                 fallback,
+                                 Seq
+                                   [
+                                     Set
+                                       ( fact,
+                                         prim P_fact_before
+                                           [
+                                             get (v f1);
+                                             prim P_ic_index [ v ii ];
+                                             v treg;
+                                           ] );
+                                     if_ (is_some (v fact))
+                                       (Seq
+                                          [
+                                            Set (kind, fst_ (get (v fact)));
+                                            Set (fa, fst_ (snd_ (get (v fact))));
+                                            Set (fb, snd_ (snd_ (get (v fact))));
+                                            If
+                                              ( v kind =: ci kind_target,
+                                                If
+                                                  ( not_ (prim P_in_table [ v fa ]),
+                                                    emit
+                                                      ~code:
+                                                        "ifcc-mask-base-outside-table"
+                                                      ~addr:(v addr)
+                                                      ~fmt:
+                                                        "indirect call at 0x%x masks \
+                                                         against 0x%x, outside any \
+                                                         jump table"
+                                                      [ v addr; v fa ],
+                                                    if_
+                                                      (not_ (prim P_in_table [ v fb ]))
+                                                      (emit
+                                                         ~code:
+                                                           "ifcc-target-outside-table"
+                                                         ~addr:(v addr)
+                                                         ~fmt:
+                                                           "indirect call at 0x%x \
+                                                            resolves to 0x%x, outside \
+                                                            the jump table"
+                                                         [ v addr; v fb ]) ),
+                                                If
+                                                  ( v kind =: ci kind_top,
+                                                    emit ~code:"ifcc-unmasked-on-path"
+                                                      ~addr:(v addr)
+                                                      ~fmt:
+                                                        "indirect call at 0x%x is \
+                                                         reachable with its target \
+                                                         register unmasked: the IFCC \
+                                                         masking sequence does not \
+                                                         dominate the call"
+                                                      [ v addr ],
+                                                    emit ~code:"ifcc-sequence-missing"
+                                                      ~addr:(v addr)
+                                                      ~fmt:
+                                                        "indirect call at 0x%x lacks \
+                                                         the IFCC masking sequence"
+                                                      [ v addr ] ) );
+                                          ]);
+                                   ] ) );
+                       ]);
+                ] );
+          For
+            ( ii,
+              ci 0,
+              prim P_num_indirect_jumps [],
+              Seq
+                [
+                  Charge (C_policy_step, 1);
+                  emit ~code:"ifcc-unprotected-jump"
+                    ~addr:(prim P_ij_addr [ v ii ])
+                    ~fmt:"unprotected indirect jump at 0x%x"
+                    [ prim P_ij_addr [ v ii ] ];
+                ] );
+        ];
+  }
+
+(* ---- lint ----------------------------------------------------------- *)
+
+let lint () =
+  let fi = 0
+  and slice = 1
+  and i0 = 2
+  and i1 = 3
+  and i = 4
+  and t = 5
+  and k = 6
+  and nb = 7
+  and reg = 8
+  and fact = 9
+  and kind = 10
+  and tv = 11
+  and resolved = 12
+  and j_idx = 13
+  and j_addr = 14
+  and fname = 15
+  and last = 16 in
+  {
+    name = "lint";
+    locals = 17;
+    sort_findings = true;
+    tables = [||];
+    body =
+      For
+        ( fi,
+          ci 0,
+          prim P_num_functions [],
+          (* jump-table pseudo-functions are exempt from local
+             reachability *)
+          if_
+            (not_ (prim P_in_table [ prim P_fn_addr [ v fi ] ]))
+            (Seq
+               [
+                 Set (slice, prim P_fn_slice [ v fi ]);
+                 if_ (is_some (v slice))
+                   (Seq
+                      [
+                        Set (i0, fst_ (get (v slice)));
+                        Set (i1, snd_ (get (v slice)));
+                        if_
+                          (prim P_has_cfg [ v fi ])
+                          (Seq
+                             [
+                               Set (fname, prim P_fn_name [ v fi ]);
+                               (* direct branches must land on decoded
+                                  instructions *)
+                               For
+                                 ( i,
+                                   v i0,
+                                   min_ (v i1) (prim P_num_entries []),
+                                   Seq
+                                     [
+                                       Charge (C_policy_step, 1);
+                                       Set (t, prim P_branch_target [ v i ]);
+                                       if_
+                                         (all_of
+                                            [
+                                              is_some (v t);
+                                              Bin (B_le, prim P_code_base [], get (v t));
+                                              get (v t) <: prim P_code_end [];
+                                              is_none
+                                                (prim P_index_of_addr [ get (v t) ]);
+                                            ])
+                                         (emit ~code:"lint-branch-into-instruction"
+                                            ~addr:(prim P_entry_addr [ v i ])
+                                            ~fmt:
+                                              "branch at 0x%x targets 0x%x, inside \
+                                               another instruction"
+                                            [ prim P_entry_addr [ v i ]; get (v t) ]);
+                                     ] );
+                               (* unreachable non-padding blocks *)
+                               For
+                                 ( k,
+                                   ci 0,
+                                   prim P_num_blocks [ v fi ],
+                                   Seq
+                                     [
+                                       Charge (C_policy_step, 1);
+                                       if_
+                                         (And
+                                            ( not_
+                                                (prim P_block_reachable [ v fi; v k ]),
+                                              not_ (prim P_block_padding [ v fi; v k ])
+                                            ))
+                                         (emit ~code:"lint-unreachable-block"
+                                            ~addr:(prim P_block_addr [ v fi; v k ])
+                                            ~fmt:
+                                              "unreachable block at 0x%x (%d \
+                                               instructions) in %s"
+                                            [
+                                              prim P_block_addr [ v fi; v k ];
+                                              prim P_block_hi [ v fi; v k ]
+                                              -: prim P_block_lo [ v fi; v k ];
+                                              v fname;
+                                            ]);
+                                     ] );
+                               (* computed jumps with a resolvable target *)
+                               For
+                                 ( k,
+                                   ci 0,
+                                   prim P_num_indirect_jumps [],
+                                   Seq
+                                     [
+                                       Set (j_idx, prim P_ij_index [ v k ]);
+                                       Set (j_addr, prim P_ij_addr [ v k ]);
+                                       if_
+                                         (And
+                                            ( Bin (B_le, v i0, v j_idx),
+                                              v j_idx <: v i1 ))
+                                         (Seq
+                                            [
+                                              Set
+                                                ( reg,
+                                                  prim P_sole_reg_operand [ v j_idx ] );
+                                              if_ (is_some (v reg))
+                                                (Seq
+                                                   [
+                                                     Set
+                                                       ( fact,
+                                                         prim P_fact_before
+                                                           [
+                                                             v fi; v j_idx; get (v reg);
+                                                           ] );
+                                                     if_ (is_some (v fact))
+                                                       (Seq
+                                                          [
+                                                            Set
+                                                              ( kind,
+                                                                fst_ (get (v fact)) );
+                                                            Set (resolved, ci 0);
+                                                            If
+                                                              ( v kind =: ci kind_addr,
+                                                                Seq
+                                                                  [
+                                                                    Set
+                                                                      ( tv,
+                                                                        fst_
+                                                                          (snd_
+                                                                             (get
+                                                                                (v fact)))
+                                                                      );
+                                                                    Set (resolved, ci 1);
+                                                                  ],
+                                                                if_
+                                                                  (v kind
+                                                                  =: ci kind_target)
+                                                                  (Seq
+                                                                     [
+                                                                       Set
+                                                                         ( tv,
+                                                                           snd_
+                                                                             (snd_
+                                                                                (get
+                                                                                   (v
+                                                                                      fact)))
+                                                                         );
+                                                                       Set
+                                                                         (resolved, ci 1);
+                                                                     ]) );
+                                                            if_
+                                                              (all_of
+                                                                 [
+                                                                   v resolved =: ci 1;
+                                                                   not_
+                                                                     (prim P_in_table
+                                                                        [ v tv ]);
+                                                                   not_
+                                                                     (prim
+                                                                        P_is_function_start
+                                                                        [ v tv ]);
+                                                                 ])
+                                                              (emit
+                                                                 ~code:
+                                                                   "lint-computed-jump-outside-table"
+                                                                 ~addr:(v j_addr)
+                                                                 ~fmt:
+                                                                   "computed jump at \
+                                                                    0x%x resolves to \
+                                                                    0x%x, outside \
+                                                                    every jump table \
+                                                                    and function start"
+                                                                 [ v j_addr; v tv ]);
+                                                          ]);
+                                                   ]);
+                                            ]);
+                                     ] );
+                               (* fallthrough off the end of the function *)
+                               Set (nb, prim P_num_blocks [ v fi ]);
+                               if_
+                                 (ci 0 <: v nb)
+                                 (Seq
+                                    [
+                                      Set (last, v nb -: ci 1);
+                                      if_
+                                        (all_of
+                                           [
+                                             prim P_block_reachable [ v fi; v last ];
+                                             not_
+                                               (prim P_block_padding [ v fi; v last ]);
+                                             prim P_block_hi [ v fi; v last ] -: ci 1
+                                             <: prim P_num_entries [];
+                                             prim P_can_fall_through
+                                               [
+                                                 prim P_block_hi [ v fi; v last ]
+                                                 -: ci 1;
+                                               ];
+                                           ])
+                                        (emit ~code:"lint-fallthrough-off-end"
+                                           ~addr:
+                                             (prim P_entry_addr
+                                                [
+                                                  prim P_block_hi [ v fi; v last ]
+                                                  -: ci 1;
+                                                ])
+                                           ~fmt:
+                                             "control can fall through 0x%x off the \
+                                              end of %s"
+                                           [
+                                             prim P_entry_addr
+                                               [
+                                                 prim P_block_hi [ v fi; v last ]
+                                                 -: ci 1;
+                                               ];
+                                             v fname;
+                                           ]);
+                                    ]);
+                             ]);
+                      ]);
+               ]) );
+  }
+
+let all ~db ~exempt =
+  [ ("libc", libc ~db); ("stack", stack ~exempt); ("ifcc", ifcc ()); ("lint", lint ()) ]

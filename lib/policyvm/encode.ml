@@ -1,0 +1,308 @@
+open Engarde
+open Prog
+
+let format_tag = "EGPVM1"
+let version = 1
+
+(* ---- enum <-> byte tables ---------------------------------------- *)
+
+let costs = [| C_policy_step; C_pattern_probe; C_backtrack_step; C_dom_step; C_range_probe |]
+
+let unops = [| U_not; U_is_some; U_fst; U_snd |]
+
+let binops = [| B_add; B_sub; B_mul; B_land; B_min; B_eq; B_lt; B_le; B_reg_eq |]
+
+let prims =
+  [|
+    P_num_entries; P_entry_addr; P_code_base; P_code_end; P_index_of_addr;
+    P_is_ret; P_can_fall_through; P_branch_target; P_sole_reg_operand;
+    P_stack_store; P_canary_load_into; P_defines; P_canary_check_site;
+    P_lea_rip_target; P_ifcc_sub32; P_ifcc_and64; P_ifcc_add64;
+    P_num_functions; P_fn_addr; P_fn_name; P_fn_slice;
+    P_function_containing; P_is_function_start;
+    P_num_direct_calls; P_dc_addr; P_dc_target; P_dc_name;
+    P_num_indirect_calls; P_ic_addr; P_ic_index; P_ic_reg; P_ic_window_len;
+    P_ic_window;
+    P_num_indirect_jumps; P_ij_index; P_ij_addr;
+    P_in_table; P_function_hash; P_table_lookup; P_branch_target_within;
+    P_has_cfg; P_num_blocks; P_block_lo; P_block_hi; P_block_addr;
+    P_block_padding; P_block_reachable; P_block_of_index; P_dominates;
+    P_fact_before;
+  |]
+
+let index_of arr x =
+  let rec go i = if arr.(i) = x then i else go (i + 1) in
+  go 0
+
+(* ---- serializer --------------------------------------------------- *)
+
+let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let u16 b v =
+  u8 b (v land 0xff);
+  u8 b ((v lsr 8) land 0xff)
+
+let u32 b v =
+  u16 b (v land 0xffff);
+  u16 b ((v lsr 16) land 0xffff)
+
+let s64 b v =
+  for i = 0 to 7 do
+    u8 b ((v asr (8 * i)) land 0xff)
+  done
+
+let str8 b s =
+  u8 b (String.length s);
+  Buffer.add_string b s
+
+let str16 b s =
+  u16 b (String.length s);
+  Buffer.add_string b s
+
+let rec put_expr b = function
+  | Const (C_int v) -> u8 b 0; s64 b v
+  | Const (C_bool v) -> u8 b 1; u8 b (if v then 1 else 0)
+  | Const (C_str s) -> u8 b 2; str16 b s
+  | Const C_none -> u8 b 3
+  | Const C_nil -> u8 b 4
+  | Var slot -> u8 b 5; u8 b slot
+  | Un (op, e) -> u8 b 6; u8 b (index_of unops op); put_expr b e
+  | Bin (op, e1, e2) -> u8 b 7; u8 b (index_of binops op); put_expr b e1; put_expr b e2
+  | And (e1, e2) -> u8 b 8; put_expr b e1; put_expr b e2
+  | Or (e1, e2) -> u8 b 9; put_expr b e1; put_expr b e2
+  | Get e -> u8 b 10; put_expr b e
+  | Prim (p, args) ->
+      u8 b 11;
+      u8 b (index_of prims p);
+      u8 b (List.length args);
+      List.iter (put_expr b) args
+
+let rec put_stmt b = function
+  | Nop -> u8 b 0
+  | Seq ss ->
+      u8 b 1;
+      u16 b (List.length ss);
+      List.iter (put_stmt b) ss
+  | Charge (c, times) -> u8 b 2; u8 b (index_of costs c); u16 b times
+  | Set (slot, e) -> u8 b 3; u8 b slot; put_expr b e
+  | If (c, t, f) -> u8 b 4; put_expr b c; put_stmt b t; put_stmt b f
+  | For (slot, lo, hi, body) ->
+      u8 b 5; u8 b slot; put_expr b lo; put_expr b hi; put_stmt b body
+  | For_down (slot, hi, lo, body) ->
+      u8 b 6; u8 b slot; put_expr b hi; put_expr b lo; put_stmt b body
+  | For_list (slot, list_slot, body) ->
+      u8 b 7; u8 b slot; u8 b list_slot; put_stmt b body
+  | Push (slot, e) -> u8 b 8; u8 b slot; put_expr b e
+  | Break -> u8 b 9
+  | Emit { code; addr; fmt; args } ->
+      u8 b 10;
+      str8 b code;
+      put_expr b addr;
+      str16 b fmt;
+      u8 b (List.length args);
+      List.iter (put_expr b) args
+
+let to_bytes (p : t) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b format_tag;
+  u8 b version;
+  str8 b p.name;
+  u16 b p.locals;
+  u8 b (if p.sort_findings then 1 else 0);
+  u8 b (Array.length p.tables);
+  Array.iter
+    (fun entries ->
+      u32 b (List.length entries);
+      List.iter
+        (fun (k, v) ->
+          str16 b k;
+          str16 b v)
+        entries)
+    p.tables;
+  put_stmt b p.body;
+  Buffer.contents b
+
+(* ---- strict decoder ----------------------------------------------- *)
+
+exception Bad of string
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+  mutable nodes : int;
+  locals : int;
+}
+
+let fail msg = raise (Bad msg)
+
+let need c n =
+  if c.pos + n > String.length c.src then fail "truncated program"
+
+let g8 c =
+  need c 1;
+  let v = Char.code c.src.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let g16 c =
+  let lo = g8 c in
+  let hi = g8 c in
+  lo lor (hi lsl 8)
+
+let g32 c =
+  let lo = g16 c in
+  let hi = g16 c in
+  lo lor (hi lsl 16)
+
+(* [lsl] is modular on OCaml's 63-bit ints, so or-ing the eight
+   shifted bytes is the exact inverse of the [asr]-based encoder for
+   every representable int (the top byte's high bits wrap into the
+   sign). *)
+let gs64 c =
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := !v lor (g8 c lsl (8 * i))
+  done;
+  !v
+
+let gstr c len_max len =
+  if len > len_max then fail "string too long";
+  need c len;
+  let s = String.sub c.src c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let gstr8 c len_max = gstr c len_max (g8 c)
+let gstr16 c len_max = gstr c len_max (g16 c)
+
+let node c =
+  c.nodes <- c.nodes + 1;
+  if c.nodes > max_nodes then fail "program too large"
+
+let slot c =
+  let s = g8 c in
+  if s >= c.locals then fail "local slot out of range";
+  s
+
+let enum c arr what =
+  let i = g8 c in
+  if i >= Array.length arr then fail ("unknown " ^ what);
+  arr.(i)
+
+let rec get_expr c depth =
+  node c;
+  if depth > max_depth then fail "nesting too deep";
+  match g8 c with
+  | 0 -> Const (C_int (gs64 c))
+  | 1 -> Const (C_bool (g8 c <> 0))
+  | 2 -> Const (C_str (gstr16 c max_string))
+  | 3 -> Const C_none
+  | 4 -> Const C_nil
+  | 5 -> Var (slot c)
+  | 6 ->
+      let op = enum c unops "unary operator" in
+      Un (op, get_expr c (depth + 1))
+  | 7 ->
+      let op = enum c binops "binary operator" in
+      let e1 = get_expr c (depth + 1) in
+      let e2 = get_expr c (depth + 1) in
+      Bin (op, e1, e2)
+  | 8 ->
+      let e1 = get_expr c (depth + 1) in
+      let e2 = get_expr c (depth + 1) in
+      And (e1, e2)
+  | 9 ->
+      let e1 = get_expr c (depth + 1) in
+      let e2 = get_expr c (depth + 1) in
+      Or (e1, e2)
+  | 10 -> Get (get_expr c (depth + 1))
+  | 11 ->
+      let p = enum c prims "primitive" in
+      let argc = g8 c in
+      if argc > 8 then fail "primitive arity too large";
+      let args = List.init argc (fun _ -> get_expr c (depth + 1)) in
+      Prim (p, args)
+  | _ -> fail "unknown expression tag"
+
+let rec get_stmt c depth =
+  node c;
+  if depth > max_depth then fail "nesting too deep";
+  match g8 c with
+  | 0 -> Nop
+  | 1 ->
+      let n = g16 c in
+      Seq (List.init n (fun _ -> get_stmt c (depth + 1)))
+  | 2 ->
+      let cost = enum c costs "cost constant" in
+      let times = g16 c in
+      if times > Costmodel.vm_charge_cap then fail "charge repeat above cap";
+      Charge (cost, times)
+  | 3 ->
+      let s = slot c in
+      Set (s, get_expr c (depth + 1))
+  | 4 ->
+      let cond = get_expr c (depth + 1) in
+      let t = get_stmt c (depth + 1) in
+      let f = get_stmt c (depth + 1) in
+      If (cond, t, f)
+  | 5 ->
+      let s = slot c in
+      let lo = get_expr c (depth + 1) in
+      let hi = get_expr c (depth + 1) in
+      For (s, lo, hi, get_stmt c (depth + 1))
+  | 6 ->
+      let s = slot c in
+      let hi = get_expr c (depth + 1) in
+      let lo = get_expr c (depth + 1) in
+      For_down (s, hi, lo, get_stmt c (depth + 1))
+  | 7 ->
+      let s = slot c in
+      let ls = slot c in
+      For_list (s, ls, get_stmt c (depth + 1))
+  | 8 ->
+      let s = slot c in
+      Push (s, get_expr c (depth + 1))
+  | 9 -> Break
+  | 10 ->
+      let code = gstr8 c max_code in
+      let addr = get_expr c (depth + 1) in
+      let fmt = gstr16 c max_string in
+      let argc = g8 c in
+      if argc > 8 then fail "format arity too large";
+      let args = List.init argc (fun _ -> get_expr c (depth + 1)) in
+      Emit { code; addr; fmt; args }
+  | _ -> fail "unknown statement tag"
+
+let decode bytes =
+  try
+    let tag_len = String.length format_tag in
+    if String.length bytes < tag_len + 1 then fail "truncated program";
+    if String.sub bytes 0 tag_len <> format_tag then fail "bad magic";
+    if Char.code bytes.[tag_len] <> version then fail "unsupported version";
+    let c0 = { src = bytes; pos = tag_len + 1; nodes = 0; locals = 0 } in
+    let name = gstr8 c0 max_name in
+    if name = "" then fail "empty program name";
+    let locals = g16 c0 in
+    if locals > max_locals then fail "too many locals";
+    let sort_findings = g8 c0 <> 0 in
+    let ntables = g8 c0 in
+    if ntables > max_tables then fail "too many tables";
+    let tables =
+      Array.init ntables (fun _ ->
+          let n = g32 c0 in
+          if n > max_table_entries then fail "table too large";
+          List.init n (fun _ ->
+              let k = gstr16 c0 max_string in
+              let v = gstr16 c0 max_string in
+              (k, v)))
+    in
+    let c = { c0 with locals } in
+    let body = get_stmt c 0 in
+    if c.pos <> String.length bytes then fail "trailing bytes";
+    Ok { name; locals; sort_findings; tables; body }
+  with Bad msg -> Error msg
+
+(* ---- digests ------------------------------------------------------ *)
+
+let digest p = Crypto.Sha256.digest (to_bytes p)
+let digest_hex p = Crypto.Sha256.hex (digest p)

@@ -1,0 +1,153 @@
+open Engarde
+
+(* The policy IR: a small statement/expression tree over the shared
+   analysis facts. See prog.mli for the semantics contract. *)
+
+type costc =
+  | C_policy_step
+  | C_pattern_probe
+  | C_backtrack_step
+  | C_dom_step
+  | C_range_probe
+
+let cost_cycles = function
+  | C_policy_step -> Costmodel.policy_step
+  | C_pattern_probe -> Costmodel.pattern_probe
+  | C_backtrack_step -> Costmodel.backtrack_step
+  | C_dom_step -> Costmodel.dom_step
+  | C_range_probe -> Costmodel.range_probe
+
+type const =
+  | C_int of int
+  | C_bool of bool
+  | C_str of string
+  | C_none
+  | C_nil
+
+type unop =
+  | U_not
+  | U_is_some
+  | U_fst
+  | U_snd
+
+type binop =
+  | B_add
+  | B_sub
+  | B_mul
+  | B_land
+  | B_min
+  | B_eq
+  | B_lt
+  | B_le
+  | B_reg_eq
+
+type prim =
+  (* buffer *)
+  | P_num_entries
+  | P_entry_addr
+  | P_code_base
+  | P_code_end
+  | P_index_of_addr
+  | P_is_ret
+  | P_can_fall_through
+  | P_branch_target
+  | P_sole_reg_operand
+  (* instruction shapes (lib/core/patterns.ml) *)
+  | P_stack_store
+  | P_canary_load_into
+  | P_defines
+  | P_canary_check_site
+  | P_lea_rip_target
+  | P_ifcc_sub32
+  | P_ifcc_and64
+  | P_ifcc_add64
+  (* functions *)
+  | P_num_functions
+  | P_fn_addr
+  | P_fn_name
+  | P_fn_slice
+  | P_function_containing
+  | P_is_function_start
+  (* direct calls *)
+  | P_num_direct_calls
+  | P_dc_addr
+  | P_dc_target
+  | P_dc_name
+  (* indirect calls *)
+  | P_num_indirect_calls
+  | P_ic_addr
+  | P_ic_index
+  | P_ic_reg
+  | P_ic_window_len
+  | P_ic_window
+  (* indirect jumps *)
+  | P_num_indirect_jumps
+  | P_ij_index
+  | P_ij_addr
+  (* tables, hashes, ranges *)
+  | P_in_table
+  | P_function_hash
+  | P_table_lookup
+  | P_branch_target_within
+  (* CFG *)
+  | P_has_cfg
+  | P_num_blocks
+  | P_block_lo
+  | P_block_hi
+  | P_block_addr
+  | P_block_padding
+  | P_block_reachable
+  | P_block_of_index
+  | P_dominates
+  (* dataflow *)
+  | P_fact_before
+
+type expr =
+  | Const of const
+  | Var of int
+  | Un of unop * expr
+  | Bin of binop * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Get of expr
+  | Prim of prim * expr list
+
+type stmt =
+  | Nop
+  | Seq of stmt list
+  | Charge of costc * int
+  | Set of int * expr
+  | If of expr * stmt * stmt
+  | For of int * expr * expr * stmt
+  | For_down of int * expr * expr * stmt
+  | For_list of int * int * stmt
+  | Push of int * expr
+  | Break
+  | Emit of { code : string; addr : expr; fmt : string; args : expr list }
+
+type t = {
+  name : string;
+  locals : int;
+  sort_findings : bool;
+  tables : (string * string) list array;
+  body : stmt;
+}
+
+(* Static limits the canonical decoder enforces; kept here so encode
+   and the builtin compiler agree on what is representable. *)
+let max_name = 64
+let max_locals = 256
+let max_tables = 4
+let max_table_entries = 65_536
+let max_string = 4_096
+let max_code = 64
+let max_nodes = 1_000_000
+let max_depth = 256
+
+(* Fact-kind encoding for [P_fact_before]: the dataflow abstract value
+   as (kind, (a, b)). *)
+let kind_top = 0
+let kind_addr = 1
+let kind_diff = 2
+let kind_masked = 3
+let kind_target = 4

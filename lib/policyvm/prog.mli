@@ -1,0 +1,172 @@
+(** The negotiated-policy IR.
+
+    A policy program is a statement tree interpreted by {!Vm} against
+    one {!Policy.context}: an event visitor over the shared
+    {!Analysis.t} facts, with primitives for event selection (direct
+    and indirect call sites, function slices, rets), hash and table
+    lookups (the libc db, IFCC jump tables), dominance and dataflow
+    queries, and finding emission. Programs do their own modelled-cost
+    accounting through [Charge] statements — the contract that lets a
+    DSL-compiled policy reproduce a native module's cycle counts bit
+    for bit — while the interpreter separately meters its own
+    dispatch work ({!Costmodel.vm_step} per node, on a separate
+    counter) and decrements one fuel unit per node so hostile
+    programs terminate.
+
+    Values are dynamically typed: integers, booleans, strings,
+    registers, options, pairs and lists. A type mismatch at run time
+    is not a crash but a VM error, which {!Vm.policy} converts into a
+    ["policy-vm-error"] violation — an agreed program that misbehaves
+    rejects the binary rather than wedging the service. *)
+
+(** Chargeable cost constants — the policy-phase subset of
+    {!Costmodel} a program may spend from. *)
+type costc =
+  | C_policy_step
+  | C_pattern_probe
+  | C_backtrack_step
+  | C_dom_step
+  | C_range_probe
+
+val cost_cycles : costc -> int
+
+type const =
+  | C_int of int
+  | C_bool of bool
+  | C_str of string
+  | C_none      (** the empty option *)
+  | C_nil       (** the empty list *)
+
+type unop =
+  | U_not
+  | U_is_some
+  | U_fst
+  | U_snd
+
+type binop =
+  | B_add
+  | B_sub
+  | B_mul
+  | B_land
+  | B_min
+  | B_eq       (** structural, ints/bools/strings *)
+  | B_lt
+  | B_le
+  | B_reg_eq   (** register equality *)
+
+(** Primitives: the fact interface. Arities and types are documented
+    in DESIGN.md §13; the interpreter checks both at run time. Index
+    arguments are bounds-checked — out-of-range access is a VM error,
+    never an exception escaping the VM. *)
+type prim =
+  | P_num_entries
+  | P_entry_addr
+  | P_code_base
+  | P_code_end
+  | P_index_of_addr
+  | P_is_ret
+  | P_can_fall_through
+  | P_branch_target
+  | P_sole_reg_operand
+  | P_stack_store
+  | P_canary_load_into
+  | P_defines
+  | P_canary_check_site
+  | P_lea_rip_target
+  | P_ifcc_sub32
+  | P_ifcc_and64
+  | P_ifcc_add64
+  | P_num_functions
+  | P_fn_addr
+  | P_fn_name
+  | P_fn_slice
+  | P_function_containing
+  | P_is_function_start
+  | P_num_direct_calls
+  | P_dc_addr
+  | P_dc_target
+  | P_dc_name
+  | P_num_indirect_calls
+  | P_ic_addr
+  | P_ic_index
+  | P_ic_reg
+  | P_ic_window_len
+  | P_ic_window
+  | P_num_indirect_jumps
+  | P_ij_index
+  | P_ij_addr
+  | P_in_table
+  | P_function_hash
+  | P_table_lookup
+  | P_branch_target_within
+  | P_has_cfg
+  | P_num_blocks
+  | P_block_lo
+  | P_block_hi
+  | P_block_addr
+  | P_block_padding
+  | P_block_reachable
+  | P_block_of_index
+  | P_dominates
+  | P_fact_before
+
+type expr =
+  | Const of const
+  | Var of int
+  | Un of unop * expr
+  | Bin of binop * expr * expr
+  | And of expr * expr     (** short-circuit *)
+  | Or of expr * expr      (** short-circuit *)
+  | Get of expr            (** unwrap [Some]; [None] is a VM error *)
+  | Prim of prim * expr list
+
+type stmt =
+  | Nop
+  | Seq of stmt list
+  | Charge of costc * int  (** spend [times × cost_cycles c] modelled
+                               cycles from the policy counter *)
+  | Set of int * expr
+  | If of expr * stmt * stmt
+  | For of int * expr * expr * stmt
+      (** ascending over the half-open range [lo, hi) *)
+  | For_down of int * expr * expr * stmt
+      (** descending from [hi] down to [lo], both inclusive *)
+  | For_list of int * int * stmt
+      (** bind each element of list slot, head first *)
+  | Push of int * expr     (** cons onto a list slot *)
+  | Break                  (** exit the innermost loop *)
+  | Emit of { code : string; addr : expr; fmt : string; args : expr list }
+      (** append a finding; [fmt] supports [%x] [%d] [%s] [%%] *)
+
+type t = {
+  name : string;           (** becomes [Policy.finding.policy] *)
+  locals : int;            (** slot-frame size *)
+  sort_findings : bool;    (** stable-sort findings by address at exit *)
+  tables : (string * string) list array;
+      (** embedded key→value tables (libc hash db, exemption lists),
+          measured as part of the canonical blob *)
+  body : stmt;
+}
+
+(** {1 Static limits} (enforced by {!Encode.decode}) *)
+
+val max_name : int
+val max_locals : int
+val max_tables : int
+val max_table_entries : int
+val max_string : int
+val max_code : int
+val max_nodes : int
+val max_depth : int
+
+(** {1 Dataflow fact encoding}
+
+    [P_fact_before] returns [Some (kind, (a, b))]: [Top] → (0,(0,0)),
+    [Addr a] → (1,(a,0)), [Diff (p,b)] → (2,(p,b)), [Masked (p,b,_)] →
+    (3,(p,b)), [Target (base,tgt)] → (4,(base,tgt)). *)
+
+val kind_top : int
+val kind_addr : int
+val kind_diff : int
+val kind_masked : int
+val kind_target : int

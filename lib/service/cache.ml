@@ -2,6 +2,7 @@ type verdict = {
   accepted : bool;
   detail : string;
   measurement : string;
+  programs_digest : string;
   instructions : int;
   disassembly_cycles : int;
   policy_cycles : int;
@@ -33,6 +34,7 @@ let encode_verdict v =
     v.instructions v.disassembly_cycles v.policy_cycles v.loading_cycles;
   Printf.bprintf b "%s\n" (String.escaped v.detail);
   Printf.bprintf b "%s\n" (String.escaped v.measurement);
+  Printf.bprintf b "%s\n" (String.escaped v.programs_digest);
   add_findings b v.findings;
   Buffer.contents b
 
@@ -40,7 +42,7 @@ let decode_verdict s =
   let unescape x = try Some (Scanf.unescaped x) with Scanf.Scan_failure _ | Failure _ -> None in
   let ( let* ) = Option.bind in
   match String.split_on_char '\n' s with
-  | header :: detail :: measurement :: rest -> begin
+  | header :: detail :: measurement :: programs :: rest -> begin
       match String.split_on_char '\t' header with
       | [ acc; insns; dis; pol; load ] ->
           let* accepted =
@@ -52,6 +54,7 @@ let decode_verdict s =
           let* loading_cycles = int_of_string_opt load in
           let* detail = unescape detail in
           let* measurement = unescape measurement in
+          let* programs_digest = unescape programs in
           let* findings =
             List.fold_left
               (fun acc line ->
@@ -73,6 +76,7 @@ let decode_verdict s =
               accepted;
               detail;
               measurement;
+              programs_digest;
               instructions;
               disassembly_cycles;
               policy_cycles;
@@ -85,12 +89,17 @@ let decode_verdict s =
 
 type stats = { hits : int; misses : int; evictions : int; size : int; capacity : int }
 
-let key ~payload ~policy_names ~libc_db_version =
+let key ~payload ~policy_names ~libc_db_version ~programs_digest =
   let fingerprint =
     String.concat "," (List.sort_uniq compare policy_names) |> Crypto.Sha256.digest
   in
+  (* The program digest and the DSL format version both go in: a
+     renegotiated program set, or the same set under an incompatible
+     VM revision, can never be served a verdict computed under the
+     old semantics. *)
   Crypto.Sha256.digest
-    (Crypto.Sha256.digest payload ^ "\x00" ^ fingerprint ^ "\x00" ^ libc_db_version)
+    (Crypto.Sha256.digest payload ^ "\x00" ^ fingerprint ^ "\x00" ^ libc_db_version
+   ^ "\x00" ^ Policyvm.Encode.format_tag ^ "\x00" ^ programs_digest)
 
 (* Doubly-linked LRU list threaded through the hash table's nodes:
    head = most recently used, tail = next eviction victim. Each shard
@@ -219,7 +228,11 @@ let stats t =
 
 (* --- persistence (warm restart) ----------------------------------- *)
 
-let export_magic = "EGCACHE1"
+(* v2: verdicts carry the negotiated program digest. A v1 blob from an
+   earlier release is rejected at import rather than silently reused
+   under the new keying. *)
+let export_magic = "EGCACHE2"
+let stale_magic = "EGCACHE1"
 let u32_be n = String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xff))
 
 let export t =
@@ -235,7 +248,7 @@ let export t =
      reproduces each shard's recency ordering exactly (keys re-route to
      the same shard when the importer has the same shard count), and a
      smaller-capacity importer keeps the most recently used entries.
-     The blob format is the same EGCACHE1 stream regardless of shard
+     The blob format is the same EGCACHE2 stream regardless of shard
      count, so single-lock and striped caches interchange state. *)
   Array.iter
     (fun s ->
@@ -275,7 +288,8 @@ let import t s =
   in
   let ( let* ) o f = match o with Some x -> f x | None -> Error "cache state truncated" in
   let* m = take 8 in
-  if m <> export_magic then Error "not a cache state blob"
+  if m = stale_magic then Error "stale cache state (format v1: no program digests)"
+  else if m <> export_magic then Error "not a cache state blob"
   else
     let* n = u32 () in
     let rec load i =

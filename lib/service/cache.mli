@@ -24,6 +24,9 @@ type verdict = {
   accepted : bool;
   detail : string;              (** what the client is told *)
   measurement : string;         (** enclave measurement of the judging run *)
+  programs_digest : string;
+      (** negotiated policy-set digest of the judging run; [""] for
+          runs without a negotiation step *)
   instructions : int;
   disassembly_cycles : int;     (** modelled cost of the original run *)
   policy_cycles : int;
@@ -56,10 +59,18 @@ type stats = {
   capacity : int;
 }
 
-val key : payload:string -> policy_names:string list -> libc_db_version:string -> string
+val key :
+  payload:string ->
+  policy_names:string list ->
+  libc_db_version:string ->
+  programs_digest:string ->
+  string
 (** The content address. The policy-set fingerprint is order- and
     duplicate-insensitive (policies form a set; [run_all] order does not
-    change any verdict). *)
+    change any verdict). [programs_digest] — the negotiated program-set
+    digest — and the policy-DSL format version are folded in too, so
+    verdicts computed under different programs (or an incompatible VM
+    revision) never collide. *)
 
 type t
 

@@ -32,6 +32,8 @@ type config = {
   backoff_ticks : int;
   max_payload_bytes : int option;
   libc_db : Toolchain.Libc.version;
+  engine : [ `Vm | `Native ];
+  programs : (string * string) list;
   provision : Engarde.Provision.config;
   fault : attempt:int -> job -> (Channel.Wire.t -> Channel.Wire.t) option;
   dispatch :
@@ -50,6 +52,8 @@ let default_config =
     backoff_ticks = 2;
     max_payload_bytes = Some (16 * 1024 * 1024);
     libc_db = Toolchain.Libc.V1_0_5;
+    engine = `Vm;
+    programs = [];
     provision = Engarde.Provision.default_config;
     fault = (fun ~attempt:_ _ -> None);
     (* Sequential: the pipeline runs at submission, the join is a
@@ -83,6 +87,25 @@ let parallel_config ?(config = default_config) ~domains () =
 
 let known_policies =
   [ "libc"; "stack"; "ifcc"; "lint"; "stack-pattern"; "ifcc-pattern" ]
+
+let vm_builtins = [ "libc"; "stack"; "ifcc"; "lint" ]
+
+(* Canonical blobs for the negotiated program set. The four flow
+   policies travel as real VM programs. The pattern-mode baselines have
+   no DSL transcription (their quadratic window scans are what the flow
+   policies exist to replace), so they contribute an opaque native
+   marker: the negotiated digest still commits to their selection, and
+   both engines execute them natively. *)
+let native_marker name = "EGNATIVE1\x00" ^ name
+
+let builtin_programs ~db =
+  Policyvm.Builtin.all ~db ~exempt:Toolchain.Libc.function_names
+
+let builtin_blobs ~db =
+  List.map (fun (n, p) -> (n, Policyvm.Encode.to_bytes p)) (builtin_programs ~db)
+  @ List.map
+      (fun n -> (n, native_marker n))
+      [ "stack-pattern"; "ifcc-pattern" ]
 
 let policies_of_names ~db names =
   let rec go acc = function
@@ -129,6 +152,8 @@ type worker_state =
 type t = {
   cfg : config;
   db : (string * string) list lazy_t;  (* reference libc hash database *)
+  vm_progs : (string * Policyvm.Prog.t) list lazy_t;  (* builtin DSL programs *)
+  blobs : (string * string) list lazy_t;  (* negotiable (name, blob) registry *)
   libc_db_version : string;
   queue : active Queue.t;
   cache : Cache.t option;
@@ -141,9 +166,27 @@ type t = {
 
 let create (cfg : config) =
   if cfg.workers <= 0 then invalid_arg "Service.Scheduler.create: workers must be positive";
+  (* Custom programs are provider configuration, not client input:
+     reject malformed ones loudly at service construction. *)
+  List.iter
+    (fun (name, blob) ->
+      if List.mem name known_policies then
+        invalid_arg
+          (Printf.sprintf "Service.Scheduler.create: program %S shadows a builtin policy"
+             name);
+      match Policyvm.Encode.decode blob with
+      | Ok _ -> ()
+      | Error e ->
+          invalid_arg
+            (Printf.sprintf "Service.Scheduler.create: program %S does not decode: %s" name
+               e))
+    cfg.programs;
+  let db = lazy (Toolchain.Libc.hash_db cfg.libc_db) in
   {
     cfg;
-    db = lazy (Toolchain.Libc.hash_db cfg.libc_db);
+    db;
+    vm_progs = lazy (builtin_programs ~db:(Lazy.force db));
+    blobs = lazy (builtin_blobs ~db:(Lazy.force db) @ cfg.programs);
     libc_db_version = Toolchain.Libc.version_to_string cfg.libc_db;
     queue = Queue.create ~capacity:cfg.queue_capacity;
     cache = (match cfg.cache with `Enabled cap -> Some (Cache.create ~capacity:cap) | `Disabled -> None);
@@ -156,6 +199,40 @@ let create (cfg : config) =
 
 let config t = t.cfg
 let metrics t = t.metrics
+
+(* The negotiated program set for a job: sorted-unique policy names,
+   each paired with its canonical blob. Client and provider hash
+   exactly these bytes, and both engines execute exactly this set, so
+   one digest covers the agreement regardless of engine. *)
+let program_set t names =
+  let blobs = Lazy.force t.blobs in
+  List.map (fun n -> (n, List.assoc n blobs)) (List.sort_uniq compare names)
+
+let programs_digest t names = Channel.Session.policy_set_digest (program_set t names)
+
+let negotiable t = known_policies @ List.map fst t.cfg.programs
+
+(* One policy instance for one attempt. Builtins run as VM programs
+   under the [`Vm] engine and as native modules under [`Native] (the
+   differential oracle); the pattern-mode baselines are native under
+   both; custom programs always interpret. *)
+let policy_for t name =
+  let native () =
+    match policies_of_names ~db:(Lazy.force t.db) [ name ] with
+    | Ok [ p ] -> p
+    | Ok _ | Error _ -> invalid_arg ("Service.Scheduler: unknown policy " ^ name)
+  in
+  match t.cfg.engine with
+  | `Vm when List.mem name vm_builtins ->
+      Policyvm.Vm.policy (List.assoc name (Lazy.force t.vm_progs))
+  | `Vm | `Native ->
+      if List.mem name known_policies then native ()
+      else begin
+        match Policyvm.Vm.of_blob (List.assoc name (Lazy.force t.blobs)) with
+        | Ok p -> p
+        | Error e ->
+            invalid_arg (Printf.sprintf "Service.Scheduler: program %S: %s" name e)
+      end
 let cache_stats t = Option.map Cache.stats t.cache
 let queue_stats t = Queue.stats t.queue
 let audit_log t = t.audit_log
@@ -174,7 +251,11 @@ let checkpoint t ~device =
 
 (* --- sealed persistence (warm restart) ----------------------------- *)
 
-let state_magic = "EGSTATE1"
+(* v2: the embedded cache/log sections carry program digests and the
+   cache keys include them; a v1 blob must not be reused under the new
+   keying. *)
+let state_magic = "EGSTATE2"
+let stale_state_magic = "EGSTATE1"
 let state_counter_prefix = "engarde-state/"
 let u64_be n = String.init 8 (fun i -> Char.chr ((n lsr (8 * (7 - i))) land 0xff))
 
@@ -215,7 +296,13 @@ let load_state t ~device blob =
           if pos + 8 + n > len then None else Some (String.sub plain (pos + 8) n, pos + 8 + n)
       in
       let ( let* ) o f = match o with Some x -> f x | None -> Error Audit.Seal.Truncated in
-      if len < 8 || String.sub plain 0 8 <> state_magic then Error Audit.Seal.Truncated
+      if len >= 8 && String.sub plain 0 8 = stale_state_magic then
+        (* An authentic blob from the previous state format: its
+           verdicts were keyed without program digests, so warm-starting
+           from it would serve stale answers. Reported as [Stale]
+           (format versions in place of counters), like a rollback. *)
+        Error (Audit.Seal.Stale { sealed = 1; current = 2 })
+      else if len < 8 || String.sub plain 0 8 <> state_magic then Error Audit.Seal.Truncated
       else
         let* log_blob, pos = section 8 in
         let* cache_blob, pos = section pos in
@@ -242,7 +329,7 @@ let load_state t ~device blob =
           Ok (log_n, cache_n)
 
 let validate t job =
-  match List.find_opt (fun n -> not (List.mem n known_policies)) job.policy_names with
+  match List.find_opt (fun n -> not (List.mem n (negotiable t))) job.policy_names with
   | Some unknown -> Some (Printf.sprintf "unknown policy %S" unknown)
   | None -> (
       match t.cfg.max_payload_bytes with
@@ -265,7 +352,8 @@ let submit t job =
           aseq = seq;
           akey =
             Cache.key ~payload:job.payload ~policy_names:job.policy_names
-              ~libc_db_version:t.libc_db_version;
+              ~libc_db_version:t.libc_db_version
+              ~programs_digest:(programs_digest t job.policy_names);
           attempts = 0;
           cycles = 0;
         }
@@ -296,6 +384,7 @@ let audit_append t a (v : Cache.verdict) =
           accepted = v.Cache.accepted;
           findings_digest = Cache.findings_digest v.Cache.findings;
           measurement = v.Cache.measurement;
+          programs_digest = v.Cache.programs_digest;
           instructions = v.Cache.instructions;
           disassembly_cycles = v.Cache.disassembly_cycles;
           policy_cycles = v.Cache.policy_cycles;
@@ -339,6 +428,8 @@ let verdict_of_outcome (o : Engarde.Provision.outcome) =
     Cache.accepted;
     detail;
     measurement = o.Engarde.Provision.measurement;
+    programs_digest =
+      Option.value o.Engarde.Provision.negotiated_digest ~default:"";
     instructions = report.Engarde.Report.instructions;
     disassembly_cycles = Sgx.Perf.total_cycles report.Engarde.Report.disassembly;
     policy_cycles =
@@ -356,21 +447,20 @@ let verdict_of_outcome (o : Engarde.Provision.outcome) =
 let start_attempt t ~worker a =
   a.attempts <- a.attempts + 1;
   let job = a.ajob in
-  let policies =
-    match policies_of_names ~db:(Lazy.force t.db) job.policy_names with
-    | Ok ps -> ps
-    | Error why ->
-        (* validate already screened names; defensive completeness *)
-        invalid_arg ("Service.Scheduler: " ^ why)
-  in
+  let policies = List.map (policy_for t) job.policy_names in
+  let programs = program_set t job.policy_names in
   let provision_cfg =
-    { t.cfg.provision with Engarde.Provision.policy_names = job.policy_names }
+    {
+      t.cfg.provision with
+      Engarde.Provision.policy_names = job.policy_names;
+      policy_digest = Channel.Session.policy_set_digest programs;
+    }
   in
   let tamper = t.cfg.fault ~attempt:a.attempts job in
   let hash_runner = t.cfg.hash_runner in
   let join =
     t.cfg.dispatch (fun () ->
-        Engarde.Provision.run ?tamper ?hash_runner ~policies provision_cfg
+        Engarde.Provision.run ?tamper ?hash_runner ~policies ~programs provision_cfg
           ~payload:job.payload)
   in
   t.workers.(worker) <- Join (a, join)

@@ -63,6 +63,19 @@ type config = {
   max_payload_bytes : int option;
   libc_db : Toolchain.Libc.version;
       (** the provider's reference hash database — part of the cache key *)
+  engine : [ `Vm | `Native ];
+      (** how the four builtin flow policies execute: as negotiated VM
+          programs ([`Vm], the default) or as the native OCaml modules
+          ([`Native], the differential oracle). Pattern-mode baselines
+          are native under both; verdicts, findings and modelled policy
+          cycles are identical either way. *)
+  programs : (string * string) list;
+      (** additional negotiable policy programs, [(name, canonical
+          blob)] — the point of the VM: a new check is service data,
+          not a recompile. Names must not shadow builtins and blobs
+          must decode ({!Engarde}-independent: {!create} raises
+          [Invalid_argument] otherwise). Custom programs always run on
+          the VM. *)
   provision : Engarde.Provision.config;
       (** template; [policy_names] is overridden per job so the
           measurement binds each job's agreed policy set *)
@@ -88,7 +101,8 @@ type config = {
 val default_config : config
 (** 4 workers, queue of 64, cache of 256 verdicts, audit off, no
     timeout, 2 retries, clean channel, in-place dispatch, no hash
-    runner, libc-db v1.0.5, [Engarde.Provision.default_config]. *)
+    runner, libc-db v1.0.5, the [`Vm] engine with no custom programs,
+    [Engarde.Provision.default_config]. *)
 
 val parallel_config : ?config:config -> domains:int -> unit -> config * Pool.t
 (** [config] (default {!default_config}) rewired for true parallelism:
@@ -101,14 +115,30 @@ val parallel_config : ?config:config -> domains:int -> unit -> config * Pool.t
     configuration on the same job mix — wall-clock time is the only
     observable difference. *)
 
+val known_policies : string list
+(** The builtin policy names every scheduler accepts: "libc", "stack",
+    "ifcc", "lint", plus the paper-baseline "stack-pattern" /
+    "ifcc-pattern" peephole modes. (The library also ships a
+    [Policy_malware] module, but it needs a caller-supplied signature
+    database and is deliberately not name-addressable here.) *)
+
 val policies_of_names :
   db:(string * string) list -> string list -> (Engarde.Policy.t list, string) result
-(** Instantiate policy modules from their agreed names ("libc", "stack",
-    "ifcc", "lint", plus the paper-baseline "stack-pattern" /
-    "ifcc-pattern" peephole modes); [Error] names the first unknown
-    policy. *)
+(** Instantiate native policy modules from their agreed names (the
+    {!known_policies} set); [Error] names the first unknown policy. *)
 
 type t
+
+val program_set : t -> string list -> (string * string) list
+(** The negotiated program set for a policy-name list: sorted-unique
+    names paired with their canonical blobs (builtin DSL programs,
+    native markers for the pattern baselines, configured custom
+    programs). Raises [Not_found] on a name {!submit} would reject. *)
+
+val programs_digest : t -> string list -> string
+(** {!Channel.Session.policy_set_digest} of {!program_set} — what gets
+    measured into the judging enclave, offered by the client, recorded
+    in audit leaves, and folded into cache keys. *)
 
 val create : config -> t
 val config : t -> config

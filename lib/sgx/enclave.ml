@@ -79,6 +79,11 @@ let eadd t ~vaddr ~perm ~content =
   Perf.count_sgx t.counters (page_size / 256);
   Measurement.extend t.meas ~vaddr ~content
 
+let measure_data t ~tag ~content =
+  if t.lifecycle <> Building then fault "measure_data after EINIT";
+  Perf.count_sgx t.counters 1;
+  Measurement.measure_data t.meas ~tag ~content
+
 let einit t =
   if t.lifecycle <> Building then fault "EINIT: enclave not in build state";
   Perf.count_sgx t.counters 1;

@@ -35,6 +35,12 @@ val eadd : t -> vaddr:int -> perm:perm -> content:string -> unit
 (** Add and measure one page during build (content length = page size).
     @raise Sgx_fault after EINIT. *)
 
+val measure_data : t -> tag:string -> content:string -> unit
+(** Fold a custom record ({!Measurement.measure_data}) into the build
+    measurement — attested configuration that is not page content,
+    e.g. the negotiated policy-set digest.
+    @raise Sgx_fault after EINIT. *)
+
 val einit : t -> string
 (** Finalize the measurement; the enclave becomes [Live]. *)
 

@@ -31,6 +31,11 @@ let extend t ~vaddr ~content =
   in
   go 0
 
+(* A non-page measured record, length-prefixed so distinct
+   (tag, content) pairs can never collide by concatenation. *)
+let measure_data t ~tag ~content =
+  record t tag (u64le (String.length content) ^ content)
+
 let finalize t =
   match t.digest with
   | Some d -> d

@@ -15,6 +15,11 @@ val add_page : t -> vaddr:int -> perms:string -> unit
 val extend : t -> vaddr:int -> content:string -> unit
 (** EEXTEND records measuring page [content] in 256-byte chunks. *)
 
+val measure_data : t -> tag:string -> content:string -> unit
+(** A custom measured record: [tag] then the length-prefixed [content].
+    Used for non-page configuration that must be attested — e.g. the
+    negotiated policy-set digest. *)
+
 val finalize : t -> string
 (** EINIT: the 32-byte measurement. Idempotent afterwards. *)
 

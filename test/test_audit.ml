@@ -101,6 +101,7 @@ let mk_leaf i =
     accepted = i mod 3 <> 0;
     findings_digest = Crypto.Sha256.digest (if i mod 3 = 0 then "findings" else "");
     measurement = Crypto.Sha256.digest "judging-enclave";
+    programs_digest = Crypto.Sha256.digest "agreed-programs";
     instructions = 12903 + i;
     disassembly_cycles = 18_242_127 + i;
     policy_cycles = 123_895_553 + i;
@@ -468,6 +469,7 @@ let sample_verdict_bytes =
       Service.Cache.accepted = false;
       detail = "rejected: canary\tmissing";
       measurement = Crypto.Sha256.digest "m";
+      programs_digest = Crypto.Sha256.digest "p";
       instructions = 12903;
       disassembly_cycles = 55;
       policy_cycles = 66;

@@ -130,7 +130,7 @@ let client_accepts_good_quote () =
     Channel.Client.create
       ~device_pub:(Sgx.Quote.device_public (Lazy.force device))
       ~expected_measurement:(Sgx.Enclave.measurement e)
-      ~seed:"s" ~payload:"payload-bytes"
+      ~seed:"s" ~payload:"payload-bytes" ()
   in
   match Channel.Client.handle_quote client (quote_response_for ~pub e) with
   | Ok (Channel.Wire.Wrapped_key { wrapped }) -> begin
@@ -156,7 +156,7 @@ let client_rejects_wrong_measurement () =
   let client =
     Channel.Client.create
       ~device_pub:(Sgx.Quote.device_public (Lazy.force device))
-      ~expected_measurement:(String.make 32 'Z') ~seed:"s" ~payload:"p"
+      ~expected_measurement:(String.make 32 'Z') ~seed:"s" ~payload:"p" ()
   in
   match Channel.Client.handle_quote client (quote_response_for e) with
   | Error (Channel.Client.Wrong_measurement _) -> ()
@@ -169,7 +169,7 @@ let client_rejects_wrong_device () =
   let client =
     Channel.Client.create
       ~device_pub:(Sgx.Quote.device_public other)
-      ~expected_measurement:(Sgx.Enclave.measurement e) ~seed:"s" ~payload:"p"
+      ~expected_measurement:(Sgx.Enclave.measurement e) ~seed:"s" ~payload:"p" ()
   in
   match Channel.Client.handle_quote client (quote_response_for e) with
   | Error Channel.Client.Bad_quote -> ()
@@ -183,7 +183,7 @@ let client_rejects_swapped_key () =
   let client =
     Channel.Client.create
       ~device_pub:(Sgx.Quote.device_public (Lazy.force device))
-      ~expected_measurement:(Sgx.Enclave.measurement e) ~seed:"s" ~payload:"p"
+      ~expected_measurement:(Sgx.Enclave.measurement e) ~seed:"s" ~payload:"p" ()
   in
   let msg =
     match quote_response_for ~pub:"honest-key" e with

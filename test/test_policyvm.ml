@@ -1,0 +1,322 @@
+(* The negotiated policy VM: canonical codec round-trips, decoder
+   fuzzing (mutated blobs must error or terminate within fuel, never
+   crash or over-charge), and the differential guarantee — the four
+   builtin DSL programs reproduce the native modules' verdicts,
+   findings and modelled cycles bit for bit. *)
+
+open Toolchain
+
+let db = Libc.hash_db Libc.V1_0_5
+let exempt = Libc.function_names
+
+let context_of_image (img : Linker.image) =
+  let analysis_perf = Sgx.Perf.create () in
+  match Elf64.Reader.parse img.Linker.elf with
+  | Error e -> Alcotest.failf "parse: %s" (Elf64.Reader.error_to_string e)
+  | Ok elf -> (
+      let text = List.hd (Elf64.Reader.text_sections elf) in
+      match
+        Engarde.Disasm.run (Sgx.Perf.create ()) ~code:text.Elf64.Reader.data
+          ~base:text.Elf64.Reader.addr ~symbols:elf.Elf64.Reader.symbols
+      with
+      | Error v -> Alcotest.failf "disasm: %s" (X86.Nacl.violation_to_string v)
+      | Ok (buffer, symbols) ->
+          let perf = Sgx.Perf.create () in
+          let cfg_perf = Sgx.Perf.create () in
+          ( Engarde.Policy.context ~analysis_perf ~cfg_perf ~perf buffer symbols,
+            perf,
+            cfg_perf,
+            analysis_perf ))
+
+let native_policies () =
+  [
+    Engarde.Policy_libc.make ~db ();
+    Engarde.Policy_stack.make ~exempt ();
+    Engarde.Policy_ifcc.make ();
+    Engarde.Policy_lint.make ();
+  ]
+
+let vm_policies vm_perf =
+  List.map (fun (_, p) -> Policyvm.Vm.policy ~vm_perf p) (Policyvm.Builtin.all ~db ~exempt)
+
+let show_verdict (name, v) = name ^ ": " ^ Engarde.Policy.verdict_to_string v
+
+(* Run the native modules and the DSL programs over two fresh contexts
+   of the same image and require identical results and identical
+   modelled cycles on every counter. *)
+let check_differential what img =
+  let ctx_n, perf_n, cfg_n, an_n = context_of_image img in
+  let ctx_v, perf_v, cfg_v, an_v = context_of_image img in
+  let res_n = Engarde.Policy.run_all ctx_n (native_policies ()) in
+  let vm_perf = Sgx.Perf.create () in
+  let res_v = Engarde.Policy.run_all ctx_v (vm_policies vm_perf) in
+  if res_n <> res_v then begin
+    let dump res = String.concat "\n  " (List.map show_verdict res) in
+    Alcotest.failf "%s: verdicts differ\nnative:\n  %s\nvm:\n  %s" what (dump res_n)
+      (dump res_v)
+  end;
+  let pair p = (Sgx.Perf.native_cycles p, Sgx.Perf.sgx_instructions p) in
+  Alcotest.(check (pair int int))
+    (what ^ ": policy cycles") (pair perf_n) (pair perf_v);
+  Alcotest.(check (pair int int)) (what ^ ": cfg cycles") (pair cfg_n) (pair cfg_v);
+  Alcotest.(check (pair int int)) (what ^ ": analysis cycles") (pair an_n) (pair an_v);
+  Alcotest.(check bool)
+    (what ^ ": vm overhead metered") true
+    (Sgx.Perf.native_cycles vm_perf > 0)
+
+let differential_small () =
+  check_differential "mcf/plain" (Linker.link (Workloads.build Codegen.plain Workloads.Mcf));
+  check_differential "mcf/stack"
+    (Linker.link (Workloads.build Codegen.with_stack_protector Workloads.Mcf));
+  check_differential "mcf/ifcc"
+    (Linker.link (Workloads.build Codegen.with_ifcc Workloads.Mcf));
+  List.iter
+    (fun adv ->
+      check_differential
+        ("adversarial/" ^ Workloads.adversarial_to_string adv)
+        (Linker.link_adversarial adv))
+    Workloads.adversarial_all
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let builtin_programs () = Policyvm.Builtin.all ~db ~exempt
+
+let roundtrip () =
+  List.iter
+    (fun (short, p) ->
+      let blob = Policyvm.Encode.to_bytes p in
+      match Policyvm.Encode.decode blob with
+      | Error e -> Alcotest.failf "%s: decode failed: %s" short e
+      | Ok p' ->
+          Alcotest.(check bool) (short ^ ": roundtrip") true (p = p');
+          Alcotest.(check string)
+            (short ^ ": canonical")
+            (Policyvm.Encode.digest_hex p) (Policyvm.Encode.digest_hex p'))
+    (builtin_programs ())
+
+let digests_distinct () =
+  let ds = List.map (fun (_, p) -> Policyvm.Encode.digest_hex p) (builtin_programs ()) in
+  Alcotest.(check int) "distinct" (List.length ds) (List.length (List.sort_uniq compare ds))
+
+let reject_oversized () =
+  let p = List.assoc "libc" (builtin_programs ()) in
+  let too_big =
+    { p with tables = [| List.init (Policyvm.Prog.max_table_entries + 1) (fun i -> (string_of_int i, "")) |] }
+  in
+  (match Policyvm.Encode.decode (Policyvm.Encode.to_bytes too_big) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized table accepted");
+  match Policyvm.Encode.decode (Policyvm.Encode.to_bytes p ^ "\x00") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing bytes accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Negotiation: the digest round-trip                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fast_provision =
+  {
+    Engarde.Provision.default_config with
+    Engarde.Provision.epc_pages = 4096;
+    heap_pages = 512;
+    bootstrap_pages = 8;
+    image_pages = 1600;
+    rsa_bits = 512;
+  }
+
+let service_config =
+  {
+    Service.Scheduler.default_config with
+    Service.Scheduler.workers = 1;
+    audit = true;
+    provision = fast_provision;
+  }
+
+(* One job end to end: the program-set digest the scheduler computes is
+   the one the enclave measures, the client offers, the verdict
+   carries, the audit leaf records, and the cache key folds in. *)
+let negotiation_e2e () =
+  let img = Linker.link (Workloads.build Codegen.with_stack_protector Workloads.Mcf) in
+  let names = [ "libc"; "stack" ] in
+  let t = Service.Scheduler.create service_config in
+  let expected = Service.Scheduler.programs_digest t names in
+  Alcotest.(check int) "digest is a SHA-256" 32 (String.length expected);
+  (match
+     Service.Scheduler.submit t
+       { Service.Scheduler.client = "e2e"; payload = img.Linker.elf; policy_names = names }
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "submit: %s" e);
+  let v =
+    match Service.Scheduler.run_until_idle t with
+    | [ { Service.Scheduler.verdict = Ok v; _ } ] -> v
+    | _ -> Alcotest.fail "expected one successful completion"
+  in
+  Alcotest.(check bool) "accepted" true v.Service.Cache.accepted;
+  Alcotest.(check string)
+    "verdict carries the negotiated digest" (Crypto.Sha256.hex expected)
+    (Crypto.Sha256.hex v.Service.Cache.programs_digest);
+  (* the digest is bound into the enclave measurement: replaying the
+     build with it reproduces the judging measurement, without it the
+     identity is a different enclave *)
+  let pcfg digest =
+    {
+      fast_provision with
+      Engarde.Provision.policy_names = names;
+      policy_digest = digest;
+    }
+  in
+  Alcotest.(check string)
+    "measurement binds the digest"
+    (Crypto.Sha256.hex (Engarde.Provision.expected_measurement (pcfg expected)))
+    (Crypto.Sha256.hex v.Service.Cache.measurement);
+  Alcotest.(check bool)
+    "digest-free measurement differs" true
+    (Engarde.Provision.expected_measurement (pcfg "") <> v.Service.Cache.measurement);
+  (* the audit leaf records it *)
+  (match Service.Scheduler.audit_log t with
+  | None -> Alcotest.fail "audit log missing"
+  | Some log -> (
+      match Audit.Log.leaf log 0 with
+      | Some leaf ->
+          Alcotest.(check string)
+            "audit leaf records the digest" (Crypto.Sha256.hex expected)
+            (Crypto.Sha256.hex leaf.Audit.Log.programs_digest)
+      | None -> Alcotest.fail "no audit leaf"));
+  (* and the cache key separates program sets *)
+  let key d =
+    Service.Cache.key ~payload:img.Linker.elf ~policy_names:names
+      ~libc_db_version:"1.0.5" ~programs_digest:d
+  in
+  Alcotest.(check bool) "cache key is digest-sensitive" true (key expected <> key "")
+
+(* An authentic sealed blob from the previous state format must be
+   refused as stale, not silently reused under the new cache keying. *)
+let stale_sealed_state () =
+  let t = Service.Scheduler.create service_config in
+  let device = Sgx.Quote.device_create ~seed:"policyvm-stale-state" in
+  let measurement = Service.Scheduler.measurement t in
+  let counter =
+    Sgx.Quote.counter_read device ~id:(Service.Scheduler.state_counter_id t)
+  in
+  let v1_blob =
+    Audit.Seal.seal
+      ~key:(Sgx.Quote.seal_key device ~measurement)
+      ~measurement ~counter "EGSTATE1"
+  in
+  match Service.Scheduler.load_state t ~device v1_blob with
+  | Error (Audit.Seal.Stale { sealed = 1; current = 2 }) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (Audit.Seal.error_to_string e)
+  | Ok _ -> Alcotest.fail "v1 sealed state accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let flip_byte s pos delta =
+  let b = Bytes.of_string s in
+  let pos = pos mod Bytes.length b in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 + (delta mod 255))));
+  Bytes.to_string b
+
+let builtin_blobs =
+  lazy (List.map (fun (_, p) -> Policyvm.Encode.to_bytes p) (builtin_programs ()))
+
+let tiny_ctx =
+  lazy
+    (let ctx, _, _, _ = context_of_image (Linker.link_adversarial Workloads.Jump_past_mask) in
+     ctx)
+
+(* A mutated blob must either be rejected by the decoder or, if the
+   mutation lands in a spot that keeps the program well-formed, run to
+   a fuel-bounded completion without raising and without charging more
+   than the per-node ceiling allows. *)
+let fuzz_decoder =
+  QCheck.Test.make ~name:"mutated blobs: reject, or bounded charged run" ~count:400
+    QCheck.(triple (int_bound 3) small_nat small_nat)
+    (fun (which, pos, delta) ->
+      let blob = List.nth (Lazy.force builtin_blobs) which in
+      match Policyvm.Encode.decode (flip_byte blob pos delta) with
+      | Error _ -> true
+      | Ok p ->
+          let ctx = Lazy.force tiny_ctx in
+          let fuel = 200_000 in
+          let before = Sgx.Perf.native_cycles ctx.Engarde.Policy.perf in
+          let o = Policyvm.Vm.run ~fuel p ctx in
+          let charged = Sgx.Perf.native_cycles ctx.Engarde.Policy.perf - before in
+          let max_charge_per_node =
+            Engarde.Costmodel.vm_charge_cap * Engarde.Costmodel.range_probe
+          in
+          o.Policyvm.Vm.vm_nodes <= fuel
+          && charged <= o.Policyvm.Vm.vm_nodes * max_charge_per_node)
+
+(* Mutating the inspected binary itself must never split the engines:
+   whatever a byte flip does to the ELF, native modules and DSL
+   programs still agree bit for bit (or the image fails to parse for
+   both, which is the same front door). *)
+let fuzz_differential =
+  QCheck.Test.make ~name:"mutated binaries: DSL still equals native" ~count:60
+    QCheck.(triple (int_bound 1) small_nat small_nat)
+    (fun (which, pos, delta) ->
+      let adv = List.nth Workloads.adversarial_all which in
+      let img = Linker.link_adversarial adv in
+      let elf = flip_byte img.Linker.elf pos delta in
+      match Elf64.Reader.parse elf with
+      | Error _ -> true
+      | Ok parsed -> (
+          match Elf64.Reader.text_sections parsed with
+          | [] -> true
+          | text :: _ -> (
+              let mk () =
+                match
+                  Engarde.Disasm.run (Sgx.Perf.create ())
+                    ~code:text.Elf64.Reader.data ~base:text.Elf64.Reader.addr
+                    ~symbols:parsed.Elf64.Reader.symbols
+                with
+                | Error _ -> None
+                | Ok (buffer, symbols) ->
+                    let perf = Sgx.Perf.create () in
+                    let cfg_perf = Sgx.Perf.create () in
+                    Some
+                      ( Engarde.Policy.context ~analysis_perf:(Sgx.Perf.create ())
+                          ~cfg_perf ~perf buffer symbols,
+                        perf,
+                        cfg_perf )
+              in
+              match (mk (), mk ()) with
+              | None, None -> true
+              | Some (ctx_n, perf_n, cfg_n), Some (ctx_v, perf_v, cfg_v) ->
+                  let res_n = Engarde.Policy.run_all ctx_n (native_policies ()) in
+                  let res_v =
+                    Engarde.Policy.run_all ctx_v (vm_policies (Sgx.Perf.create ()))
+                  in
+                  res_n = res_v
+                  && Sgx.Perf.native_cycles perf_n = Sgx.Perf.native_cycles perf_v
+                  && Sgx.Perf.native_cycles cfg_n = Sgx.Perf.native_cycles cfg_v
+              | _ -> false)))
+
+let tests =
+  [
+    ( "codec",
+      [
+        Alcotest.test_case "builtins round-trip canonically" `Quick roundtrip;
+        Alcotest.test_case "program digests are distinct" `Quick digests_distinct;
+        Alcotest.test_case "oversized and trailing input rejected" `Quick reject_oversized;
+      ] );
+    ( "differential",
+      [
+        Alcotest.test_case "DSL = native on mcf + adversarial" `Quick differential_small;
+      ] );
+    ( "negotiation",
+      [
+        Alcotest.test_case "digest round-trips measurement/leaf/key" `Quick
+          negotiation_e2e;
+        Alcotest.test_case "v1 sealed state is stale" `Quick stale_sealed_state;
+      ] );
+    ( "fuzz",
+      List.map QCheck_alcotest.to_alcotest [ fuzz_decoder; fuzz_differential ] );
+  ]
+
+let () = Alcotest.run "policyvm" tests

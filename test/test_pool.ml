@@ -98,6 +98,7 @@ let dummy_verdict detail =
     Service.Cache.accepted = true;
     detail;
     measurement = "m";
+    programs_digest = "";
     instructions = 1;
     disassembly_cycles = 2;
     policy_cycles = 3;

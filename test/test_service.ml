@@ -65,6 +65,7 @@ let dummy_verdict detail =
     Service.Cache.accepted = true;
     detail;
     measurement = "m";
+    programs_digest = "";
     instructions = 1;
     disassembly_cycles = 2;
     policy_cycles = 3;
@@ -126,6 +127,7 @@ let cache_verdict_round_trip () =
       Service.Cache.accepted = false;
       detail = "rejected: " ^ nasty;
       measurement = String.init 32 (fun i -> Char.chr i);
+      programs_digest = String.init 32 (fun i -> Char.chr (31 - i));
       instructions = 12903;
       disassembly_cycles = 55;
       policy_cycles = 66;
@@ -155,7 +157,9 @@ let cache_verdict_round_trip () =
   | None -> Alcotest.fail "cache lost the entry"
 
 let cache_key_sensitivity () =
-  let key = Service.Cache.key ~payload:"ELF" in
+  let key ~policy_names ~libc_db_version =
+    Service.Cache.key ~payload:"ELF" ~policy_names ~libc_db_version ~programs_digest:"pd"
+  in
   let base = key ~policy_names:[ "libc"; "stack" ] ~libc_db_version:"musl v1.0.5" in
   Alcotest.(check string) "policy order irrelevant" base
     (key ~policy_names:[ "stack"; "libc" ] ~libc_db_version:"musl v1.0.5");
@@ -165,10 +169,14 @@ let cache_key_sensitivity () =
     (base <> key ~policy_names:[ "libc" ] ~libc_db_version:"musl v1.0.5");
   Alcotest.(check bool) "different libc-db version must miss" true
     (base <> key ~policy_names:[ "libc"; "stack" ] ~libc_db_version:"musl v1.0.4");
+  Alcotest.(check bool) "different program digest must miss" true
+    (base
+    <> Service.Cache.key ~payload:"ELF" ~policy_names:[ "libc"; "stack" ]
+         ~libc_db_version:"musl v1.0.5" ~programs_digest:"pd2");
   Alcotest.(check bool) "different ELF must miss" true
     (base
     <> Service.Cache.key ~payload:"ELF2" ~policy_names:[ "libc"; "stack" ]
-         ~libc_db_version:"musl v1.0.5")
+         ~libc_db_version:"musl v1.0.5" ~programs_digest:"pd")
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler: admission                                                *)
