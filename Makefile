@@ -37,8 +37,9 @@ bench-smoke:
 policy-oracle:
 	dune exec bench/main.exe -- --policy-oracle
 
-# The domains=1/2/4/8 wall-clock scaling table alone, written to
-# BENCH_service.json for trend tracking.
+# The domains=1/2/4/8 wall-clock scaling table plus the channel
+# comparison (legacy vs streaming vs 0-RTT: TTFPE and e2e per
+# workload), written to BENCH_service.json for trend tracking.
 bench-json:
 	dune exec bench/main.exe -- --scaling
 

@@ -536,9 +536,75 @@ let scaling_run ~jobs ~domains =
         completions;
       dt)
 
+(* ------------------------------------------------------------------ *)
+(* Channel comparison: streaming vs legacy, cold vs 0-RTT               *)
+(* ------------------------------------------------------------------ *)
+
+(* Full-size workloads with a test-speed handshake; page sizing stays
+   the default so even nginx fits. *)
+let channel_provision =
+  { Engarde.Provision.default_config with Engarde.Provision.rsa_bits = 512; seed = "bench-channel" }
+
+(* One provisioning run, timing the wall clock from [Transfer_started]
+   (code bytes begin to flow; handshake and enclave build are behind
+   us) to the first policy-relevant event (TTFPE) and to the verdict
+   (e2e). The legacy path's first such event is [Policy_phase], after
+   the whole transfer has drained; the streaming pipeline validates the
+   ELF prefix and starts speculative hashing while pages are still in
+   flight. *)
+let channel_run ?resume ~channel payload =
+  let t0 = now_s () in
+  let started = ref t0 and first = ref None in
+  let o =
+    Engarde.Provision.run ~channel ?resume
+      ~policies:[ Engarde.Policy_libc.make ~db:(Lazy.force libc_db) () ]
+      ~on_event:(function
+        | Engarde.Provision.Transfer_started -> started := now_s ()
+        | _ -> if !first = None then first := Some (now_s () -. !started))
+      channel_provision ~payload
+  in
+  let e2e = now_s () -. t0 in
+  (match o.Engarde.Provision.result with
+  | Ok _ -> ()
+  | Error r -> failwith ("channel bench: " ^ Engarde.Provision.rejection_to_string r));
+  (o, Option.value ~default:e2e !first, e2e)
+
+type channel_row = {
+  ch_workload : string;
+  legacy_ttfpe : float;
+  legacy_e2e : float;
+  stream_ttfpe : float;
+  stream_e2e : float;
+  zrtt_ttfpe : float;
+  zrtt_e2e : float;
+}
+
+let channel_row bench =
+  let payload = (Linker.link (Workloads.build Codegen.plain bench)).Linker.elf in
+  let _, legacy_ttfpe, legacy_e2e = channel_run ~channel:`Legacy payload in
+  let cold, stream_ttfpe, stream_e2e = channel_run ~channel:`Streaming payload in
+  let resume = Option.get cold.Engarde.Provision.ticket in
+  let _, zrtt_ttfpe, zrtt_e2e = channel_run ~channel:`Streaming ~resume payload in
+  { ch_workload = Workloads.to_string bench; legacy_ttfpe; legacy_e2e; stream_ttfpe;
+    stream_e2e; zrtt_ttfpe; zrtt_e2e }
+
+let channel_table () =
+  banner
+    "Channel comparison: wall-clock to first policy event (TTFPE) and to verdict (e2e), \
+     libc policy";
+  Printf.printf "%-22s %10s %10s %10s %10s %10s %10s\n" "workload" "leg-ttfpe" "leg-e2e"
+    "str-ttfpe" "str-e2e" "0rtt-ttfpe" "0rtt-e2e";
+  List.map
+    (fun bench ->
+      let r = channel_row bench in
+      Printf.printf "%-22s %9.3fs %9.3fs %9.3fs %9.3fs %9.3fs %9.3fs\n%!" r.ch_workload
+        r.legacy_ttfpe r.legacy_e2e r.stream_ttfpe r.stream_e2e r.zrtt_ttfpe r.zrtt_e2e;
+      r)
+    Workloads.all
+
 let bench_json_path = Filename.concat repo_root "BENCH_service.json"
 
-let write_scaling_json ~recommended ~jobs_n rows =
+let write_scaling_json ~recommended ~jobs_n ~channel rows =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"benchmark\": \"service-batch-scaling\",\n";
@@ -561,6 +627,18 @@ let write_scaling_json ~recommended ~jobs_n rows =
         (base_dt /. dt)
         (if i = List.length rows - 1 then "" else ","))
     rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"channel\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "    {\"workload\": %S, \"legacy_ttfpe_s\": %.4f, \"legacy_e2e_s\": %.4f, \
+         \"streaming_ttfpe_s\": %.4f, \"streaming_e2e_s\": %.4f, \"zero_rtt_ttfpe_s\": \
+         %.4f, \"zero_rtt_e2e_s\": %.4f}%s\n"
+        r.ch_workload r.legacy_ttfpe r.legacy_e2e r.stream_ttfpe r.stream_e2e r.zrtt_ttfpe
+        r.zrtt_e2e
+        (if i = List.length channel - 1 then "" else ","))
+    channel;
   Buffer.add_string b "  ]\n}\n";
   let oc = open_out bench_json_path in
   output_string oc (Buffer.contents b);
@@ -590,7 +668,8 @@ let scaling_table () =
         (float_of_int jobs_n /. dt)
         (base_dt /. dt))
     rows;
-  write_scaling_json ~recommended ~jobs_n rows;
+  let channel = channel_table () in
+  write_scaling_json ~recommended ~jobs_n ~channel rows;
   Printf.printf "machine-readable results -> %s\n" bench_json_path
 
 (* ------------------------------------------------------------------ *)
@@ -788,6 +867,14 @@ let smoke () =
   check "warm restart skips >= 90% re-inspection"
     (cold_cycles > 0 && 10 * warm_cycles <= cold_cycles)
     (Printf.sprintf "cold %s warm %s cycles" (commas cold_cycles) (commas warm_cycles));
+  banner "bench-smoke: streaming channel reaches the first policy event early (nginx)";
+  (let payload = (Linker.link (Workloads.build Codegen.plain Workloads.Nginx)).Linker.elf in
+   let _, legacy_ttfpe, legacy_e2e = channel_run ~channel:`Legacy payload in
+   let _, stream_ttfpe, stream_e2e = channel_run ~channel:`Streaming payload in
+   check "streaming TTFPE <= 0.5x legacy on the largest workload"
+     (stream_ttfpe <= 0.5 *. legacy_ttfpe)
+     (Printf.sprintf "legacy %.3fs -> streaming %.3fs (e2e %.2fs / %.2fs)" legacy_ttfpe
+        stream_ttfpe legacy_e2e stream_e2e));
   banner "bench-smoke: multicore scaling gate (domains=4 vs domains=1 wall-clock)";
   (let recommended = Domain.recommended_domain_count () in
    if recommended < 4 then

@@ -188,6 +188,15 @@ let gen_cmd =
 let elf_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"ELF" ~doc:"Executable to inspect.")
 
+let legacy_channel_arg =
+  Arg.(
+    value & flag
+    & info [ "legacy-channel" ]
+        ~doc:
+          "Carry payloads over the paper-faithful Code_block transfer instead of the \
+           EGREC1 streaming record layer (no pipelined inspection, no 0-RTT resumption). \
+           Verdicts and modelled cycles are identical on both channels.")
+
 let inspect_cmd =
   let run path policy_names policy_files =
     let raw = read_file path in
@@ -266,7 +275,7 @@ let provision_cmd =
       value & opt int 512
       & info [ "rsa-bits" ] ~doc:"Enclave ephemeral RSA modulus size (paper: 2048).")
   in
-  let run path policy_names heap rsa =
+  let run path policy_names heap rsa legacy =
     let payload = read_file path in
     let config =
       {
@@ -276,9 +285,19 @@ let provision_cmd =
         policy_names;
       }
     in
-    let o = Engarde.Provision.run ~policies:(policies_of_names policy_names) config ~payload in
+    let channel = if legacy then `Legacy else `Streaming in
+    let o =
+      Engarde.Provision.run ~policies:(policies_of_names policy_names) ~channel config ~payload
+    in
     Printf.printf "enclave measurement: %s\n"
       (Crypto.Sha256.hex o.Engarde.Provision.measurement);
+    (match o.Engarde.Provision.channel_stats with
+    | Some st ->
+        Printf.printf "channel: streaming, %d records (%d bytes), %d in flight peak%s\n"
+          st.Engarde.Provision.records st.Engarde.Provision.record_bytes
+          st.Engarde.Provision.in_flight_peak
+          (if st.Engarde.Provision.resumed then ", resumed (0-RTT)" else "")
+    | None -> Printf.printf "channel: legacy blocks\n");
     (match o.Engarde.Provision.client_verdict with
     | Some (ok, detail) -> Printf.printf "client verdict: %s (%s)\n"
         (if ok then "ACCEPTED" else "REJECTED") detail
@@ -301,7 +320,7 @@ let provision_cmd =
   Cmd.v
     (Cmd.info "provision"
        ~doc:"Run the full mutually-trusted provisioning protocol on an ELF.")
-    Term.(const run $ elf_arg $ policy_arg $ heap $ rsa)
+    Term.(const run $ elf_arg $ policy_arg $ heap $ rsa $ legacy_channel_arg)
 
 (* --- rewrite --- *)
 
@@ -562,7 +581,8 @@ let check_pool_args ~workers ~queue =
     exit 2
   end
 
-let service_config ?(audit = false) ~workers ~queue ~no_cache ~fast ~timeout () =
+let service_config ?(audit = false) ?(legacy = false) ~workers ~queue ~no_cache ~fast ~timeout
+    () =
   {
     Service.Scheduler.default_config with
     Service.Scheduler.workers;
@@ -572,6 +592,9 @@ let service_config ?(audit = false) ~workers ~queue ~no_cache ~fast ~timeout () 
     timeout_cycles = timeout;
     provision =
       (if fast then fast_provision_config else Engarde.Provision.default_config);
+    (* The CLI defaults to the streaming channel; --legacy-channel
+       restores the paper-faithful block transfer. *)
+    channel = (if legacy then `Legacy else `Streaming);
   }
 
 (* --- sealed service state on disk ---------------------------------
@@ -762,7 +785,7 @@ let batch_cmd =
           ~doc:"Submit the whole job list N times (duplicate-heavy workloads).")
   in
   let run benches elfs variant repeat workers queue domains no_cache fast timeout
-      policy_names policy_files audit_on state metrics_out device_seed =
+      policy_names policy_files audit_on state metrics_out device_seed legacy =
     check_pool_args ~workers ~queue;
     if benches = [] && elfs = [] then begin
       prerr_endline "batch: no jobs; pass --bench and/or --elf";
@@ -800,7 +823,7 @@ let batch_cmd =
     let audit = audit_on || state <> None in
     let config =
       {
-        (service_config ~audit ~workers ~queue ~no_cache ~fast ~timeout ()) with
+        (service_config ~audit ~legacy ~workers ~queue ~no_cache ~fast ~timeout ()) with
         Service.Scheduler.programs = policy_files;
       }
     in
@@ -860,7 +883,7 @@ let batch_cmd =
       const run $ bench_jobs_arg $ elf_jobs_arg $ variant $ repeat $ workers_arg
       $ queue_arg $ domains_arg $ no_cache_arg $ fast_arg $ timeout_arg $ policy_arg
       $ policy_file_arg $ audit_flag_arg $ state_arg $ metrics_out_arg
-      $ device_seed_arg)
+      $ device_seed_arg $ legacy_channel_arg)
 
 let serve_cmd =
   let clients =
@@ -879,7 +902,7 @@ let serve_cmd =
           ~doc:"Benchmarks to cycle client payloads through (default: 429.mcf, otp-gen).")
   in
   let run clients jobs_per_client benches workers queue domains no_cache fast timeout
-      policy_names policy_files audit_on state metrics_out device_seed =
+      policy_names policy_files audit_on state metrics_out device_seed legacy =
     check_pool_args ~workers ~queue;
     let policy_names = policy_names @ List.map fst policy_files in
     let benches =
@@ -911,7 +934,7 @@ let serve_cmd =
     let audit = audit_on || state <> None in
     let config =
       {
-        (service_config ~audit ~workers ~queue ~no_cache ~fast ~timeout ()) with
+        (service_config ~audit ~legacy ~workers ~queue ~no_cache ~fast ~timeout ()) with
         Service.Scheduler.programs = policy_files;
       }
     in
@@ -957,7 +980,7 @@ let serve_cmd =
       const run $ clients $ jobs_per_client $ benches $ workers_arg $ queue_arg
       $ domains_arg $ no_cache_arg $ fast_arg $ timeout_arg $ policy_arg
       $ policy_file_arg $ audit_flag_arg $ state_arg $ metrics_out_arg
-      $ device_seed_arg)
+      $ device_seed_arg $ legacy_channel_arg)
 
 (* --- audit: checkpoint / prove / verify ---------------------------
 

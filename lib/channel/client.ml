@@ -69,3 +69,44 @@ let code_messages t =
 let read_verdict = function
   | Wire.Verdict { accepted; detail } -> Ok (accepted, detail)
   | other -> Error (Protocol ("expected verdict, got " ^ Wire.describe other))
+
+(* --- streaming transfers -------------------------------------------- *)
+
+(* Cold path: record-layer traffic keys hang off the session key the
+   handshake just wrapped, so streaming requires the same attestation
+   the legacy blocks did. *)
+let stream_seq ?meta t =
+  if t.session = None then invalid_arg "Client.stream_seq before handle_quote";
+  let w = Record.writer ~secret:(Record.traffic_secret ~key:t.session_key) in
+  Record.payload_record_seq ?meta w t.payload
+
+let stream_messages ?meta t = List.of_seq (stream_seq ?meta t)
+
+(* What the client stashes alongside the opaque ticket blob: the
+   resumption secret it can later prove possession of. *)
+let resumption t = if t.session = None then None else Some (Record.resumption_secret ~key:t.session_key)
+
+let stash_ticket t = function
+  | Wire.Ticket { blob } -> Option.map (fun secret -> (blob, secret)) (resumption t)
+  | _ -> None
+
+(* --- 0-RTT resumption ----------------------------------------------- *)
+
+let resume_opener t ~ticket = Wire.Resume { ticket; nonce = t.challenge_bytes }
+
+let zero_rtt_seq ?meta t ~resumption =
+  let secret = Record.zero_rtt_secret ~resumption ~nonce:t.challenge_bytes in
+  let w = Record.writer ~secret in
+  Record.payload_record_seq ?meta w t.payload
+
+let zero_rtt_messages ?meta t ~resumption = List.of_seq (zero_rtt_seq ?meta t ~resumption)
+
+let check_resume_accept t ~resumption = function
+  | Wire.Resume_accept { confirm } ->
+      Record.check_confirm ~resumption ~nonce:t.challenge_bytes ~tag:confirm
+  | _ -> false
+
+(* After a successful 0-RTT run both ends hold the 0-RTT traffic
+   secret; the next ticket's resumption secret ratchets from it. *)
+let resumed_secret t ~resumption =
+  Record.resumption_secret ~key:(Record.zero_rtt_secret ~resumption ~nonce:t.challenge_bytes)

@@ -1,32 +1,49 @@
 type t = {
   aes : Crypto.Aes.key;
   mac_key : string;
+  mutable xfer : int;  (* transfers completed on this session *)
 }
 
 let block_size = 4096
 
 let create ~key =
   if String.length key <> 32 then invalid_arg "Session.create: need a 32-byte key";
-  (* Independent cipher and MAC keys derived from the session key. *)
+  (* Independent cipher and MAC keys from one HKDF schedule. *)
+  let prk = Crypto.Hkdf.extract ~salt:"engarde-session" key in
   {
-    aes = Crypto.Aes.expand (Crypto.Hmac.sha256 ~key "engarde-block-cipher");
-    mac_key = Crypto.Hmac.sha256 ~key "engarde-block-mac";
+    aes = Crypto.Aes.expand (Crypto.Hkdf.expand ~prk ~info:"block-cipher" 32);
+    mac_key = Crypto.Hkdf.expand ~prk ~info:"block-mac" 32;
+    xfer = 0;
   }
-
-let nonce = String.make 16 '\x00'
 
 let u32 n = String.init 4 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
 
-let mac t ~seq ~offset ct = Crypto.Hmac.sha256 ~key:t.mac_key (u32 seq ^ u32 offset ^ ct)
+(* The per-transfer counter occupies the nonce's first eight bytes;
+   AES-CTR's block counter lives in the last eight (positioned by
+   [offset]). Distinct transfers therefore draw from disjoint keystream
+   spaces — before this counter existed, a second transfer on the same
+   session reused the keystream at identical offsets (a two-time pad). *)
+let nonce_of_xfer xfer =
+  String.init 16 (fun i -> if i < 8 then Char.chr ((xfer lsr (8 * (7 - i))) land 0xff) else '\x00')
+
+let transfers t = t.xfer
+let finish_transfer t = t.xfer <- t.xfer + 1
+
+let mac t ~seq ~offset ct =
+  Crypto.Hmac.sha256 ~key:t.mac_key (u32 t.xfer ^ u32 seq ^ u32 offset ^ ct)
 
 let encrypt_block t ~seq ~offset plain =
-  let ciphertext = Crypto.Aes.ctr_at ~key:t.aes ~nonce ~offset plain in
+  let ciphertext = Crypto.Aes.ctr_at ~key:t.aes ~nonce:(nonce_of_xfer t.xfer) ~offset plain in
   Wire.Code_block { seq; offset; ciphertext; tag = mac t ~seq ~offset ciphertext }
 
 let decrypt_block t ~seq ~offset ~ciphertext ~tag =
-  if not (Crypto.Hmac.verify ~key:t.mac_key ~msg:(u32 seq ^ u32 offset ^ ciphertext) ~tag) then
-    None
-  else Some (Crypto.Aes.ctr_at ~key:t.aes ~nonce ~offset ciphertext)
+  if
+    not
+      (Crypto.Hmac.verify ~key:t.mac_key
+         ~msg:(u32 t.xfer ^ u32 seq ^ u32 offset ^ ciphertext)
+         ~tag)
+  then None
+  else Some (Crypto.Aes.ctr_at ~key:t.aes ~nonce:(nonce_of_xfer t.xfer) ~offset ciphertext)
 
 let split_payload payload =
   let len = String.length payload in
@@ -61,11 +78,30 @@ let payload_messages t payload =
       (fun (seq, offset, chunk) -> encrypt_block t ~seq ~offset chunk)
       (split_payload payload)
   in
-  blocks
-  @ [
-      Wire.Transfer_done
-        { total_len = String.length payload; digest = Crypto.Sha256.digest payload };
-    ]
+  let msgs =
+    blocks
+    @ [
+        Wire.Transfer_done
+          { total_len = String.length payload; digest = Crypto.Sha256.digest payload };
+      ]
+  in
+  finish_transfer t;
+  msgs
+
+(* --- streaming client side ------------------------------------------ *)
+
+(* A persistent record-layer writer for a connection: the first
+   transfer runs in epoch 0; every later transfer opens with a
+   Key_update ratchet, so each transfer gets fresh keys and a fresh
+   record-number space. *)
+type streamer = { writer : Record.writer; mutable sent : int }
+
+let streamer ~key = { writer = Record.writer ~secret:(Record.traffic_secret ~key); sent = 0 }
+
+let stream_messages ?meta s payload =
+  let prologue = if s.sent = 0 then [] else [ Record.update_key s.writer ] in
+  s.sent <- s.sent + 1;
+  prologue @ Record.payload_records ?meta s.writer payload
 
 (* ------------------------------------------------------------------ *)
 (* Multiplexed server loop                                             *)
@@ -82,32 +118,42 @@ module Mux = struct
     id : string;
     ep : Transport.endpoint;
     session : t;
+    reader : Record.reader;   (* streaming transfers on the same key *)
     mutable buf : Bytes.t;
     mutable received : int;   (* bytes of plaintext accumulated *)
     mutable poisoned : bool;  (* corrupt transfer: discard until Transfer_done *)
   }
 
-  type mux = { mutable conns : conn list }
+  (* Connections live in a hash table keyed by id — attach/reply are
+     O(1) — while [order] keeps the attach order [poll] sweeps in, so
+     the round-robin stays deterministic. *)
+  type mux = {
+    conns : (string, conn) Hashtbl.t;
+    mutable order : string list;  (* attach order, reversed *)
+    mutable stats_records : int;
+    mutable stats_epoch_updates : int;
+  }
 
-  let create () = { conns = [] }
+  let create () = { conns = Hashtbl.create 16; order = []; stats_records = 0; stats_epoch_updates = 0 }
 
   let attach m ~id ~key ep =
-    if List.exists (fun c -> c.id = id) m.conns then
+    if Hashtbl.mem m.conns id then
       invalid_arg ("Session.Mux.attach: duplicate connection id " ^ id);
-    m.conns <-
-      m.conns
-      @ [
-          {
-            id;
-            ep;
-            session = new_session ~key;
-            buf = Bytes.create 0;
-            received = 0;
-            poisoned = false;
-          };
-        ]
+    Hashtbl.replace m.conns id
+      {
+        id;
+        ep;
+        session = new_session ~key;
+        reader = Record.reader ~secret:(Record.traffic_secret ~key);
+        buf = Bytes.create 0;
+        received = 0;
+        poisoned = false;
+      };
+    m.order <- id :: m.order
 
-  let connections m = List.map (fun c -> c.id) m.conns
+  let connections m = List.rev m.order
+  let records_received m = m.stats_records
+  let epoch_updates m = m.stats_epoch_updates
 
   let reset c =
     c.buf <- Bytes.create 0;
@@ -123,16 +169,33 @@ module Mux = struct
     Bytes.blit_string plain 0 c.buf offset (String.length plain);
     c.received <- c.received + String.length plain
 
+  (* Shared end-of-transfer check: both the legacy Transfer_done and
+     the streaming Fin commit to the payload's length and digest. *)
+  let finish c ~total_len ~digest =
+    let ev =
+      if c.received <> total_len then Corrupt { conn = c.id; why = "missing blocks" }
+      else begin
+        let payload = Bytes.sub_string c.buf 0 total_len in
+        if Crypto.Sha256.digest payload <> digest then
+          Corrupt { conn = c.id; why = "payload digest mismatch" }
+        else Payload { conn = c.id; payload }
+      end
+    in
+    reset c;
+    ev
+
   (* One protocol step for one connection: at most one message consumed.
      A transfer that fails authentication is reported once; the rest of
-     it (through its Transfer_done) is discarded silently so one corrupt
-     block yields one error, not an error per remaining message. *)
-  let step c =
+     it (through its Transfer_done / Fin) is discarded silently so one
+     corrupt block yields one error, not an error per remaining
+     message. *)
+  let step m c =
     match Transport.recv c.ep with
     | None -> None
     | Some (Wire.Code_block _) when c.poisoned -> None
     | Some (Wire.Transfer_done _) when c.poisoned ->
         c.poisoned <- false;
+        finish_transfer c.session;
         None
     | Some (Wire.Code_block { seq; offset; ciphertext; tag }) -> begin
         match decrypt_block c.session ~seq ~offset ~ciphertext ~tag with
@@ -150,26 +213,37 @@ module Mux = struct
                  })
       end
     | Some (Wire.Transfer_done { total_len; digest }) ->
-        let finish =
-          if c.received <> total_len then
-            Corrupt { conn = c.id; why = "missing blocks" }
-          else begin
-            let payload = Bytes.sub_string c.buf 0 total_len in
-            if Crypto.Sha256.digest payload <> digest then
-              Corrupt { conn = c.id; why = "payload digest mismatch" }
-            else Payload { conn = c.id; payload }
-          end
-        in
-        reset c;
-        Some finish
+        let ev = finish c ~total_len ~digest in
+        finish_transfer c.session;
+        Some ev
+    | Some (Wire.Record { epoch; rn; ciphertext; tag }) -> begin
+        m.stats_records <- m.stats_records + 1;
+        let before = Record.epoch_updates c.reader in
+        let ev = Record.read c.reader ~epoch ~rn ~ciphertext ~tag in
+        m.stats_epoch_updates <- m.stats_epoch_updates + (Record.epoch_updates c.reader - before);
+        match ev with
+        | Record.Accept (Record.Stream { offset; data }) ->
+            store c ~offset data;
+            None
+        | Record.Accept (Record.Fin { total_len; digest }) -> Some (finish c ~total_len ~digest)
+        | Record.Accept Record.Key_update | Record.Accept (Record.Meta _) -> None
+        | Record.Corrupt why ->
+            reset c;
+            Some (Corrupt { conn = c.id; why })
+        | Record.Skip -> None
+        | Record.Recovered ->
+            reset c;
+            None
+      end
     | Some _ -> None (* handshake traffic is not ours to interpret *)
 
-  let poll m = List.filter_map step m.conns
+  let poll m =
+    List.filter_map (fun id -> step m (Hashtbl.find m.conns id)) (connections m)
 
-  let pending m = List.exists (fun c -> Transport.pending c.ep) m.conns
+  let pending m = Hashtbl.fold (fun _ c acc -> acc || Transport.pending c.ep) m.conns false
 
   let reply m ~id msg =
-    match List.find_opt (fun c -> c.id = id) m.conns with
+    match Hashtbl.find_opt m.conns id with
     | Some c -> Transport.send c.ep msg
     | None -> invalid_arg ("Session.Mux.reply: unknown connection " ^ id)
 end

@@ -4,7 +4,14 @@
     HMAC-SHA256 tag over the block header and ciphertext. The paper's
     enclave receives "the content in encrypted blocks, which EnGarde's
     crypto library decrypts to form an in-memory executable
-    representation". *)
+    representation".
+
+    Cipher and MAC keys come from one {!Crypto.Hkdf} schedule, and a
+    per-transfer counter is mixed into the CTR nonce (and bound by the
+    MAC), so consecutive transfers on one session draw from disjoint
+    keystreams. New code should prefer the streaming record layer
+    ({!Record}); this legacy framing is kept for the paper-faithful
+    monolithic flow (the [--legacy-channel] knob). *)
 
 type t
 
@@ -13,6 +20,14 @@ val create : key:string -> t
 
 val block_size : int
 (** One page, as EnGarde works at page granularity. *)
+
+val transfers : t -> int
+(** How many transfers have completed on this session — the counter
+    mixed into the CTR nonce. *)
+
+val finish_transfer : t -> unit
+(** Advance the transfer counter. [payload_messages] and the [Mux]
+    call this at each transfer boundary; both ends must agree. *)
 
 val encrypt_block : t -> seq:int -> offset:int -> string -> Wire.t
 (** Build an authenticated [Code_block] message. *)
@@ -32,7 +47,21 @@ val policy_set_digest : (string * string) list -> string
 
 val payload_messages : t -> string -> Wire.t list
 (** The full client-side transfer: every authenticated [Code_block]
-    followed by the [Transfer_done] trailer. *)
+    followed by the [Transfer_done] trailer. Advances the transfer
+    counter. *)
+
+(** {1 Streaming transfers} *)
+
+type streamer
+(** A persistent {!Record} writer for one connection: the first
+    transfer runs in epoch 0, every later transfer opens with a
+    [Key_update] ratchet. *)
+
+val streamer : key:string -> streamer
+
+val stream_messages : ?meta:Record.meta -> streamer -> string -> Wire.t list
+(** One streamed transfer as wire messages (ratchet prologue when this
+    is not the first transfer, then {!Record.payload_records}). *)
 
 (** Multiplexed server loop: the front door of the inspection service.
 
@@ -44,7 +73,9 @@ val payload_messages : t -> string -> Wire.t list
     failures surface as [Corrupt] (the connection's reassembly state is
     dropped, the connection itself stays usable). Connections are
     persistent: after a [Transfer_done] the client may stream another
-    payload on the same session. *)
+    payload on the same session. Each connection accepts both legacy
+    [Code_block] transfers and streaming [Record] transfers on the same
+    key. *)
 module Mux : sig
   type event =
     | Payload of { conn : string; payload : string }
@@ -61,6 +92,12 @@ module Mux : sig
 
   val connections : mux -> string list
   (** Ids in attach order — the round-robin order [poll] uses. *)
+
+  val records_received : mux -> int
+  (** Streaming records consumed across all connections. *)
+
+  val epoch_updates : mux -> int
+  (** Key-epoch ratchets observed across all connections. *)
 
   val poll : mux -> event list
   (** One round-robin sweep: at most one message consumed per

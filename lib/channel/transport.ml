@@ -15,6 +15,9 @@ let send ep msg =
 let recv ep = if Queue.is_empty ep.inbox then None else Some (Queue.pop ep.inbox)
 let pending ep = not (Queue.is_empty ep.inbox)
 
+let pending_bytes ep =
+  Queue.fold (fun acc m -> acc + String.length (Wire.to_bytes m)) 0 ep.inbox
+
 let pair ?(tamper = Fun.id) () =
   let a = Queue.create () and b = Queue.create () in
   ( { inbox = a; peer_inbox = b; tamper },

@@ -15,6 +15,10 @@ val recv : endpoint -> Wire.t option
 val pending : endpoint -> bool
 (** Whether a [recv] would return a message (non-destructive probe). *)
 
+val pending_bytes : endpoint -> int
+(** Serialized size of everything waiting in the inbox — the streaming
+    pipeline's bytes-in-flight gauge. *)
+
 val pair : ?tamper:(Wire.t -> Wire.t) -> unit -> endpoint * endpoint
 (** [pair ()] returns (client_end, enclave_end). [tamper] is applied to
     every message in both directions (default: identity). Messages are

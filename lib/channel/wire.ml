@@ -7,8 +7,13 @@ type t =
   | Verdict of { accepted : bool; detail : string }
   | Policy_offer of { programs : (string * string) list }
   | Policy_accept of { digest : string }
+  | Record of { epoch : int; rn : int; ciphertext : string; tag : string }
+  | Ticket of { blob : string }
+  | Resume of { ticket : string; nonce : string }
+  | Resume_accept of { confirm : string }
 
 let u32 n = String.init 4 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
+let u64 n = String.init 8 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
 
 let field s = u32 (String.length s) ^ s
 
@@ -21,6 +26,14 @@ let read_u32 s pos =
   lor (Char.code s.[pos + 1] lsl 8)
   lor (Char.code s.[pos + 2] lsl 16)
   lor (Char.code s.[pos + 3] lsl 24)
+
+let read_u64 s pos =
+  if pos + 8 > String.length s then raise Short;
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code s.[pos + i]
+  done;
+  !v
 
 let read_field s pos =
   let len = read_u32 s pos in
@@ -40,6 +53,11 @@ let to_bytes = function
       "\x07" ^ u32 (List.length programs)
       ^ String.concat "" (List.map (fun (name, blob) -> field name ^ field blob) programs)
   | Policy_accept { digest } -> "\x08" ^ field digest
+  | Record { epoch; rn; ciphertext; tag } ->
+      "\x09" ^ u32 epoch ^ u64 rn ^ field ciphertext ^ field tag
+  | Ticket { blob } -> "\x0a" ^ field blob
+  | Resume { ticket; nonce } -> "\x0b" ^ field ticket ^ field nonce
+  | Resume_accept { confirm } -> "\x0c" ^ field confirm
 
 let of_bytes s =
   try
@@ -96,6 +114,22 @@ let of_bytes s =
       | '\x08' ->
           let digest, fin = read_field s (body 1) in
           if fin <> String.length s then None else Some (Policy_accept { digest })
+      | '\x09' ->
+          let epoch = read_u32 s 1 in
+          let rn = read_u64 s 5 in
+          let ciphertext, p = read_field s 13 in
+          let tag, fin = read_field s p in
+          if fin <> String.length s then None else Some (Record { epoch; rn; ciphertext; tag })
+      | '\x0a' ->
+          let blob, fin = read_field s (body 1) in
+          if fin <> String.length s then None else Some (Ticket { blob })
+      | '\x0b' ->
+          let ticket, p = read_field s (body 1) in
+          let nonce, fin = read_field s p in
+          if fin <> String.length s then None else Some (Resume { ticket; nonce })
+      | '\x0c' ->
+          let confirm, fin = read_field s (body 1) in
+          if fin <> String.length s then None else Some (Resume_accept { confirm })
       | _ -> None
   with Short -> None
 
@@ -110,3 +144,7 @@ let describe = function
   | Verdict { accepted; _ } -> if accepted then "verdict: accepted" else "verdict: rejected"
   | Policy_offer { programs } -> Printf.sprintf "policy-offer (%d programs)" (List.length programs)
   | Policy_accept _ -> "policy-accept"
+  | Record { epoch; rn; _ } -> Printf.sprintf "record #%d (epoch %d)" rn epoch
+  | Ticket _ -> "session-ticket"
+  | Resume _ -> "resume"
+  | Resume_accept _ -> "resume-accept"

@@ -27,6 +27,19 @@ type t =
   | Policy_accept of { digest : string }
       (** the policy-set digest the enclave verified against its
           measurement *)
+  | Record of { epoch : int; rn : int; ciphertext : string; tag : string }
+      (** one streaming AEAD record ({!Record} module): key epoch and
+          64-bit record number in the clear (both authenticated by
+          [tag]), sealed EGREC1 frame inside *)
+  | Ticket of { blob : string }
+      (** a resumption ticket sealed by the inspector — opaque to the
+          client, bound to measurement x policy digest x ticket epoch *)
+  | Resume of { ticket : string; nonce : string }
+      (** 0-RTT opener: replaces [Client_hello]; [nonce] salts the
+          resumed traffic keys *)
+  | Resume_accept of { confirm : string }
+      (** inspector's proof it unsealed the ticket: HMAC over the
+          client's nonce under a key derived from the ticket secret *)
 
 val to_bytes : t -> string
 val of_bytes : string -> t option

@@ -326,8 +326,59 @@ let chunk n xs =
   in
   go 0 [] [] xs
 
+(* Adopt digests the streaming pipeline computed from raw staged bytes
+   while later pages were still in flight. A digest for [lo, hi) is
+   adopted only when the index proves it equals what [hash_and_cost]
+   would produce: [hi] is exactly the function end, and the decoded
+   entries tile [lo, hi) back-to-back — then the entry-wise SHA-256
+   equals the SHA-256 of the raw slice. The carried cost is computed
+   here from the same entry walk, so charging stays bit-identical to
+   the one-shot path (see [function_hash]). Anything unverifiable is
+   dropped and recomputed on demand. *)
+let adopt_digests t digests =
+  let b = t.buffer in
+  let adopted = ref 0 in
+  List.iter
+    (fun (lo, hi, hex) ->
+      if (not (Hashtbl.mem t.hashes lo)) && not (Hashtbl.mem t.precomputed lo) then begin
+        let stop =
+          match Symhash.function_end t.symbols lo with
+          | Some e -> e
+          | None -> b.Disasm.base + String.length b.Disasm.code
+        in
+        if stop = hi then begin
+          match Disasm.index_of_addr b lo with
+          | None -> ()
+          | Some i0 ->
+              let n = Array.length b.Disasm.entries in
+              let rec go i next cost =
+                if i >= n then Some (next, cost)
+                else begin
+                  let e = b.Disasm.entries.(i) in
+                  if e.Disasm.addr >= stop then Some (next, cost)
+                  else if e.Disasm.addr <> next then None
+                  else
+                    go (i + 1)
+                      (e.Disasm.addr + e.Disasm.len)
+                      (cost + Costmodel.hash_per_insn + (Costmodel.hash_per_byte * e.Disasm.len))
+                end
+              in
+              (match go i0 lo Costmodel.hash_finalize with
+              | Some (next, cost) when next = stop ->
+                  Hashtbl.replace t.precomputed lo (hex, cost);
+                  incr adopted
+              | Some _ | None -> ())
+        end
+      end)
+    digests;
+  !adopted
+
 let prehash ?(tasks = 8) ?(threshold = 16) ~run_all t =
-  let candidates = List.filter (fun a -> not (Hashtbl.mem t.hashes a)) (hash_candidates t) in
+  let candidates =
+    List.filter
+      (fun a -> (not (Hashtbl.mem t.hashes a)) && not (Hashtbl.mem t.precomputed a))
+      (hash_candidates t)
+  in
   let n = List.length candidates in
   if n >= threshold then begin
     let per_task = max 1 ((n + tasks - 1) / tasks) in

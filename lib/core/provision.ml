@@ -63,6 +63,25 @@ let rejection_to_string = function
       "policy violations: " ^ String.concat "; " bad
   | Load_failed why -> "loading failed: " ^ why
 
+type channel = [ `Legacy | `Streaming ]
+
+type channel_stats = {
+  records : int;
+  record_bytes : int;
+  in_flight_peak : int;
+  epoch_updates : int;
+  resumed : bool;
+  fallback : bool;
+  spec_hashes : int;
+  spec_adopted : int;
+}
+
+type pipeline_event =
+  | Transfer_started
+  | Prefix_validated
+  | Speculative_hash of { addr : int }
+  | Policy_phase
+
 type outcome = {
   result : (Loader.loaded, rejection) result;
   report : Report.t;
@@ -73,6 +92,8 @@ type outcome = {
   client_verdict : (bool * string) option;
   attestation_failure : Channel.Client.failure option;
   negotiated_digest : string option;
+  channel_stats : channel_stats option;
+  ticket : (string * string) option;
 }
 
 (* The EnGarde bootstrap pages: deterministic content derived from the
@@ -150,19 +171,424 @@ let build_enclave c epc perf =
 
 exception Reject of rejection
 
-let run ?tamper ?hash_runner ?(policies = []) ?(programs = []) c ~payload =
+let u32 n = String.init 4 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
+
+(* ------------------------------------------------------------------ *)
+(* Resumption tickets                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A ticket is sealed under a key only this inspector enclave can
+   derive (its SGX sealing key), and binds exactly the trust decision
+   the client made at full-handshake time: the enclave measurement and
+   the negotiated policy-set digest, plus the ticket key epoch so the
+   provider can revoke whole generations at once. SIV-style: the MAC
+   over the plaintext doubles as the CTR nonce, so sealing is
+   deterministic and needs no extra randomness. *)
+module Ticket = struct
+  let magic = "EGTKT1"
+  let secret_len = 32
+  let blob_len = String.length magic + 4 + (3 * 32) + 32
+
+  let keys device ~measurement ~epoch =
+    let key =
+      Crypto.Hkdf.derive ~salt:magic
+        ~ikm:(Sgx.Quote.seal_key device ~measurement)
+        ~info:(Printf.sprintf "epoch%d" epoch)
+        32
+    in
+    let prk = Crypto.Hkdf.extract ~salt:"seal" key in
+    ( Crypto.Aes.expand (Crypto.Hkdf.expand ~prk ~info:"enc" 32),
+      Crypto.Hkdf.expand ~prk ~info:"mac" 32 )
+
+  let seal device ~measurement ~policy_digest ~epoch ~resumption =
+    if String.length resumption <> secret_len then
+      invalid_arg "Provision.Ticket.seal: resumption secret must be 32 bytes";
+    let enc, mac = keys device ~measurement ~epoch in
+    let pt = resumption ^ measurement ^ Crypto.Sha256.digest policy_digest in
+    let tag = Crypto.Hmac.sha256 ~key:mac (u32 epoch ^ pt) in
+    let ct = Crypto.Aes.ctr ~key:enc ~nonce:(String.sub tag 0 16) pt in
+    magic ^ u32 epoch ^ ct ^ tag
+
+  let read_u32 s pos =
+    Char.code s.[pos]
+    lor (Char.code s.[pos + 1] lsl 8)
+    lor (Char.code s.[pos + 2] lsl 16)
+    lor (Char.code s.[pos + 3] lsl 24)
+
+  let unseal device ~measurement ~policy_digest ~epoch blob =
+    let mlen = String.length magic in
+    if String.length blob <> blob_len || String.sub blob 0 mlen <> magic then
+      Error "unparseable ticket"
+    else begin
+      let sealed_epoch = read_u32 blob mlen in
+      if sealed_epoch <> epoch then
+        Error (Printf.sprintf "stale ticket epoch %d (current %d)" sealed_epoch epoch)
+      else begin
+        let ct = String.sub blob (mlen + 4) (3 * 32) in
+        let tag = String.sub blob (mlen + 4 + (3 * 32)) 32 in
+        let enc, mac = keys device ~measurement ~epoch in
+        let pt = Crypto.Aes.ctr ~key:enc ~nonce:(String.sub tag 0 16) ct in
+        if not (Crypto.Hmac.verify ~key:mac ~msg:(u32 sealed_epoch ^ pt) ~tag) then
+          Error "ticket authentication failed"
+        else if String.sub pt 32 32 <> measurement then Error "ticket measurement mismatch"
+        else if String.sub pt 64 32 <> Crypto.Sha256.digest policy_digest then
+          Error "ticket policy-set digest mismatch"
+        else Ok (String.sub pt 0 32)
+      end
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Streaming ingest pipeline                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The staged replacement for the monolithic "receive all, then
+   inspect" flow. Records feed in as they arrive: stream bytes land in
+   enclave staging immediately (the same charged [Sgx.Enclave.write]s
+   the legacy drain performs), the ELF prefix is sanity-checked as soon
+   as it lands, and — when the client supplied a [Meta] hint —
+   per-function digests are computed speculatively (optionally on the
+   domain pool) while later pages are still in flight. Speculative work
+   is UNCHARGED and advisory: its digests are adopted only after
+   byte-for-byte verification against the authoritative parse
+   ([Analysis.adopt_digests]), so verdicts and modelled cycles are
+   bit-identical to the one-shot path. *)
+module Pipeline = struct
+  exception Corrupt of string
+
+  type stage = Receiving | Inspecting | Done
+
+  type stats = {
+    p_records : int;
+    p_record_bytes : int;
+    p_epoch_updates : int;
+    p_spec_hashes : int;
+  }
+
+  type t = {
+    enclave : Sgx.Enclave.t;
+    staging : int;
+    reader : Channel.Record.reader;
+    shadow : Buffer.t;  (* host-side plaintext copy for speculative work *)
+    on_event : pipeline_event -> unit;
+    hash_runner : Analysis.hash_runner option;
+    mutable stage : stage;
+    mutable meta : Channel.Record.meta option;
+    mutable prefix_ok : bool;
+    mutable pending_fns : (int * int * int) list;  (* (lo, hi, src_off), by src end *)
+    mutable ready_fns : (int * int * int) list;    (* batched for the next flush *)
+    mutable spec : (int * int * int * string) list;
+    mutable received : int;
+    mutable fin : (int * string) option;
+    mutable records : int;
+    mutable record_bytes : int;
+    mutable spec_hashes : int;
+  }
+
+  let spec_batch = 8
+
+  let create ~enclave ~staging ~secret ?hash_runner ?(on_event = fun _ -> ()) () =
+    {
+      enclave;
+      staging;
+      reader = Channel.Record.reader ~secret;
+      shadow = Buffer.create 4096;
+      on_event;
+      hash_runner;
+      stage = Receiving;
+      meta = None;
+      prefix_ok = false;
+      pending_fns = [];
+      ready_fns = [];
+      spec = [];
+      received = 0;
+      fin = None;
+      records = 0;
+      record_bytes = 0;
+      spec_hashes = 0;
+    }
+
+  let stage t = t.stage
+  let finished t = t.fin
+  let speculative t = t.spec
+
+  let stats t =
+    {
+      p_records = t.records;
+      p_record_bytes = t.record_bytes;
+      p_epoch_updates = Channel.Record.epoch_updates t.reader;
+      p_spec_hashes = t.spec_hashes;
+    }
+
+  (* Hash a batch of landed functions. Slices are snapshotted on the
+     ingesting thread; only the SHA-256 runs on the pool. Results carry
+     no cost — the index computes the charge at adoption time. *)
+  let flush_spec t =
+    match t.ready_fns with
+    | [] -> ()
+    | batch ->
+        t.ready_fns <- [];
+        let batch = List.rev batch in
+        let slices =
+          List.map
+            (fun (lo, hi, src_off) ->
+              (lo, hi, src_off, Buffer.sub t.shadow src_off (hi - lo)))
+            batch
+        in
+        let tasks =
+          List.map
+            (fun (lo, hi, _, slice) () ->
+              [ (lo, (Crypto.Sha256.hex (Crypto.Sha256.digest slice), hi)) ])
+            slices
+        in
+        let results =
+          match t.hash_runner with
+          | Some run_all -> run_all tasks
+          | None -> List.map (fun task -> task ()) tasks
+        in
+        let digests =
+          List.map2
+            (fun (lo, hi, src_off, _) -> function
+              | [ (lo', (hex, hi')) ] when lo' = lo && hi' = hi -> (lo, hi, src_off, hex)
+              | _ -> (lo, hi, src_off, ""))
+            slices results
+        in
+        let digests = List.filter (fun (_, _, _, hex) -> hex <> "") digests in
+        t.spec <- t.spec @ digests;
+        t.spec_hashes <- t.spec_hashes + List.length digests;
+        (match digests with
+        | (lo, _, _, _) :: _ -> t.on_event (Speculative_hash { addr = lo })
+        | [] -> ())
+
+  let advance_spec t ~final =
+    (match t.meta with
+    | None -> ()
+    | Some _ when not t.prefix_ok -> ()
+    | Some _ ->
+        let ready, waiting =
+          List.partition (fun (lo, hi, src_off) -> src_off + (hi - lo) <= t.received) t.pending_fns
+        in
+        t.pending_fns <- waiting;
+        List.iter (fun fn -> t.ready_fns <- fn :: t.ready_fns) ready);
+    if final || List.length t.ready_fns >= spec_batch then flush_spec t
+
+  let check_prefix t =
+    if (not t.prefix_ok) && t.received >= 16 then begin
+      let s = Buffer.contents t.shadow in
+      if String.length s >= 5 && String.sub s 0 4 = "\x7fELF" && s.[4] = '\x02' then begin
+        t.prefix_ok <- true;
+        t.on_event Prefix_validated
+      end
+    end
+
+  let accept_meta t (m : Channel.Record.meta) =
+    if t.meta = None then begin
+      t.meta <- Some m;
+      (* Sanitize the advisory ranges: anything that cannot name a real
+         function is dropped here; anything that survives is verified
+         byte-for-byte before adoption. *)
+      let fns =
+        List.filter_map
+          (fun (lo, hi) ->
+            if lo >= hi || lo < m.Channel.Record.text_addr then None
+            else begin
+              let src_off = m.Channel.Record.text_off + (lo - m.Channel.Record.text_addr) in
+              if src_off < 0 then None else Some (lo, hi, src_off)
+            end)
+          m.Channel.Record.functions
+      in
+      t.pending_fns <-
+        List.sort (fun (_, h1, s1) (_, h2, s2) -> compare (s1 + h1) (s2 + h2)) fns
+    end
+
+  let feed t msg =
+    match msg with
+    | Channel.Wire.Record { epoch; rn; ciphertext; tag } -> begin
+        t.records <- t.records + 1;
+        t.record_bytes <- t.record_bytes + String.length ciphertext;
+        match Channel.Record.read t.reader ~epoch ~rn ~ciphertext ~tag with
+        | Channel.Record.Corrupt why -> raise (Corrupt why)
+        | Channel.Record.Skip | Channel.Record.Recovered -> ()
+        | Channel.Record.Accept Channel.Record.Key_update -> ()
+        | Channel.Record.Accept (Channel.Record.Meta m) -> accept_meta t m
+        | Channel.Record.Accept (Channel.Record.Stream { offset; data }) ->
+            if t.stage <> Receiving then raise (Corrupt "stream record after fin")
+            else if offset <> t.received then raise (Corrupt "non-contiguous stream record")
+            else begin
+              Sgx.Enclave.write t.enclave ~vaddr:(t.staging + offset) data;
+              Buffer.add_string t.shadow data;
+              t.received <- t.received + String.length data;
+              check_prefix t;
+              advance_spec t ~final:false
+            end
+        | Channel.Record.Accept (Channel.Record.Fin { total_len; digest }) ->
+            if t.stage <> Receiving then raise (Corrupt "duplicate fin record")
+            else begin
+              advance_spec t ~final:true;
+              t.fin <- Some (total_len, digest);
+              t.stage <- Inspecting
+            end
+      end
+    | _ -> () (* non-record traffic is not the pipeline's to interpret *)
+
+  let finish t = t.stage <- Done
+end
+
+(* ------------------------------------------------------------------ *)
+(* Shared inspection stage                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything from "the whole file is staged" to "loaded or rejected".
+   BOTH channel paths run exactly this code with exactly these charges:
+   the streaming pipeline's head start feeds in only through
+   [Analysis.adopt_digests], whose verified adoptions charge
+   bit-identically to cold computation. Returns the loaded image, the
+   policy results, and how many speculative digests survived
+   verification. *)
+let inspect c ~report ~enclave ~host ~policies ~hash_runner ~on_event ~spec ~total_len ~digest
+    ~received =
+  let staging = staging_base c in
+  if total_len <> received then raise (Reject (Transfer_tampered "missing blocks"));
+  let file = Sgx.Enclave.read enclave ~vaddr:staging ~len:total_len in
+  if Crypto.Sha256.digest file <> digest then
+    raise (Reject (Transfer_tampered "payload digest mismatch"));
+  (* --- header validation --- *)
+  let elf =
+    match Elf64.Reader.parse file with
+    | Ok elf -> elf
+    | Error e -> raise (Reject (Bad_elf (Elf64.Reader.error_to_string e)))
+  in
+  if Elf64.Reader.function_symbols elf = [] then raise (Reject Stripped_binary);
+  (match Loader.check_page_separation elf with
+  | Ok () -> ()
+  | Error e -> raise (Reject (Mixed_pages (Loader.error_to_string e))));
+  (* --- disassembly --- *)
+  let text =
+    match Elf64.Reader.text_sections elf with
+    | [ t ] -> t
+    | [] -> raise (Reject (Bad_elf "no executable section"))
+    | _ -> raise (Reject (Bad_elf "multiple text sections unsupported"))
+  in
+  let buffer, symbols =
+    match
+      Disasm.run report.Report.disassembly ~code:text.Elf64.Reader.data
+        ~base:text.Elf64.Reader.addr ~symbols:elf.Elf64.Reader.symbols
+    with
+    | Ok r -> r
+    | Error v -> raise (Reject (Disassembly_failed (X86.Nacl.violation_to_string v)))
+  in
+  report.Report.instructions <- Array.length buffer.Disasm.entries;
+  (* --- policy modules --- *)
+  let ctx =
+    Policy.context ~analysis_perf:report.Report.analysis ~cfg_perf:report.Report.cfg
+      ~perf:report.Report.policy buffer symbols
+  in
+  (* Adopt the pipeline's speculative digests. A digest is used only
+     when the bytes it hashed are literally the authoritative text
+     bytes for that range (so a lying Meta hint degrades the head
+     start, never the verdict) and the index confirms the range tiles a
+     known function (see [Analysis.adopt_digests]). Uncharged. *)
+  let spec_adopted =
+    match spec with
+    | [] -> 0
+    | entries ->
+        let tbase = text.Elf64.Reader.addr in
+        let tlen = String.length text.Elf64.Reader.data in
+        let flen = String.length file in
+        let verified =
+          List.filter_map
+            (fun (lo, hi, src_off, hex) ->
+              let n = hi - lo in
+              if
+                lo >= tbase && hi <= tbase + tlen && src_off >= 0 && src_off + n <= flen
+                && String.sub file src_off n = String.sub text.Elf64.Reader.data (lo - tbase) n
+              then Some (lo, hi, hex)
+              else None)
+            entries
+        in
+        Analysis.adopt_digests ctx.Policy.index verified
+  in
+  (* Warm the function-hash store in parallel before the policies run.
+     Uncharged — see [Analysis.prehash] — so the modelled-cycle
+     accounting below is unchanged. *)
+  (match hash_runner with
+  | None -> ()
+  | Some run_all -> Analysis.prehash ~run_all ctx.Policy.index);
+  on_event Policy_phase;
+  let policy_results = Policy.run_all ctx policies in
+  if not (Policy.all_compliant policy_results) then
+    ignore (raise (Reject (Policy_violations policy_results)));
+  (* --- loading --- *)
+  let loaded =
+    match
+      Loader.load report.Report.loading ~enclave ~host ~bias:image_region_base
+        ~stack_pages:c.stack_pages elf
+    with
+    | Ok l -> l
+    | Error e -> raise (Reject (Load_failed (Loader.error_to_string e)))
+  in
+  (loaded, policy_results, spec_adopted)
+
+(* Client-side Meta hint: the client knows its own binary, so it can
+   tell the inspector where the text section lives in the file and
+   where each function starts and ends. Pure convenience data — the
+   inspector re-derives ground truth and verifies every adoption. *)
+let meta_of_payload payload =
+  match Elf64.Reader.parse payload with
+  | Error _ -> None
+  | Ok elf -> (
+      match Elf64.Reader.text_sections elf with
+      | [ text ] ->
+          let tbase = text.Elf64.Reader.addr in
+          let tend = tbase + String.length text.Elf64.Reader.data in
+          let text_off =
+            List.find_map
+              (fun (ph : Elf64.Types.phdr) ->
+                if ph.Elf64.Types.p_vaddr <= tbase
+                   && tbase < ph.Elf64.Types.p_vaddr + ph.Elf64.Types.p_filesz
+                then Some (ph.Elf64.Types.p_offset + (tbase - ph.Elf64.Types.p_vaddr))
+                else None)
+              elf.Elf64.Reader.phdrs
+          in
+          Option.map
+            (fun text_off ->
+              let syms = Elf64.Reader.function_symbols elf in
+              let starts = List.map (fun (s : Elf64.Types.symbol) -> s.Elf64.Types.st_value) syms in
+              let rec ranges = function
+                | [] -> []
+                | [ last ] -> [ (last, tend) ]
+                | a :: (b :: _ as rest) -> (a, b) :: ranges rest
+              in
+              {
+                Channel.Record.text_addr = tbase;
+                text_off;
+                functions = List.filter (fun (lo, hi) -> lo >= tbase && lo < hi && hi <= tend) (ranges starts);
+              })
+            text_off
+      | _ -> None)
+
+let run ?tamper ?hash_runner ?(policies = []) ?(programs = []) ?(channel = `Legacy) ?resume
+    ?(ticket_epoch = 0) ?(on_event = fun (_ : pipeline_event) -> ()) c ~payload =
   let report = Report.create () in
   let epc = Sgx.Epc.create ~pages:c.epc_pages ~seed:(c.seed ^ "/epc") () in
   let host = Sgx.Host_os.create () in
   let device = Sgx.Quote.device_create ~seed:(c.seed ^ "/device") in
   let enclave, measurement = build_enclave c epc report.Report.provisioning in
 
-  (* Enclave-side ephemeral keypair; its hash goes into the quote. *)
+  (* Enclave-side ephemeral keypair; its hash goes into the quote.
+     Lazy: a successful 0-RTT resumption never generates it — that is
+     the latency the ticket buys. *)
   let enclave_drbg = Crypto.Drbg.create ~personalization:"engarde-enclave" (c.seed ^ measurement) in
-  let keypair = Crypto.Rsa.generate enclave_drbg ~bits:c.rsa_bits in
-  let pub_bytes = Crypto.Rsa.pub_to_bytes keypair.Crypto.Rsa.pub in
-  let quote =
-    Sgx.Quote.quote device ~enclave ~report_data:(Crypto.Sha256.digest pub_bytes)
+  let keypair = lazy (Crypto.Rsa.generate enclave_drbg ~bits:c.rsa_bits) in
+  let quote_response () =
+    let pub_bytes = Crypto.Rsa.pub_to_bytes (Lazy.force keypair).Crypto.Rsa.pub in
+    Channel.Wire.Quote_response
+      {
+        quote =
+          Sgx.Quote.to_bytes
+            (Sgx.Quote.quote device ~enclave ~report_data:(Crypto.Sha256.digest pub_bytes));
+        enclave_pub = pub_bytes;
+      }
   in
 
   let client =
@@ -172,13 +598,9 @@ let run ?tamper ?hash_runner ?(policies = []) ?(programs = []) c ~payload =
       ~seed:(c.seed ^ "/client") ~payload ()
   in
   let negotiated = ref None in
+  let chan_stats = ref None in
+  let issued = ref None in
   let client_ep, enclave_ep = Channel.Transport.pair ?tamper () in
-
-  (* --- attestation handshake over the channel --- *)
-  Channel.Transport.send client_ep (Channel.Client.challenge client);
-  let _hello = Channel.Transport.recv enclave_ep in
-  Channel.Transport.send enclave_ep
-    (Channel.Wire.Quote_response { quote = Sgx.Quote.to_bytes quote; enclave_pub = pub_bytes });
 
   let finish ~result ~policy_results ~attestation_failure ~client_verdict =
     {
@@ -191,197 +613,365 @@ let run ?tamper ?hash_runner ?(policies = []) ?(programs = []) c ~payload =
       client_verdict;
       attestation_failure;
       negotiated_digest = !negotiated;
+      channel_stats = !chan_stats;
+      ticket = !issued;
     }
   in
-  match Channel.Transport.recv client_ep with
-  | None ->
-      finish
-        ~result:(Error (Transfer_tampered "quote never arrived"))
-        ~policy_results:[] ~attestation_failure:(Some (Channel.Client.Protocol "no quote"))
-        ~client_verdict:None
-  | Some quote_msg -> begin
-      match Channel.Client.handle_quote client quote_msg with
-      | Error failure ->
-          (* The client aborts: it will not hand its code to an enclave
-             it cannot authenticate. *)
-          finish
-            ~result:(Error (Transfer_tampered "client aborted after attestation"))
-            ~policy_results:[] ~attestation_failure:(Some failure) ~client_verdict:None
-      | Ok wrapped_key_msg -> begin
-          Channel.Transport.send client_ep wrapped_key_msg;
-          (match Channel.Client.policy_offer client with
-          | Some offer -> Channel.Transport.send client_ep offer
-          | None -> ());
-          List.iter (Channel.Transport.send client_ep) (Channel.Client.code_messages client);
-          (* --- enclave side: unwrap the key, decrypt blocks --- *)
+
+  (* Policy negotiation: an enclave measured with a policy-set digest
+     refuses to proceed until the client's offer hashes to exactly that
+     digest — the programs about to judge the code are the ones both
+     parties agreed on and attested. *)
+  let check_policy_offer () =
+    if c.policy_digest <> "" then begin
+      match Channel.Transport.recv enclave_ep with
+      | Some (Channel.Wire.Policy_offer { programs }) ->
+          let d = Channel.Session.policy_set_digest programs in
+          if d <> c.policy_digest then
+            raise
+              (Reject (Transfer_tampered "offered policy set does not match the measured digest"));
+          negotiated := Some d;
+          Channel.Transport.send enclave_ep (Channel.Wire.Policy_accept { digest = d })
+      | Some m ->
+          raise (Reject (Transfer_tampered ("expected policy offer, got " ^ Channel.Wire.describe m)))
+      | None -> raise (Reject (Transfer_tampered "no policy offer"))
+    end
+  in
+
+  let send_verdict result =
+    let accepted, detail =
+      match result with
+      | Ok loaded ->
+          ( true,
+            Printf.sprintf "policy-compliant; %d executable pages, %d relocations"
+              (List.length loaded.Loader.exec_pages)
+              loaded.Loader.relocations_applied )
+      | Error r -> (false, rejection_to_string r)
+    in
+    Channel.Transport.send enclave_ep (Channel.Wire.Verdict { accepted; detail })
+  in
+
+  (* --- legacy monolithic path (paper-faithful): receive everything,
+     then inspect --- *)
+  let legacy_enclave_side () =
+    let session =
+      match Channel.Transport.recv enclave_ep with
+      | Some (Channel.Wire.Wrapped_key { wrapped }) -> begin
+          match Crypto.Rsa.decrypt (Lazy.force keypair) wrapped with
+          | Some key when String.length key = 32 -> Channel.Session.create ~key
+          | Some _ | None -> raise (Reject (Transfer_tampered "session key unwrap failed"))
+        end
+      | Some m ->
+          raise (Reject (Transfer_tampered ("expected wrapped key, got " ^ Channel.Wire.describe m)))
+      | None -> raise (Reject (Transfer_tampered "no wrapped key"))
+    in
+    check_policy_offer ();
+    (* Receive blocks into the staging area. *)
+    let staging = staging_base c in
+    let total = ref None in
+    let digest = ref "" in
+    let received = ref 0 in
+    let rec drain () =
+      match Channel.Transport.recv enclave_ep with
+      | None -> ()
+      | Some (Channel.Wire.Code_block { seq; offset; ciphertext; tag }) -> begin
+          match Channel.Session.decrypt_block session ~seq ~offset ~ciphertext ~tag with
+          | None ->
+              raise
+                (Reject (Transfer_tampered (Printf.sprintf "block %d failed authentication" seq)))
+          | Some plain ->
+              Sgx.Enclave.write enclave ~vaddr:(staging + offset) plain;
+              received := max !received (offset + String.length plain);
+              drain ()
+        end
+      | Some (Channel.Wire.Transfer_done { total_len; digest = d }) ->
+          total := Some total_len;
+          digest := d;
+          drain ()
+      | Some _ -> drain ()
+    in
+    drain ();
+    let total_len =
+      match !total with
+      | Some t -> t
+      | None -> raise (Reject (Transfer_tampered "transfer never completed"))
+    in
+    let loaded, policy_results, _ =
+      inspect c ~report ~enclave ~host ~policies ~hash_runner ~on_event ~spec:[] ~total_len
+        ~digest:!digest ~received:!received
+    in
+    (loaded, policy_results)
+  in
+
+  (* --- streaming path: ingest records as the client produces them --- *)
+  let in_flight_peak = ref 0 in
+  let stream_transfer ~secret ~spec_meta seq =
+    let pipeline =
+      Pipeline.create ~enclave ~staging:(staging_base c) ~secret ?hash_runner ~on_event ()
+    in
+    ignore spec_meta;
+    on_event Transfer_started;
+    Seq.iter
+      (fun msg ->
+        Channel.Transport.send client_ep msg;
+        in_flight_peak := max !in_flight_peak (Channel.Transport.pending_bytes enclave_ep);
+        let rec ingest () =
+          match Channel.Transport.recv enclave_ep with
+          | None -> ()
+          | Some m ->
+              Pipeline.feed pipeline m;
+              ingest ()
+        in
+        ingest ())
+      seq;
+    (* Anything the transport dropped (tampered beyond parsing) shows
+       up here as an incomplete transfer. *)
+    match Pipeline.finished pipeline with
+    | None -> raise (Reject (Transfer_tampered "transfer never completed"))
+    | Some (total_len, digest) ->
+        let st = Pipeline.stats pipeline in
+        Pipeline.finish pipeline;
+        (total_len, digest, Pipeline.speculative pipeline, st)
+  in
+  let streaming_inspect ~resumed ~fallback ~secret ~spec_meta seq =
+    match
+      let total_len, digest, spec, st = stream_transfer ~secret ~spec_meta seq in
+      let loaded, policy_results, spec_adopted =
+        inspect c ~report ~enclave ~host ~policies ~hash_runner ~on_event ~spec ~total_len ~digest
+          ~received:total_len
+      in
+      (loaded, policy_results, st, spec_adopted)
+    with
+    | loaded, policy_results, st, spec_adopted ->
+        chan_stats :=
+          Some
+            {
+              records = st.Pipeline.p_records;
+              record_bytes = st.Pipeline.p_record_bytes;
+              in_flight_peak = !in_flight_peak;
+              epoch_updates = st.Pipeline.p_epoch_updates;
+              resumed;
+              fallback;
+              spec_hashes = st.Pipeline.p_spec_hashes;
+              spec_adopted;
+            };
+        (Ok loaded, policy_results)
+    | exception Pipeline.Corrupt why -> (Error (Transfer_tampered why), [])
+    | exception Reject (Policy_violations results as r) -> (Error r, results)
+    | exception Reject r -> (Error r, [])
+    | exception Sgx.Enclave.Sgx_fault why -> (Error (Load_failed why), [])
+  in
+
+  (* Issue (or re-issue) a ticket after an accepted verdict: the client
+     can come back without the RSA handshake as long as the inspector's
+     measurement, policy set, and ticket epoch still match. *)
+  let issue_ticket ~result ~resumption ~client_secret =
+    match result with
+    | Ok _ ->
+        let blob =
+          Ticket.seal device ~measurement ~policy_digest:c.policy_digest ~epoch:ticket_epoch
+            ~resumption
+        in
+        Channel.Transport.send enclave_ep (Channel.Wire.Ticket { blob });
+        issued := Some (blob, client_secret)
+    | Error _ -> ()
+  in
+
+  (* The full-handshake flow, shared by the legacy channel, cold
+     streaming, and the post-fallback retry. The client has already
+     received the quote response on [client_ep]. *)
+  let full_handshake ~fallback () =
+    match Channel.Transport.recv client_ep with
+    | None ->
+        finish
+          ~result:(Error (Transfer_tampered "quote never arrived"))
+          ~policy_results:[] ~attestation_failure:(Some (Channel.Client.Protocol "no quote"))
+          ~client_verdict:None
+    | Some quote_msg -> begin
+        match Channel.Client.handle_quote client quote_msg with
+        | Error failure ->
+            (* The client aborts: it will not hand its code to an enclave
+               it cannot authenticate. *)
+            finish
+              ~result:(Error (Transfer_tampered "client aborted after attestation"))
+              ~policy_results:[] ~attestation_failure:(Some failure) ~client_verdict:None
+        | Ok wrapped_key_msg -> begin
+            Channel.Transport.send client_ep wrapped_key_msg;
+            (match Channel.Client.policy_offer client with
+            | Some offer -> Channel.Transport.send client_ep offer
+            | None -> ());
+            Sgx.Enclave.eenter enclave;
+            let result, policy_results =
+              match channel with
+              | `Legacy -> (
+                  on_event Transfer_started;
+                  List.iter (Channel.Transport.send client_ep) (Channel.Client.code_messages client);
+                  match legacy_enclave_side () with
+                  | loaded, policy_results -> (Ok loaded, policy_results)
+                  | exception Reject (Policy_violations results as r) -> (Error r, results)
+                  | exception Reject r -> (Error r, [])
+                  | exception Sgx.Enclave.Sgx_fault why -> (Error (Load_failed why), []))
+              | `Streaming -> (
+                  (* The enclave unwraps the session key and checks the
+                     offer before any record can be read. *)
+                  match
+                    (match Channel.Transport.recv enclave_ep with
+                    | Some (Channel.Wire.Wrapped_key { wrapped }) -> begin
+                        match Crypto.Rsa.decrypt (Lazy.force keypair) wrapped with
+                        | Some key when String.length key = 32 -> key
+                        | Some _ | None ->
+                            raise (Reject (Transfer_tampered "session key unwrap failed"))
+                      end
+                    | Some m ->
+                        raise
+                          (Reject
+                             (Transfer_tampered
+                                ("expected wrapped key, got " ^ Channel.Wire.describe m)))
+                    | None -> raise (Reject (Transfer_tampered "no wrapped key")))
+                  with
+                  | key ->
+                      (match check_policy_offer () with
+                      | () -> ()
+                      | exception e -> raise e);
+                      let meta = meta_of_payload payload in
+                      streaming_inspect ~resumed:false ~fallback
+                        ~secret:(Channel.Record.traffic_secret ~key)
+                        ~spec_meta:meta
+                        (Channel.Client.stream_seq ?meta client)
+                  | exception Reject r -> (Error r, []))
+            in
+            Sgx.Enclave.eexit enclave;
+            (* --- verdict back to the client --- *)
+            send_verdict result;
+            (match (channel, Channel.Client.resumption client) with
+            | `Streaming, Some client_secret ->
+                issue_ticket ~result
+                  ~resumption:client_secret (* both ends derive it from the session key *)
+                  ~client_secret
+            | _ -> ());
+            let client_verdict =
+              let msgs = Channel.Transport.drain client_ep in
+              let accepts, rest =
+                List.partition
+                  (function Channel.Wire.Policy_accept _ -> true | _ -> false)
+                  msgs
+              in
+              let _tickets, rest =
+                List.partition (function Channel.Wire.Ticket _ -> true | _ -> false) rest
+              in
+              (* The client only honors a verdict when the negotiation
+                 transcript matches what it offered: no offer -> no
+                 accept; an offer -> exactly one accept echoing its own
+                 digest. *)
+              let accept_ok =
+                match (accepts, Channel.Client.offered_digest client) with
+                | [], None -> true
+                | [ Channel.Wire.Policy_accept { digest } ], Some d -> digest = d
+                | _ -> false
+              in
+              match rest with
+              | [ v ] when accept_ok ->
+                  (match Channel.Client.read_verdict v with Ok r -> Some r | Error _ -> None)
+              | _ -> None
+            in
+            finish ~result ~policy_results ~attestation_failure:None ~client_verdict
+          end
+      end
+  in
+
+  match (channel, resume) with
+  | `Streaming, Some (ticket, resumption) -> begin
+      (* 0-RTT: the client streams immediately under keys derived from
+         its stashed resumption secret; the inspector decides on the
+         opener whether to ride along or fall back. *)
+      Channel.Transport.send client_ep (Channel.Client.resume_opener client ~ticket);
+      let nonce =
+        match Channel.Transport.recv enclave_ep with
+        | Some (Channel.Wire.Resume { ticket = blob; nonce }) -> (
+            match
+              Ticket.unseal device ~measurement ~policy_digest:c.policy_digest ~epoch:ticket_epoch
+                blob
+            with
+            | Ok sealed_resumption -> Ok (sealed_resumption, nonce)
+            | Error why -> Error why)
+        | _ -> Error "no resume opener"
+      in
+      match nonce with
+      | Ok (sealed_resumption, nonce) ->
+          (* Accepted: confirm, then ingest the 0-RTT records. *)
           Sgx.Enclave.eenter enclave;
-          let run_enclave_side () =
-            let session =
-              match Channel.Transport.recv enclave_ep with
-              | Some (Channel.Wire.Wrapped_key { wrapped }) -> begin
-                  match Crypto.Rsa.decrypt keypair wrapped with
-                  | Some key when String.length key = 32 -> Channel.Session.create ~key
-                  | Some _ | None ->
-                      raise (Reject (Transfer_tampered "session key unwrap failed"))
-                end
-              | Some m ->
-                  raise
-                    (Reject (Transfer_tampered ("expected wrapped key, got " ^ Channel.Wire.describe m)))
-              | None -> raise (Reject (Transfer_tampered "no wrapped key"))
-            in
-            (* Policy negotiation: an enclave measured with a policy-set
-               digest refuses to proceed until the client's offer hashes
-               to exactly that digest — the programs about to judge the
-               code are the ones both parties agreed on and attested. *)
-            if c.policy_digest <> "" then begin
-              match Channel.Transport.recv enclave_ep with
-              | Some (Channel.Wire.Policy_offer { programs }) ->
-                  let d = Channel.Session.policy_set_digest programs in
-                  if d <> c.policy_digest then
-                    raise
-                      (Reject
-                         (Transfer_tampered
-                            "offered policy set does not match the measured digest"));
-                  negotiated := Some d;
-                  Channel.Transport.send enclave_ep (Channel.Wire.Policy_accept { digest = d })
-              | Some m ->
-                  raise
-                    (Reject
-                       (Transfer_tampered
-                          ("expected policy offer, got " ^ Channel.Wire.describe m)))
-              | None -> raise (Reject (Transfer_tampered "no policy offer"))
-            end;
-            (* Receive blocks into the staging area. *)
-            let staging = staging_base c in
-            let total = ref None in
-            let digest = ref "" in
-            let received = ref 0 in
-            let rec drain () =
-              match Channel.Transport.recv enclave_ep with
-              | None -> ()
-              | Some (Channel.Wire.Code_block { seq; offset; ciphertext; tag }) -> begin
-                  match Channel.Session.decrypt_block session ~seq ~offset ~ciphertext ~tag with
-                  | None ->
-                      raise
-                        (Reject
-                           (Transfer_tampered
-                              (Printf.sprintf "block %d failed authentication" seq)))
-                  | Some plain ->
-                      Sgx.Enclave.write enclave ~vaddr:(staging + offset) plain;
-                      received := max !received (offset + String.length plain);
-                      drain ()
-                end
-              | Some (Channel.Wire.Transfer_done { total_len; digest = d }) ->
-                  total := Some total_len;
-                  digest := d;
-                  drain ()
-              | Some _ -> drain ()
-            in
-            drain ();
-            let total_len =
-              match !total with
-              | Some t -> t
-              | None -> raise (Reject (Transfer_tampered "transfer never completed"))
-            in
-            if total_len <> !received then
-              raise (Reject (Transfer_tampered "missing blocks"));
-            let file = Sgx.Enclave.read enclave ~vaddr:staging ~len:total_len in
-            if Crypto.Sha256.digest file <> !digest then
-              raise (Reject (Transfer_tampered "payload digest mismatch"));
-            (* --- header validation --- *)
-            let elf =
-              match Elf64.Reader.parse file with
-              | Ok elf -> elf
-              | Error e -> raise (Reject (Bad_elf (Elf64.Reader.error_to_string e)))
-            in
-            if Elf64.Reader.function_symbols elf = [] then raise (Reject Stripped_binary);
-            (match Loader.check_page_separation elf with
-            | Ok () -> ()
-            | Error e -> raise (Reject (Mixed_pages (Loader.error_to_string e))));
-            (* --- disassembly --- *)
-            let text =
-              match Elf64.Reader.text_sections elf with
-              | [ t ] -> t
-              | [] -> raise (Reject (Bad_elf "no executable section"))
-              | _ -> raise (Reject (Bad_elf "multiple text sections unsupported"))
-            in
-            let buffer, symbols =
-              match
-                Disasm.run report.Report.disassembly ~code:text.Elf64.Reader.data
-                  ~base:text.Elf64.Reader.addr ~symbols:elf.Elf64.Reader.symbols
-              with
-              | Ok r -> r
-              | Error v -> raise (Reject (Disassembly_failed (X86.Nacl.violation_to_string v)))
-            in
-            report.Report.instructions <- Array.length buffer.Disasm.entries;
-            (* --- policy modules --- *)
-            let ctx =
-              Policy.context ~analysis_perf:report.Report.analysis
-                ~cfg_perf:report.Report.cfg ~perf:report.Report.policy buffer symbols
-            in
-            (* Warm the function-hash store in parallel before the
-               policies run. Uncharged — see [Analysis.prehash] — so
-               the modelled-cycle accounting below is unchanged. *)
-            (match hash_runner with
-            | None -> ()
-            | Some run_all -> Analysis.prehash ~run_all ctx.Policy.index);
-            let policy_results = Policy.run_all ctx policies in
-            if not (Policy.all_compliant policy_results) then begin
-              ignore (raise (Reject (Policy_violations policy_results)))
-            end;
-            (* --- loading --- *)
-            let loaded =
-              match
-                Loader.load report.Report.loading ~enclave ~host ~bias:image_region_base
-                  ~stack_pages:c.stack_pages elf
-              with
-              | Ok l -> l
-              | Error e -> raise (Reject (Load_failed (Loader.error_to_string e)))
-            in
-            (loaded, policy_results)
-          in
+          Channel.Transport.send enclave_ep
+            (Channel.Wire.Resume_accept
+               { confirm = Channel.Record.confirm ~resumption:sealed_resumption ~nonce });
+          (if c.policy_digest <> "" then begin
+             negotiated := Some c.policy_digest;
+             Channel.Transport.send enclave_ep (Channel.Wire.Policy_accept { digest = c.policy_digest })
+           end);
+          let meta = meta_of_payload payload in
+          let zero_rtt = Channel.Record.zero_rtt_secret ~resumption:sealed_resumption ~nonce in
           let result, policy_results =
-            match run_enclave_side () with
-            | loaded, policy_results -> (Ok loaded, policy_results)
-            | exception Reject (Policy_violations results as r) -> (Error r, results)
-            | exception Reject r -> (Error r, [])
-            | exception Sgx.Enclave.Sgx_fault why -> (Error (Load_failed why), [])
+            streaming_inspect ~resumed:true ~fallback:false ~secret:zero_rtt ~spec_meta:meta
+              (Channel.Client.zero_rtt_seq ?meta client ~resumption)
           in
           Sgx.Enclave.eexit enclave;
-          (* --- verdict back to the client --- *)
-          let accepted, detail =
-            match result with
-            | Ok loaded ->
-                ( true,
-                  Printf.sprintf "policy-compliant; %d executable pages, %d relocations"
-                    (List.length loaded.Loader.exec_pages)
-                    loaded.Loader.relocations_applied )
-            | Error r -> (false, rejection_to_string r)
-          in
-          Channel.Transport.send enclave_ep (Channel.Wire.Verdict { accepted; detail });
+          send_verdict result;
+          let next_resumption = Channel.Record.resumption_secret ~key:zero_rtt in
+          issue_ticket ~result ~resumption:next_resumption
+            ~client_secret:(Channel.Client.resumed_secret client ~resumption);
+          (* Client side: honor the verdict only under a valid
+             confirmation and a matching negotiation echo. *)
           let client_verdict =
-            let accepts, rest =
-              List.partition
-                (function Channel.Wire.Policy_accept _ -> true | _ -> false)
-                (Channel.Transport.drain client_ep)
+            let msgs = Channel.Transport.drain client_ep in
+            let confirmed =
+              List.exists (fun m -> Channel.Client.check_resume_accept client ~resumption m) msgs
             in
-            (* The client only honors a verdict when the negotiation
-               transcript matches what it offered: no offer -> no
-               accept; an offer -> exactly one accept echoing its own
-               digest. *)
             let accept_ok =
+              let accepts =
+                List.filter_map
+                  (function Channel.Wire.Policy_accept { digest } -> Some digest | _ -> None)
+                  msgs
+              in
               match (accepts, Channel.Client.offered_digest client) with
               | [], None -> true
-              | [ Channel.Wire.Policy_accept { digest } ], Some d -> digest = d
+              | [ d ], Some d' -> d = d'
               | _ -> false
             in
-            match rest with
-            | [ v ] when accept_ok ->
-                (match Channel.Client.read_verdict v with Ok r -> Some r | Error _ -> None)
-            | _ -> None
+            if not (confirmed && accept_ok) then None
+            else
+              List.find_map
+                (function
+                  | Channel.Wire.Verdict { accepted; detail } -> Some (accepted, detail)
+                  | _ -> None)
+                msgs
           in
           finish ~result ~policy_results ~attestation_failure:None ~client_verdict
-        end
+      | Error _why ->
+          (* Stale or mismatched ticket: discard whatever 0-RTT data
+             arrives and fall back to the full handshake. The client
+             notices the quote response in place of a Resume_accept and
+             re-sends under freshly wrapped keys. *)
+          Seq.iter
+            (fun msg -> Channel.Transport.send client_ep msg)
+            (Channel.Client.zero_rtt_seq client ~resumption);
+          let rec discard () =
+            match Channel.Transport.recv enclave_ep with
+            | None -> ()
+            | Some _ -> discard ()
+          in
+          discard ();
+          Channel.Transport.send enclave_ep (quote_response ());
+          let o = full_handshake ~fallback:true () in
+          (* The 0-RTT attempt is part of this run's channel story. *)
+          (match o.channel_stats with
+          | Some st -> chan_stats := Some { st with fallback = true }
+          | None -> ());
+          { o with channel_stats = !chan_stats }
     end
+  | _ ->
+      (* --- attestation handshake over the channel --- *)
+      Channel.Transport.send client_ep (Channel.Client.challenge client);
+      let _hello = Channel.Transport.recv enclave_ep in
+      Channel.Transport.send enclave_ep (quote_response ());
+      full_handshake ~fallback:false ()
 
 let findings outcome = Policy.findings outcome.policy_results

@@ -48,6 +48,36 @@ type rejection =
 
 val rejection_to_string : rejection -> string
 
+type channel = [ `Legacy | `Streaming ]
+(** Which transfer flavor carries the payload: the paper-faithful
+    [Code_block] channel, or the EGREC1 streaming record layer with
+    pipelined inspection (and, with a ticket, 0-RTT resumption). Both
+    produce bit-identical verdicts, findings, and modelled cycles. *)
+
+type channel_stats = {
+  records : int;          (** records the inspector ingested *)
+  record_bytes : int;     (** ciphertext bytes across those records *)
+  in_flight_peak : int;   (** peak queued wire bytes during the transfer *)
+  epoch_updates : int;    (** key ratchets the reader followed *)
+  resumed : bool;         (** this run rode a 0-RTT ticket *)
+  fallback : bool;        (** a 0-RTT attempt fell back to a full handshake *)
+  spec_hashes : int;      (** function digests computed while pages were in flight *)
+  spec_adopted : int;     (** of those, adopted after byte-for-byte verification *)
+}
+
+(** Progress callbacks from the provisioning pipeline, for latency
+    instrumentation (e.g. time-to-first-policy-relevant-event, measured
+    from [Transfer_started]). The legacy channel emits only
+    [Transfer_started] and [Policy_phase] — everything in between is
+    its monolithic receive-then-inspect block. *)
+type pipeline_event =
+  | Transfer_started        (** the client is about to stream code bytes *)
+  | Prefix_validated        (** the staged prefix parses as ELF64 *)
+  | Speculative_hash of { addr : int }
+      (** a batch of speculative function digests landed; [addr] is the
+          first function's address *)
+  | Policy_phase            (** authoritative inspection reached the policy run *)
+
 type outcome = {
   result : (Loader.loaded, rejection) result;
   report : Report.t;
@@ -63,6 +93,12 @@ type outcome = {
       (** the policy-set digest the enclave verified against its
           measurement; [None] when no negotiation happened or the offer
           was rejected *)
+  channel_stats : channel_stats option;
+      (** streaming-channel telemetry; [None] on the legacy channel *)
+  ticket : (string * string) option;
+      (** the client's stash after an accepted streaming run: the sealed
+          ticket blob and the resumption secret to present it with
+          (feed back as [?resume] to skip the next RSA handshake) *)
 }
 
 val findings : outcome -> Policy.finding list
@@ -73,11 +109,92 @@ val expected_measurement : config -> string
 (** What both parties compute for a correctly built EnGarde enclave —
     pure replay of the build log, no EPC needed. *)
 
+(** Resumption tickets: sealed under the inspector's SGX sealing key,
+    binding the enclave measurement, the negotiated policy-set digest,
+    and a provider-chosen key epoch. Deterministic SIV-style sealing —
+    the plaintext MAC doubles as the CTR nonce. Exposed so tests and
+    tooling can mint or examine tickets; {!run} seals and unseals its
+    own. *)
+module Ticket : sig
+  val blob_len : int
+  val secret_len : int
+
+  val seal :
+    Sgx.Quote.device ->
+    measurement:string ->
+    policy_digest:string ->
+    epoch:int ->
+    resumption:string ->
+    string
+
+  val unseal :
+    Sgx.Quote.device ->
+    measurement:string ->
+    policy_digest:string ->
+    epoch:int ->
+    string ->
+    (string, string) result
+  (** The sealed resumption secret, or why the ticket was refused
+      (unparseable, stale epoch, failed authentication, measurement or
+      policy-digest mismatch). *)
+end
+
+(** The staged streaming ingest: records feed in as they arrive, stream
+    bytes land in enclave staging immediately (the same charged writes
+    the legacy drain performs), the ELF prefix is validated as soon as
+    it lands, and — given a [Meta] hint — per-function digests are
+    computed speculatively (optionally on a domain pool) while later
+    pages are still in flight. Speculative work is uncharged and
+    advisory; {!run}'s inspection adopts a digest only after verifying
+    the hashed bytes against the authoritative parse. *)
+module Pipeline : sig
+  exception Corrupt of string
+  (** Raised by {!feed} when the record stream fails authentication or
+      framing — the provisioning attempt is rejected as tampered. *)
+
+  type stage = Receiving | Inspecting | Done
+
+  type stats = {
+    p_records : int;
+    p_record_bytes : int;
+    p_epoch_updates : int;
+    p_spec_hashes : int;
+  }
+
+  type t
+
+  val create :
+    enclave:Sgx.Enclave.t ->
+    staging:int ->
+    secret:string ->
+    ?hash_runner:Analysis.hash_runner ->
+    ?on_event:(pipeline_event -> unit) ->
+    unit ->
+    t
+
+  val feed : t -> Channel.Wire.t -> unit
+  (** Ingest one wire message; non-[Record] traffic is ignored. *)
+
+  val stage : t -> stage
+  val finished : t -> (int * string) option
+  (** [(total_len, digest)] once the [Fin] record arrived. *)
+
+  val speculative : t -> (int * int * int * string) list
+  (** The speculative digests: [(lo, hi, src_off, sha256_hex)]. *)
+
+  val stats : t -> stats
+  val finish : t -> unit
+end
+
 val run :
   ?tamper:(Channel.Wire.t -> Channel.Wire.t) ->
   ?hash_runner:Analysis.hash_runner ->
   ?policies:(Policy.t list) ->
   ?programs:(string * string) list ->
+  ?channel:channel ->
+  ?resume:(string * string) ->
+  ?ticket_epoch:int ->
+  ?on_event:(pipeline_event -> unit) ->
   config ->
   payload:string ->
   outcome
@@ -90,4 +207,16 @@ val run :
     [hash_runner] (e.g. a domain pool's [run_all]) lets the inspection
     prehash candidate function digests in parallel before the policies
     run; it never changes verdicts or modelled cycles, only wall-clock
-    time. *)
+    time.
+
+    [channel] defaults to [`Legacy] (the paper-faithful block
+    transfer). [`Streaming] carries the payload as EGREC1 records with
+    pipelined inspection; an accepted streaming run also issues a
+    resumption ticket (see [outcome.ticket]). Pass that pair back as
+    [resume] to attempt 0-RTT: the client streams immediately under
+    ticket-derived keys and the RSA handshake (and quote generation) is
+    skipped entirely. A stale or mismatched ticket falls back to the
+    full handshake transparently — the run still completes, with
+    [channel_stats.fallback] set. [ticket_epoch] is the provider's
+    ticket-key generation; bumping it invalidates all outstanding
+    tickets. [on_event] observes pipeline progress. *)

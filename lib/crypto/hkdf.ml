@@ -1,0 +1,21 @@
+(* HKDF (RFC 5869) over HMAC-SHA256. The record layer's whole key
+   schedule hangs off these two functions, replacing the ad-hoc
+   HMAC(key, label) derivations the channel used before. *)
+
+let hash_len = 32
+
+let extract ~salt ikm = Hmac.sha256 ~key:salt ikm
+
+let expand ~prk ~info length =
+  if length <= 0 || length > 255 * hash_len then
+    invalid_arg "Hkdf.expand: length out of range";
+  let blocks = (length + hash_len - 1) / hash_len in
+  let out = Buffer.create (blocks * hash_len) in
+  let prev = ref "" in
+  for i = 1 to blocks do
+    prev := Hmac.sha256 ~key:prk (!prev ^ info ^ String.make 1 (Char.chr i));
+    Buffer.add_string out !prev
+  done;
+  String.sub (Buffer.contents out) 0 length
+
+let derive ~salt ~ikm ~info length = expand ~prk:(extract ~salt ikm) ~info length

@@ -40,6 +40,16 @@ type t = {
   audit_appends : int Atomic.t;
   audit_checkpoints : int Atomic.t;
   audit_log_size : int Atomic.t;
+  (* streaming-channel telemetry *)
+  records_received : int Atomic.t;
+  record_bytes : int Atomic.t;
+  in_flight_peak : int Atomic.t;
+  epoch_updates : int Atomic.t;
+  handshakes : int Atomic.t;
+  resumptions : int Atomic.t;
+  resumption_fallbacks : int Atomic.t;
+  spec_hashes : int Atomic.t;
+  spec_adopted : int Atomic.t;
 }
 
 let create () =
@@ -63,6 +73,15 @@ let create () =
     audit_appends = Atomic.make 0;
     audit_checkpoints = Atomic.make 0;
     audit_log_size = Atomic.make 0;
+    records_received = Atomic.make 0;
+    record_bytes = Atomic.make 0;
+    in_flight_peak = Atomic.make 0;
+    epoch_updates = Atomic.make 0;
+    handshakes = Atomic.make 0;
+    resumptions = Atomic.make 0;
+    resumption_fallbacks = Atomic.make 0;
+    spec_hashes = Atomic.make 0;
+    spec_adopted = Atomic.make 0;
   }
 
 let incr c = ignore (Atomic.fetch_and_add c 1)
@@ -111,6 +130,23 @@ let audit_appended t ~log_size =
 let audit_checkpointed t = incr t.audit_checkpoints
 let set_audit_log_size t n = Atomic.set t.audit_log_size n
 
+(* One streaming transfer's worth of channel telemetry (see
+   [Engarde.Provision.channel_stats]). Legacy-channel runs observe
+   nothing here; full handshakes on the streaming channel count under
+   [handshakes], 0-RTT rides under [resumptions], and a resumption that
+   degraded to a full handshake counts under both [handshakes] and
+   [resumption_fallbacks]. *)
+let observe_channel t ~records ~bytes ~in_flight ~epoch_updates ~resumed ~fallback ~spec_hashes
+    ~spec_adopted =
+  addto t.records_received records;
+  addto t.record_bytes bytes;
+  raise_peak t.in_flight_peak in_flight;
+  addto t.epoch_updates epoch_updates;
+  if resumed then incr t.resumptions else incr t.handshakes;
+  if fallback then incr t.resumption_fallbacks;
+  addto t.spec_hashes spec_hashes;
+  addto t.spec_adopted spec_adopted
+
 let job_counts t =
   {
     submitted = Atomic.get t.submitted;
@@ -156,6 +192,15 @@ let render t ~queue ~cache =
   line "audit_appends_total %d" (Atomic.get t.audit_appends);
   line "audit_checkpoints_total %d" (Atomic.get t.audit_checkpoints);
   line "audit_log_size %d" (Atomic.get t.audit_log_size);
+  line "channel_records_received_total %d" (Atomic.get t.records_received);
+  line "channel_record_bytes_total %d" (Atomic.get t.record_bytes);
+  line "channel_in_flight_bytes_peak %d" (Atomic.get t.in_flight_peak);
+  line "channel_epoch_updates_total %d" (Atomic.get t.epoch_updates);
+  line "channel_handshakes_total %d" (Atomic.get t.handshakes);
+  line "channel_resumptions_total %d" (Atomic.get t.resumptions);
+  line "channel_resumption_fallbacks_total %d" (Atomic.get t.resumption_fallbacks);
+  line "channel_speculative_hashes_total %d" (Atomic.get t.spec_hashes);
+  line "channel_speculative_adopted_total %d" (Atomic.get t.spec_adopted);
   line "phase_cycles_total{phase=\"disassembly\"} %d" (Atomic.get t.disassembly);
   line "phase_cycles_total{phase=\"policy\"} %d" (Atomic.get t.policy);
   line "phase_cycles_total{phase=\"loading\"} %d" (Atomic.get t.loading);

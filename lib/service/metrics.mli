@@ -62,6 +62,23 @@ val audit_checkpointed : t -> unit
 val set_audit_log_size : t -> int -> unit
 (** Gauge update without counting an append (warm restart restores). *)
 
+val observe_channel :
+  t ->
+  records:int ->
+  bytes:int ->
+  in_flight:int ->
+  epoch_updates:int ->
+  resumed:bool ->
+  fallback:bool ->
+  spec_hashes:int ->
+  spec_adopted:int ->
+  unit
+(** One streaming transfer's channel telemetry (the fields of
+    [Engarde.Provision.channel_stats]). A resumed run counts as a
+    resumption, otherwise as a full handshake; [fallback] additionally
+    counts a resumption that degraded to a full handshake. The in-flight
+    gauge keeps the peak across transfers. *)
+
 val job_counts : t -> job_counts
 val phase_totals : t -> phase_totals
 

@@ -39,6 +39,8 @@ type config = {
   dispatch :
     (unit -> Engarde.Provision.outcome) -> unit -> Engarde.Provision.outcome;
   hash_runner : Engarde.Analysis.hash_runner option;
+  channel : Engarde.Provision.channel;
+  ticket_epoch : int;
 }
 
 let default_config =
@@ -64,6 +66,11 @@ let default_config =
         let r = pipeline () in
         fun () -> r);
     hash_runner = None;
+    (* Legacy by default: existing deployments (and the fault-injection
+       hooks, which pattern-match [Code_block]) see the paper-faithful
+       wire format unless the provider opts into streaming. *)
+    channel = `Legacy;
+    ticket_epoch = 0;
   }
 
 (* The domain-pool dispatch: submit on the Run tick, block on the Join
@@ -162,6 +169,11 @@ type t = {
   workers : worker_state array;
   mutable next_seq : int;
   mutable completions : completion list;  (* newest first *)
+  (* Per-client resumption tickets from accepted streaming runs, keyed
+     by client id and the negotiated program digest (a ticket binds the
+     judging enclave's measurement, which the policy set determines).
+     Read and written on the scheduler thread only. *)
+  tickets : (string, string * string) Hashtbl.t;
 }
 
 let create (cfg : config) =
@@ -195,6 +207,7 @@ let create (cfg : config) =
     workers = Array.make cfg.workers Idle;
     next_seq = 0;
     completions = [];
+    tickets = Hashtbl.create 16;
   }
 
 let config t = t.cfg
@@ -439,6 +452,8 @@ let verdict_of_outcome (o : Engarde.Provision.outcome) =
     findings = Engarde.Provision.findings o;
   }
 
+let ticket_key t a = a.ajob.client ^ "/" ^ programs_digest t a.ajob.policy_names
+
 (* Launch one real pipeline execution (one attempt) for [a]. Everything
    the pipeline closure touches is prepared here, on the scheduler
    thread — the libc db is forced, the policy instances are fresh
@@ -458,10 +473,19 @@ let start_attempt t ~worker a =
   in
   let tamper = t.cfg.fault ~attempt:a.attempts job in
   let hash_runner = t.cfg.hash_runner in
+  let channel = t.cfg.channel in
+  let ticket_epoch = t.cfg.ticket_epoch in
+  (* A stashed ticket turns this attempt into a 0-RTT resumption; a
+     stale or mismatched one falls back inside [Provision.run]. *)
+  let resume =
+    match channel with
+    | `Legacy -> None
+    | `Streaming -> Hashtbl.find_opt t.tickets (ticket_key t a)
+  in
   let join =
     t.cfg.dispatch (fun () ->
-        Engarde.Provision.run ?tamper ?hash_runner ~policies ~programs provision_cfg
-          ~payload:job.payload)
+        Engarde.Provision.run ?tamper ?hash_runner ~policies ~programs ~channel ?resume
+          ~ticket_epoch provision_cfg ~payload:job.payload)
   in
   t.workers.(worker) <- Join (a, join)
 
@@ -476,6 +500,22 @@ let finish_attempt t ~worker a outcome =
   let provisioning = phase report.Engarde.Report.provisioning in
   Metrics.observe_run t.metrics ~disassembly ~policy ~loading ~provisioning;
   a.cycles <- a.cycles + disassembly + policy + loading + provisioning;
+  (match outcome.Engarde.Provision.channel_stats with
+  | None -> ()
+  | Some (st : Engarde.Provision.channel_stats) ->
+      Metrics.observe_channel t.metrics ~records:st.Engarde.Provision.records
+        ~bytes:st.Engarde.Provision.record_bytes ~in_flight:st.Engarde.Provision.in_flight_peak
+        ~epoch_updates:st.Engarde.Provision.epoch_updates ~resumed:st.Engarde.Provision.resumed
+        ~fallback:st.Engarde.Provision.fallback ~spec_hashes:st.Engarde.Provision.spec_hashes
+        ~spec_adopted:st.Engarde.Provision.spec_adopted;
+      (* A fallback consumed the stashed ticket (the server refused it);
+         drop it so the next attempt doesn't replay the same failure. *)
+      if st.Engarde.Provision.fallback then Hashtbl.remove t.tickets (ticket_key t a));
+  (* An accepted streaming run leaves a fresh ticket for this client's
+     next submission under the same program set. *)
+  (match outcome.Engarde.Provision.ticket with
+  | Some stash -> Hashtbl.replace t.tickets (ticket_key t a) stash
+  | None -> ());
   let transient =
     match outcome.Engarde.Provision.result with
     | Error (Engarde.Provision.Transfer_tampered why) -> Some why

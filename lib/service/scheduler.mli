@@ -96,12 +96,24 @@ type config = {
           prehashes its candidate function digests in parallel
           (see {!Engarde.Analysis.prehash}); never changes verdicts or
           modelled cycles *)
+  channel : Engarde.Provision.channel;
+      (** which transfer flavor jobs provision over. [`Legacy] (the
+          default) keeps the paper-faithful block channel; [`Streaming]
+          uses the EGREC1 record layer with pipelined inspection, and
+          the scheduler stashes each accepted run's resumption ticket
+          per (client, program set) so that client's next submission
+          rides 0-RTT. Verdicts and modelled cycles are identical. *)
+  ticket_epoch : int;
+      (** the provider's ticket-key generation; bumping it invalidates
+          every outstanding resumption ticket (resumed clients fall back
+          to the full handshake once and get a fresh ticket) *)
 }
 
 val default_config : config
 (** 4 workers, queue of 64, cache of 256 verdicts, audit off, no
     timeout, 2 retries, clean channel, in-place dispatch, no hash
     runner, libc-db v1.0.5, the [`Vm] engine with no custom programs,
+    the legacy channel at ticket epoch 0,
     [Engarde.Provision.default_config]. *)
 
 val parallel_config : ?config:config -> domains:int -> unit -> config * Pool.t

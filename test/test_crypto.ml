@@ -373,6 +373,46 @@ let rsa_message_too_long () =
     (Invalid_argument "Rsa.encrypt: message too long") (fun () ->
       ignore (Rsa.encrypt kp.Rsa.pub (String.make (k - 10) 'x')))
 
+(* ------------------------------------------------------------------ *)
+(* HKDF: RFC 5869 Appendix A vectors (SHA-256)                         *)
+(* ------------------------------------------------------------------ *)
+
+let bytes_range lo hi = String.init (hi - lo) (fun i -> Char.chr (lo + i))
+
+let hkdf_rfc5869_case1 () =
+  let ikm = String.make 22 '\x0b' in
+  let salt = bytes_range 0x00 0x0d in
+  let info = bytes_range 0xf0 0xfa in
+  check_hex "PRK" "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+    (Hkdf.extract ~salt ikm);
+  check_hex "OKM"
+    "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+    (Hkdf.derive ~salt ~ikm ~info 42)
+
+let hkdf_rfc5869_case2 () =
+  (* Longer inputs/outputs: exercises the multi-block T(i) loop. *)
+  let ikm = bytes_range 0x00 0x50 in
+  let salt = bytes_range 0x60 0xb0 in
+  let info = bytes_range 0xb0 0x100 in
+  check_hex "OKM"
+    "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71cc30c58179ec3e87c14c01d5c1f3434f1d87"
+    (Hkdf.derive ~salt ~ikm ~info 82)
+
+let hkdf_rfc5869_case3 () =
+  (* Zero-length salt and info: HMAC zero-pads the empty salt to the
+     RFC's HashLen of zeros. *)
+  let ikm = String.make 22 '\x0b' in
+  check_hex "OKM"
+    "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+    (Hkdf.derive ~salt:"" ~ikm ~info:"" 42)
+
+let hkdf_expand_bounds () =
+  let prk = Hkdf.extract ~salt:"s" "ikm" in
+  Alcotest.(check int) "max length ok" (255 * 32)
+    (String.length (Hkdf.expand ~prk ~info:"" (255 * 32)));
+  Alcotest.check_raises "over max" (Invalid_argument "Hkdf.expand: length out of range")
+    (fun () -> ignore (Hkdf.expand ~prk ~info:"" ((255 * 32) + 1)))
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -394,6 +434,13 @@ let () =
           Alcotest.test_case "rfc4231 #3" `Quick hmac_rfc4231_case3;
           Alcotest.test_case "rfc4231 #6 long key" `Quick hmac_rfc4231_long_key;
           Alcotest.test_case "verify" `Quick hmac_verify_roundtrip;
+        ] );
+      ( "hkdf",
+        [
+          Alcotest.test_case "rfc5869 #1" `Quick hkdf_rfc5869_case1;
+          Alcotest.test_case "rfc5869 #2 long" `Quick hkdf_rfc5869_case2;
+          Alcotest.test_case "rfc5869 #3 empty salt" `Quick hkdf_rfc5869_case3;
+          Alcotest.test_case "expand bounds" `Quick hkdf_expand_bounds;
         ] );
       ( "aes",
         [

@@ -1,0 +1,403 @@
+(* Streaming-channel tests: the EGREC1 record layer with pipelined
+   inspection must be observationally identical to the legacy block
+   channel — same verdicts, same findings, bit-identical modelled
+   cycles, same audit root — and 0-RTT resumption must round-trip,
+   rotate its ticket, and fall back to the full handshake whenever the
+   ticket no longer matches the inspector. *)
+
+open Toolchain
+
+let libc_db = lazy (Libc.hash_db Libc.V1_0_5)
+
+(* Full-size workloads: the bench configuration, with small RSA so the
+   handshake stays test-speed. *)
+let big_config seed =
+  { Engarde.Provision.default_config with Engarde.Provision.rsa_bits = 512; seed }
+
+(* Adversarial fixtures are tiny; the test_engarde sizing is plenty. *)
+let small_config seed =
+  {
+    Engarde.Provision.default_config with
+    Engarde.Provision.epc_pages = 4096;
+    heap_pages = 512;
+    bootstrap_pages = 8;
+    image_pages = 1600;
+    rsa_bits = 512;
+    seed;
+  }
+
+let phase_cycles (o : Engarde.Provision.outcome) =
+  let r = o.Engarde.Provision.report in
+  [
+    ("disassembly", Sgx.Perf.total_cycles r.Engarde.Report.disassembly);
+    ("analysis", Sgx.Perf.total_cycles r.Engarde.Report.analysis);
+    ("cfg", Sgx.Perf.total_cycles r.Engarde.Report.cfg);
+    ("policy", Sgx.Perf.total_cycles r.Engarde.Report.policy);
+    ("loading", Sgx.Perf.total_cycles r.Engarde.Report.loading);
+    ("provisioning", Sgx.Perf.total_cycles r.Engarde.Report.provisioning);
+  ]
+
+let result_shape = function
+  | Ok _ -> "ok"
+  | Error r -> "error: " ^ Engarde.Provision.rejection_to_string r
+
+(* The acceptance criterion: legacy and streaming runs of the same
+   payload under the same policies agree on everything observable. *)
+let check_differential ~name cfg policies payload =
+  let run channel = Engarde.Provision.run ~channel ~policies:(policies ()) cfg ~payload in
+  let ol = run `Legacy and os = run `Streaming in
+  Alcotest.(check string) (name ^ ": result") (result_shape ol.Engarde.Provision.result)
+    (result_shape os.Engarde.Provision.result);
+  Alcotest.(check bool) (name ^ ": client verdict") true
+    (ol.Engarde.Provision.client_verdict = os.Engarde.Provision.client_verdict);
+  Alcotest.(check bool) (name ^ ": policy results") true
+    (ol.Engarde.Provision.policy_results = os.Engarde.Provision.policy_results);
+  Alcotest.(check bool) (name ^ ": findings") true
+    (Engarde.Provision.findings ol = Engarde.Provision.findings os);
+  Alcotest.(check int) (name ^ ": instructions") ol.Engarde.Provision.report.Engarde.Report.instructions
+    os.Engarde.Provision.report.Engarde.Report.instructions;
+  List.iter2
+    (fun (phase, cl) (_, cs) -> Alcotest.(check int) (name ^ ": " ^ phase ^ " cycles") cl cs)
+    (phase_cycles ol) (phase_cycles os);
+  Alcotest.(check bool) (name ^ ": negotiated digest") true
+    (ol.Engarde.Provision.negotiated_digest = os.Engarde.Provision.negotiated_digest);
+  (ol, os)
+
+let differential_all_workloads () =
+  List.iter
+    (fun bench ->
+      let name = Workloads.to_string bench in
+      let img = Linker.link (Workloads.build Codegen.plain bench) in
+      let _, os =
+        check_differential ~name
+          (big_config ("stream-diff/" ^ name))
+          (fun () -> [ Engarde.Policy_libc.make ~db:(Lazy.force libc_db) () ])
+          img.Linker.elf
+      in
+      (match os.Engarde.Provision.result with
+      | Ok _ -> ()
+      | Error r -> Alcotest.failf "%s rejected: %s" name (Engarde.Provision.rejection_to_string r));
+      (* The streaming run carries channel telemetry; the legacy one
+         never does. *)
+      match os.Engarde.Provision.channel_stats with
+      | None -> Alcotest.failf "%s: no channel stats" name
+      | Some st ->
+          let pages = (String.length img.Linker.elf + 4095) / 4096 in
+          Alcotest.(check int) (name ^ ": meta + pages + fin") (pages + 2) st.Engarde.Provision.records;
+          Alcotest.(check bool) (name ^ ": record bytes cover the payload") true
+            (st.Engarde.Provision.record_bytes >= String.length img.Linker.elf);
+          Alcotest.(check bool) (name ^ ": pipelining kept records in flight") true
+            (st.Engarde.Provision.in_flight_peak > 0);
+          Alcotest.(check int) (name ^ ": single-transfer epoch") 0 st.Engarde.Provision.epoch_updates;
+          Alcotest.(check bool) (name ^ ": cold run") false st.Engarde.Provision.resumed;
+          Alcotest.(check bool) (name ^ ": speculative work adopted") true
+            (st.Engarde.Provision.spec_adopted > 0
+            && st.Engarde.Provision.spec_adopted = st.Engarde.Provision.spec_hashes))
+    Workloads.all
+
+(* The adversarial fixtures exercise the rejection path: both channels
+   must report the identical violation sites. *)
+let differential_adversarial () =
+  List.iter
+    (fun (adv, policies) ->
+      let name = Workloads.adversarial_to_string adv in
+      let img = Linker.link_adversarial adv in
+      let ol, _ =
+        check_differential ~name (small_config ("stream-adv/" ^ name)) policies img.Linker.elf
+      in
+      match ol.Engarde.Provision.result with
+      | Error (Engarde.Provision.Policy_violations _) -> ()
+      | Ok _ -> Alcotest.failf "%s accepted" name
+      | Error r -> Alcotest.failf "%s: wrong rejection: %s" name (Engarde.Provision.rejection_to_string r))
+    [
+      (Workloads.Jump_past_mask, fun () -> [ Engarde.Policy_ifcc.make ~mode:`Flow () ]);
+      (Workloads.Early_ret, fun () -> [ Engarde.Policy_stack.make ~mode:`Flow ~exempt:Libc.function_names () ]);
+    ]
+
+(* A tampered streaming transfer rejects exactly like a tampered legacy
+   one: Transfer_tampered, with the connection-level detail. *)
+let differential_tampered_stream () =
+  let img = Linker.link (Workloads.build Codegen.plain Workloads.Mcf) in
+  let flip s i = String.mapi (fun j c -> if i = j then Char.chr (Char.code c lxor 1) else c) s in
+  let tamper = function
+    | Channel.Wire.Record ({ rn = 3; ciphertext; _ } as r) ->
+        Channel.Wire.Record { r with ciphertext = flip ciphertext 5 }
+    | m -> m
+  in
+  let o =
+    Engarde.Provision.run ~channel:`Streaming ~tamper (small_config "stream-tamper") ~payload:img.Linker.elf
+  in
+  match o.Engarde.Provision.result with
+  | Error (Engarde.Provision.Transfer_tampered _) -> ()
+  | Ok _ -> Alcotest.fail "tampered record stream accepted"
+  | Error r -> Alcotest.failf "wrong rejection: %s" (Engarde.Provision.rejection_to_string r)
+
+(* Pipeline staging is observable: the ELF prefix validates before the
+   policy phase, and speculative digests land while pages stream. *)
+let pipeline_events_in_order () =
+  let img = Linker.link (Workloads.build Codegen.plain Workloads.Mcf) in
+  let events = ref [] in
+  let o =
+    Engarde.Provision.run ~channel:`Streaming
+      ~on_event:(fun e -> events := e :: !events)
+      (small_config "stream-events") ~payload:img.Linker.elf
+  in
+  (match o.Engarde.Provision.result with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "rejected: %s" (Engarde.Provision.rejection_to_string r));
+  let events = List.rev !events in
+  let index p = ref (-1) |> fun r ->
+    List.iteri (fun i e -> if !r < 0 && p e then r := i) events;
+    !r
+  in
+  let started = index (function Engarde.Provision.Transfer_started -> true | _ -> false) in
+  let prefix = index (function Engarde.Provision.Prefix_validated -> true | _ -> false) in
+  let spec = index (function Engarde.Provision.Speculative_hash _ -> true | _ -> false) in
+  let policy = index (function Engarde.Provision.Policy_phase -> true | _ -> false) in
+  Alcotest.(check int) "transfer start announced first" 0 started;
+  Alcotest.(check bool) "prefix validated early" true (prefix >= 0);
+  Alcotest.(check bool) "speculative hashing happened" true (spec >= 0);
+  Alcotest.(check bool) "policy phase announced" true (policy >= 0);
+  Alcotest.(check bool) "prefix before speculation" true (prefix < spec);
+  Alcotest.(check bool) "speculation while pages in flight" true (spec < policy)
+
+(* ------------------------------------------------------------------ *)
+(* 0-RTT resumption                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mcf_payload = lazy (Linker.link (Workloads.build Codegen.plain Workloads.Mcf)).Linker.elf
+
+let accepted_outcome name (o : Engarde.Provision.outcome) =
+  (match o.Engarde.Provision.result with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "%s rejected: %s" name (Engarde.Provision.rejection_to_string r));
+  match o.Engarde.Provision.client_verdict with
+  | Some (true, _) -> ()
+  | _ -> Alcotest.failf "%s: client did not accept" name
+
+let stats name (o : Engarde.Provision.outcome) =
+  match o.Engarde.Provision.channel_stats with
+  | Some st -> st
+  | None -> Alcotest.failf "%s: no channel stats" name
+
+let zero_rtt_roundtrip () =
+  let payload = Lazy.force mcf_payload in
+  let cfg = small_config "stream-0rtt" in
+  let policies () = [ Engarde.Policy_libc.make ~db:(Lazy.force libc_db) () ] in
+  let cold = Engarde.Provision.run ~channel:`Streaming ~policies:(policies ()) cfg ~payload in
+  accepted_outcome "cold" cold;
+  let ticket =
+    match cold.Engarde.Provision.ticket with
+    | Some t -> t
+    | None -> Alcotest.fail "accepted streaming run issued no ticket"
+  in
+  Alcotest.(check int) "ticket blob length" Engarde.Provision.Ticket.blob_len (String.length (fst ticket));
+  let warm =
+    Engarde.Provision.run ~channel:`Streaming ~policies:(policies ()) ~resume:ticket cfg ~payload
+  in
+  accepted_outcome "warm" warm;
+  let st = stats "warm" warm in
+  Alcotest.(check bool) "warm run resumed" true st.Engarde.Provision.resumed;
+  Alcotest.(check bool) "no fallback" false st.Engarde.Provision.fallback;
+  (* Inspection is unchanged; only the handshake got cheaper. *)
+  let drop_prov = List.filter (fun (p, _) -> p <> "provisioning") in
+  Alcotest.(check bool) "inspection cycles identical" true
+    (drop_prov (phase_cycles cold) = drop_prov (phase_cycles warm));
+  let prov o = List.assoc "provisioning" (phase_cycles o) in
+  Alcotest.(check bool) "0-RTT skips the RSA handshake" true (prov warm < prov cold);
+  (* The ticket rotates: the warm run issues a fresh one that resumes
+     again. *)
+  let ticket2 =
+    match warm.Engarde.Provision.ticket with
+    | Some t -> t
+    | None -> Alcotest.fail "warm run issued no ticket"
+  in
+  Alcotest.(check bool) "ticket rotated" true (fst ticket2 <> fst ticket);
+  let warm2 =
+    Engarde.Provision.run ~channel:`Streaming ~policies:(policies ()) ~resume:ticket2 cfg ~payload
+  in
+  accepted_outcome "warm2" warm2;
+  Alcotest.(check bool) "chained resumption" true (stats "warm2" warm2).Engarde.Provision.resumed
+
+let fallback_case name mk =
+  let payload = Lazy.force mcf_payload in
+  let cfg = small_config "stream-fallback" in
+  let policies () = [ Engarde.Policy_libc.make ~db:(Lazy.force libc_db) () ] in
+  let cold = Engarde.Provision.run ~channel:`Streaming ~policies:(policies ()) cfg ~payload in
+  accepted_outcome "cold" cold;
+  let ticket = Option.get cold.Engarde.Provision.ticket in
+  let cfg', epoch, resume = mk cfg ticket in
+  let o = Engarde.Provision.run ~channel:`Streaming ~policies:(policies ()) ~resume ~ticket_epoch:epoch cfg' ~payload in
+  accepted_outcome name o;
+  let st = stats name o in
+  Alcotest.(check bool) (name ^ ": fell back") true st.Engarde.Provision.fallback;
+  Alcotest.(check bool) (name ^ ": not a resumption") false st.Engarde.Provision.resumed;
+  (* The full handshake still issues a fresh ticket for next time. *)
+  Alcotest.(check bool) (name ^ ": reticketed") true (o.Engarde.Provision.ticket <> None)
+
+let zero_rtt_stale_epoch () =
+  (* The provider bumped the ticket-key epoch: every outstanding ticket
+     is invalidated at once. *)
+  fallback_case "stale epoch" (fun cfg ticket -> (cfg, 1, ticket))
+
+let zero_rtt_measurement_mismatch () =
+  (* A different agreed policy set means a different enclave
+     measurement: the ticket no longer names this inspector. *)
+  fallback_case "measurement mismatch" (fun cfg ticket ->
+      ({ cfg with Engarde.Provision.policy_names = [ "library-linking" ] }, 0, ticket))
+
+let zero_rtt_tampered_ticket () =
+  fallback_case "tampered ticket" (fun cfg (blob, secret) ->
+      let blob = String.mapi (fun i c -> if i = 20 then Char.chr (Char.code c lxor 1) else c) blob in
+      (cfg, 0, (blob, secret)))
+
+(* ------------------------------------------------------------------ *)
+(* Ticket sealing boundary                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ticket_device = lazy (Sgx.Quote.device_create ~seed:"ticket-test-device")
+
+let ticket_seal_unseal () =
+  let device = Lazy.force ticket_device in
+  let measurement = String.make 32 'm' and policy_digest = String.make 32 'p' in
+  let resumption = String.make 32 's' in
+  let blob = Engarde.Provision.Ticket.seal device ~measurement ~policy_digest ~epoch:3 ~resumption in
+  Alcotest.(check int) "blob length" Engarde.Provision.Ticket.blob_len (String.length blob);
+  (match Engarde.Provision.Ticket.unseal device ~measurement ~policy_digest ~epoch:3 blob with
+  | Ok secret -> Alcotest.(check string) "resumption secret round-trips" resumption secret
+  | Error e -> Alcotest.failf "unseal refused: %s" e);
+  Alcotest.check_raises "short secret"
+    (Invalid_argument "Provision.Ticket.seal: resumption secret must be 32 bytes") (fun () ->
+      ignore (Engarde.Provision.Ticket.seal device ~measurement ~policy_digest ~epoch:0 ~resumption:"short"))
+
+let ticket_refusals () =
+  let device = Lazy.force ticket_device in
+  let measurement = String.make 32 'm' and policy_digest = String.make 32 'p' in
+  let blob =
+    Engarde.Provision.Ticket.seal device ~measurement ~policy_digest ~epoch:0
+      ~resumption:(String.make 32 's')
+  in
+  let unseal ?(measurement = measurement) ?(policy_digest = policy_digest) ?(epoch = 0) b =
+    Engarde.Provision.Ticket.unseal device ~measurement ~policy_digest ~epoch b
+  in
+  Alcotest.(check (result string string)) "unparseable" (Error "unparseable ticket") (unseal "garbage");
+  Alcotest.(check (result string string)) "stale epoch" (Error "stale ticket epoch 0 (current 2)")
+    (unseal ~epoch:2 blob);
+  let flipped = String.mapi (fun i c -> if i = 12 then Char.chr (Char.code c lxor 1) else c) blob in
+  Alcotest.(check (result string string)) "tampered" (Error "ticket authentication failed")
+    (unseal flipped);
+  (* A different measurement changes the sealing key itself. *)
+  Alcotest.(check (result string string)) "wrong inspector" (Error "ticket authentication failed")
+    (unseal ~measurement:(String.make 32 'x') blob);
+  Alcotest.(check (result string string)) "wrong policy set"
+    (Error "ticket policy-set digest mismatch")
+    (unseal ~policy_digest:(String.make 32 'q') blob)
+
+(* ------------------------------------------------------------------ *)
+(* Service layer: audit parity and resumption telemetry                *)
+(* ------------------------------------------------------------------ *)
+
+let scheduler_config channel =
+  {
+    Service.Scheduler.default_config with
+    Service.Scheduler.workers = 1;
+    audit = true;
+    cache = `Disabled;
+    channel;
+    provision = small_config "stream-service";
+  }
+
+let scheduler_payload =
+  lazy (Linker.link (Workloads.build Codegen.plain Workloads.Mcf)).Linker.elf
+
+(* Distinct clients: every job provisions cold, so streaming stays
+   cycle-identical to legacy. *)
+let parity_jobs () =
+  let mcf = Lazy.force scheduler_payload in
+  [
+    { Service.Scheduler.client = "tenant-a"; payload = mcf; policy_names = [ "libc" ] };
+    { Service.Scheduler.client = "tenant-b"; payload = mcf; policy_names = [ "libc" ] };
+    { Service.Scheduler.client = "tenant-c"; payload = mcf; policy_names = [ "libc"; "lint" ] };
+  ]
+
+(* tenant-a repeats, so its second streaming job rides the stashed
+   ticket (and legitimately models a cheaper handshake). *)
+let resumption_jobs () =
+  let mcf = Lazy.force scheduler_payload in
+  [
+    { Service.Scheduler.client = "tenant-a"; payload = mcf; policy_names = [ "libc" ] };
+    { Service.Scheduler.client = "tenant-a"; payload = mcf; policy_names = [ "libc" ] };
+    { Service.Scheduler.client = "tenant-b"; payload = mcf; policy_names = [ "libc"; "lint" ] };
+  ]
+
+let run_jobs cfg jobs =
+  let t = Service.Scheduler.create cfg in
+  List.iter
+    (fun j ->
+      match Service.Scheduler.submit t j with
+      | Ok _ -> ()
+      | Error why -> Alcotest.failf "submit refused: %s" why)
+    (jobs ());
+  let completions = Service.Scheduler.run_until_idle t in
+  (t, completions)
+
+let audit_root t =
+  match Service.Scheduler.audit_log t with
+  | Some log -> Audit.Log.root log
+  | None -> Alcotest.fail "audit log missing"
+
+(* The transparency log cannot tell the channels apart: same jobs, same
+   leaves, same Merkle root. *)
+let scheduler_audit_parity () =
+  let tl, cl = run_jobs (scheduler_config `Legacy) parity_jobs in
+  let ts, cs = run_jobs (scheduler_config `Streaming) parity_jobs in
+  Alcotest.(check int) "same completions" (List.length cl) (List.length cs);
+  List.iter2
+    (fun (l : Service.Scheduler.completion) (s : Service.Scheduler.completion) ->
+      Alcotest.(check bool) "same verdict" true (l.Service.Scheduler.verdict = s.Service.Scheduler.verdict);
+      Alcotest.(check int) "same latency cycles" l.Service.Scheduler.latency_cycles
+        s.Service.Scheduler.latency_cycles)
+    cl cs;
+  Alcotest.(check string) "same audit root" (audit_root tl) (audit_root ts)
+
+(* A repeat submission from the same client rides 0-RTT; a different
+   policy set does not share the ticket. *)
+let scheduler_resumption_metrics () =
+  let t, completions = run_jobs (scheduler_config `Streaming) resumption_jobs in
+  Alcotest.(check int) "all jobs complete" 3 (List.length completions);
+  let report = Service.Scheduler.report t in
+  let has line = Astring.String.is_infix ~affix:line report in
+  Alcotest.(check bool) "tenant-a's second job resumed" true (has "channel_resumptions_total 1");
+  Alcotest.(check bool) "two full handshakes" true (has "channel_handshakes_total 2");
+  Alcotest.(check bool) "no fallbacks" true (has "channel_resumption_fallbacks_total 0");
+  Alcotest.(check bool) "records counted" true (has "channel_records_received_total");
+  Alcotest.(check bool) "epoch gauge present" true (has "channel_epoch_updates_total 0")
+
+let () =
+  Alcotest.run "streaming"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "all seven workloads" `Slow differential_all_workloads;
+          Alcotest.test_case "adversarial fixtures" `Quick differential_adversarial;
+          Alcotest.test_case "tampered stream" `Quick differential_tampered_stream;
+          Alcotest.test_case "pipeline event order" `Quick pipeline_events_in_order;
+        ] );
+      ( "zero-rtt",
+        [
+          Alcotest.test_case "roundtrip + rotation" `Slow zero_rtt_roundtrip;
+          Alcotest.test_case "stale epoch falls back" `Slow zero_rtt_stale_epoch;
+          Alcotest.test_case "measurement mismatch falls back" `Slow zero_rtt_measurement_mismatch;
+          Alcotest.test_case "tampered ticket falls back" `Slow zero_rtt_tampered_ticket;
+        ] );
+      ( "ticket",
+        [
+          Alcotest.test_case "seal/unseal" `Quick ticket_seal_unseal;
+          Alcotest.test_case "refusals" `Quick ticket_refusals;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "audit parity" `Slow scheduler_audit_parity;
+          Alcotest.test_case "resumption telemetry" `Slow scheduler_resumption_metrics;
+        ] );
+    ]
