@@ -20,9 +20,12 @@ fmt:
 # of the pattern scans; the DSL libc program within 1.5x of the native
 # module including interpreter overhead; domains=4 batch >= 1.8x
 # faster than domains=1 wall-clock, skipped on machines with < 4
-# recommended domains), the DSL-vs-native differential oracle over
-# every workload, and the control-flow lint over every example
-# workload.
+# recommended domains; a mutually-attested fleet of two re-inspects a
+# shared binary at most once), the DSL-vs-native differential oracle
+# over every workload, and the control-flow lint over every example
+# workload. `test` includes the fleet suite (test_fleet.ml: MAGE
+# derivation, verdict-import trust rule, rogue-peer rejection,
+# quarantine failover).
 check: fmt build test bench-smoke policy-oracle lint
 
 bench:
@@ -37,8 +40,10 @@ bench-smoke:
 policy-oracle:
 	dune exec bench/main.exe -- --policy-oracle
 
-# The domains=1/2/4/8 wall-clock scaling table plus the channel
-# comparison (legacy vs streaming vs 0-RTT: TTFPE and e2e per
+# The domains=1/2/4/8 wall-clock scaling table, the fleet table
+# (nodes=1/2/4: throughput and cross-node cache-hit ratio over two
+# seven-workload rounds, round two forced off the warm node) and the
+# channel comparison (legacy vs streaming vs 0-RTT: TTFPE and e2e per
 # workload), written to BENCH_service.json for trend tracking.
 bench-json:
 	dune exec bench/main.exe -- --scaling

@@ -537,6 +537,82 @@ let scaling_run ~jobs ~domains =
       dt)
 
 (* ------------------------------------------------------------------ *)
+(* Inspector fleet: throughput and cross-node cache sharing by size     *)
+(* ------------------------------------------------------------------ *)
+
+let fleet_node_counts = [ 1; 2; 4 ]
+
+(* Two rounds over the seven workloads. Round one routes by rendezvous
+   and fills each node's cache; round two forces every job onto a
+   *different* node than its rendezvous choice, so the only way it can
+   hit is through a quote-verified verdict imported from the warm peer.
+   The cross-node hit ratio is therefore round-two hits over round-two
+   jobs — 0 for a fleet of one (nowhere else to land). *)
+let fleet_run ~nodes =
+  let node_config =
+    {
+      Service.Scheduler.default_config with
+      Service.Scheduler.workers = 2;
+      cache = `Enabled 64;
+      audit = true;
+      provision = fast_provision;
+    }
+  in
+  let cfg =
+    { Fleet.Coordinator.default_config with Fleet.Coordinator.nodes; node_config }
+  in
+  let jobs = scaling_jobs () in
+  let t0 = now_s () in
+  let t = Fleet.Coordinator.create cfg in
+  List.iter (fun j -> ignore (Fleet.Coordinator.submit t j)) jobs;
+  let round1 = Fleet.Coordinator.run_until_idle t in
+  List.iter
+    (fun j ->
+      let away = (Fleet.Coordinator.route t j + 1) mod nodes in
+      ignore (Fleet.Coordinator.submit t ~node:away j))
+    jobs;
+  let round2 = Fleet.Coordinator.run_until_idle t in
+  let dt = now_s () -. t0 in
+  List.iter
+    (fun (_, (c : Service.Scheduler.completion)) ->
+      match c.Service.Scheduler.verdict with
+      | Ok v when v.Service.Cache.accepted -> ()
+      | Ok _ | Error _ ->
+          failwith
+            (Printf.sprintf "fleet run (nodes=%d): job %s did not pass" nodes
+               c.Service.Scheduler.job.Service.Scheduler.client))
+    (round1 @ round2);
+  let st = Fleet.Coordinator.stats t in
+  let total f = Array.fold_left (fun acc s -> acc + f s) 0 st in
+  let cross = total (fun s -> s.Fleet.Coordinator.cross_hits) in
+  ( dt,
+    List.length round1 + List.length round2,
+    total (fun s -> s.Fleet.Coordinator.pipeline_runs),
+    float_of_int cross /. float_of_int (List.length round2) )
+
+let fleet_table () =
+  banner
+    "Inspector fleet: two seven-workload rounds, round two forced off the warm node \
+     (2 workers/node, libc policy)";
+  let rows =
+    List.map
+      (fun nodes ->
+        let dt, jobs_n, runs, cross = fleet_run ~nodes in
+        Printf.printf "  nodes=%d done in %.2fs\n%!" nodes dt;
+        (nodes, dt, jobs_n, runs, cross))
+      fleet_node_counts
+  in
+  Printf.printf "\n%-8s %10s %10s %14s %16s\n" "nodes" "wall (s)" "jobs/s" "pipeline runs"
+    "cross-hit ratio";
+  List.iter
+    (fun (nodes, dt, jobs_n, runs, cross) ->
+      Printf.printf "%-8d %10.2f %10.2f %14d %15.0f%%\n" nodes dt
+        (float_of_int jobs_n /. dt)
+        runs (100. *. cross))
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* Channel comparison: streaming vs legacy, cold vs 0-RTT               *)
 (* ------------------------------------------------------------------ *)
 
@@ -604,7 +680,7 @@ let channel_table () =
 
 let bench_json_path = Filename.concat repo_root "BENCH_service.json"
 
-let write_scaling_json ~recommended ~jobs_n ~channel rows =
+let write_scaling_json ~recommended ~jobs_n ~channel ~fleet rows =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"benchmark\": \"service-batch-scaling\",\n";
@@ -627,6 +703,18 @@ let write_scaling_json ~recommended ~jobs_n ~channel rows =
         (base_dt /. dt)
         (if i = List.length rows - 1 then "" else ","))
     rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"fleet\": [\n";
+  List.iteri
+    (fun i (nodes, dt, fjobs, runs, cross) ->
+      Printf.bprintf b
+        "    {\"nodes\": %d, \"wall_s\": %.3f, \"jobs_per_s\": %.3f, \"pipeline_runs\": \
+         %d, \"cross_hit_ratio\": %.3f}%s\n"
+        nodes dt
+        (float_of_int fjobs /. dt)
+        runs cross
+        (if i = List.length fleet - 1 then "" else ","))
+    fleet;
   Buffer.add_string b "  ],\n";
   Buffer.add_string b "  \"channel\": [\n";
   List.iteri
@@ -668,8 +756,9 @@ let scaling_table () =
         (float_of_int jobs_n /. dt)
         (base_dt /. dt))
     rows;
+  let fleet = fleet_table () in
   let channel = channel_table () in
-  write_scaling_json ~recommended ~jobs_n ~channel rows;
+  write_scaling_json ~recommended ~jobs_n ~channel ~fleet rows;
   Printf.printf "machine-readable results -> %s\n" bench_json_path
 
 (* ------------------------------------------------------------------ *)
@@ -889,6 +978,40 @@ let smoke () =
        (d1 >= 1.8 *. d4)
        (Printf.sprintf "domains=1 %.2fs, domains=4 %.2fs (%.2fx)" d1 d4 (d1 /. d4))
    end);
+  banner "bench-smoke: a fleet of two re-inspects a shared binary at most once";
+  (let node_config =
+     {
+       Service.Scheduler.default_config with
+       Service.Scheduler.workers = 1;
+       cache = `Enabled 16;
+       audit = true;
+       provision = fast_provision;
+     }
+   in
+   let ft =
+     Fleet.Coordinator.create
+       { Fleet.Coordinator.default_config with Fleet.Coordinator.nodes = 2; node_config }
+   in
+   let fjob =
+     {
+       Service.Scheduler.client = "smoke";
+       payload = (Linker.link (Workloads.build Codegen.plain Workloads.Mcf)).Linker.elf;
+       policy_names = [ "libc" ];
+     }
+   in
+   ignore (Fleet.Coordinator.submit ft ~node:0 fjob);
+   ignore (Fleet.Coordinator.run_until_idle ft);
+   ignore (Fleet.Coordinator.submit ft ~node:1 fjob);
+   let second = Fleet.Coordinator.run_until_idle ft in
+   let st = Fleet.Coordinator.stats ft in
+   let runs =
+     Array.fold_left (fun acc s -> acc + s.Fleet.Coordinator.pipeline_runs) 0 st
+   in
+   check "second node answers from the imported verdict"
+     (match second with [ (1, c) ] -> c.Service.Scheduler.cache_hit | _ -> false)
+     "";
+   check "fleet-wide pipeline runs for the shared binary = 1" (runs = 1)
+     (Printf.sprintf "%d run(s)" runs));
   if !failures > 0 then begin
     Printf.printf "bench-smoke: %d assertion(s) FAILED\n" !failures;
     exit 1

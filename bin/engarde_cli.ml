@@ -10,6 +10,7 @@
      lint       run the control-flow lint policy, fail on findings
      batch      run many inspection jobs through the service layer
      serve      demo the multiplexed inspection service front end
+     fleet      run jobs across a mutually-attested inspector fleet
      policy     compile/hash/run negotiated policy-VM programs *)
 
 open Cmdliner
@@ -581,13 +582,18 @@ let check_pool_args ~workers ~queue =
     exit 2
   end
 
-let service_config ?(audit = false) ?(legacy = false) ~workers ~queue ~no_cache ~fast ~timeout
-    () =
+let service_config ?(audit = false) ?(legacy = false) ?(shards = 1) ~workers ~queue ~no_cache
+    ~fast ~timeout () =
+  if shards <= 0 then begin
+    prerr_endline "engarde: --cache-shards must be positive";
+    exit 2
+  end;
   {
     Service.Scheduler.default_config with
     Service.Scheduler.workers;
     queue_capacity = queue;
     cache = (if no_cache then `Disabled else Service.Scheduler.default_config.Service.Scheduler.cache);
+    cache_shards = shards;
     audit;
     timeout_cycles = timeout;
     provision =
@@ -680,6 +686,14 @@ let queue_arg =
     value & opt int 64
     & info [ "queue-capacity" ] ~docv:"N"
         ~doc:"Job queue capacity (submissions beyond it are rejected).")
+
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "cache-shards" ] ~docv:"N"
+        ~doc:
+          "Lock stripes of the verdict cache. Striping never changes hit/miss \
+           outcomes; the metrics report gains per-shard splits when > 1.")
 
 let no_cache_arg =
   Arg.(
@@ -784,7 +798,7 @@ let batch_cmd =
       & info [ "repeat" ] ~docv:"N"
           ~doc:"Submit the whole job list N times (duplicate-heavy workloads).")
   in
-  let run benches elfs variant repeat workers queue domains no_cache fast timeout
+  let run benches elfs variant repeat workers queue shards domains no_cache fast timeout
       policy_names policy_files audit_on state metrics_out device_seed legacy =
     check_pool_args ~workers ~queue;
     if benches = [] && elfs = [] then begin
@@ -823,7 +837,7 @@ let batch_cmd =
     let audit = audit_on || state <> None in
     let config =
       {
-        (service_config ~audit ~legacy ~workers ~queue ~no_cache ~fast ~timeout ()) with
+        (service_config ~audit ~legacy ~shards ~workers ~queue ~no_cache ~fast ~timeout ()) with
         Service.Scheduler.programs = policy_files;
       }
     in
@@ -881,8 +895,8 @@ let batch_cmd =
           verdict cache, audit log) and print per-job verdicts plus service metrics.")
     Term.(
       const run $ bench_jobs_arg $ elf_jobs_arg $ variant $ repeat $ workers_arg
-      $ queue_arg $ domains_arg $ no_cache_arg $ fast_arg $ timeout_arg $ policy_arg
-      $ policy_file_arg $ audit_flag_arg $ state_arg $ metrics_out_arg
+      $ queue_arg $ shards_arg $ domains_arg $ no_cache_arg $ fast_arg $ timeout_arg
+      $ policy_arg $ policy_file_arg $ audit_flag_arg $ state_arg $ metrics_out_arg
       $ device_seed_arg $ legacy_channel_arg)
 
 let serve_cmd =
@@ -981,6 +995,161 @@ let serve_cmd =
       $ domains_arg $ no_cache_arg $ fast_arg $ timeout_arg $ policy_arg
       $ policy_file_arg $ audit_flag_arg $ state_arg $ metrics_out_arg
       $ device_seed_arg $ legacy_channel_arg)
+
+(* --- fleet: mutually-attested inspector group --------------------- *)
+
+let fleet_cmd =
+  let nodes_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "nodes" ] ~docv:"N"
+          ~doc:
+            "Inspector nodes in the fleet. Each is a full service (scheduler, cache, \
+             audit log) with its own attestation device; all pairs mutually attest \
+             via MAGE-derived identities before any verdict is shared.")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Submit the whole job list N times (exercises cross-node cache sharing).")
+  in
+  let variant =
+    Arg.(
+      value
+      & opt variant_conv Toolchain.Codegen.plain
+      & info [ "variant" ] ~docv:"VARIANT"
+          ~doc:"Instrumentation for synthesized benchmarks: plain, stack, ifcc.")
+  in
+  let run benches elfs variant repeat nodes workers queue shards fast timeout policy_names
+      metrics_out =
+    check_pool_args ~workers ~queue;
+    if nodes <= 0 then begin
+      prerr_endline "fleet: --nodes must be positive";
+      exit 2
+    end;
+    if benches = [] && elfs = [] then begin
+      prerr_endline "fleet: no jobs; pass --bench and/or --elf";
+      exit 2
+    end;
+    let built = Hashtbl.create 8 in
+    let payload_of_bench b =
+      match Hashtbl.find_opt built b with
+      | Some p -> p
+      | None ->
+          let img = Toolchain.Linker.link (Toolchain.Workloads.build variant b) in
+          Hashtbl.add built b img.Toolchain.Linker.elf;
+          img.Toolchain.Linker.elf
+    in
+    let one_round =
+      List.map
+        (fun b ->
+          {
+            Service.Scheduler.client = Toolchain.Workloads.to_string b;
+            payload = payload_of_bench b;
+            policy_names;
+          })
+        benches
+      @ List.map
+          (fun path ->
+            {
+              Service.Scheduler.client = Filename.basename path;
+              payload = read_file path;
+              policy_names;
+            })
+          elfs
+    in
+    let jobs = List.concat (List.init repeat (fun _ -> one_round)) in
+    let node_config =
+      service_config ~audit:true ~shards ~workers ~queue ~no_cache:false ~fast ~timeout ()
+    in
+    let cfg = { Fleet.Coordinator.default_config with Fleet.Coordinator.nodes; node_config } in
+    Printf.printf "fleet: %d node(s), %d job(s), %d workers/node\n" nodes (List.length jobs)
+      workers;
+    let t0 = Unix.gettimeofday () in
+    let t = Fleet.Coordinator.create cfg in
+    Printf.printf "mutual attestation complete: %d pairwise quotes verified\n\n"
+      (nodes * (nodes - 1));
+    List.iter
+      (fun j ->
+        match Fleet.Coordinator.submit t j with
+        | Ok _ -> ()
+        | Error why ->
+            Printf.printf "job for %s rejected at admission: %s\n"
+              j.Service.Scheduler.client why)
+      jobs;
+    let completions = Fleet.Coordinator.run_until_idle t in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "%-4s %-4s %-14s %5s %3s %16s  %s\n" "#" "node" "client" "hit" "ok"
+      "cycles" "verdict";
+    List.iter
+      (fun (n, (c : Service.Scheduler.completion)) ->
+        let ok, detail =
+          match c.Service.Scheduler.verdict with
+          | Ok v -> (v.Service.Cache.accepted, v.Service.Cache.detail)
+          | Error f -> (false, Service.Scheduler.failure_to_string f)
+        in
+        Printf.printf "%-4d %-4d %-14s %5s %3s %16s  %s\n" c.Service.Scheduler.seq n
+          c.Service.Scheduler.job.Service.Scheduler.client
+          (if c.Service.Scheduler.cache_hit then "hit" else "miss")
+          (if ok then "yes" else "NO")
+          (commas c.Service.Scheduler.latency_cycles)
+          detail)
+      completions;
+    let st = Fleet.Coordinator.stats t in
+    let total f = Array.fold_left (fun acc s -> acc + f s) 0 st in
+    Printf.printf "\n%d jobs in %.2fs: %d pipeline runs, %d verdicts imported, %d cross-node hits\n"
+      (List.length completions) dt
+      (total (fun s -> s.Fleet.Coordinator.pipeline_runs))
+      (total (fun s -> s.Fleet.Coordinator.imported))
+      (total (fun s -> s.Fleet.Coordinator.cross_hits));
+    Array.iteri
+      (fun i s ->
+        let root =
+          match Service.Scheduler.audit_log (Fleet.Node.scheduler (Fleet.Coordinator.node t i)) with
+          | Some log ->
+              String.sub (Crypto.Sha256.hex (Audit.Log.root log)) 0 16 ^ "..."
+          | None -> "-"
+        in
+        Printf.printf
+          "node %d: %d completed, %d pipeline runs, %d imported, %d cross-hits, audit root %s\n"
+          i s.Fleet.Coordinator.completed s.Fleet.Coordinator.pipeline_runs
+          s.Fleet.Coordinator.imported s.Fleet.Coordinator.cross_hits root)
+      st;
+    (match Fleet.Coordinator.quarantined t with
+    | [] -> ()
+    | q ->
+        List.iter (fun (i, why) -> Printf.printf "QUARANTINED node %d: %s\n" i why) q);
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+        let reports =
+          List.init nodes (fun i ->
+              Printf.sprintf "# node %d\n%s" i (Fleet.Coordinator.report t i))
+        in
+        write_file path (String.concat "\n" reports);
+        Printf.printf "per-node metrics written -> %s\n" path);
+    let any_failed =
+      List.exists
+        (fun (_, (c : Service.Scheduler.completion)) ->
+          match c.Service.Scheduler.verdict with
+          | Ok v -> not v.Service.Cache.accepted
+          | Error _ -> true)
+        completions
+    in
+    if any_failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run inspection jobs across a mutually-attested inspector fleet: MAGE-style \
+          group attestation (no third party), rendezvous routing, and a shared verdict \
+          cache where every import is backed by a verified quote and audit-log \
+          inclusion proof.")
+    Term.(
+      const run $ bench_jobs_arg $ elf_jobs_arg $ variant $ repeat $ nodes_arg
+      $ workers_arg $ queue_arg $ shards_arg $ fast_arg $ timeout_arg $ policy_arg
+      $ metrics_out_arg)
 
 (* --- audit: checkpoint / prove / verify ---------------------------
 
@@ -1328,6 +1497,7 @@ let () =
             lint_cmd;
             batch_cmd;
             serve_cmd;
+            fleet_cmd;
             audit_cmd;
             policy_cmd;
           ]))

@@ -153,7 +153,13 @@ let checkpoint_of_bytes s =
   let* quote = Sgx.Quote.of_bytes rest in
   Some { ckpt_size; ckpt_root; quote }
 
-type error = Quote_invalid | Binding_mismatch | Out_of_range | Proof_invalid | Inconsistent
+type error =
+  | Quote_invalid
+  | Binding_mismatch
+  | Out_of_range
+  | Proof_invalid
+  | Inconsistent
+  | Alien_enclave
 
 let error_to_string = function
   | Quote_invalid -> "checkpoint quote signature invalid under the device public key"
@@ -161,6 +167,7 @@ let error_to_string = function
   | Out_of_range -> "leaf index is not covered by the checkpoint"
   | Proof_invalid -> "inclusion proof does not reach the signed root (forged or wrong leaf)"
   | Inconsistent -> "logs are not prefix-consistent (forked, truncated, or rewritten)"
+  | Alien_enclave -> "checkpoint quote names a different enclave identity"
 
 let verify_checkpoint pub c =
   if not (Sgx.Quote.verify pub c.quote) then Error Quote_invalid
@@ -182,6 +189,15 @@ let verify_inclusion pub ckpt ~index ~leaf ~proof =
       ~leaf:(leaf_bytes leaf) ~proof
   then Ok ()
   else Error Proof_invalid
+
+(* Remote-leaf acceptance, used by fleet peers importing each other's
+   verdicts: beyond signature + binding + inclusion, the checkpoint's
+   quote must name exactly the expected peer enclave identity —
+   otherwise any enclave on a machine with a pinned device key could
+   vouch for arbitrary leaves. *)
+let verify_remote_leaf pub ~identity ckpt ~index ~leaf ~proof =
+  if not (String.equal ckpt.quote.Sgx.Quote.measurement identity) then Error Alien_enclave
+  else verify_inclusion pub ckpt ~index ~leaf ~proof
 
 let prove_consistency t ~old_size ~size = Merkle.consistency_proof t.tree ~old_size ~size
 

@@ -75,6 +75,9 @@ type error =
   | Inconsistent
       (** the two checkpoints are not prefix-consistent: the log was
           forked, truncated, or rewritten between them *)
+  | Alien_enclave
+      (** the checkpoint quote names a different enclave identity than
+          the peer it supposedly came from *)
 
 val error_to_string : error -> string
 
@@ -93,6 +96,19 @@ val verify_inclusion :
   (unit, error) result
 (** The client-side check: the checkpoint is genuinely quote-signed by
     the device AND [leaf] sits at [index] of the signed tree. *)
+
+val verify_remote_leaf :
+  Crypto.Rsa.public ->
+  identity:string ->
+  checkpoint ->
+  index:int ->
+  leaf:leaf ->
+  proof:string list ->
+  (unit, error) result
+(** {!verify_inclusion} plus an enclave-identity pin: the checkpoint's
+    quote must name exactly [identity] (the derived peer measurement),
+    else [Alien_enclave]. This is the check a fleet node runs before
+    importing a peer's verdict into its own cache. *)
 
 val prove_consistency : t -> old_size:int -> size:int -> string list
 

@@ -113,6 +113,7 @@ module Mux = struct
   type event =
     | Payload of { conn : string; payload : string }
     | Corrupt of { conn : string; why : string }
+    | Peer of { conn : string; msg : Wire.t }
 
   type conn = {
     id : string;
@@ -235,6 +236,13 @@ module Mux = struct
             reset c;
             None
       end
+    | Some
+        ((Wire.Peer_hello _ | Wire.Peer_quote _ | Wire.Verdict_push _ | Wire.Verdict_pull _
+         | Wire.Checkpoint_gossip _) as msg) ->
+        (* Fleet peer traffic: authenticated by quotes at the fleet
+           layer, not by this connection's session keys — surface it
+           verbatim. *)
+        Some (Peer { conn = c.id; msg })
     | Some _ -> None (* handshake traffic is not ours to interpret *)
 
   let poll m =

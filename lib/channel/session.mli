@@ -80,6 +80,12 @@ module Mux : sig
   type event =
     | Payload of { conn : string; payload : string }
     | Corrupt of { conn : string; why : string }
+    | Peer of { conn : string; msg : Wire.t }
+        (** a fleet peer-protocol message ([Peer_hello], [Peer_quote],
+            [Verdict_push], [Verdict_pull], [Checkpoint_gossip]) —
+            authenticated by SGX quotes at the fleet layer rather than
+            by this connection's session keys, so it is surfaced
+            verbatim for the fleet node to judge *)
 
   type mux
 

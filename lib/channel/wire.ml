@@ -11,6 +11,19 @@ type t =
   | Ticket of { blob : string }
   | Resume of { ticket : string; nonce : string }
   | Resume_accept of { confirm : string }
+  | Peer_hello of { node : int; nonce : string }
+  | Peer_quote of { node : int; echo : string; quote : string }
+  | Verdict_push of {
+      node : int;
+      key : string;
+      verdict : string;
+      quote : string;
+      checkpoint : string;
+      index : int;
+      proof : string list;
+    }
+  | Verdict_pull of { node : int; key : string }
+  | Checkpoint_gossip of { node : int; checkpoint : string }
 
 let u32 n = String.init 4 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
 let u64 n = String.init 8 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
@@ -58,6 +71,14 @@ let to_bytes = function
   | Ticket { blob } -> "\x0a" ^ field blob
   | Resume { ticket; nonce } -> "\x0b" ^ field ticket ^ field nonce
   | Resume_accept { confirm } -> "\x0c" ^ field confirm
+  | Peer_hello { node; nonce } -> "\x0d" ^ u32 node ^ field nonce
+  | Peer_quote { node; echo; quote } -> "\x0e" ^ u32 node ^ field echo ^ field quote
+  | Verdict_push { node; key; verdict; quote; checkpoint; index; proof } ->
+      "\x0f" ^ u32 node ^ field key ^ field verdict ^ field quote ^ field checkpoint
+      ^ u32 index ^ u32 (List.length proof)
+      ^ String.concat "" (List.map field proof)
+  | Verdict_pull { node; key } -> "\x10" ^ u32 node ^ field key
+  | Checkpoint_gossip { node; checkpoint } -> "\x11" ^ u32 node ^ field checkpoint
 
 let of_bytes s =
   try
@@ -130,6 +151,46 @@ let of_bytes s =
       | '\x0c' ->
           let confirm, fin = read_field s (body 1) in
           if fin <> String.length s then None else Some (Resume_accept { confirm })
+      | '\x0d' ->
+          let node = read_u32 s 1 in
+          let nonce, fin = read_field s 5 in
+          if fin <> String.length s then None else Some (Peer_hello { node; nonce })
+      | '\x0e' ->
+          let node = read_u32 s 1 in
+          let echo, p = read_field s 5 in
+          let quote, fin = read_field s p in
+          if fin <> String.length s then None else Some (Peer_quote { node; echo; quote })
+      | '\x0f' ->
+          let node = read_u32 s 1 in
+          let key, p = read_field s 5 in
+          let verdict, p = read_field s p in
+          let quote, p = read_field s p in
+          let checkpoint, p = read_field s p in
+          let index = read_u32 s p in
+          let count = read_u32 s (p + 4) in
+          (* An honest inclusion proof has <= log2(leaves) hashes. *)
+          if count > 64 then None
+          else begin
+            let rec hashes n pos acc =
+              if n = 0 then Some (List.rev acc, pos)
+              else begin
+                let h, p = read_field s pos in
+                hashes (n - 1) p (h :: acc)
+              end
+            in
+            match hashes count (p + 8) [] with
+            | Some (proof, fin) when fin = String.length s ->
+                Some (Verdict_push { node; key; verdict; quote; checkpoint; index; proof })
+            | _ -> None
+          end
+      | '\x10' ->
+          let node = read_u32 s 1 in
+          let key, fin = read_field s 5 in
+          if fin <> String.length s then None else Some (Verdict_pull { node; key })
+      | '\x11' ->
+          let node = read_u32 s 1 in
+          let checkpoint, fin = read_field s 5 in
+          if fin <> String.length s then None else Some (Checkpoint_gossip { node; checkpoint })
       | _ -> None
   with Short -> None
 
@@ -148,3 +209,9 @@ let describe = function
   | Ticket _ -> "session-ticket"
   | Resume _ -> "resume"
   | Resume_accept _ -> "resume-accept"
+  | Peer_hello { node; _ } -> Printf.sprintf "peer-hello (node %d)" node
+  | Peer_quote { node; _ } -> Printf.sprintf "peer-quote (node %d)" node
+  | Verdict_push { node; index; _ } ->
+      Printf.sprintf "verdict-push (node %d, leaf %d)" node index
+  | Verdict_pull { node; _ } -> Printf.sprintf "verdict-pull (node %d)" node
+  | Checkpoint_gossip { node; _ } -> Printf.sprintf "checkpoint-gossip (node %d)" node

@@ -40,6 +40,28 @@ type t =
   | Resume_accept of { confirm : string }
       (** inspector's proof it unsealed the ticket: HMAC over the
           client's nonce under a key derived from the ticket secret *)
+  | Peer_hello of { node : int; nonce : string }
+      (** fleet handshake opener: node index and a fresh challenge the
+          peer must bind into its quote *)
+  | Peer_quote of { node : int; echo : string; quote : string }
+      (** answer to {!Peer_hello}: [echo] returns the challenger's
+          nonce, [quote] ({!Sgx.Quote.to_bytes}) names the responder's
+          MAGE-derived fleet identity and binds the nonce *)
+  | Verdict_push of {
+      node : int;
+      key : string;  (** verdict-cache content address *)
+      verdict : string;  (** canonical cache encoding of the verdict *)
+      quote : string;
+          (** sender quote binding SHA-256 of key x findings digest *)
+      checkpoint : string;
+          (** sender's latest quote-signed audit checkpoint *)
+      index : int;  (** leaf index of this verdict in the sender's log *)
+      proof : string list;  (** inclusion proof for that leaf *)
+    }  (** offer a verdict to a peer, with everything needed to audit it *)
+  | Verdict_pull of { node : int; key : string }
+      (** ask a peer to push its verdict for [key], if it has one *)
+  | Checkpoint_gossip of { node : int; checkpoint : string }
+      (** periodic broadcast of a node's latest audit checkpoint *)
 
 val to_bytes : t -> string
 val of_bytes : string -> t option

@@ -113,6 +113,60 @@ let finalize ctx =
   done;
   Bytes.to_string out
 
+(* Midstate import/export: the chaining state of a partially-absorbed
+   message, serialized to a fixed 104-byte string. Layout: 8 big-endian
+   h-words (32) || big-endian total (8) || fill (1) || block bytes
+   padded with zeros to 63 (only [fill] of them meaningful; fill < 64
+   always holds between updates). Resuming an imported state and
+   absorbing the remaining message yields the same digest as hashing
+   the whole message in one context — the property SGX-MAGE-style
+   measurement derivation depends on. *)
+
+let state_len = 32 + 8 + 1 + 63
+
+let export_state ctx =
+  let b = Bytes.create state_len in
+  for i = 0 to 7 do
+    let v = ctx.h.(i) in
+    for j = 0 to 3 do
+      Bytes.set b ((4 * i) + j)
+        (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v (8 * (3 - j))) 0xffl)))
+    done
+  done;
+  for i = 0 to 7 do
+    Bytes.set b (32 + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical ctx.total (8 * (7 - i))) 0xffL)))
+  done;
+  Bytes.set b 40 (Char.chr ctx.fill);
+  Bytes.blit ctx.block 0 b 41 ctx.fill;
+  Bytes.to_string b
+
+let import_state s =
+  if String.length s <> state_len then None
+  else begin
+    let fill = Char.code s.[40] in
+    let total = ref 0L in
+    for i = 0 to 7 do
+      total := Int64.logor (Int64.shift_left !total 8) (Int64.of_int (Char.code s.[32 + i]))
+    done;
+    (* A state between updates always has fill < 64, and the buffered
+       tail is exactly total mod 64. *)
+    if fill > 63 || Int64.rem !total 64L <> Int64.of_int fill || !total < 0L then None
+    else begin
+      let h = Array.make 8 0l in
+      for i = 0 to 7 do
+        let v = ref 0l in
+        for j = 0 to 3 do
+          v := Int32.logor (Int32.shift_left !v 8) (Int32.of_int (Char.code s.[(4 * i) + j]))
+        done;
+        h.(i) <- !v
+      done;
+      let block = Bytes.make 64 '\x00' in
+      Bytes.blit_string s 41 block 0 fill;
+      Some { h; block; fill; total = !total; w = Array.make 64 0l }
+    end
+  end
+
 let digest s =
   let ctx = init () in
   update ctx s;

@@ -18,6 +18,20 @@ val update_sub : ctx -> string -> pos:int -> len:int -> unit
 val finalize : ctx -> string
 (** Returns the 32-byte digest. The context must not be reused. *)
 
+val state_len : int
+(** Byte length of a serialized midstate (fixed, 104). *)
+
+val export_state : ctx -> string
+(** Serialize the streaming state (chaining words, byte count and the
+    buffered partial block) to a fixed [state_len]-byte string. The
+    context remains usable. *)
+
+val import_state : string -> ctx option
+(** Rebuild a context from [export_state] output, so hashing can resume
+    where the exporter stopped: resuming and absorbing the rest of a
+    message gives the same digest as one-shot hashing. [None] if the
+    string is not a well-formed midstate. *)
+
 val digest : string -> string
 (** One-shot hash of a full string; 32 raw bytes. *)
 

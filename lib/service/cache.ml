@@ -212,6 +212,19 @@ let add t k v =
           Hashtbl.replace s.table k n;
           push_front s n)
 
+let shard_stats t =
+  Array.map
+    (fun s ->
+      locked s (fun () ->
+          {
+            hits = s.hits;
+            misses = s.misses;
+            evictions = s.evictions;
+            size = Hashtbl.length s.table;
+            capacity = s.capacity;
+          }))
+    t.shards
+
 let stats t =
   Array.fold_left
     (fun (acc : stats) s ->

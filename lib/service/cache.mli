@@ -98,6 +98,12 @@ val mem : t -> string -> bool
 
 val stats : t -> stats
 
+val shard_stats : t -> stats array
+(** Per-shard splits of {!stats}, in shard order (their field-wise sum
+    is exactly {!stats}). Lets the metrics report show whether striping
+    actually spreads load — and, in a fleet, which stripes the shared
+    verdicts land in. *)
+
 val export : t -> string
 (** Serialize every entry, least recently used first within each shard,
     so that replaying {!add} on import reproduces the recency order

@@ -50,6 +50,18 @@ type t = {
   resumption_fallbacks : int Atomic.t;
   spec_hashes : int Atomic.t;
   spec_adopted : int Atomic.t;
+  (* 0-RTT ticket stash (scheduler-side LRU) *)
+  ticket_stash_size : int Atomic.t;
+  ticket_evictions : int Atomic.t;
+  (* fleet peer protocol *)
+  fleet_pushes : int Atomic.t;
+  fleet_imports : int Atomic.t;
+  fleet_rejected_quote : int Atomic.t;
+  fleet_rejected_binding : int Atomic.t;
+  fleet_rejected_proof : int Atomic.t;
+  fleet_rejected_replay : int Atomic.t;
+  fleet_rejected_quarantined : int Atomic.t;
+  fleet_rejected_malformed : int Atomic.t;
 }
 
 let create () =
@@ -82,6 +94,16 @@ let create () =
     resumption_fallbacks = Atomic.make 0;
     spec_hashes = Atomic.make 0;
     spec_adopted = Atomic.make 0;
+    ticket_stash_size = Atomic.make 0;
+    ticket_evictions = Atomic.make 0;
+    fleet_pushes = Atomic.make 0;
+    fleet_imports = Atomic.make 0;
+    fleet_rejected_quote = Atomic.make 0;
+    fleet_rejected_binding = Atomic.make 0;
+    fleet_rejected_proof = Atomic.make 0;
+    fleet_rejected_replay = Atomic.make 0;
+    fleet_rejected_quarantined = Atomic.make 0;
+    fleet_rejected_malformed = Atomic.make 0;
   }
 
 let incr c = ignore (Atomic.fetch_and_add c 1)
@@ -147,6 +169,40 @@ let observe_channel t ~records ~bytes ~in_flight ~epoch_updates ~resumed ~fallba
   addto t.spec_hashes spec_hashes;
   addto t.spec_adopted spec_adopted
 
+let set_ticket_stash t n = Atomic.set t.ticket_stash_size n
+let ticket_evicted t = incr t.ticket_evictions
+
+type fleet_reject = Quote | Binding | Proof | Replay | Quarantined | Malformed
+
+let fleet_reject_to_string = function
+  | Quote -> "quote"
+  | Binding -> "binding"
+  | Proof -> "proof"
+  | Replay -> "replay"
+  | Quarantined -> "quarantined"
+  | Malformed -> "malformed"
+
+let fleet_pushed t = incr t.fleet_pushes
+let fleet_imported t = incr t.fleet_imports
+
+let fleet_rejected t = function
+  | Quote -> incr t.fleet_rejected_quote
+  | Binding -> incr t.fleet_rejected_binding
+  | Proof -> incr t.fleet_rejected_proof
+  | Replay -> incr t.fleet_rejected_replay
+  | Quarantined -> incr t.fleet_rejected_quarantined
+  | Malformed -> incr t.fleet_rejected_malformed
+
+let fleet_rejections t =
+  [
+    (Quote, Atomic.get t.fleet_rejected_quote);
+    (Binding, Atomic.get t.fleet_rejected_binding);
+    (Proof, Atomic.get t.fleet_rejected_proof);
+    (Replay, Atomic.get t.fleet_rejected_replay);
+    (Quarantined, Atomic.get t.fleet_rejected_quarantined);
+    (Malformed, Atomic.get t.fleet_rejected_malformed);
+  ]
+
 let job_counts t =
   {
     submitted = Atomic.get t.submitted;
@@ -165,7 +221,7 @@ let phase_totals t =
     provisioning = Atomic.get t.provisioning;
   }
 
-let render t ~queue ~cache =
+let render ?shards t ~queue ~cache =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   line "# engarde service metrics (cycles are modelled; see lib/sgx/perf.mli)";
@@ -188,7 +244,26 @@ let render t ~queue ~cache =
       line "cache_capacity %d" c.Cache.capacity;
       line "cache_hits_total %d" c.Cache.hits;
       line "cache_misses_total %d" c.Cache.misses;
-      line "cache_evictions_total %d" c.Cache.evictions);
+      line "cache_evictions_total %d" c.Cache.evictions;
+      (* Per-shard splits only when striping is actually in play — a
+         single-shard cache would just repeat the aggregates. *)
+      match shards with
+      | Some per when Array.length per > 1 ->
+          Array.iteri
+            (fun i (s : Cache.stats) ->
+              line "cache_shard_size{shard=\"%d\"} %d" i s.Cache.size;
+              line "cache_shard_hits_total{shard=\"%d\"} %d" i s.Cache.hits;
+              line "cache_shard_misses_total{shard=\"%d\"} %d" i s.Cache.misses;
+              line "cache_shard_evictions_total{shard=\"%d\"} %d" i s.Cache.evictions)
+            per
+      | _ -> ());
+  line "ticket_stash_size %d" (Atomic.get t.ticket_stash_size);
+  line "ticket_stash_evictions_total %d" (Atomic.get t.ticket_evictions);
+  line "fleet_verdicts_pushed_total %d" (Atomic.get t.fleet_pushes);
+  line "fleet_verdicts_imported_total %d" (Atomic.get t.fleet_imports);
+  List.iter
+    (fun (r, n) -> line "fleet_rejected_%s_total %d" (fleet_reject_to_string r) n)
+    (fleet_rejections t);
   line "audit_appends_total %d" (Atomic.get t.audit_appends);
   line "audit_checkpoints_total %d" (Atomic.get t.audit_checkpoints);
   line "audit_log_size %d" (Atomic.get t.audit_log_size);

@@ -79,9 +79,38 @@ val observe_channel :
     counts a resumption that degraded to a full handshake. The in-flight
     gauge keeps the peak across transfers. *)
 
+val set_ticket_stash : t -> int -> unit
+(** Gauge: live entries in the scheduler's 0-RTT ticket stash. *)
+
+val ticket_evicted : t -> unit
+(** One (client, program-set) resumption ticket dropped by the stash's
+    LRU cap. *)
+
+type fleet_reject =
+  | Quote  (** peer quote forged, missigned, or for the wrong identity *)
+  | Binding  (** quote's report_data does not bind the pushed verdict *)
+  | Proof  (** checkpoint does not prove inclusion of the verdict leaf *)
+  | Replay  (** replayed [Peer_hello] (nonce already seen) *)
+  | Quarantined  (** message from a quarantined or unattested peer *)
+  | Malformed  (** peer message that does not decode *)
+
+val fleet_reject_to_string : fleet_reject -> string
+
+val fleet_pushed : t -> unit
+(** One [Verdict_push] sent to a peer. *)
+
+val fleet_imported : t -> unit
+(** One remote verdict that passed the full trust rule and entered the
+    local cache. *)
+
+val fleet_rejected : t -> fleet_reject -> unit
+val fleet_rejections : t -> (fleet_reject * int) list
+
 val job_counts : t -> job_counts
 val phase_totals : t -> phase_totals
 
-val render : t -> queue:Queue.stats -> cache:Cache.stats option -> string
+val render : ?shards:Cache.stats array -> t -> queue:Queue.stats -> cache:Cache.stats option -> string
 (** The scrapeable text report. [cache = None] renders the
-    cache-disabled configuration (no cache_* samples). *)
+    cache-disabled configuration (no cache_* samples). [shards], when
+    given with more than one entry, adds per-shard
+    [cache_shard_*{shard="i"}] splits of the aggregate cache samples. *)

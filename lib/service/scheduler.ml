@@ -26,6 +26,7 @@ type config = {
   workers : int;
   queue_capacity : int;
   cache : [ `Enabled of int | `Disabled ];
+  cache_shards : int;
   audit : bool;
   timeout_cycles : int option;
   max_retries : int;
@@ -41,6 +42,7 @@ type config = {
   hash_runner : Engarde.Analysis.hash_runner option;
   channel : Engarde.Provision.channel;
   ticket_epoch : int;
+  ticket_capacity : int;
 }
 
 let default_config =
@@ -48,6 +50,7 @@ let default_config =
     workers = 4;
     queue_capacity = 64;
     cache = `Enabled 256;
+    cache_shards = 1;
     audit = false;
     timeout_cycles = None;
     max_retries = 2;
@@ -71,6 +74,7 @@ let default_config =
        wire format unless the provider opts into streaming. *)
     channel = `Legacy;
     ticket_epoch = 0;
+    ticket_capacity = 256;
   }
 
 (* The domain-pool dispatch: submit on the Run tick, block on the Join
@@ -172,12 +176,20 @@ type t = {
   (* Per-client resumption tickets from accepted streaming runs, keyed
      by client id and the negotiated program digest (a ticket binds the
      judging enclave's measurement, which the policy set determines).
-     Read and written on the scheduler thread only. *)
-  tickets : (string, string * string) Hashtbl.t;
+     Read and written on the scheduler thread only. LRU-bounded at
+     [cfg.ticket_capacity]: a long-running serve loop sees an unbounded
+     population of (client, program-set) pairs, and without the cap the
+     stash would grow forever. The value carries its last-use stamp. *)
+  tickets : (string, (string * string) * int) Hashtbl.t;
+  mutable ticket_clock : int;
 }
 
 let create (cfg : config) =
   if cfg.workers <= 0 then invalid_arg "Service.Scheduler.create: workers must be positive";
+  if cfg.cache_shards <= 0 then
+    invalid_arg "Service.Scheduler.create: cache_shards must be positive";
+  if cfg.ticket_capacity <= 0 then
+    invalid_arg "Service.Scheduler.create: ticket_capacity must be positive";
   (* Custom programs are provider configuration, not client input:
      reject malformed ones loudly at service construction. *)
   List.iter
@@ -201,13 +213,17 @@ let create (cfg : config) =
     blobs = lazy (builtin_blobs ~db:(Lazy.force db) @ cfg.programs);
     libc_db_version = Toolchain.Libc.version_to_string cfg.libc_db;
     queue = Queue.create ~capacity:cfg.queue_capacity;
-    cache = (match cfg.cache with `Enabled cap -> Some (Cache.create ~capacity:cap) | `Disabled -> None);
+    cache =
+      (match cfg.cache with
+      | `Enabled cap -> Some (Cache.sharded ~shards:cfg.cache_shards ~capacity:cap)
+      | `Disabled -> None);
     audit_log = (if cfg.audit then Some (Audit.Log.create ()) else None);
     metrics = Metrics.create ();
     workers = Array.make cfg.workers Idle;
     next_seq = 0;
     completions = [];
     tickets = Hashtbl.create 16;
+    ticket_clock = 0;
   }
 
 let config t = t.cfg
@@ -249,6 +265,15 @@ let policy_for t name =
 let cache_stats t = Option.map Cache.stats t.cache
 let queue_stats t = Queue.stats t.queue
 let audit_log t = t.audit_log
+let verdict_cache t = t.cache
+
+(* The content address this scheduler would file [job]'s verdict under
+   — what the fleet coordinator routes on and peers exchange verdicts
+   by. Raises [Not_found] on policy names {!submit} would reject. *)
+let job_key t (job : job) =
+  Cache.key ~payload:job.payload ~policy_names:job.policy_names
+    ~libc_db_version:t.libc_db_version
+    ~programs_digest:(programs_digest t job.policy_names)
 
 (* The service's own enclave identity: the measurement of the EnGarde
    enclave its provisioning template builds. Sealing and checkpoint
@@ -359,18 +384,7 @@ let submit t job =
       Error why
   | None ->
       let seq = t.next_seq in
-      let active =
-        {
-          ajob = job;
-          aseq = seq;
-          akey =
-            Cache.key ~payload:job.payload ~policy_names:job.policy_names
-              ~libc_db_version:t.libc_db_version
-              ~programs_digest:(programs_digest t job.policy_names);
-          attempts = 0;
-          cycles = 0;
-        }
-      in
+      let active = { ajob = job; aseq = seq; akey = job_key t job; attempts = 0; cycles = 0 } in
       (match Queue.submit t.queue active with
       | Error `Queue_full ->
           Metrics.job_rejected t.metrics;
@@ -454,6 +468,45 @@ let verdict_of_outcome (o : Engarde.Provision.outcome) =
 
 let ticket_key t a = a.ajob.client ^ "/" ^ programs_digest t a.ajob.policy_names
 
+(* Ticket-stash LRU. The stash is tiny (hundreds), touched once per
+   streaming attempt, and scheduler-thread-only, so a linear
+   minimum-stamp scan at eviction time is simpler than threading a
+   recency list through the table. *)
+let ticket_find t k =
+  match Hashtbl.find_opt t.tickets k with
+  | None -> None
+  | Some (stash, _) ->
+      t.ticket_clock <- t.ticket_clock + 1;
+      Hashtbl.replace t.tickets k (stash, t.ticket_clock);
+      Some stash
+
+let ticket_drop t k =
+  Hashtbl.remove t.tickets k;
+  Metrics.set_ticket_stash t.metrics (Hashtbl.length t.tickets)
+
+let ticket_store t k stash =
+  if (not (Hashtbl.mem t.tickets k)) && Hashtbl.length t.tickets >= t.cfg.ticket_capacity
+  then begin
+    let victim =
+      Hashtbl.fold
+        (fun key (_, stamp) acc ->
+          match acc with
+          | Some (_, best) when best <= stamp -> acc
+          | _ -> Some (key, stamp))
+        t.tickets None
+    in
+    match victim with
+    | Some (key, _) ->
+        Hashtbl.remove t.tickets key;
+        Metrics.ticket_evicted t.metrics
+    | None -> ()
+  end;
+  t.ticket_clock <- t.ticket_clock + 1;
+  Hashtbl.replace t.tickets k (stash, t.ticket_clock);
+  Metrics.set_ticket_stash t.metrics (Hashtbl.length t.tickets)
+
+let ticket_stash_size t = Hashtbl.length t.tickets
+
 (* Launch one real pipeline execution (one attempt) for [a]. Everything
    the pipeline closure touches is prepared here, on the scheduler
    thread — the libc db is forced, the policy instances are fresh
@@ -480,7 +533,7 @@ let start_attempt t ~worker a =
   let resume =
     match channel with
     | `Legacy -> None
-    | `Streaming -> Hashtbl.find_opt t.tickets (ticket_key t a)
+    | `Streaming -> ticket_find t (ticket_key t a)
   in
   let join =
     t.cfg.dispatch (fun () ->
@@ -510,11 +563,11 @@ let finish_attempt t ~worker a outcome =
         ~spec_adopted:st.Engarde.Provision.spec_adopted;
       (* A fallback consumed the stashed ticket (the server refused it);
          drop it so the next attempt doesn't replay the same failure. *)
-      if st.Engarde.Provision.fallback then Hashtbl.remove t.tickets (ticket_key t a));
+      if st.Engarde.Provision.fallback then ticket_drop t (ticket_key t a));
   (* An accepted streaming run leaves a fresh ticket for this client's
      next submission under the same program set. *)
   (match outcome.Engarde.Provision.ticket with
-  | Some stash -> Hashtbl.replace t.tickets (ticket_key t a) stash
+  | Some stash -> ticket_store t (ticket_key t a) stash
   | None -> ());
   let transient =
     match outcome.Engarde.Provision.result with
@@ -588,7 +641,9 @@ let run_until_idle ?(max_ticks = 1_000_000) t =
   if busy t then failwith "Service.Scheduler.run_until_idle: tick budget exhausted";
   drain_completions t
 
-let report t = Metrics.render t.metrics ~queue:(Queue.stats t.queue) ~cache:(cache_stats t)
+let report t =
+  let shards = Option.map Cache.shard_stats t.cache in
+  Metrics.render ?shards t.metrics ~queue:(Queue.stats t.queue) ~cache:(cache_stats t)
 
 let batch ?(config = default_config) jobs =
   let t = create config in
@@ -663,7 +718,11 @@ let serve t ~mux ~policies_for ?(max_ticks = 1_000_000) () =
                      { accepted = false; detail = "rejected at admission: " ^ why }))
         | Mux.Corrupt { conn; why } ->
             Mux.reply mux ~id:conn
-              (Channel.Wire.Verdict { accepted = false; detail = "transfer corrupt: " ^ why }))
+              (Channel.Wire.Verdict { accepted = false; detail = "transfer corrupt: " ^ why })
+        | Mux.Peer _ ->
+            (* Fleet peer traffic belongs to the fleet node layer; a
+               standalone serve loop has no peers and ignores it. *)
+            ())
       events;
     tick t;
     let finished = drain_completions t in

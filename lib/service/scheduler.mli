@@ -54,6 +54,11 @@ type config = {
   workers : int;
   queue_capacity : int;
   cache : [ `Enabled of int | `Disabled ];  (** capacity when enabled *)
+  cache_shards : int;
+      (** lock stripes of the verdict cache ({!Cache.sharded}); 1 — the
+          default — is the classic single-lock global LRU. Striping
+          never changes hit/miss outcomes, only contention, and the
+          metrics report exposes per-shard splits when > 1. *)
   audit : bool;
       (** maintain the Merkle transparency log: every completion that
           carries a verdict (cache hits included) appends one leaf *)
@@ -107,6 +112,12 @@ type config = {
       (** the provider's ticket-key generation; bumping it invalidates
           every outstanding resumption ticket (resumed clients fall back
           to the full handshake once and get a fresh ticket) *)
+  ticket_capacity : int;
+      (** LRU cap on the 0-RTT ticket stash (entries are per (client,
+          program set), so a long-running serve loop would otherwise
+          grow it without bound). An evicted client simply pays one full
+          handshake on its next submission; evictions are counted in
+          the metrics. *)
 }
 
 val default_config : config
@@ -157,6 +168,22 @@ val config : t -> config
 val metrics : t -> Metrics.t
 val cache_stats : t -> Cache.stats option
 val queue_stats : t -> Queue.stats
+
+val verdict_cache : t -> Cache.t option
+(** The live verdict cache ([None] when disabled). The fleet layer
+    imports quote-verified peer verdicts through it; imports do not
+    append audit leaves (the importing node only logs verdict events it
+    answers itself). *)
+
+val job_key : t -> job -> string
+(** The content address this scheduler files [job]'s verdict under —
+    what the fleet coordinator's rendezvous routing and peer verdict
+    exchange key on. Raises [Not_found] on a policy name {!submit}
+    would reject. *)
+
+val ticket_stash_size : t -> int
+(** Live entries in the 0-RTT ticket stash (bounded by
+    [config.ticket_capacity]). *)
 
 val audit_log : t -> Audit.Log.t option
 (** The verdict transparency log ([None] unless [config.audit]). *)

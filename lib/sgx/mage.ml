@@ -1,0 +1,50 @@
+let aux_tag = "EGMAGE1\x00"
+
+let u32le v =
+  String.init 4 (fun i -> Char.chr ((v lsr (8 * i)) land 0xff))
+
+let aux_of_snapshots snaps =
+  if snaps = [] then invalid_arg "Mage.aux_of_snapshots: empty group";
+  List.iter
+    (fun s ->
+      if String.length s <> Measurement.snapshot_len then
+        invalid_arg "Mage.aux_of_snapshots: bad snapshot length")
+    snaps;
+  u32le (List.length snaps) ^ String.concat "" snaps
+
+let snapshots_of_aux aux =
+  let len = String.length aux in
+  if len < 4 then None
+  else begin
+    let n =
+      Char.code aux.[0]
+      lor (Char.code aux.[1] lsl 8)
+      lor (Char.code aux.[2] lsl 16)
+      lor (Char.code aux.[3] lsl 24)
+    in
+    if n <= 0 || len <> 4 + (n * Measurement.snapshot_len) then None
+    else
+      Some
+        (List.init n (fun i ->
+             String.sub aux (4 + (i * Measurement.snapshot_len)) Measurement.snapshot_len))
+  end
+
+let derive ~snapshot ~aux =
+  match Measurement.resume snapshot with
+  | None -> None
+  | Some m ->
+      Measurement.measure_data m ~tag:aux_tag ~content:aux;
+      Some (Measurement.finalize m)
+
+type quote_error = Bad_signature | Wrong_identity | Wrong_binding
+
+let quote_error_to_string = function
+  | Bad_signature -> "bad quote signature"
+  | Wrong_identity -> "quote names a different enclave identity"
+  | Wrong_binding -> "quote report_data does not match the expected binding"
+
+let check_quote pub ~identity ~report_data (q : Quote.t) =
+  if not (Quote.verify pub q) then Error Bad_signature
+  else if not (String.equal q.measurement identity) then Error Wrong_identity
+  else if not (String.equal q.report_data report_data) then Error Wrong_binding
+  else Ok ()

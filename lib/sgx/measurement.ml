@@ -36,6 +36,18 @@ let extend t ~vaddr ~content =
 let measure_data t ~tag ~content =
   record t tag (u64le (String.length content) ^ content)
 
+let snapshot t =
+  match t.digest with
+  | Some _ -> invalid_arg "Measurement.snapshot: log already finalized"
+  | None -> Crypto.Sha256.export_state t.ctx
+
+let snapshot_len = Crypto.Sha256.state_len
+
+let resume s =
+  match Crypto.Sha256.import_state s with
+  | None -> None
+  | Some ctx -> Some { ctx; digest = None }
+
 let finalize t =
   match t.digest with
   | Some d -> d

@@ -20,6 +20,20 @@ val measure_data : t -> tag:string -> content:string -> unit
     Used for non-page configuration that must be attested — e.g. the
     negotiated policy-set digest. *)
 
+val snapshot : t -> string
+(** The build log's intermediate hash state, serialized to a fixed
+    [snapshot_len]-byte string. This is the SGX-MAGE primitive: a
+    snapshot taken before a common auxiliary record lets anyone holding
+    the record derive the final measurement via [resume] — without
+    replaying the build and without a trusted third party publishing
+    final measurements. Raises if the log is already finalized. *)
+
+val snapshot_len : int
+
+val resume : string -> t option
+(** Continue a build log from a [snapshot]. [None] if the string is not
+    a well-formed snapshot. *)
+
 val finalize : t -> string
 (** EINIT: the 32-byte measurement. Idempotent afterwards. *)
 
