@@ -35,7 +35,7 @@ bench-smoke:
 	dune exec bench/main.exe -- --smoke
 
 # The full differential: every workload (and adversarial fixture), the
-# four builtin DSL programs vs the native modules — verdicts, findings
+# five builtin DSL programs vs the native modules — verdicts, findings
 # and modelled cycles must match bit for bit.
 policy-oracle:
 	dune exec bench/main.exe -- --policy-oracle

@@ -372,6 +372,55 @@ let flow_vs_pattern () =
         (float_of_int iff /. float_of_int ip))
     Workloads.all
 
+(* ------------------------------------------------------------------ *)
+(* Interprocedural depth vs the per-function flow policies             *)
+(* ------------------------------------------------------------------ *)
+
+let stack_depth depth = Engarde.Policy_stack.make ~exempt:Libc.function_names ~depth ()
+let ifcc_depth depth = Engarde.Policy_ifcc.make ~depth ()
+
+type interproc_row = {
+  ip_workload : string;
+  stack_intra : int;
+  stack_inter : int;
+  ifcc_intra : int;
+  ifcc_inter : int;
+}
+
+(* Clean workloads take the same accept decision at both depths; the
+   interprocedural column pays extra for the call graph, the callee
+   summaries and the cross-edge dominance probes (all charged to the
+   same context counter here, like the flow column of
+   [flow_vs_pattern]). *)
+let interproc_table () =
+  banner
+    "Interprocedural vs intra: summary-driven depth against the per-function flow \
+     policies (policy-phase cycles incl. callgraph + summaries)";
+  Printf.printf "%-11s | %14s %14s %6s | %14s %14s %6s\n" "Benchmark" "stack-intra"
+    "stack-interp" "x" "ifcc-intra" "ifcc-interp" "x";
+  List.map
+    (fun bench ->
+      let pre_stack = context_of bench Codegen.with_stack_protector in
+      let pre_ifcc = context_of bench Codegen.with_ifcc in
+      let si = policy_cycles pre_stack (stack_depth `Intra) in
+      let sx = policy_cycles pre_stack (stack_depth `Interproc) in
+      let ii = policy_cycles pre_ifcc (ifcc_depth `Intra) in
+      let ix = policy_cycles pre_ifcc (ifcc_depth `Interproc) in
+      let ratio num den =
+        if den = 0 then "-" else Printf.sprintf "%.2f" (float_of_int num /. float_of_int den)
+      in
+      Printf.printf "%-11s | %14s %14s %6s | %14s %14s %6s\n%!"
+        (Workloads.to_string bench) (commas si) (commas sx) (ratio sx si)
+        (commas ii) (commas ix) (ratio ix ii);
+      {
+        ip_workload = Workloads.to_string bench;
+        stack_intra = si;
+        stack_inter = sx;
+        ifcc_intra = ii;
+        ifcc_inter = ix;
+      })
+    Workloads.all
+
 let ablation_fused_scan () =
   banner "Ablation: shared-index fused scan vs independent policy scans (policy-phase cycles)";
   Printf.printf "%-11s %16s %16s %8s\n" "Benchmark" "independent" "fused" "speedup";
@@ -680,7 +729,7 @@ let channel_table () =
 
 let bench_json_path = Filename.concat repo_root "BENCH_service.json"
 
-let write_scaling_json ~recommended ~jobs_n ~channel ~fleet rows =
+let write_scaling_json ~recommended ~jobs_n ~channel ~fleet ~interproc rows =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"benchmark\": \"service-batch-scaling\",\n";
@@ -727,6 +776,16 @@ let write_scaling_json ~recommended ~jobs_n ~channel ~fleet rows =
         r.zrtt_e2e
         (if i = List.length channel - 1 then "" else ","))
     channel;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"interproc_vs_intra\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "    {\"workload\": %S, \"stack_intra_cycles\": %d, \"stack_interproc_cycles\": \
+         %d, \"ifcc_intra_cycles\": %d, \"ifcc_interproc_cycles\": %d}%s\n"
+        r.ip_workload r.stack_intra r.stack_inter r.ifcc_intra r.ifcc_inter
+        (if i = List.length interproc - 1 then "" else ","))
+    interproc;
   Buffer.add_string b "  ]\n}\n";
   let oc = open_out bench_json_path in
   output_string oc (Buffer.contents b);
@@ -758,14 +817,15 @@ let scaling_table () =
     rows;
   let fleet = fleet_table () in
   let channel = channel_table () in
-  write_scaling_json ~recommended ~jobs_n ~channel ~fleet rows;
+  let interproc = interproc_table () in
+  write_scaling_json ~recommended ~jobs_n ~channel ~fleet ~interproc rows;
   Printf.printf "machine-readable results -> %s\n" bench_json_path
 
 (* ------------------------------------------------------------------ *)
 (* Policy oracle: DSL programs vs native modules on every workload      *)
 (* ------------------------------------------------------------------ *)
 
-(* The full differential sweep (`make policy-oracle`): the four builtin
+(* The full differential sweep (`make policy-oracle`): the five builtin
    DSL programs must reproduce the native modules' verdicts, findings
    and modelled cycles bit for bit on all seven workloads (fully
    instrumented, so every policy exercises its accept path) plus the
@@ -777,6 +837,7 @@ let native_oracle_policies () =
     Engarde.Policy_stack.make ~exempt:Libc.function_names ();
     Engarde.Policy_ifcc.make ();
     Engarde.Policy_lint.make ();
+    Engarde.Policy_sanitize.make ();
   ]
 
 let vm_oracle_policies vm_perf =
@@ -894,6 +955,43 @@ let smoke () =
    let flow = policy_cycles pre (stack_mode `Flow) in
    check "401.bzip2: flow stack beats quadratic scan" (flow < pat)
      (Printf.sprintf "pattern %s flow %s cycles" (commas pat) (commas flow)));
+  banner
+    "bench-smoke: summary memoization makes the second interprocedural pass cheap \
+     (giant-16 call chain)";
+  (let img = Linker.link_adversarial (Workloads.Giant 16) in
+   let elf = Result.get_ok (Elf64.Reader.parse img.Linker.elf) in
+   let text = List.hd (Elf64.Reader.text_sections elf) in
+   match
+     Engarde.Disasm.run (Sgx.Perf.create ()) ~code:text.Elf64.Reader.data
+       ~base:text.Elf64.Reader.addr ~symbols:elf.Elf64.Reader.symbols
+   with
+   | Error v -> check "giant-16 disassembles" false (X86.Nacl.violation_to_string v)
+   | Ok (buffer, symbols) ->
+       let summary_perf = Sgx.Perf.create () in
+       let ctx =
+         Engarde.Policy.context ~analysis_perf:(Sgx.Perf.create ())
+           ~cfg_perf:(Sgx.Perf.create ()) ~callgraph_perf:(Sgx.Perf.create ())
+           ~summary_perf ~perf:(Sgx.Perf.create ()) buffer symbols
+       in
+       let interproc_policies () =
+         [
+           Engarde.Policy_sanitize.make ();
+           stack_depth `Interproc;
+           ifcc_depth `Interproc;
+         ]
+       in
+       let pass () =
+         let before = Sgx.Perf.total_cycles summary_perf in
+         let res = Engarde.Policy.run_all ctx (interproc_policies ()) in
+         (res, Sgx.Perf.total_cycles summary_perf - before)
+       in
+       let res1, first = pass () in
+       let res2, second = pass () in
+       check "giant-16: repeated interprocedural pass is deterministic" (res1 = res2) "";
+       check "giant-16: 2nd interprocedural pass >= 2x cheaper (summaries memoized)"
+         (second > 0 && first >= 2 * second)
+         (Printf.sprintf "summary cycles %s -> %s (%.1fx)" (commas first) (commas second)
+            (float_of_int first /. float_of_int (max 1 second))));
   banner "bench-smoke: policy-VM interpretation gate (DSL libc <= 1.5x native)";
   (* The negotiated DSL program charges the same modelled cycles as the
      native module by construction; the interpreter's own overhead is

@@ -230,9 +230,11 @@ let inspect_cmd =
               (Sgx.Perf.total_cycles perf);
             let analysis_perf = Sgx.Perf.create () in
             let cfg_perf = Sgx.Perf.create () in
+            let callgraph_perf = Sgx.Perf.create () in
+            let summary_perf = Sgx.Perf.create () in
             let ctx =
-              Engarde.Policy.context ~analysis_perf ~cfg_perf ~perf:(Sgx.Perf.create ())
-                buffer symbols
+              Engarde.Policy.context ~analysis_perf ~cfg_perf ~callgraph_perf
+                ~summary_perf ~perf:(Sgx.Perf.create ()) buffer symbols
             in
             let results =
               Engarde.Policy.run_all ctx
@@ -252,9 +254,15 @@ let inspect_cmd =
               (Sgx.Perf.total_cycles analysis_perf);
             Printf.printf "cfg recovery: %d modelled cycles\n"
               (Sgx.Perf.total_cycles cfg_perf);
+            Printf.printf "callgraph construction: %d modelled cycles\n"
+              (Sgx.Perf.total_cycles callgraph_perf);
+            Printf.printf "function summaries: %d modelled cycles\n"
+              (Sgx.Perf.total_cycles summary_perf);
             Printf.printf "policy checking: %d modelled cycles\n"
               (Sgx.Perf.total_cycles analysis_perf
               + Sgx.Perf.total_cycles cfg_perf
+              + Sgx.Perf.total_cycles callgraph_perf
+              + Sgx.Perf.total_cycles summary_perf
               + Sgx.Perf.total_cycles ctx.Engarde.Policy.perf);
             if not (Engarde.Policy.all_compliant results) then exit 1)
   in
@@ -514,6 +522,112 @@ let cfg_cmd =
          "Recover per-function basic-block CFGs (the flow-sensitive policies' substrate) \
           and print block/edge/reachability summaries, optionally exporting Graphviz DOT.")
     Term.(const run $ elf_pos $ bench $ variant_arg $ fn_filter $ dot_out)
+
+let callgraph_cmd =
+  let elf_pos =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"ELF" ~doc:"Executable to build the call graph of.")
+  in
+  let bench =
+    Arg.(
+      value
+      & opt (some bench_conv) None
+      & info [ "b"; "bench" ] ~docv:"BENCH" ~doc:"Synthesize this benchmark instead.")
+  in
+  let dot_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"Write the Graphviz DOT of the whole call graph.")
+  in
+  let summaries =
+    Arg.(
+      value & flag
+      & info [ "summaries" ]
+          ~doc:"Also compute and print the per-function dataflow summaries (bottom-up).")
+  in
+  let run elf_pos bench variant dot_out summaries =
+    let what, raw =
+      match (elf_pos, bench) with
+      | Some path, None -> (Filename.basename path, read_file path)
+      | None, Some b ->
+          ( Toolchain.Workloads.to_string b,
+            (Toolchain.Linker.link (Toolchain.Workloads.build variant b)).Toolchain.Linker.elf )
+      | _ ->
+          prerr_endline "callgraph: pass exactly one of ELF or --bench";
+          exit 2
+    in
+    let buffer, symbols = disasm_payload ~what raw in
+    let callgraph_perf = Sgx.Perf.create () in
+    let summary_perf = Sgx.Perf.create () in
+    let ctx =
+      Engarde.Policy.context ~callgraph_perf ~summary_perf ~perf:(Sgx.Perf.create ())
+        buffer symbols
+    in
+    let cg = Engarde.Policy.callgraph_of ctx in
+    let fns = cg.Engarde.Callgraph.index.Engarde.Analysis.functions in
+    Printf.printf "%-32s %10s %4s %4s %4s %9s\n" "function" "addr" "scc" "out" "in"
+      "recursive";
+    Array.iteri
+      (fun fi (f : Engarde.Analysis.func) ->
+        Printf.printf "%-32s %#10x %4d %4d %4d %9s\n" f.Engarde.Analysis.fn_name
+          f.Engarde.Analysis.fn_addr
+          cg.Engarde.Callgraph.scc_id.(fi)
+          (List.length (Engarde.Callgraph.edges_from cg fi))
+          (List.length (Engarde.Callgraph.edges_to cg fi))
+          (if cg.Engarde.Callgraph.recursive.(fi) then "yes" else "no"))
+      fns;
+    let count k =
+      Array.fold_left
+        (fun n (e : Engarde.Callgraph.edge) ->
+          if e.Engarde.Callgraph.e_kind = k then n + 1 else n)
+        0 cg.Engarde.Callgraph.edges
+    in
+    Printf.printf
+      "\n%d functions, %d components; %d edges (%d direct, %d indirect, %d tail, %d \
+       jump-into)\n"
+      (Array.length fns) cg.Engarde.Callgraph.n_sccs
+      (Array.length cg.Engarde.Callgraph.edges)
+      (count Engarde.Callgraph.Direct)
+      (count Engarde.Callgraph.Indirect)
+      (count Engarde.Callgraph.Tail)
+      (count Engarde.Callgraph.Jump_into);
+    if summaries then begin
+      Printf.printf "\n%-32s %8s %8s %8s %6s %7s\n" "function (bottom-up)" "defines"
+        "reads" "clobbers" "canary" "returns";
+      Array.iter
+        (fun fi ->
+          let f = fns.(fi) in
+          match Engarde.Policy.summary_of ctx ~addr:f.Engarde.Analysis.fn_addr with
+          | None -> ()
+          | Some s ->
+              Printf.printf "%-32s %#8x %#8x %#8x %6s %7s\n" f.Engarde.Analysis.fn_name
+                s.Engarde.Summary.s_defines s.Engarde.Summary.s_reads
+                s.Engarde.Summary.s_clobbers
+                (if s.Engarde.Summary.s_canary then "yes" else "no")
+                (if s.Engarde.Summary.s_returns then "yes" else "no"))
+        cg.Engarde.Callgraph.bottom_up;
+      Printf.printf "\nfunction summaries: %d modelled cycles\n"
+        (Sgx.Perf.total_cycles summary_perf)
+    end;
+    Printf.printf "callgraph construction: %d modelled cycles\n"
+      (Sgx.Perf.total_cycles callgraph_perf);
+    match dot_out with
+    | None -> ()
+    | Some path ->
+        write_file path (Engarde.Callgraph.to_dot cg);
+        Printf.printf "dot -> %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "callgraph"
+       ~doc:
+         "Build the whole-binary call graph (the interprocedural policies' substrate): \
+          direct/indirect/tail/jump-into edges, SCC condensation, bottom-up order, and \
+          optionally the per-function dataflow summaries, exporting Graphviz DOT.")
+    Term.(const run $ elf_pos $ bench $ variant_arg $ dot_out $ summaries)
 
 let lint_cmd =
   let benches =
@@ -1364,10 +1478,15 @@ let policy_compile_cmd =
   let name_arg =
     Arg.(
       required
-      & pos 0 (some (enum (List.map (fun n -> (n, n)) [ "libc"; "stack"; "ifcc"; "lint" ]))) None
+      & pos 0
+          (some
+             (enum
+                (List.map (fun n -> (n, n)) [ "libc"; "stack"; "ifcc"; "lint"; "sanitize" ])))
+          None
       & info [] ~docv:"NAME"
-          ~doc:"Builtin to compile: libc, stack, ifcc or lint. (The *-pattern \
-                baselines have no DSL form; they negotiate as native markers.)")
+          ~doc:"Builtin to compile: libc, stack, ifcc, lint or sanitize. (The \
+                *-pattern baselines and *-interproc depth variants have no DSL \
+                form; they negotiate as native markers.)")
   in
   let output =
     Arg.(
@@ -1494,6 +1613,7 @@ let () =
             rewrite_cmd;
             measure_cmd;
             cfg_cmd;
+            callgraph_cmd;
             lint_cmd;
             batch_cmd;
             serve_cmd;

@@ -1,0 +1,95 @@
+(** Whole-binary call graph over the shared {!Analysis.t} index.
+
+    The interprocedural tier starts here: one charged pass over the
+    pre-classified index turns call sites and cross-function branches
+    into an explicit graph whose nodes are the entries of
+    [Analysis.functions] (identified by array index), condensed into
+    strongly connected components so function summaries
+    ({!Summary}) can be computed bottom-up — callees before callers,
+    recursion detected rather than looped over.
+
+    Edge kinds, and what each over-approximates:
+    - [Direct]: a classified [callq rel32] whose computed target is
+      exactly a function start. Precise.
+    - [Indirect]: a [callq *%reg] site. The IFCC discipline constrains
+      a masked target to its jump table, so every function whose entry
+      lies inside an IFCC table range gets an edge from every indirect
+      site — sound for IFCC-compliant binaries, deliberately
+      over-approximate otherwise (a binary that escapes the tables
+      fails the IFCC policy first).
+    - [Tail]: a direct [jmp]/[jcc] whose target is another function's
+      entry — control transfers without a return frame, so the callee's
+      summary flows into the caller's exit behaviour.
+    - [Jump_into]: a direct [jmp]/[jcc] landing {e inside} another
+      function (not at its entry). No compiler emits these; they void
+      the victim function's single-entry assumption, so interprocedural
+      policies treat every guarantee proven under that assumption as
+      unsound ({!Policy_ifcc} turns them into findings).
+
+    Direct calls whose target is not a decoded function start produce
+    no edge; summary consumers treat such calls conservatively.
+
+    Construction never raises, whatever the buffer contents — the
+    inspection service runs it on adversarial provider binaries. *)
+
+type kind = Direct | Indirect | Tail | Jump_into
+
+type edge = {
+  e_from : int;    (** caller: index into [Analysis.functions] *)
+  e_to : int;      (** callee: index into [Analysis.functions] *)
+  e_kind : kind;
+  e_addr : int;    (** site vaddr (call or jump instruction) *)
+  e_target : int;  (** target vaddr ([e_to]'s entry, or inside it for
+                       [Jump_into]) *)
+}
+
+type t = {
+  index : Analysis.t;
+  edges : edge array;      (** sorted by [(e_from, e_addr, e_target)] *)
+  succ : int list array;   (** per function index: outgoing edge ids,
+                               ascending *)
+  pred : int list array;   (** per function index: incoming edge ids,
+                               ascending *)
+  scc_id : int array;      (** per function index: its component id *)
+  n_sccs : int;
+  bottom_up : int array;
+      (** every function index, components in reverse-topological
+          (callee-first) order, ascending within a component — the
+          iteration order for bottom-up summary computation *)
+  recursive : bool array;
+      (** per function index: sits in a non-trivial component or has a
+          self edge, so its summary must fall back to
+          {!Summary.conservative} to break the cycle *)
+  mutable build_cycles : int;  (** modelled cycles charged by {!build} *)
+}
+
+val build : Sgx.Perf.t -> Analysis.t -> t
+(** One charged pass: {!Costmodel.callgraph_scan_step} per function
+    probed against the table ranges and per slice instruction scanned
+    for cross-function branches, {!Costmodel.callgraph_edge} per edge
+    materialized, and {!Costmodel.callgraph_scc_step} per step of the
+    iterative Tarjan condensation. Never raises. *)
+
+val function_index : t -> addr:int -> int option
+(** Index into [Analysis.functions] of the function starting exactly at
+    [addr] (binary search). *)
+
+val edges_from : t -> int -> edge list
+(** Outgoing edges of a function index, ascending site address. *)
+
+val edges_to : t -> int -> edge list
+(** Incoming edges of a function index, ascending site address. *)
+
+val jump_into : t -> int -> edge list
+(** The [Jump_into] edges targeting the inside of a function index —
+    non-empty means the function's single-entry assumption is void. *)
+
+val kind_to_string : kind -> string
+(** ["direct"] | ["indirect"] | ["tail"] | ["jump-into"]. *)
+
+val to_dot : t -> string
+(** Graphviz rendering: one box per function (name and entry vaddr,
+    doubled border when recursive), one arrow per edge styled by kind
+    (solid direct, dashed indirect, dotted tail, bold red jump-into).
+    Labels go through {!Cfg.dot_escape}; like {!Cfg.to_dot}, the output
+    shows names and addresses, never code bytes. *)

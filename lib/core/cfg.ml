@@ -222,12 +222,29 @@ let dominates t a b =
     walk b
   end
 
+(* DOT double-quoted strings: only the double quote and the backslash
+   need escaping, but an unescaped occurrence of either breaks the whole
+   graph. Function names come from the (untrusted) symbol table, and
+   instruction renderings may quote operands, so every interpolated
+   string goes through here. *)
+let dot_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let to_dot t (buffer : Disasm.buffer) =
   let entries = buffer.Disasm.entries in
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Printf.sprintf "digraph \"%s\" {\n  node [shape=box fontname=monospace];\n"
-       t.fn.Analysis.fn_name);
+       (dot_escape t.fn.Analysis.fn_name));
   Array.iteri
     (fun k b ->
       let style =
@@ -242,7 +259,7 @@ let to_dot t (buffer : Disasm.buffer) =
       in
       Buffer.add_string buf
         (Printf.sprintf "  b%d [label=\"b%d: 0x%x\\n%d insns · %s\"%s];\n" k k
-           b.b_addr (b.b_hi - b.b_lo) last style))
+           b.b_addr (b.b_hi - b.b_lo) (dot_escape last) style))
     t.blocks;
   Array.iteri
     (fun k b ->

@@ -65,6 +65,13 @@ val dominates : t -> int -> int -> bool
     to block [b]? False when either block is unreachable. Walks the
     immediate-dominator chain, so O(depth). *)
 
+val dot_escape : string -> string
+(** Escape a string for interpolation into a DOT double-quoted string:
+    double quotes and backslashes are backslash-escaped, newlines
+    become a backslash-n pair. Shared by {!to_dot} and
+    {!Callgraph.to_dot} so every label built from the untrusted symbol
+    table stays valid DOT. *)
+
 val to_dot : t -> Disasm.buffer -> string
 (** Graphviz rendering for debugging: one box per block with its vaddr
     range and instruction count, dashed for unreachable blocks, gray

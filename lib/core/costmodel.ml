@@ -30,6 +30,14 @@ let dom_step = 18
 let dataflow_step = 15
 let dataflow_join = 25
 
+(* Interprocedural tier: call graph and function summaries *)
+let callgraph_scan_step = 10
+let callgraph_edge = 35
+let callgraph_scc_step = 20
+let summary_step = 18
+let summary_memo_lookup = 50
+let summary_apply = 30
+
 (* Loading *)
 let load_setup = 3_000
 let load_per_page = 2

@@ -99,6 +99,40 @@ val dataflow_step : int
 val dataflow_join : int
 (** Joining two dataflow facts across one CFG edge. *)
 
+(** {1 Interprocedural tier}
+
+    The call-graph construction pass and per-function dataflow
+    summaries run over the already-built shared index, like CFG
+    recovery; their unit costs therefore sit in the same band as the
+    CFG constants. Summaries are memoized alongside
+    {!Analysis.function_hash}, so repeat interprocedural passes pay
+    only {!summary_memo_lookup} per function. *)
+
+val callgraph_scan_step : int
+(** Scanning one instruction-buffer entry of a function slice for
+    tail-call and cross-function jump edges (mnemonic test plus a
+    function-table binary search on branch targets). *)
+
+val callgraph_edge : int
+(** Materializing one call-graph edge (kind tag, adjacency append,
+    predecessor backlink). *)
+
+val callgraph_scc_step : int
+(** One step of the iterative Tarjan SCC condensation (stack push/pop
+    plus lowlink update) that yields the bottom-up summary order. *)
+
+val summary_step : int
+(** Folding one instruction into a function summary (register
+    read/write classification plus lattice update). *)
+
+val summary_memo_lookup : int
+(** Consulting the per-analysis summary memo for an already-computed
+    function summary (hash-table probe keyed by function address). *)
+
+val summary_apply : int
+(** Applying one callee summary at a call site during an
+    interprocedural transfer (mask merge plus clobber application). *)
+
 (** {1 Loading phase} *)
 
 val load_setup : int

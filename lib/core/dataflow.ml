@@ -154,4 +154,13 @@ module Regs = struct
   let join (a : t) (b : t) : t = Array.init 16 (fun k -> join_av a.(k) b.(k))
   let equal (a : t) (b : t) = a = b
   let problem = { init = all_top; transfer; join; equal }
+
+  let problem_via ~call =
+    let transfer (e : Disasm.entry) (t : t) =
+      match e.Disasm.insn.Insn.mnem with
+      | Insn.CALL | Insn.CALL_IND -> (
+          match call e t with Some t' -> t' | None -> all_top)
+      | _ -> transfer e t
+    in
+    { init = all_top; transfer; join; equal }
 end

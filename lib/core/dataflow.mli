@@ -64,10 +64,27 @@ module Regs : sig
   (** A map from the 16 GPRs to abstract values. Immutable. *)
 
   val get : t -> X86.Reg.t -> av
+
+  val set : t -> X86.Reg.t -> av -> t
+  (** Functional update — for summary-based call transfers that refine
+      a post-call state register by register. *)
+
+  val all_top : t
+  (** Every register [Top] — the entry fact, and the conservative
+      post-call state. *)
+
   val problem : t problem
   (** Entry fact: every register [Top]. Transfer recognizes the IFCC
       shapes ([lea %rip], 32-bit [sub], [and $imm], [add], reg-reg
       [mov] copies); every other write to a register — including all
       16 at a [call], which may clobber anything — demotes it to
       [Top]. *)
+
+  val problem_via : call:(Disasm.entry -> t -> t option) -> t problem
+  (** {!problem}, except a [call]/[callq *%reg] consults [call] first:
+      [Some t'] is the refined post-call state (the interprocedural
+      tier passes a {!Summary}-based transfer here — see
+      {!Summary.regs_problem_via}); [None] falls back to demoting
+      every register to [Top], so [problem_via ~call:(fun _ _ -> None)]
+      is exactly {!problem}. *)
 end

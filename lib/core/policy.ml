@@ -16,11 +16,20 @@ type context = {
   index : Analysis.t;
   cfg_perf : Sgx.Perf.t;
   cfgs : (int, Cfg.t option) Hashtbl.t;
+  callgraph_perf : Sgx.Perf.t;
+  summary_perf : Sgx.Perf.t;
+  mutable callgraph : Callgraph.t option;
+  summaries : Summary.store;
 }
 
-let context ?analysis_perf ?cfg_perf ~perf buffer symbols =
+let context ?analysis_perf ?cfg_perf ?callgraph_perf ?summary_perf ~perf buffer
+    symbols =
   let index_perf = match analysis_perf with Some p -> p | None -> perf in
   let cfg_perf = match cfg_perf with Some p -> p | None -> perf in
+  let callgraph_perf =
+    match callgraph_perf with Some p -> p | None -> perf
+  in
+  let summary_perf = match summary_perf with Some p -> p | None -> perf in
   {
     buffer;
     symbols;
@@ -28,6 +37,10 @@ let context ?analysis_perf ?cfg_perf ~perf buffer symbols =
     index = Analysis.build index_perf buffer symbols;
     cfg_perf;
     cfgs = Hashtbl.create 16;
+    callgraph_perf;
+    summary_perf;
+    callgraph = None;
+    summaries = Summary.create_store ();
   }
 
 let cfg_of ctx (fn : Analysis.func) =
@@ -37,6 +50,19 @@ let cfg_of ctx (fn : Analysis.func) =
       let c = Cfg.build ctx.cfg_perf ctx.index fn in
       Hashtbl.replace ctx.cfgs fn.Analysis.fn_addr c;
       c
+
+let callgraph_of ctx =
+  match ctx.callgraph with
+  | Some g -> g
+  | None ->
+      let g = Callgraph.build ctx.callgraph_perf ctx.index in
+      ctx.callgraph <- Some g;
+      g
+
+let summary_of ctx ~addr =
+  Summary.get ctx.summaries ctx.summary_perf ctx.index
+    ~cfg:(fun f -> cfg_of ctx f)
+    ~callgraph:(callgraph_of ctx) ~addr
 
 type t = {
   name : string;

@@ -38,19 +38,43 @@ type context = {
           like the function-hash store, a CFG is recovered (and
           charged) at most once per context, then reused by every
           flow-sensitive policy — use {!cfg_of} *)
+  callgraph_perf : Sgx.Perf.t;
+      (** the call-graph construction counter (interprocedural mode) *)
+  summary_perf : Sgx.Perf.t;
+      (** the function-summary counter (interprocedural mode) *)
+  mutable callgraph : Callgraph.t option;
+      (** the shared call graph, built (and charged) at most once per
+          context — use {!callgraph_of} *)
+  summaries : Summary.store;
+      (** the shared function-summary memo — use {!summary_of} *)
 }
 
 val context :
-  ?analysis_perf:Sgx.Perf.t -> ?cfg_perf:Sgx.Perf.t -> perf:Sgx.Perf.t ->
+  ?analysis_perf:Sgx.Perf.t -> ?cfg_perf:Sgx.Perf.t ->
+  ?callgraph_perf:Sgx.Perf.t -> ?summary_perf:Sgx.Perf.t ->
+  perf:Sgx.Perf.t ->
   Disasm.buffer -> Symhash.t -> context
 (** Build the shared index (charged to [analysis_perf] when given, else
     to [perf]) and package it with the policy-phase counter. CFG
-    recovery is charged to [cfg_perf] (default [perf]) so reports can
-    break the flow-sensitive overhead out of per-policy work. *)
+    recovery is charged to [cfg_perf], call-graph construction to
+    [callgraph_perf] and summary computation to [summary_perf] (each
+    defaulting to [perf]) so reports can break the flow-sensitive and
+    interprocedural overheads out of per-policy work. *)
 
 val cfg_of : context -> Analysis.func -> Cfg.t option
 (** Memoized {!Cfg.build} through the shared store, charged to
     [cfg_perf] on first recovery only. *)
+
+val callgraph_of : context -> Callgraph.t
+(** Memoized {!Callgraph.build}, charged to [callgraph_perf] on the
+    first request only — like the CFG store, the graph is shared by
+    every interprocedural policy in the agreed set. *)
+
+val summary_of : context -> addr:int -> Summary.t option
+(** Memoized {!Summary.get} through the shared store, charged to
+    [summary_perf]: {!Costmodel.summary_memo_lookup} per request plus
+    the full computation on the first request per function. [None]
+    when [addr] is not a function start. *)
 
 type t = {
   name : string;

@@ -61,7 +61,7 @@ let pattern_verdict idx entries (ic : Analysis.indirect_call) =
           (Printf.sprintf "indirect call at 0x%x lacks the IFCC masking sequence" addr)
   end
 
-let make ?(mode = `Flow) () =
+let make ?(mode = `Flow) ?(depth = `Intra) () =
   let check (ctx : Policy.context) =
     let idx = ctx.Policy.index in
     let perf = ctx.Policy.perf in
@@ -69,6 +69,19 @@ let make ?(mode = `Flow) () =
     let findings = ref [] in
     let note f = findings := f :: !findings in
     let note' ~addr ~code msg = note (Policy.finding ~policy:name ~addr ~code msg) in
+    (* Interprocedural depth swaps the call transfer: instead of
+       demoting every register at a call, a resolved direct call
+       applies the callee's summary — so a masking sequence established
+       in a helper survives the call and the [add]/[callq *] in the
+       caller still proves in-table. [`Intra] keeps the paper-faithful
+       conservative transfer, bit for bit. *)
+    let problem =
+      match depth with
+      | `Intra -> Dataflow.Regs.problem
+      | `Interproc ->
+          Summary.regs_problem_via ~perf
+            ~callee:(fun ~addr -> Policy.summary_of ctx ~addr)
+    in
     (* Flow mode memoizes one dataflow solution per function (the CFG
        itself is shared across policies through the context store). *)
     let solutions : (int, (Cfg.t * Dataflow.Regs.t Dataflow.solution) option) Hashtbl.t =
@@ -82,8 +95,7 @@ let make ?(mode = `Flow) () =
             match Policy.cfg_of ctx fn with
             | None -> None
             | Some cfg ->
-                Some
-                  (cfg, Dataflow.solve perf ctx.Policy.buffer cfg Dataflow.Regs.problem)
+                Some (cfg, Dataflow.solve perf ctx.Policy.buffer cfg problem)
           in
           Hashtbl.replace solutions fn.Analysis.fn_addr s;
           s
@@ -99,7 +111,7 @@ let make ?(mode = `Flow) () =
           | None -> ( match fallback with `Bad f -> note f | `Matched _ -> ())
           | Some (cfg, sol) -> (
               match
-                Dataflow.fact_at perf ctx.Policy.buffer cfg Dataflow.Regs.problem sol
+                Dataflow.fact_at perf ctx.Policy.buffer cfg problem sol
                   ~index:ic.Analysis.ic_index
               with
               | None -> () (* unreachable call site; the lint policy owns dead code *)
@@ -157,7 +169,38 @@ let make ?(mode = `Flow) () =
                   | Some f1, Some f2 -> f1.Analysis.fn_addr = f2.Analysis.fn_addr
                   | _ -> false)
             in
-            if not sound_straight_line then flow_verdict ic v)
+            let before = !findings in
+            if not sound_straight_line then flow_verdict ic v;
+            (* Interprocedural tier: every intraprocedural proof above —
+               dominance included — rests on the function having exactly
+               one entry. A direct jump from another function into this
+               one's body voids that assumption, so an accepted site in
+               a jumped-into function is rejected after all. *)
+            (match depth with
+            | `Intra -> ()
+            | `Interproc ->
+                if !findings == before then begin
+                  Sgx.Perf.count_cycles perf Costmodel.range_probe;
+                  match Analysis.function_containing idx ic.Analysis.ic_addr with
+                  | None -> ()
+                  | Some fn -> (
+                      let g = Policy.callgraph_of ctx in
+                      match
+                        Callgraph.function_index g ~addr:fn.Analysis.fn_addr
+                      with
+                      | None -> ()
+                      | Some fi -> (
+                          match Callgraph.jump_into g fi with
+                          | [] -> ()
+                          | e :: _ ->
+                              note' ~addr:ic.Analysis.ic_addr
+                                ~code:"ifcc-unmasked-interproc"
+                                (Printf.sprintf
+                                   "indirect call at 0x%x sits in a function \
+                                    entered mid-body by the jump at 0x%x: its \
+                                    masking proof does not hold"
+                                   ic.Analysis.ic_addr e.Callgraph.e_addr)))
+                end))
       idx.Analysis.indirect_calls;
     Array.iter
       (fun (_, addr) ->

@@ -30,4 +30,21 @@
     function's recovered {!Cfg.t}. A call reachable with the register
     demoted to [Top] yields [ifcc-unmasked-on-path]. *)
 
-val make : ?mode:[ `Flow | `Pattern ] -> unit -> Policy.t
+val make :
+  ?mode:[ `Flow | `Pattern ] ->
+  ?depth:[ `Intra | `Interproc ] ->
+  unit ->
+  Policy.t
+(** [depth] (default [`Intra], the paper-faithful behaviour above,
+    preserved bit for bit for Figures 4/5) selects the interprocedural
+    tier, which cuts both ways. Precision: under [`Interproc] the
+    dataflow uses {!Summary.regs_problem_via}, so a resolved direct
+    call applies the callee's summary instead of demoting every
+    register — a masking sequence established in a helper function
+    survives the call and the caller's [add; callq *] still proves
+    in-table, where [`Intra] reports [ifcc-unmasked-on-path].
+    Soundness: every intraprocedural proof assumes the function has a
+    single entry, so a site accepted by flow mode is re-rejected with
+    [ifcc-unmasked-interproc] when the shared {!Policy.callgraph_of}
+    graph records a [Jump_into] edge — another function jumping into
+    this one's body. Only [`Flow] mode consults [depth]. *)

@@ -1,0 +1,106 @@
+(* Entry-point sanitization: every enclave entry point must scrub or
+   initialize the host-controlled argument registers and flags before
+   the first instruction that consumes them, on every path. The host
+   controls all register state at EENTER, so an entry that branches on
+   inherited flags or dereferences an inherited pointer hands the host
+   a control channel into the enclave.
+
+   Entry points are identified by the interface naming convention the
+   toolchain emits: [enclave_entry] or an [ecall_] prefix. The check is
+   interprocedural by construction — a direct call applies the callee's
+   summary, so initialization delegated to a helper counts, and a
+   callee that itself consumes unsanitized state propagates the
+   obligation to the entry ({!Summary.effective_reads}). *)
+
+let name = "sanitize"
+
+let is_entry_name n =
+  n = "enclave_entry"
+  || (String.length n >= 6 && String.sub n 0 6 = "ecall_")
+
+(* Tracked argument registers in emission order (ascending register
+   number); the flags bit is reported separately. *)
+let tracked_regs = [ 1; 2; 6; 7; 8; 9 ]
+
+let finding = Policy.finding ~policy:name
+
+let make () =
+  let check (ctx : Policy.context) =
+    let perf = ctx.Policy.perf in
+    let buffer = ctx.Policy.buffer in
+    let entries = buffer.Disasm.entries in
+    let findings = ref [] in
+    let emit f = findings := f :: !findings in
+    let callee ~addr = Policy.summary_of ctx ~addr in
+    let mi = Summary.must_init_problem ~perf ~callee in
+    (* per-check must-init solution memo, mirroring the flow-mode
+       policies' per-check dataflow tables (and the VM's [san_sols]) *)
+    let sols = Hashtbl.create 4 in
+    let sol_for (fn : Analysis.func) =
+      match Hashtbl.find_opt sols fn.Analysis.fn_addr with
+      | Some s -> s
+      | None ->
+          let s =
+            match Policy.cfg_of ctx fn with
+            | None -> None
+            | Some cfg -> Some (cfg, Dataflow.solve perf buffer cfg mi)
+          in
+          Hashtbl.replace sols fn.Analysis.fn_addr s;
+          s
+    in
+    Array.iter
+      (fun (fn : Analysis.func) ->
+        Sgx.Perf.count_cycles perf Costmodel.policy_step;
+        if is_entry_name fn.Analysis.fn_name then begin
+          match fn.Analysis.fn_slice with
+          | None ->
+              emit
+                (finding ~addr:fn.Analysis.fn_addr
+                   ~code:"sanitize-entry-outside-code"
+                   (Printf.sprintf "entry point %s has no decoded instructions"
+                      fn.Analysis.fn_name))
+          | Some (lo, hi) -> (
+              match sol_for fn with
+              | None ->
+                  emit
+                    (finding ~addr:fn.Analysis.fn_addr
+                       ~code:"sanitize-entry-outside-code"
+                       (Printf.sprintf
+                          "entry point %s has no decoded instructions"
+                          fn.Analysis.fn_name))
+              | Some (cfg, sol) ->
+                  for i = lo to min hi (Array.length entries) - 1 do
+                    Sgx.Perf.count_cycles perf Costmodel.policy_step;
+                    match Dataflow.fact_at perf buffer cfg mi sol ~index:i with
+                    | None -> () (* unreachable: no path consumes anything *)
+                    | Some fact ->
+                        let viol =
+                          Summary.effective_reads ~callee entries.(i)
+                          land (Summary.all_state - fact)
+                          land Summary.sanitize_mask
+                        in
+                        let addr = entries.(i).Disasm.addr in
+                        List.iter
+                          (fun rn ->
+                            if viol land (1 lsl rn) <> 0 then
+                              emit
+                                (finding ~addr ~code:"sanitize-unscrubbed-reg"
+                                   (Printf.sprintf
+                                      "entry point reads %s before sanitizing \
+                                       it"
+                                      (X86.Reg.name64 (X86.Reg.of_number rn)))))
+                          tracked_regs;
+                        if viol land (1 lsl Summary.flags_bit) <> 0 then
+                          emit
+                            (finding ~addr ~code:"sanitize-unscrubbed-flags"
+                               "entry point branches on host-controlled flags \
+                                before defining them")
+                  done)
+        end)
+      ctx.Policy.index.Analysis.functions;
+    Policy.of_findings
+      (List.stable_sort
+         (fun (a : Policy.finding) b -> compare a.Policy.addr b.Policy.addr)
+         (List.rev !findings))
+  in
+  { Policy.name; check }

@@ -8,7 +8,7 @@ let stack_store = Patterns.stack_store
 let canary_load_into = Patterns.canary_load_into
 let defines = Patterns.defines
 
-let make ?(exempt = []) ?(mode = `Flow) () =
+let make ?(exempt = []) ?(mode = `Flow) ?(depth = `Intra) () =
   let exempt_tbl = Hashtbl.create 64 in
   List.iter (fun n -> Hashtbl.replace exempt_tbl n ()) exempt;
   let check (ctx : Policy.context) =
@@ -125,7 +125,98 @@ let make ?(exempt = []) ?(mode = `Flow) () =
                                 end
                           end
                         done;
-                        List.rev !bad
+                        (* Interprocedural tier: a [ret] is not the only
+                           way out of a protected function. A tail
+                           transfer to a {e returning} callee ends the
+                           frame just as surely, so the canary check
+                           must dominate the tail site too — a callee
+                           that never returns ([__stack_chk_fail]) is
+                           exempt. *)
+                        let tail_bad =
+                          match depth with
+                          | `Intra -> []
+                          | `Interproc -> (
+                              let g = Policy.callgraph_of ctx in
+                              match
+                                Callgraph.function_index g
+                                  ~addr:f.Analysis.fn_addr
+                              with
+                              | None -> []
+                              | Some fi ->
+                                  List.filter_map
+                                    (fun (e : Callgraph.edge) ->
+                                      if e.Callgraph.e_kind <> Callgraph.Tail
+                                      then None
+                                      else begin
+                                        Sgx.Perf.count_cycles perf
+                                          Costmodel.policy_step;
+                                        let callee_returns =
+                                          match
+                                            Policy.summary_of ctx
+                                              ~addr:e.Callgraph.e_target
+                                          with
+                                          | Some s -> s.Summary.s_returns
+                                          | None -> true
+                                        in
+                                        if not callee_returns then None
+                                        else
+                                          match
+                                            Disasm.index_of_addr b
+                                              e.Callgraph.e_addr
+                                          with
+                                          | None -> None
+                                          | Some ji -> (
+                                              match
+                                                Cfg.block_of_index cfg ji
+                                              with
+                                              | None -> None
+                                              | Some jb ->
+                                                  if
+                                                    not cfg.Cfg.reachable.(jb)
+                                                  then None
+                                                  else begin
+                                                    let guarded =
+                                                      List.exists
+                                                        (fun sb ->
+                                                          Sgx.Perf.count_cycles
+                                                            perf
+                                                            Costmodel.dom_step;
+                                                          Cfg.dominates cfg sb
+                                                            jb)
+                                                        site_blocks
+                                                    in
+                                                    if guarded then None
+                                                    else
+                                                      Some
+                                                        (Policy.finding
+                                                           ~policy:name
+                                                           ~addr:
+                                                             e.Callgraph.e_addr
+                                                           ~code:
+                                                             "stack-ret-unprotected-interproc"
+                                                           (Printf.sprintf
+                                                              "function %s can \
+                                                               return through \
+                                                               the tail call \
+                                                               at 0x%x \
+                                                               without \
+                                                               passing the \
+                                                               canary check"
+                                                              f.Analysis
+                                                                .fn_name
+                                                              e.Callgraph
+                                                                .e_addr))
+                                                  end)
+                                      end)
+                                    (Callgraph.edges_from g fi))
+                        in
+                        (match tail_bad with
+                        | [] -> List.rev !bad
+                        | l ->
+                            List.stable_sort
+                              (fun (a : Policy.finding) b ->
+                                compare a.Policy.addr b.Policy.addr)
+                              (List.rev !bad @ l))
                   end
                 end
             end

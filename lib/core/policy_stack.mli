@@ -35,4 +35,20 @@
     size plus CFG cost — on large single-epilogue functions (401.bzip2)
     it is far cheaper than the paper's quadratic probe. *)
 
-val make : ?exempt:string list -> ?mode:[ `Flow | `Pattern ] -> unit -> Policy.t
+val make :
+  ?exempt:string list ->
+  ?mode:[ `Flow | `Pattern ] ->
+  ?depth:[ `Intra | `Interproc ] ->
+  unit ->
+  Policy.t
+(** [depth] (default [`Intra], the paper-faithful behaviour above,
+    preserved bit for bit for Figures 4/5) selects the interprocedural
+    tier: under [`Interproc], flow mode additionally requires the
+    canary check to dominate every {e tail} exit — a direct jump to
+    another function ends the frame exactly like a [ret], so a
+    reachable tail site outside the check's dominance whose callee can
+    return (per its {!Summary.t}; never-returning callees like
+    [__stack_chk_fail] are exempt) yields
+    [stack-ret-unprotected-interproc] at the jump vaddr. Tail edges
+    come from the shared {!Policy.callgraph_of} graph. Only [`Flow]
+    mode consults [depth]. *)

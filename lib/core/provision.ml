@@ -481,6 +481,7 @@ let inspect c ~report ~enclave ~host ~policies ~hash_runner ~on_event ~spec ~tot
   (* --- policy modules --- *)
   let ctx =
     Policy.context ~analysis_perf:report.Report.analysis ~cfg_perf:report.Report.cfg
+      ~callgraph_perf:report.Report.callgraph ~summary_perf:report.Report.summary
       ~perf:report.Report.policy buffer symbols
   in
   (* Adopt the pipeline's speculative digests. A digest is used only

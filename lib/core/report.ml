@@ -3,6 +3,8 @@ type t = {
   disassembly : Sgx.Perf.t;
   analysis : Sgx.Perf.t;
   cfg : Sgx.Perf.t;
+  callgraph : Sgx.Perf.t;
+  summary : Sgx.Perf.t;
   policy : Sgx.Perf.t;
   loading : Sgx.Perf.t;
   provisioning : Sgx.Perf.t;
@@ -14,6 +16,8 @@ let create () =
     disassembly = Sgx.Perf.create ();
     analysis = Sgx.Perf.create ();
     cfg = Sgx.Perf.create ();
+    callgraph = Sgx.Perf.create ();
+    summary = Sgx.Perf.create ();
     policy = Sgx.Perf.create ();
     loading = Sgx.Perf.create ();
     provisioning = Sgx.Perf.create ();
@@ -25,6 +29,8 @@ type row = {
   disassembly_cycles : int;
   analysis_cycles : int;
   cfg_cycles : int;
+  callgraph_cycles : int;
+  summary_cycles : int;
   policy_cycles : int;
   loading_cycles : int;
 }
@@ -32,16 +38,23 @@ type row = {
 let row ~benchmark t =
   let analysis_cycles = Sgx.Perf.total_cycles t.analysis in
   let cfg_cycles = Sgx.Perf.total_cycles t.cfg in
+  let callgraph_cycles = Sgx.Perf.total_cycles t.callgraph in
+  let summary_cycles = Sgx.Perf.total_cycles t.summary in
   {
     benchmark;
     n_instructions = t.instructions;
     disassembly_cycles = Sgx.Perf.total_cycles t.disassembly;
     analysis_cycles;
     cfg_cycles;
+    callgraph_cycles;
+    summary_cycles;
     (* The paper's "Policy Checking" column is the whole phase: shared
-       index construction, CFG recovery (flow mode) and per-policy
+       index construction, CFG recovery (flow mode), the
+       interprocedural tier (call graph + summaries) and per-policy
        visitors. *)
-    policy_cycles = analysis_cycles + cfg_cycles + Sgx.Perf.total_cycles t.policy;
+    policy_cycles =
+      analysis_cycles + cfg_cycles + callgraph_cycles + summary_cycles
+      + Sgx.Perf.total_cycles t.policy;
     loading_cycles = Sgx.Perf.total_cycles t.loading;
   }
 

@@ -13,6 +13,13 @@ type t = {
       (** per-function CFG recovery ({!Cfg.build}) through the shared
           context memo — like [analysis], amortized across every
           flow-sensitive policy in the agreed set *)
+  callgraph : Sgx.Perf.t;
+      (** call-graph construction ({!Callgraph.build}) through the
+          shared context memo — charged once per inspection, on first
+          interprocedural demand *)
+  summary : Sgx.Perf.t;
+      (** function-summary computation and memo lookups ({!Summary}) —
+          the per-callee share of the interprocedural tier *)
   policy : Sgx.Perf.t;
   loading : Sgx.Perf.t;
   provisioning : Sgx.Perf.t;
@@ -30,9 +37,14 @@ type row = {
       (** index-build share of [policy_cycles], broken out *)
   cfg_cycles : int;
       (** CFG-recovery share of [policy_cycles], broken out *)
+  callgraph_cycles : int;
+      (** call-graph-construction share of [policy_cycles], broken out *)
+  summary_cycles : int;
+      (** function-summary share of [policy_cycles], broken out *)
   policy_cycles : int;
       (** the paper's "Policy Checking" column: index build plus CFG
-          recovery plus all per-policy visitor work *)
+          recovery plus the interprocedural tier plus all per-policy
+          visitor work *)
   loading_cycles : int;
 }
 

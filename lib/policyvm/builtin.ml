@@ -771,5 +771,101 @@ let lint () =
                ]) );
   }
 
+(* ---- sanitize (entry-point sanitization, interprocedural) ---------- *)
+
+(* Finding messages must match the native policy byte for byte; register
+   names carry a literal '%' that the VM's format interpreter would
+   otherwise read as a directive. *)
+let pct_escape s = String.concat "%%" (String.split_on_char '%' s)
+
+let sanitize () =
+  let fi = 0 and slice = 1 and i = 2 and fact = 3 and viol = 4 in
+  let outside_code =
+    emit ~code:"sanitize-entry-outside-code"
+      ~addr:(prim P_fn_addr [ v fi ])
+      ~fmt:"entry point %s has no decoded instructions"
+      [ prim P_fn_name [ v fi ] ]
+  in
+  let viol_bit bit = not_ (land_ (v viol) (ci (1 lsl bit)) =: ci 0) in
+  let reg_check rn =
+    if_ (viol_bit rn)
+      (emit ~code:"sanitize-unscrubbed-reg"
+         ~addr:(prim P_entry_addr [ v i ])
+         ~fmt:
+           ("entry point reads "
+           ^ pct_escape (X86.Reg.name64 (X86.Reg.of_number rn))
+           ^ " before sanitizing it")
+         [])
+  in
+  {
+    name = "sanitize";
+    locals = 5;
+    sort_findings = true;
+    tables = [||];
+    body =
+      For
+        ( fi,
+          ci 0,
+          prim P_num_functions [],
+          Seq
+            [
+              Charge (C_policy_step, 1);
+              if_
+                (prim P_fn_is_entry [ v fi ])
+                (Seq
+                   [
+                     Set (slice, prim P_fn_slice [ v fi ]);
+                     If
+                       ( is_none (v slice),
+                         outside_code,
+                         If
+                           ( not_ (prim P_has_cfg [ v fi ]),
+                             outside_code,
+                             For
+                               ( i,
+                                 fst_ (get (v slice)),
+                                 min_ (snd_ (get (v slice))) (prim P_num_entries []),
+                                 Seq
+                                   [
+                                     Charge (C_policy_step, 1);
+                                     Set (fact, prim P_san_fact [ v fi; v i ]);
+                                     if_ (is_some (v fact))
+                                       (Seq
+                                          ([
+                                             Set
+                                               ( viol,
+                                                 land_
+                                                   (land_
+                                                      (prim P_san_reads [ v i ])
+                                                      (ci Engarde.Summary.all_state
+                                                      -: get (v fact)))
+                                                   (ci Engarde.Summary.sanitize_mask)
+                                               );
+                                           ]
+                                          @ List.map reg_check
+                                              Engarde.Policy_sanitize.tracked_regs
+                                          @ [
+                                              if_
+                                                (viol_bit Engarde.Summary.flags_bit)
+                                                (emit
+                                                   ~code:"sanitize-unscrubbed-flags"
+                                                   ~addr:(prim P_entry_addr [ v i ])
+                                                   ~fmt:
+                                                     "entry point branches on \
+                                                      host-controlled flags before \
+                                                      defining them"
+                                                   []);
+                                            ]));
+                                   ] ) ) );
+                   ]);
+            ] );
+  }
+
 let all ~db ~exempt =
-  [ ("libc", libc ~db); ("stack", stack ~exempt); ("ifcc", ifcc ()); ("lint", lint ()) ]
+  [
+    ("libc", libc ~db);
+    ("stack", stack ~exempt);
+    ("ifcc", ifcc ());
+    ("lint", lint ());
+    ("sanitize", sanitize ());
+  ]

@@ -28,6 +28,7 @@ let prims =
     P_has_cfg; P_num_blocks; P_block_lo; P_block_hi; P_block_addr;
     P_block_padding; P_block_reachable; P_block_of_index; P_dominates;
     P_fact_before;
+    P_fn_is_entry; P_san_reads; P_san_fact;
   |]
 
 let index_of arr x =

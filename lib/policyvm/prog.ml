@@ -101,6 +101,10 @@ type prim =
   | P_dominates
   (* dataflow *)
   | P_fact_before
+  (* interprocedural tier (appended: wire numbering is append-only) *)
+  | P_fn_is_entry
+  | P_san_reads
+  | P_san_fact
 
 type expr =
   | Const of const

@@ -109,6 +109,18 @@ type prim =
   | P_block_of_index
   | P_dominates
   | P_fact_before
+  | P_fn_is_entry
+      (** [fi → bool]: is function [fi] an enclave entry point by the
+          toolchain naming convention ({!Engarde.Policy_sanitize.is_entry_name}) *)
+  | P_san_reads
+      (** [i → int]: the state mask ({!Engarde.Summary} bit convention)
+          instruction [i] may consume, with direct calls resolved
+          through callee summaries — {!Engarde.Summary.effective_reads} *)
+  | P_san_fact
+      (** [fi i → int option]: the must-initialized state mask holding
+          just before instruction [i] of function [fi] under the
+          interprocedural must-init dataflow; [None] when the function
+          has no CFG or the instruction is unreachable *)
 
 type expr =
   | Const of const

@@ -40,6 +40,11 @@ type state = {
       (* per-run dataflow memo, mirroring the native policies'
          per-check [solutions] tables (the CFG itself is shared across
          policies through [Policy.cfg_of]) *)
+  san_sols : (int, (Cfg.t * int Dataflow.solution) option) Hashtbl.t;
+      (* per-run must-init memo for the sanitize primitives, mirroring
+         the native sanitize policy's per-check [sols] table (function
+         summaries are shared across policies through
+         [Policy.summary_of]) *)
 }
 
 let stop e = raise (Stop e)
@@ -128,6 +133,32 @@ let solution_for st fi =
                   Dataflow.Regs.problem )
       in
       Hashtbl.replace st.sols fn.Analysis.fn_addr s;
+      s
+
+(* The sanitize primitives' must-init dataflow: same callee resolution,
+   same perf, same memo discipline as the native sanitize policy, so VM
+   and native runs charge bit-identical modelled cycles. *)
+let san_callee st ~addr = Policy.summary_of st.ctx ~addr
+
+let san_problem st =
+  Summary.must_init_problem ~perf:st.ctx.Policy.perf ~callee:(fun ~addr ->
+      san_callee st ~addr)
+
+let san_solution_for st fi =
+  let fn = func st fi in
+  match Hashtbl.find_opt st.san_sols fn.Analysis.fn_addr with
+  | Some s -> s
+  | None ->
+      let s =
+        match Policy.cfg_of st.ctx fn with
+        | None -> None
+        | Some cfg ->
+            Some
+              ( cfg,
+                Dataflow.solve st.ctx.Policy.perf st.ctx.Policy.buffer cfg
+                  (san_problem st) )
+      in
+      Hashtbl.replace st.san_sols fn.Analysis.fn_addr s;
       s
 
 let fact_before st fi index r =
@@ -301,6 +332,24 @@ let prim_eval st p (args : value list) =
       let i = int_of i in
       ignore (entry st i);
       fact_before st (int_of fi) i (reg_of r)
+  | P_fn_is_entry ->
+      vbool (Policy_sanitize.is_entry_name (func st (int_of (a1 ()))).Analysis.fn_name)
+  | P_san_reads ->
+      vint
+        (Summary.effective_reads
+           ~callee:(fun ~addr -> san_callee st ~addr)
+           (entry st (int_of (a1 ()))))
+  | P_san_fact -> (
+      let fi, i = a2 () in
+      let i = int_of i in
+      ignore (entry st i);
+      match san_solution_for st (int_of fi) with
+      | None -> VNone
+      | Some (cfg, sol) ->
+          vopt
+            (Option.map vint
+               (Dataflow.fact_at st.ctx.Policy.perf st.ctx.Policy.buffer cfg
+                  (san_problem st) sol ~index:i)))
 
 (* ---- findings ------------------------------------------------------ *)
 
@@ -465,6 +514,7 @@ let run ?fuel ?(vm_perf = Sgx.Perf.create ()) ?tables (p : Prog.t)
       steps = 0;
       findings = [];
       sols = Hashtbl.create 8;
+      san_sols = Hashtbl.create 8;
     }
   in
   let verdict =

@@ -29,6 +29,8 @@ type t = {
   cache_hits : int Atomic.t;
   disassembly : int Atomic.t;
   policy : int Atomic.t;
+  callgraph : int Atomic.t;
+  summary : int Atomic.t;
   loading : int Atomic.t;
   provisioning : int Atomic.t;
   runs : int Atomic.t;          (* real pipeline executions, incl. retries *)
@@ -74,6 +76,8 @@ let create () =
     cache_hits = Atomic.make 0;
     disassembly = Atomic.make 0;
     policy = Atomic.make 0;
+    callgraph = Atomic.make 0;
+    summary = Atomic.make 0;
     loading = Atomic.make 0;
     provisioning = Atomic.make 0;
     runs = Atomic.make 0;
@@ -119,9 +123,11 @@ let job_completed t ~cache_hit =
 let job_failed t = incr t.failed
 let job_retried t = incr t.retried
 
-let observe_run t ~disassembly ~policy ~loading ~provisioning =
+let observe_run t ~disassembly ~policy ~callgraph ~summary ~loading ~provisioning =
   addto t.disassembly disassembly;
   addto t.policy policy;
+  addto t.callgraph callgraph;
+  addto t.summary summary;
   addto t.loading loading;
   addto t.provisioning provisioning;
   incr t.runs
@@ -278,6 +284,8 @@ let render ?shards t ~queue ~cache =
   line "channel_speculative_adopted_total %d" (Atomic.get t.spec_adopted);
   line "phase_cycles_total{phase=\"disassembly\"} %d" (Atomic.get t.disassembly);
   line "phase_cycles_total{phase=\"policy\"} %d" (Atomic.get t.policy);
+  line "analysis_callgraph_cycles_total %d" (Atomic.get t.callgraph);
+  line "analysis_summary_cycles_total %d" (Atomic.get t.summary);
   line "phase_cycles_total{phase=\"loading\"} %d" (Atomic.get t.loading);
   line "phase_cycles_total{phase=\"provisioning\"} %d" (Atomic.get t.provisioning);
   (* Cumulative, as Prometheus histograms are. *)

@@ -42,9 +42,21 @@ val job_completed : t -> cache_hit:bool -> unit
 val job_failed : t -> unit
 val job_retried : t -> unit
 
-val observe_run : t -> disassembly:int -> policy:int -> loading:int -> provisioning:int -> unit
-(** Charge one real pipeline execution's per-phase cycles. Cache hits
-    observe nothing — that is the amortization the cache exists for. *)
+val observe_run :
+  t ->
+  disassembly:int ->
+  policy:int ->
+  callgraph:int ->
+  summary:int ->
+  loading:int ->
+  provisioning:int ->
+  unit
+(** Charge one real pipeline execution's per-phase cycles. [callgraph]
+    and [summary] are the interprocedural-tier shares of the policy
+    phase, broken out as [analysis_callgraph_cycles_total] /
+    [analysis_summary_cycles_total] (zero unless an agreed policy
+    demanded the call graph or callee summaries). Cache hits observe
+    nothing — that is the amortization the cache exists for. *)
 
 val observe_latency : t -> cycles:int -> unit
 (** Total modelled cycles a job spent across all its attempts. *)

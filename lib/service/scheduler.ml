@@ -97,16 +97,22 @@ let parallel_config ?(config = default_config) ~domains () =
     pool )
 
 let known_policies =
-  [ "libc"; "stack"; "ifcc"; "lint"; "stack-pattern"; "ifcc-pattern" ]
+  [
+    "libc"; "stack"; "ifcc"; "lint"; "sanitize";
+    "stack-pattern"; "ifcc-pattern";
+    "stack-interproc"; "ifcc-interproc";
+  ]
 
-let vm_builtins = [ "libc"; "stack"; "ifcc"; "lint" ]
+let vm_builtins = [ "libc"; "stack"; "ifcc"; "lint"; "sanitize" ]
 
-(* Canonical blobs for the negotiated program set. The four flow
+(* Canonical blobs for the negotiated program set. The five flow
    policies travel as real VM programs. The pattern-mode baselines have
    no DSL transcription (their quadratic window scans are what the flow
-   policies exist to replace), so they contribute an opaque native
-   marker: the negotiated digest still commits to their selection, and
-   both engines execute them natively. *)
+   policies exist to replace), and the interprocedural depth variants
+   deliberately stay native on both engines until the call-graph fact
+   interface is stable enough to freeze into the wire format — so each
+   contributes an opaque native marker: the negotiated digest still
+   commits to their selection, and both engines execute them natively. *)
 let native_marker name = "EGNATIVE1\x00" ^ name
 
 let builtin_programs ~db =
@@ -116,7 +122,7 @@ let builtin_blobs ~db =
   List.map (fun (n, p) -> (n, Policyvm.Encode.to_bytes p)) (builtin_programs ~db)
   @ List.map
       (fun n -> (n, native_marker n))
-      [ "stack-pattern"; "ifcc-pattern" ]
+      [ "stack-pattern"; "ifcc-pattern"; "stack-interproc"; "ifcc-interproc" ]
 
 let policies_of_names ~db names =
   let rec go acc = function
@@ -126,6 +132,17 @@ let policies_of_names ~db names =
         go (Engarde.Policy_stack.make ~exempt:Toolchain.Libc.function_names () :: acc) rest
     | "ifcc" :: rest -> go (Engarde.Policy_ifcc.make () :: acc) rest
     | "lint" :: rest -> go (Engarde.Policy_lint.make () :: acc) rest
+    | "sanitize" :: rest -> go (Engarde.Policy_sanitize.make () :: acc) rest
+    (* The interprocedural tier: dominance and masking proofs carried
+       across call edges through function summaries. *)
+    | "stack-interproc" :: rest ->
+        go
+          (Engarde.Policy_stack.make ~exempt:Toolchain.Libc.function_names
+             ~depth:`Interproc ()
+          :: acc)
+          rest
+    | "ifcc-interproc" :: rest ->
+        go (Engarde.Policy_ifcc.make ~depth:`Interproc () :: acc) rest
     (* The paper's peephole baselines, kept addressable so clients can
        request (and audit logs can distinguish) the unsound mode. *)
     | "stack-pattern" :: rest ->
@@ -461,6 +478,8 @@ let verdict_of_outcome (o : Engarde.Provision.outcome) =
     disassembly_cycles = Sgx.Perf.total_cycles report.Engarde.Report.disassembly;
     policy_cycles =
       Sgx.Perf.total_cycles report.Engarde.Report.analysis
+      + Sgx.Perf.total_cycles report.Engarde.Report.callgraph
+      + Sgx.Perf.total_cycles report.Engarde.Report.summary
       + Sgx.Perf.total_cycles report.Engarde.Report.policy;
     loading_cycles = Sgx.Perf.total_cycles report.Engarde.Report.loading;
     findings = Engarde.Provision.findings o;
@@ -548,10 +567,16 @@ let finish_attempt t ~worker a outcome =
   let report = outcome.Engarde.Provision.report in
   let phase p = Sgx.Perf.total_cycles p in
   let disassembly = phase report.Engarde.Report.disassembly in
-  let policy = phase report.Engarde.Report.analysis + phase report.Engarde.Report.policy in
+  let callgraph = phase report.Engarde.Report.callgraph in
+  let summary = phase report.Engarde.Report.summary in
+  let policy =
+    phase report.Engarde.Report.analysis + phase report.Engarde.Report.policy
+    + callgraph + summary
+  in
   let loading = phase report.Engarde.Report.loading in
   let provisioning = phase report.Engarde.Report.provisioning in
-  Metrics.observe_run t.metrics ~disassembly ~policy ~loading ~provisioning;
+  Metrics.observe_run t.metrics ~disassembly ~policy ~callgraph ~summary ~loading
+    ~provisioning;
   a.cycles <- a.cycles + disassembly + policy + loading + provisioning;
   (match outcome.Engarde.Provision.channel_stats with
   | None -> ()

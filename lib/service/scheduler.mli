@@ -69,11 +69,12 @@ type config = {
   libc_db : Toolchain.Libc.version;
       (** the provider's reference hash database — part of the cache key *)
   engine : [ `Vm | `Native ];
-      (** how the four builtin flow policies execute: as negotiated VM
+      (** how the five builtin flow policies execute: as negotiated VM
           programs ([`Vm], the default) or as the native OCaml modules
           ([`Native], the differential oracle). Pattern-mode baselines
-          are native under both; verdicts, findings and modelled policy
-          cycles are identical either way. *)
+          and the interprocedural depth variants are native under both;
+          verdicts, findings and modelled policy cycles are identical
+          either way. *)
   programs : (string * string) list;
       (** additional negotiable policy programs, [(name, canonical
           blob)] — the point of the VM: a new check is service data,
@@ -140,8 +141,11 @@ val parallel_config : ?config:config -> domains:int -> unit -> config * Pool.t
 
 val known_policies : string list
 (** The builtin policy names every scheduler accepts: "libc", "stack",
-    "ifcc", "lint", plus the paper-baseline "stack-pattern" /
-    "ifcc-pattern" peephole modes. (The library also ships a
+    "ifcc", "lint", "sanitize", plus the paper-baseline
+    "stack-pattern" / "ifcc-pattern" peephole modes and the
+    summary-driven "stack-interproc" / "ifcc-interproc" depth variants
+    (native under both engines; their call-graph facts are not yet
+    frozen into the VM wire format). (The library also ships a
     [Policy_malware] module, but it needs a caller-supplied signature
     database and is deliberately not name-addressable here.) *)
 

@@ -341,13 +341,34 @@ let build ?(seed = "engarde-workload") ?(libc = Libc.V1_0_5) inst bench =
 (* Adversarial fixtures                                                *)
 (* ------------------------------------------------------------------ *)
 
-type adversarial = Jump_past_mask | Early_ret
+type adversarial =
+  | Jump_past_mask
+  | Early_ret
+  | Jump_into_mask
+  | Tail_call_skip
+  | Mask_in_callee
+  | Unsanitized_entry
+  | Giant of int
 
-let adversarial_all = [ Jump_past_mask; Early_ret ]
+let adversarial_all =
+  [
+    Jump_past_mask;
+    Early_ret;
+    Jump_into_mask;
+    Tail_call_skip;
+    Mask_in_callee;
+    Unsanitized_entry;
+    Giant 16;
+  ]
 
 let adversarial_to_string = function
   | Jump_past_mask -> "jump-past-mask"
   | Early_ret -> "early-ret"
+  | Jump_into_mask -> "jump-into-mask"
+  | Tail_call_skip -> "tail-call-skip"
+  | Mask_in_callee -> "mask-in-callee"
+  | Unsanitized_entry -> "unsanitized-entry"
+  | Giant n -> Printf.sprintf "giant-%d" n
 
 (* A conditional branch lands directly on the indirect call, skipping
    the IFCC masking sequence. The five instructions textually before
@@ -422,6 +443,176 @@ let early_ret_funcs () =
   in
   [ Codegen.gen_start ~main:"guarded"; guarded; chk_fail ]
 
+(* The victim function's masked indirect call is perfectly protected
+   within its own CFG — the mask dominates the call — but another
+   function jumps straight onto the call instruction. Every
+   intraprocedural proof assumes a single entry, so intra flow mode
+   accepts; only the call graph's [Jump_into] edge exposes the hole. *)
+let jump_into_mask_funcs () =
+  let open X86 in
+  let ic = "victim$ic" in
+  let victim =
+    { Asm.fname = "victim";
+      items =
+        [
+          Asm.Lea_sym (Reg.RCX, Codegen.jump_table_entry_sym 0);
+          Asm.Lea_sym (Reg.RAX, Codegen.jump_table_sym);
+          Asm.Ins (Insn.sub_rr ~w:Insn.W32 Reg.RAX Reg.RCX);
+          Asm.Ins (Insn.and_ri Reg.RCX 0x1ff8);
+          Asm.Ins (Insn.add_rr Reg.RAX Reg.RCX);
+          Asm.Label ic;
+          Asm.Ins (Insn.call_ind Reg.RCX);
+          Asm.Ins Insn.ret;
+        ] }
+  in
+  let evil = { Asm.fname = "evil"; items = [ Asm.Jmp_sym ic ] } in
+  let dest = { Asm.fname = "dest"; items = [ Asm.Ins Insn.ret ] } in
+  [
+    Codegen.gen_start ~main:"victim";
+    victim;
+    evil;
+    Codegen.gen_jump_table ~targets:[ "dest"; "dest" ];
+    dest;
+  ]
+
+(* A correct canary prologue, compare and guarded [ret] — but a
+   conditional tail jump to a returning function exits the frame before
+   the compare. No [ret] is unguarded, so intra flow mode accepts; the
+   interprocedural tier sees the [Tail] edge to a callee whose summary
+   says it returns. *)
+let tail_call_skip_funcs () =
+  let open X86 in
+  let fail = "protected$fail" in
+  let protected_fn =
+    { Asm.fname = "protected";
+      items =
+        [
+          Asm.Ins (Insn.push Reg.RBP);
+          Asm.Ins (Insn.mov_rr Reg.RSP Reg.RBP);
+          Asm.Ins (Insn.sub_ri Reg.RSP 0x18);
+          Asm.Ins (Insn.mov_fs_canary Reg.RAX);
+          Asm.Ins (Insn.store_rsp Reg.RAX);
+          Asm.Ins (Insn.test_rr Reg.RDI Reg.RDI);
+          Asm.Jcc_sym (Insn.E, "tailee");
+          Asm.Ins (Insn.mov_fs_canary Reg.RCX);
+          Asm.Ins (Insn.cmp_rsp Reg.RCX);
+          Asm.Jcc_sym (Insn.NE, fail);
+          Asm.Ins (Insn.add_ri Reg.RSP 0x18);
+          Asm.Ins (Insn.pop Reg.RBP);
+          Asm.Ins Insn.ret;
+          Asm.Label fail;
+          Asm.Call_sym Codegen.stack_chk_fail_sym;
+          Asm.Ins Insn.ud2;
+        ] }
+  in
+  let tailee = { Asm.fname = "tailee"; items = [ Asm.Ins Insn.ret ] } in
+  let chk_fail =
+    { Asm.fname = Codegen.stack_chk_fail_sym; items = [ Asm.Ins Insn.ud2 ] }
+  in
+  [ Codegen.gen_start ~main:"protected"; protected_fn; tailee; chk_fail ]
+
+(* The masking sequence lives in a helper; the caller issues the
+   indirect call right after the helper returns with the masked target
+   still in %rcx. The intraprocedural transfer demotes every register
+   at the call, so intra flow mode rejects a binary that is actually
+   compliant; applying the helper's summary recovers the proof — the
+   precision direction of the interprocedural tier. *)
+let mask_in_callee_funcs () =
+  let open X86 in
+  let helper =
+    { Asm.fname = "mask_helper";
+      items =
+        [
+          Asm.Lea_sym (Reg.RCX, Codegen.jump_table_entry_sym 0);
+          Asm.Lea_sym (Reg.RAX, Codegen.jump_table_sym);
+          Asm.Ins (Insn.sub_rr ~w:Insn.W32 Reg.RAX Reg.RCX);
+          Asm.Ins (Insn.and_ri Reg.RCX 0x1ff8);
+          Asm.Ins (Insn.add_rr Reg.RAX Reg.RCX);
+          Asm.Ins Insn.ret;
+        ] }
+  in
+  let caller =
+    { Asm.fname = "caller";
+      items =
+        [
+          Asm.Call_sym "mask_helper";
+          Asm.Label "caller$ic";
+          Asm.Ins (Insn.call_ind Reg.RCX);
+          Asm.Ins Insn.ret;
+        ] }
+  in
+  let dest = { Asm.fname = "dest"; items = [ Asm.Ins Insn.ret ] } in
+  [
+    Codegen.gen_start ~main:"caller";
+    caller;
+    helper;
+    Codegen.gen_jump_table ~targets:[ "dest"; "dest" ];
+    dest;
+  ]
+
+(* An ecall entry point that branches on host-controlled flags and
+   reads %rdi before scrubbing either; a sibling entry that scrubs
+   first and stays clean. Only the sanitize policy sees anything. *)
+let unsanitized_entry_funcs () =
+  let open X86 in
+  let out = "ecall_handler$out" in
+  let handler =
+    { Asm.fname = "ecall_handler";
+      items =
+        [
+          Asm.Jcc_sym (Insn.E, out);
+          Asm.Ins (Insn.mov_rr Reg.RDI Reg.RAX);
+          Asm.Label out;
+          Asm.Ins Insn.ret;
+        ] }
+  in
+  let clean =
+    { Asm.fname = "ecall_clean";
+      items =
+        [
+          Asm.Ins (Insn.xor_rr Reg.RDI Reg.RDI);
+          Asm.Ins (Insn.mov_rr Reg.RDI Reg.RCX);
+          Asm.Ins Insn.ret;
+        ] }
+  in
+  [ Codegen.gen_start ~main:"ecall_handler"; handler; clean ]
+
+(* A fully compliant call chain of [n] functions under a sanitized
+   entry point: no policy finds anything, but every function needs a
+   summary — the memoization benchmark's raw material. *)
+let giant_funcs n =
+  let open X86 in
+  let chain k = Printf.sprintf "chain_%04d" k in
+  let chain_fn k =
+    { Asm.fname = chain k;
+      items =
+        [
+          Asm.Ins (Insn.push Reg.RBP);
+          Asm.Ins (Insn.mov_ri Reg.RAX (k + 1));
+          Asm.Ins (Insn.add_ri Reg.RAX 1);
+          Asm.Ins (Insn.shl_ri Reg.RAX 2);
+          Asm.Ins (Insn.mov_ri Reg.RDX 7);
+          Asm.Ins (Insn.imul_rr Reg.RDX Reg.RAX);
+        ]
+        @ (if k + 1 < n then [ Asm.Call_sym (chain (k + 1)) ] else [])
+        @ [ Asm.Ins (Insn.pop Reg.RBP); Asm.Ins Insn.ret ] }
+  in
+  let entry =
+    { Asm.fname = "ecall_giant";
+      items =
+        [
+          Asm.Ins (Insn.xor_rr Reg.RDI Reg.RDI);
+          Asm.Call_sym (chain 0);
+          Asm.Ins Insn.ret;
+        ] }
+  in
+  [ Codegen.gen_start ~main:"ecall_giant"; entry ] @ List.init n chain_fn
+
 let adversarial_funcs = function
   | Jump_past_mask -> jump_past_mask_funcs ()
   | Early_ret -> early_ret_funcs ()
+  | Jump_into_mask -> jump_into_mask_funcs ()
+  | Tail_call_skip -> tail_call_skip_funcs ()
+  | Mask_in_callee -> mask_in_callee_funcs ()
+  | Unsanitized_entry -> unsanitized_entry_funcs ()
+  | Giant n -> giant_funcs (max 1 n)

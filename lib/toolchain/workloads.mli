@@ -71,8 +71,9 @@ val build :
 
 (** {1 Adversarial fixtures}
 
-    Two tiny binaries that defeat the paper's window-based policy
-    checks — the soundness gap the flow-sensitive mode closes:
+    Tiny binaries that defeat one analysis tier and are caught (or
+    vindicated) by the next. The first two target the pattern/flow gap;
+    the rest target the intra/interprocedural gap:
 
     - [Jump_past_mask]: a conditional branch lands directly on a
       [callq *%rcx] whose five textually-preceding instructions are a
@@ -86,10 +87,39 @@ val build :
       pattern-mode stack policy finds the epilogue somewhere in the
       function and accepts; flow mode rejects with
       [stack-ret-unprotected] at the early return.
+    - [Jump_into_mask]: the masked indirect call is perfectly guarded
+      within its own CFG, but another function jumps straight onto the
+      call instruction. Intra flow mode accepts; the interprocedural
+      tier sees the call graph's [Jump_into] edge and rejects with
+      [ifcc-unmasked-interproc] at the call.
+    - [Tail_call_skip]: every [ret] is dominated by the canary compare,
+      but a conditional tail jump to a {e returning} function exits the
+      frame before the compare. Intra flow mode accepts; the
+      interprocedural tier rejects with
+      [stack-ret-unprotected-interproc] at the tail jump.
+    - [Mask_in_callee]: the masking sequence lives in a helper; the
+      caller issues the indirect call right after the helper returns.
+      Intra flow mode wrongly rejects ([ifcc-unmasked-on-path]); the
+      interprocedural tier applies the helper's summary and accepts —
+      the precision direction.
+    - [Unsanitized_entry]: an [ecall_] entry point branches on
+      host-controlled flags and reads [%rdi] before scrubbing either
+      ([sanitize-unscrubbed-flags], [sanitize-unscrubbed-reg]); a
+      sibling entry scrubs first and stays clean.
+    - [Giant n]: a compliant [n]-function call chain under a sanitized
+      entry — zero findings everywhere, one summary per function; the
+      summary-memoization benchmark's raw material.
 
     Link them with {!Linker.link_adversarial}. *)
 
-type adversarial = Jump_past_mask | Early_ret
+type adversarial =
+  | Jump_past_mask
+  | Early_ret
+  | Jump_into_mask
+  | Tail_call_skip
+  | Mask_in_callee
+  | Unsanitized_entry
+  | Giant of int
 
 val adversarial_all : adversarial list
 val adversarial_to_string : adversarial -> string

@@ -145,6 +145,20 @@ let dot_export () =
             (Astring.String.is_infix ~affix:(Printf.sprintf "b%d " k) dot))
         cfg.Engarde.Cfg.blocks
 
+(* Symbol names are untrusted input; a stray quote or backslash in a
+   label must not break the DOT double-quoted string syntax. *)
+let dot_escaping () =
+  Alcotest.(check string) "quote" {|fn\"; evil|} (Engarde.Cfg.dot_escape {|fn"; evil|});
+  Alcotest.(check string) "backslash" {|a\\b|} (Engarde.Cfg.dot_escape {|a\b|});
+  Alcotest.(check string) "newline" {|a\nb|} (Engarde.Cfg.dot_escape "a\nb");
+  Alcotest.(check string) "clean passthrough" "plain_name.42"
+    (Engarde.Cfg.dot_escape "plain_name.42");
+  (* Escaping composes: escaping an already-escaped string only doubles
+     the backslashes, never reopens the quote. *)
+  let once = Engarde.Cfg.dot_escape {|x"\|} in
+  Alcotest.(check string) "idempotent shape" {|x\\\"\\\\|}
+    (Engarde.Cfg.dot_escape once)
+
 (* ------------------------------------------------------------------ *)
 (* qcheck: structural properties under adversarial mutation            *)
 (* ------------------------------------------------------------------ *)
@@ -318,7 +332,11 @@ let () =
           Alcotest.test_case "flow + lint on clean workloads" `Slow
             clean_workloads_flow_and_lint;
         ] );
-      ("dot", [ Alcotest.test_case "export" `Quick dot_export ]);
+      ( "dot",
+        [
+          Alcotest.test_case "export" `Quick dot_export;
+          Alcotest.test_case "escaping" `Quick dot_escaping;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest qcheck_mutations;

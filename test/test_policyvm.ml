@@ -1,6 +1,6 @@
 (* The negotiated policy VM: canonical codec round-trips, decoder
    fuzzing (mutated blobs must error or terminate within fuel, never
-   crash or over-charge), and the differential guarantee — the four
+   crash or over-charge), and the differential guarantee — the five
    builtin DSL programs reproduce the native modules' verdicts,
    findings and modelled cycles bit for bit. *)
 
@@ -34,6 +34,7 @@ let native_policies () =
     Engarde.Policy_stack.make ~exempt ();
     Engarde.Policy_ifcc.make ();
     Engarde.Policy_lint.make ();
+    Engarde.Policy_sanitize.make ();
   ]
 
 let vm_policies vm_perf =
