@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the real build system.
 
-.PHONY: all build test fmt check bench bench-smoke bench-json policy-oracle lint clean
+.PHONY: all build test fmt check bench bench-smoke bench-json policy-oracle profile lint clean
 
 all: build
 
@@ -20,7 +20,8 @@ fmt:
 # of the pattern scans; the DSL libc program within 1.5x of the native
 # module including interpreter overhead; domains=4 batch >= 1.8x
 # faster than domains=1 wall-clock, skipped on machines with < 4
-# recommended domains; a mutually-attested fleet of two re-inspects a
+# recommended domains; domains=2 never slower than domains=1, skipped
+# below 2; a mutually-attested fleet of two re-inspects a
 # shared binary at most once), the DSL-vs-native differential oracle
 # over every workload, and the control-flow lint over every example
 # workload. `test` includes the fleet suite (test_fleet.ml: MAGE
@@ -47,6 +48,22 @@ policy-oracle:
 # workload), written to BENCH_service.json for trend tracking.
 bench-json:
 	dune exec bench/main.exe -- --scaling
+
+# One profiler-wrapped parallel batch through the work-stealing pool.
+# Uses `perf stat` when the box has it (cycles, context switches, the
+# real contention signal) and falls back to `/usr/bin/time -v`
+# (voluntary/involuntary switches) elsewhere; either way the benchmark
+# itself prints the pool's own pool_steals_total / pool_parks_total
+# lock-contention summary.
+profile: build
+	@if command -v perf >/dev/null 2>&1; then \
+	  perf stat -- dune exec bench/main.exe -- --profile; \
+	elif [ -x /usr/bin/time ]; then \
+	  /usr/bin/time -v dune exec bench/main.exe -- --profile; \
+	else \
+	  echo "(neither perf nor /usr/bin/time available; running unwrapped)"; \
+	  dune exec bench/main.exe -- --profile; \
+	fi
 
 # Every synthesized evaluation workload, fully instrumented, must come
 # out of the CFG lint with zero findings.

@@ -729,6 +729,64 @@ let channel_table () =
 
 let bench_json_path = Filename.concat repo_root "BENCH_service.json"
 
+(* Physical cores as the OS reports them — [recommended_domain_count]
+   can be container-clamped below this, and the scaling curve is only
+   interpretable knowing both (core starvation vs. real overhead). *)
+let host_cores () =
+  let from_cpuinfo () =
+    let ic = open_in "/proc/cpuinfo" in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.length line >= 9 && String.sub line 0 9 = "processor" then incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !n
+  in
+  match from_cpuinfo () with
+  | n when n > 0 -> n
+  | _ | (exception Sys_error _) -> Domain.recommended_domain_count ()
+
+let git_rev () =
+  let read_line_of path =
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input_line ic)
+  in
+  let resolve_ref r =
+    match read_line_of (Filename.concat repo_root (Filename.concat ".git" r)) with
+    | line -> Some line
+    | exception (Sys_error _ | End_of_file) -> (
+        (* fall back to packed-refs: lines of "<sha> <refname>" *)
+        match open_in (Filename.concat repo_root ".git/packed-refs") with
+        | exception Sys_error _ -> None
+        | ic ->
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () ->
+                let found = ref None in
+                (try
+                   while !found = None do
+                     let line = input_line ic in
+                     match String.index_opt line ' ' with
+                     | Some sp when String.sub line (sp + 1) (String.length line - sp - 1) = r
+                       ->
+                         found := Some (String.sub line 0 sp)
+                     | _ -> ()
+                   done
+                 with End_of_file -> ());
+                !found))
+  in
+  match read_line_of (Filename.concat repo_root ".git/HEAD") with
+  | exception (Sys_error _ | End_of_file) -> "unknown"
+  | head ->
+      if String.length head > 5 && String.sub head 0 5 = "ref: " then
+        match resolve_ref (String.sub head 5 (String.length head - 5)) with
+        | Some sha -> sha
+        | None -> "unknown"
+      else head
+
 let write_scaling_json ~recommended ~jobs_n ~channel ~fleet ~interproc rows =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
@@ -739,6 +797,9 @@ let write_scaling_json ~recommended ~jobs_n ~channel ~fleet ~interproc rows =
        (List.map (fun w -> Printf.sprintf "%S" (Workloads.to_string w)) Workloads.all));
   Printf.bprintf b "  \"jobs\": %d,\n" jobs_n;
   Buffer.add_string b "  \"workers\": 8,\n";
+  Printf.bprintf b "  \"host_cores\": %d,\n" (host_cores ());
+  Printf.bprintf b "  \"ocaml_version\": %S,\n" Sys.ocaml_version;
+  Printf.bprintf b "  \"git_rev\": %S,\n" (git_rev ());
   Printf.bprintf b "  \"recommended_domains\": %d,\n" recommended;
   Buffer.add_string b "  \"runs\": [\n";
   let base_dt = List.assoc 1 rows in
@@ -1076,6 +1137,27 @@ let smoke () =
        (d1 >= 1.8 *. d4)
        (Printf.sprintf "domains=1 %.2fs, domains=4 %.2fs (%.2fx)" d1 d4 (d1 /. d4))
    end);
+  banner "bench-smoke: no-inversion gate (domains=2 must not lose to domains=1)";
+  (let recommended = Domain.recommended_domain_count () in
+   if recommended < 2 then
+     Printf.printf
+       "skipped: machine recommends %d domain(s) (< 2); two domains would time-slice one \
+        core\n"
+       recommended
+   else begin
+     (* Best of two per arm: the gate is about the pool's overhead
+        floor, not about scheduler jitter on a shared box. *)
+     let jobs = scaling_jobs () in
+     let best domains =
+       let a = scaling_run ~jobs ~domains in
+       let b = scaling_run ~jobs ~domains in
+       Float.min a b
+     in
+     let d1 = best 1 in
+     let d2 = best 2 in
+     check "domains=2 batch >= 1.0x of domains=1 (no inversion)" (d1 >= d2)
+       (Printf.sprintf "domains=1 %.2fs, domains=2 %.2fs (%.2fx)" d1 d2 (d1 /. d2))
+   end);
   banner "bench-smoke: a fleet of two re-inspects a shared binary at most once";
   (let node_config =
      {
@@ -1256,6 +1338,57 @@ let bechamel_suite () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* `make profile` payload: one parallel batch under whatever profiler   *)
+(* wraps this process (perf stat / time -v), plus the pool's own        *)
+(* contention counters so lock behaviour is visible even without perf.  *)
+(* ------------------------------------------------------------------ *)
+
+let profile () =
+  let domains = min 2 (Domain.recommended_domain_count ()) in
+  banner
+    (Printf.sprintf
+       "profile: seven-workload batch on the work-stealing pool (domains=%d, 8 workers, \
+        cache off)"
+       domains);
+  Printf.printf "host_cores=%d ocaml=%s git=%s\n%!" (host_cores ()) Sys.ocaml_version
+    (git_rev ());
+  let jobs = scaling_jobs () in
+  let base =
+    {
+      Service.Scheduler.default_config with
+      Service.Scheduler.workers = 8;
+      cache = `Disabled;
+      provision = fast_provision;
+    }
+  in
+  let config, pool =
+    if domains = 1 then (base, None)
+    else
+      let c, p = Service.Scheduler.parallel_config ~config:base ~domains () in
+      (c, Some p)
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Service.Pool.shutdown pool)
+    (fun () ->
+      let t0 = now_s () in
+      let t = Service.Scheduler.create config in
+      List.iter (fun j -> ignore (Service.Scheduler.submit t j)) jobs;
+      let completions = Service.Scheduler.run_until_idle t in
+      let dt = now_s () -. t0 in
+      Printf.printf "batch: %d job(s) in %.2fs (%.2f jobs/s)\n" (List.length completions)
+        dt
+        (float_of_int (List.length completions) /. dt);
+      match pool with
+      | None -> print_endline "pool: none (single domain; cooperative scheduler only)"
+      | Some p ->
+          let st = Service.Pool.stats p in
+          Printf.printf
+            "pool contention: pool_steals_total=%d pool_parks_total=%d\n\
+             (high parks + low steals = workers starved for work; high steals = load \
+             imbalance absorbed by stealing; both near zero = owner-local fast path)\n"
+            st.Service.Pool.steals st.Service.Pool.parks)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   if Array.exists (fun a -> a = "--smoke") Sys.argv then begin
@@ -1270,6 +1403,11 @@ let () =
   (* Just the multicore table + BENCH_service.json (`make bench-json`). *)
   if Array.exists (fun a -> a = "--scaling") Sys.argv then begin
     scaling_table ();
+    exit 0
+  end;
+  (* One profiler-friendly parallel batch (`make profile`). *)
+  if Array.exists (fun a -> a = "--profile") Sys.argv then begin
+    profile ();
     exit 0
   end;
   let t0 = Unix.gettimeofday () in

@@ -68,7 +68,7 @@ let build perf (b : Disasm.buffer) symbols =
   let before = Sgx.Perf.total_cycles perf in
   let entries = b.Disasm.entries in
   let n = Array.length entries in
-  let code_end = b.Disasm.base + String.length b.Disasm.code in
+  let code_end = b.Disasm.base + Disasm.code_length b.Disasm.code in
   (* A (jmpq rel; nopl) pair whose jmp resolves to a known function
      start is one IFCC jump-table entry; maximal runs form tables. *)
   let entry_pair_at i =
@@ -240,6 +240,13 @@ let branch_target_within t ~lo ~hi =
   let i = go 0 n in
   i < n && ts.(i) < hi
 
+(* Absorb code bytes into a hash, reading strings and off-heap buffers
+   alike in place. *)
+let absorb h (code : Decoder.src) ~pos ~len =
+  match code with
+  | Decoder.Str s -> Crypto.Sha256.update_sub h s ~pos ~len
+  | Decoder.Big b -> Crypto.Sha256.update_big_sub h b ~pos ~len
+
 (* Digest plus the modelled cycles the sequential policy would charge
    for computing it — the cost is carried alongside so a digest computed
    off-thread (prehash) can be charged identically, later, on the
@@ -249,7 +256,7 @@ let hash_and_cost t ~addr =
   let stop =
     match Symhash.function_end t.symbols addr with
     | Some e -> e
-    | None -> b.Disasm.base + String.length b.Disasm.code
+    | None -> b.Disasm.base + Disasm.code_length b.Disasm.code
   in
   match Disasm.index_of_addr b addr with
   | None -> None
@@ -264,7 +271,7 @@ let hash_and_cost t ~addr =
           if e.Disasm.addr >= stop then ()
           else begin
             cost := !cost + Costmodel.hash_per_insn + (Costmodel.hash_per_byte * e.Disasm.len);
-            Crypto.Sha256.update_sub h b.Disasm.code
+            absorb h b.Disasm.code
               ~pos:(e.Disasm.addr - b.Disasm.base) ~len:e.Disasm.len;
             go (i + 1)
           end
@@ -326,52 +333,90 @@ let chunk n xs =
   in
   go 0 [] [] xs
 
+(* When a function's decoded entries tile [addr, fn_end) back-to-back,
+   the entry-wise streamed SHA-256 equals the SHA-256 of the raw byte
+   slice, so the digest may be computed from the contiguous slice (and
+   batched). Returns the slice as a buffer offset/length plus the
+   carried cost from the same entry walk [hash_and_cost] performs, so
+   charging stays bit-identical to the one-shot path. *)
+let tiled_slice t ~addr =
+  let b = t.buffer in
+  let stop =
+    match Symhash.function_end t.symbols addr with
+    | Some e -> e
+    | None -> b.Disasm.base + Disasm.code_length b.Disasm.code
+  in
+  match Disasm.index_of_addr b addr with
+  | None -> None
+  | Some i0 ->
+      let n = Array.length b.Disasm.entries in
+      let rec go i next cost =
+        if i >= n then Some (next, cost)
+        else begin
+          let e = b.Disasm.entries.(i) in
+          if e.Disasm.addr >= stop then Some (next, cost)
+          else if e.Disasm.addr <> next then None
+          else
+            go (i + 1)
+              (e.Disasm.addr + e.Disasm.len)
+              (cost + Costmodel.hash_per_insn + (Costmodel.hash_per_byte * e.Disasm.len))
+        end
+      in
+      (match go i0 addr Costmodel.hash_finalize with
+      | Some (next, cost) when next = stop ->
+          Some (addr - b.Disasm.base, stop - addr, cost)
+      | Some _ | None -> None)
+
 (* Adopt digests the streaming pipeline computed from raw staged bytes
    while later pages were still in flight. A digest for [lo, hi) is
    adopted only when the index proves it equals what [hash_and_cost]
    would produce: [hi] is exactly the function end, and the decoded
-   entries tile [lo, hi) back-to-back — then the entry-wise SHA-256
-   equals the SHA-256 of the raw slice. The carried cost is computed
-   here from the same entry walk, so charging stays bit-identical to
-   the one-shot path (see [function_hash]). Anything unverifiable is
-   dropped and recomputed on demand. *)
+   entries tile [lo, hi) back-to-back (see [tiled_slice]). Anything
+   unverifiable is dropped and recomputed on demand. *)
 let adopt_digests t digests =
   let b = t.buffer in
   let adopted = ref 0 in
   List.iter
     (fun (lo, hi, hex) ->
       if (not (Hashtbl.mem t.hashes lo)) && not (Hashtbl.mem t.precomputed lo) then begin
-        let stop =
-          match Symhash.function_end t.symbols lo with
-          | Some e -> e
-          | None -> b.Disasm.base + String.length b.Disasm.code
-        in
-        if stop = hi then begin
-          match Disasm.index_of_addr b lo with
-          | None -> ()
-          | Some i0 ->
-              let n = Array.length b.Disasm.entries in
-              let rec go i next cost =
-                if i >= n then Some (next, cost)
-                else begin
-                  let e = b.Disasm.entries.(i) in
-                  if e.Disasm.addr >= stop then Some (next, cost)
-                  else if e.Disasm.addr <> next then None
-                  else
-                    go (i + 1)
-                      (e.Disasm.addr + e.Disasm.len)
-                      (cost + Costmodel.hash_per_insn + (Costmodel.hash_per_byte * e.Disasm.len))
-                end
-              in
-              (match go i0 lo Costmodel.hash_finalize with
-              | Some (next, cost) when next = stop ->
-                  Hashtbl.replace t.precomputed lo (hex, cost);
-                  incr adopted
-              | Some _ | None -> ())
-        end
+        match tiled_slice t ~addr:lo with
+        | Some (pos, len, cost) when b.Disasm.base + pos = lo && lo + len = hi ->
+            Hashtbl.replace t.precomputed lo (hex, cost);
+            incr adopted
+        | Some _ | None -> ()
       end)
     digests;
   !adopted
+
+(* [hash_and_cost] mapped over a batch: functions whose bodies are
+   contiguous in the buffer go through the multi-buffer
+   [Sha256.digest_many] sweep (4–8 bodies per pass); the rest fall back
+   to the streamed entry walk. Digests and costs are bit-identical to
+   the scalar path either way. *)
+let hash_many t addrs =
+  let classified =
+    List.map
+      (fun addr ->
+        match tiled_slice t ~addr with
+        | Some (pos, len, cost) -> `Tiled (addr, pos, len, cost)
+        | None -> `Plain addr)
+      addrs
+  in
+  let tiled = List.filter_map (function `Tiled x -> Some x | `Plain _ -> None) classified in
+  let code = t.buffer.Disasm.code in
+  let bodies = List.map (fun (_, pos, len, _) -> Disasm.code_sub code ~pos ~len) tiled in
+  let batched = Hashtbl.create (2 * List.length tiled) in
+  List.iter2
+    (fun (addr, _, _, cost) dg ->
+      Hashtbl.replace batched addr (Crypto.Sha256.hex dg, cost))
+    tiled
+    (Crypto.Sha256.digest_many bodies);
+  List.filter_map
+    (function
+      | `Tiled (addr, _, _, _) ->
+          Option.map (fun hc -> (addr, hc)) (Hashtbl.find_opt batched addr)
+      | `Plain addr -> Option.map (fun hc -> (addr, hc)) (hash_and_cost t ~addr))
+    classified
 
 let prehash ?(tasks = 8) ?(threshold = 16) ~run_all t =
   let candidates =
@@ -383,13 +428,7 @@ let prehash ?(tasks = 8) ?(threshold = 16) ~run_all t =
   if n >= threshold then begin
     let per_task = max 1 ((n + tasks - 1) / tasks) in
     let work =
-      List.map
-        (fun addrs () ->
-          List.filter_map
-            (fun addr ->
-              Option.map (fun hc -> (addr, hc)) (hash_and_cost t ~addr))
-            addrs)
-        (chunk per_task candidates)
+      List.map (fun addrs () -> hash_many t addrs) (chunk per_task candidates)
     in
     (* Tasks only read [t]; the merge back into the store happens here,
        on the calling thread, so the index's tables are never mutated

@@ -8,7 +8,7 @@ type entry = {
 type buffer = {
   entries : entry array;
   base : int;
-  code : string;
+  code : X86.Decoder.src;
   index : (int, int) Hashtbl.t;
 }
 
@@ -17,21 +17,33 @@ type buffer = {
 
 let index_of_addr b addr = Hashtbl.find_opt b.index addr
 
+let code_length = X86.Decoder.src_length
+
+let code_get (c : X86.Decoder.src) i =
+  match c with
+  | X86.Decoder.Str s -> s.[i]
+  | X86.Decoder.Big b -> Elf64.Buf.Big.get b i
+
+let code_sub (c : X86.Decoder.src) ~pos ~len =
+  match c with
+  | X86.Decoder.Str s -> String.sub s pos len
+  | X86.Decoder.Big b -> Elf64.Buf.Big.sub_string b ~pos ~len
+
 let bytes_between b ~lo ~hi =
-  if hi < lo || lo < b.base || hi > b.base + String.length b.code then
+  if hi < lo || lo < b.base || hi > b.base + code_length b.code then
     invalid_arg "Disasm.bytes_between";
-  String.sub b.code (lo - b.base) (hi - lo)
+  code_sub b.code ~pos:(lo - b.base) ~len:(hi - lo)
 
 let records_per_page = Sgx.Epc.page_size / Costmodel.buffer_record_bytes
 
-let run ?(alloc = `Page) perf ~code ~base ~symbols =
+let run_src ?(alloc = `Page) perf ~src ~base ~symbols =
   let roots =
     List.filter_map
       (fun (s : Elf64.Types.symbol) ->
         if Elf64.Types.symbol_is_func s then Some (s.st_value - base) else None)
       symbols
   in
-  match X86.Nacl.validate ~roots code with
+  match X86.Nacl.validate_src ~roots src with
   | Error v -> Error v
   | Ok decoded ->
       let n = Array.length decoded in
@@ -62,4 +74,7 @@ let run ?(alloc = `Page) perf ~code ~base ~symbols =
       let index = Hashtbl.create (2 * n) in
       Array.iteri (fun i e -> Hashtbl.replace index e.addr i) entries;
       let symhash = Symhash.build perf symbols in
-      Ok ({ entries; base; code; index }, symhash)
+      Ok ({ entries; base; code = src; index }, symhash)
+
+let run ?alloc perf ~code ~base ~symbols =
+  run_src ?alloc perf ~src:(X86.Decoder.Str code) ~base ~symbols

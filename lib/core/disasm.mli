@@ -18,13 +18,20 @@ type entry = {
 type buffer = {
   entries : entry array;      (** in address order *)
   base : int;                 (** vaddr of the first code byte *)
-  code : string;              (** raw text bytes, for hashing *)
+  code : X86.Decoder.src;     (** raw text bytes, for hashing — a plain
+                                  string or a zero-copy off-heap view *)
   index : (int, int) Hashtbl.t;  (** vaddr -> entry index (use
                                      {!index_of_addr}) *)
 }
 
 val index_of_addr : buffer -> int -> int option
 (** Buffer index of the instruction starting at a virtual address. *)
+
+val code_length : X86.Decoder.src -> int
+val code_get : X86.Decoder.src -> int -> char
+
+val code_sub : X86.Decoder.src -> pos:int -> len:int -> string
+(** Copying slice of the code bytes (for small ranges). *)
 
 val bytes_between : buffer -> lo:int -> hi:int -> string
 (** Raw code bytes for the vaddr range [lo, hi). *)
@@ -41,3 +48,16 @@ val run :
     the counter. [alloc] selects the buffer-growth strategy: [`Page]
     (the paper's page-at-a-time malloc, default) or [`Record] (naive
     per-instruction allocation — the ablation baseline). *)
+
+val run_src :
+  ?alloc:[ `Page | `Record ] ->
+  Sgx.Perf.t ->
+  src:X86.Decoder.src ->
+  base:int ->
+  symbols:Elf64.Types.symbol list ->
+  (buffer * Symhash.t, X86.Nacl.violation) result
+(** {!run} over either byte source. With [Big], the whole
+    decode/analyze/hash pipeline reads the off-heap buffer in place —
+    no copy of the text section ever enters the OCaml heap, so parallel
+    domains stop fighting the GC over multi-megabyte strings. Modelled
+    cycles are identical to the string path for identical bytes. *)

@@ -9,7 +9,7 @@ let make () =
     let b = ctx.Policy.buffer in
     let perf = ctx.Policy.perf in
     let entries = b.Disasm.entries in
-    let code_end = b.Disasm.base + String.length b.Disasm.code in
+    let code_end = b.Disasm.base + Disasm.code_length b.Disasm.code in
     let findings = ref [] in
     let note ~addr ~code msg =
       findings := Policy.finding ~policy:name ~addr ~code msg :: !findings

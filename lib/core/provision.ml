@@ -469,9 +469,14 @@ let inspect c ~report ~enclave ~host ~policies ~hash_runner ~on_event ~spec ~tot
     | [] -> raise (Reject (Bad_elf "no executable section"))
     | _ -> raise (Reject (Bad_elf "multiple text sections unsupported"))
   in
+  (* The text bytes are copied once into an off-heap buffer; decoding,
+     policy scans and function hashing all read it in place, so the
+     multi-MB section never lives on the shared OCaml heap where
+     parallel domains would pay GC tracing for it. *)
+  let text_big = Elf64.Buf.Big.of_string text.Elf64.Reader.data in
   let buffer, symbols =
     match
-      Disasm.run report.Report.disassembly ~code:text.Elf64.Reader.data
+      Disasm.run_src report.Report.disassembly ~src:(X86.Decoder.Big text_big)
         ~base:text.Elf64.Reader.addr ~symbols:elf.Elf64.Reader.symbols
     with
     | Ok r -> r

@@ -38,19 +38,14 @@ let ( +% ) = Int32.add
 let ( ^% ) = Int32.logxor
 let ( &% ) = Int32.logand
 
-let compress ctx =
-  let w = ctx.w and b = ctx.block in
-  for i = 0 to 15 do
-    let j = 4 * i in
-    w.(i) <-
-      Int32.logor
-        (Int32.shift_left (Int32.of_int (Char.code (Bytes.get b j))) 24)
-        (Int32.logor
-           (Int32.shift_left (Int32.of_int (Char.code (Bytes.get b (j + 1)))) 16)
-           (Int32.logor
-              (Int32.shift_left (Int32.of_int (Char.code (Bytes.get b (j + 2)))) 8)
-              (Int32.of_int (Char.code (Bytes.get b (j + 3))))))
-  done;
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Schedule expansion + 64 rounds, once the first 16 words of [w] hold
+   the block. Shared by the Bytes / string / bigstring block loaders so
+   every input path runs the identical FIPS 180-4 compression. *)
+let compress_rounds ctx =
+  let w = ctx.w in
   for i = 16 to 63 do
     let s0 = rotr w.(i - 15) 7 ^% rotr w.(i - 15) 18 ^% Int32.shift_right_logical w.(i - 15) 3 in
     let s1 = rotr w.(i - 2) 17 ^% rotr w.(i - 2) 19 ^% Int32.shift_right_logical w.(i - 2) 10 in
@@ -73,21 +68,117 @@ let compress ctx =
   h.(3) <- h.(3) +% !d; h.(4) <- h.(4) +% !e; h.(5) <- h.(5) +% !f;
   h.(6) <- h.(6) +% !g; h.(7) <- h.(7) +% !hh
 
+let word b0 b1 b2 b3 =
+  Int32.logor
+    (Int32.shift_left (Int32.of_int b0) 24)
+    (Int32.logor
+       (Int32.shift_left (Int32.of_int b1) 16)
+       (Int32.logor (Int32.shift_left (Int32.of_int b2) 8) (Int32.of_int b3)))
+
+let compress ctx =
+  let w = ctx.w and b = ctx.block in
+  for i = 0 to 15 do
+    let j = 4 * i in
+    w.(i) <-
+      word
+        (Char.code (Bytes.get b j))
+        (Char.code (Bytes.get b (j + 1)))
+        (Char.code (Bytes.get b (j + 2)))
+        (Char.code (Bytes.get b (j + 3)))
+  done;
+  compress_rounds ctx
+
+(* Whole aligned block straight out of the source string — skips the
+   bounce through [ctx.block], which is most of the per-block overhead
+   when callers hand us full messages. *)
+let compress_string ctx s off =
+  let w = ctx.w in
+  for i = 0 to 15 do
+    let j = off + (4 * i) in
+    w.(i) <-
+      word
+        (Char.code (String.unsafe_get s j))
+        (Char.code (String.unsafe_get s (j + 1)))
+        (Char.code (String.unsafe_get s (j + 2)))
+        (Char.code (String.unsafe_get s (j + 3)))
+  done;
+  compress_rounds ctx
+
+let compress_big ctx (b : bigstring) off =
+  let w = ctx.w in
+  for i = 0 to 15 do
+    let j = off + (4 * i) in
+    w.(i) <-
+      word
+        (Char.code (Bigarray.Array1.unsafe_get b j))
+        (Char.code (Bigarray.Array1.unsafe_get b (j + 1)))
+        (Char.code (Bigarray.Array1.unsafe_get b (j + 2)))
+        (Char.code (Bigarray.Array1.unsafe_get b (j + 3)))
+  done;
+  compress_rounds ctx
+
 let update_sub ctx s ~pos ~len =
   if pos < 0 || len < 0 || pos + len > String.length s then
     invalid_arg "Sha256.update_sub";
   ctx.total <- Int64.add ctx.total (Int64.of_int len);
-  let rec go pos len =
-    if len > 0 then begin
-      let room = 64 - ctx.fill in
-      let n = min room len in
-      Bytes.blit_string s pos ctx.block ctx.fill n;
-      ctx.fill <- ctx.fill + n;
-      if ctx.fill = 64 then begin compress ctx; ctx.fill <- 0 end;
-      go (pos + n) (len - n)
+  let pos = ref pos and len = ref len in
+  (* Top up a partial block first so the fast path below stays aligned. *)
+  if ctx.fill > 0 && !len > 0 then begin
+    let n = min (64 - ctx.fill) !len in
+    Bytes.blit_string s !pos ctx.block ctx.fill n;
+    ctx.fill <- ctx.fill + n;
+    pos := !pos + n;
+    len := !len - n;
+    if ctx.fill = 64 then begin
+      compress ctx;
+      ctx.fill <- 0
     end
+  end;
+  if ctx.fill = 0 then begin
+    while !len >= 64 do
+      compress_string ctx s !pos;
+      pos := !pos + 64;
+      len := !len - 64
+    done;
+    if !len > 0 then begin
+      Bytes.blit_string s !pos ctx.block 0 !len;
+      ctx.fill <- !len
+    end
+  end
+
+let update_big_sub ctx (b : bigstring) ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bigarray.Array1.dim b then
+    invalid_arg "Sha256.update_big_sub";
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let blit_to_block src_pos dst_pos n =
+    for i = 0 to n - 1 do
+      Bytes.unsafe_set ctx.block (dst_pos + i)
+        (Bigarray.Array1.unsafe_get b (src_pos + i))
+    done
   in
-  go pos len
+  let pos = ref pos and len = ref len in
+  if ctx.fill > 0 && !len > 0 then begin
+    let n = min (64 - ctx.fill) !len in
+    blit_to_block !pos ctx.fill n;
+    ctx.fill <- ctx.fill + n;
+    pos := !pos + n;
+    len := !len - n;
+    if ctx.fill = 64 then begin
+      compress ctx;
+      ctx.fill <- 0
+    end
+  end;
+  if ctx.fill = 0 then begin
+    while !len >= 64 do
+      compress_big ctx b !pos;
+      pos := !pos + 64;
+      len := !len - 64
+    done;
+    if !len > 0 then begin
+      blit_to_block !pos 0 !len;
+      ctx.fill <- !len
+    end
+  end
 
 let update ctx s = update_sub ctx s ~pos:0 ~len:(String.length s)
 
@@ -171,6 +262,48 @@ let digest s =
   let ctx = init () in
   update ctx s;
   finalize ctx
+
+(* Multi-buffer hashing: up to [max_lanes] messages advance one block
+   per sweep, the interleaving real SIMD multi-buffer SHA-256 performs
+   across vector lanes. Each lane still runs the standard compression
+   on its own chaining state, so digests are bit-identical to [digest];
+   the win is the shared schedule-array locality and the blit-free
+   block loads of [compress_string]. *)
+let max_lanes = 8
+
+let digest_group msgs =
+  let n = Array.length msgs in
+  let ctxs = Array.init n (fun _ -> init ()) in
+  let full = Array.map (fun s -> String.length s / 64) msgs in
+  let max_full = Array.fold_left max 0 full in
+  for blk = 0 to max_full - 1 do
+    let off = blk * 64 in
+    for lane = 0 to n - 1 do
+      if blk < full.(lane) then compress_string ctxs.(lane) msgs.(lane) off
+    done
+  done;
+  Array.mapi
+    (fun lane s ->
+      let ctx = ctxs.(lane) in
+      let consumed = 64 * full.(lane) in
+      ctx.total <- Int64.of_int consumed;
+      update_sub ctx s ~pos:consumed ~len:(String.length s - consumed);
+      finalize ctx)
+    msgs
+
+let digest_many msgs =
+  let msgs = Array.of_list msgs in
+  let n = Array.length msgs in
+  let out = Array.make n "" in
+  let pos = ref 0 in
+  while !pos < n do
+    let lanes = min max_lanes (n - !pos) in
+    let group = Array.sub msgs !pos lanes in
+    let digests = digest_group group in
+    Array.blit digests 0 out !pos lanes;
+    pos := !pos + lanes
+  done;
+  Array.to_list out
 
 let hex s =
   let b = Buffer.create (2 * String.length s) in

@@ -7,6 +7,11 @@
 type ctx
 (** Streaming hash context. *)
 
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Off-heap byte buffer (structural alias — unifies with the aliases
+    the ELF and x86 layers declare, without a dependency on them). *)
+
 val init : unit -> ctx
 
 val update : ctx -> string -> unit
@@ -14,6 +19,10 @@ val update : ctx -> string -> unit
 
 val update_sub : ctx -> string -> pos:int -> len:int -> unit
 (** Absorb [len] bytes of [s] starting at [pos]. *)
+
+val update_big_sub : ctx -> bigstring -> pos:int -> len:int -> unit
+(** Absorb [len] bytes of an off-heap buffer starting at [pos]. Same
+    digest as feeding the equivalent string through {!update_sub}. *)
 
 val finalize : ctx -> string
 (** Returns the 32-byte digest. The context must not be reused. *)
@@ -34,6 +43,11 @@ val import_state : string -> ctx option
 
 val digest : string -> string
 (** One-shot hash of a full string; 32 raw bytes. *)
+
+val digest_many : string list -> string list
+(** Hash a batch, interleaving compressions over 4–8 messages per sweep
+    (multi-buffer style). Digests are bit-identical to mapping {!digest}
+    over the list, in the same order. *)
 
 val hex : string -> string
 (** Lowercase hex encoding of arbitrary bytes (used to print digests). *)

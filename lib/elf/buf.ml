@@ -74,3 +74,33 @@ module R = struct
     let stop = find pos in
     String.sub t pos (stop - pos)
 end
+
+module Big = struct
+  type t = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  let create n : t = Bigarray.Array1.create Bigarray.Char Bigarray.c_layout n
+  let length (t : t) = Bigarray.Array1.dim t
+  let get (t : t) i = Bigarray.Array1.get t i
+
+  let of_string s =
+    let n = String.length s in
+    let t = create n in
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set t i (String.unsafe_get s i)
+    done;
+    t
+
+  let to_string t = String.init (length t) (fun i -> Bigarray.Array1.unsafe_get t i)
+
+  let check (t : t) pos len =
+    if pos < 0 || len < 0 || pos + len > length t then invalid_arg "Buf.Big: out of bounds"
+
+  (* Zero-copy view: shares storage with [t]. *)
+  let sub (t : t) ~pos ~len : t =
+    check t pos len;
+    Bigarray.Array1.sub t pos len
+
+  let sub_string (t : t) ~pos ~len =
+    check t pos len;
+    String.init len (fun i -> Bigarray.Array1.unsafe_get t (pos + i))
+end

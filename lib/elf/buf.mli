@@ -42,3 +42,28 @@ module R : sig
   val cstring : t -> pos:int -> string
   (** NUL-terminated string starting at [pos]. *)
 end
+
+(** Off-heap instruction buffers.
+
+    A [Big.t] lives outside the OCaml heap, so parallel domains reading
+    a multi-megabyte .text section share it without the GC tracing or
+    copying it — the zero-copy substrate the decoder and analysis index
+    read through. The type is a structural alias for a [Bigarray]
+    1-d char array; the x86 and crypto layers declare the same alias
+    and the three unify without inter-library dependencies. *)
+module Big : sig
+  type t = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  val create : int -> t
+  val length : t -> int
+  val get : t -> int -> char
+  val of_string : string -> t
+
+  val to_string : t -> string
+
+  val sub : t -> pos:int -> len:int -> t
+  (** Zero-copy view sharing storage with the parent buffer. *)
+
+  val sub_string : t -> pos:int -> len:int -> string
+  (** Copying extraction (for small slices that must be strings). *)
+end

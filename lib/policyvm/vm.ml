@@ -202,7 +202,7 @@ let prim_eval st p (args : value list) =
       vint buffer.Disasm.base
   | P_code_end ->
       a0 ();
-      vint (buffer.Disasm.base + String.length buffer.Disasm.code)
+      vint (buffer.Disasm.base + Disasm.code_length buffer.Disasm.code)
   | P_index_of_addr ->
       vopt (Option.map vint (Disasm.index_of_addr buffer (int_of (a1 ()))))
   | P_is_ret -> vbool ((entry st (int_of (a1 ()))).Disasm.insn.X86.Insn.mnem = X86.Insn.RET)

@@ -90,15 +90,23 @@ let decode_verdict s =
 type stats = { hits : int; misses : int; evictions : int; size : int; capacity : int }
 
 let key ~payload ~policy_names ~libc_db_version ~programs_digest =
-  let fingerprint =
-    String.concat "," (List.sort_uniq compare policy_names) |> Crypto.Sha256.digest
+  (* The two independent inner digests (multi-MB payload + policy-set
+     fingerprint) ride one multi-buffer sweep; bit-identical to nested
+     [digest] calls (see [Sha256.digest_many]). *)
+  let payload_digest, fingerprint =
+    match
+      Crypto.Sha256.digest_many
+        [ payload; String.concat "," (List.sort_uniq compare policy_names) ]
+    with
+    | [ p; f ] -> (p, f)
+    | _ -> assert false
   in
   (* The program digest and the DSL format version both go in: a
      renegotiated program set, or the same set under an incompatible
      VM revision, can never be served a verdict computed under the
      old semantics. *)
   Crypto.Sha256.digest
-    (Crypto.Sha256.digest payload ^ "\x00" ^ fingerprint ^ "\x00" ^ libc_db_version
+    (payload_digest ^ "\x00" ^ fingerprint ^ "\x00" ^ libc_db_version
    ^ "\x00" ^ Policyvm.Encode.format_tag ^ "\x00" ^ programs_digest)
 
 (* Doubly-linked LRU list threaded through the hash table's nodes:
@@ -115,6 +123,9 @@ type node = {
 
 type shard = {
   lock : Mutex.t;
+  pad : Bytes.t;
+      (* spacer so adjacent shards' locks and hit/miss fields don't
+         share a cache line (false-sharing hygiene for striped access) *)
   capacity : int;
   table : (string, node) Hashtbl.t;
   mutable head : node option;
@@ -127,8 +138,11 @@ type shard = {
 type t = { shards : shard array }
 
 let make_shard ~capacity =
+  let lock = Mutex.create () in
+  let pad = Bytes.create 64 in
   {
-    lock = Mutex.create ();
+    lock;
+    pad;
     capacity;
     table = Hashtbl.create (min capacity 64);
     head = None;

@@ -64,28 +64,65 @@ type t = {
   fleet_rejected_replay : int Atomic.t;
   fleet_rejected_quarantined : int Atomic.t;
   fleet_rejected_malformed : int Atomic.t;
+  pads : Bytes.t array;
+      (* keeps the cache-line spacers between hot counters alive *)
 }
 
+(* OCaml 5.1 has no [Atomic.make_contended] (5.2+), so hot counters are
+   spaced with a retained 64-byte spacer block allocated right after
+   each one. Minor-heap allocation is sequential and promotion is
+   order-preserving, so the spacer keeps two adjacent counters from
+   sharing a cache line — the false-sharing hygiene the work-stealing
+   pool's per-domain writers need. *)
+let contended pads v =
+  let a = Atomic.make v in
+  pads := Bytes.create 64 :: !pads;
+  a
+
 let create () =
+  let pads = ref [] in
+  let hot v = contended pads v in
+  (* Hot counters are bound in sequence (not inside the record literal,
+     whose field evaluation order is unspecified) so each spacer really
+     sits between consecutive counter allocations. *)
+  let submitted = hot 0 in
+  let rejected = hot 0 in
+  let completed = hot 0 in
+  let failed = hot 0 in
+  let retried = hot 0 in
+  let cache_hits = hot 0 in
+  let disassembly = hot 0 in
+  let policy = hot 0 in
+  let callgraph = hot 0 in
+  let summary = hot 0 in
+  let loading = hot 0 in
+  let provisioning = hot 0 in
+  let runs = hot 0 in
+  let buckets = Array.init (Array.length latency_buckets + 1) (fun _ -> hot 0) in
+  let latency_sum = hot 0 in
+  let latency_count = hot 0 in
+  let queue_depth = hot 0 in
+  let queue_depth_peak = hot 0 in
+  let pads = Array.of_list !pads in
   {
-    submitted = Atomic.make 0;
-    rejected = Atomic.make 0;
-    completed = Atomic.make 0;
-    failed = Atomic.make 0;
-    retried = Atomic.make 0;
-    cache_hits = Atomic.make 0;
-    disassembly = Atomic.make 0;
-    policy = Atomic.make 0;
-    callgraph = Atomic.make 0;
-    summary = Atomic.make 0;
-    loading = Atomic.make 0;
-    provisioning = Atomic.make 0;
-    runs = Atomic.make 0;
-    buckets = Array.init (Array.length latency_buckets + 1) (fun _ -> Atomic.make 0);
-    latency_sum = Atomic.make 0;
-    latency_count = Atomic.make 0;
-    queue_depth = Atomic.make 0;
-    queue_depth_peak = Atomic.make 0;
+    submitted;
+    rejected;
+    completed;
+    failed;
+    retried;
+    cache_hits;
+    disassembly;
+    policy;
+    callgraph;
+    summary;
+    loading;
+    provisioning;
+    runs;
+    buckets;
+    latency_sum;
+    latency_count;
+    queue_depth;
+    queue_depth_peak;
     audit_appends = Atomic.make 0;
     audit_checkpoints = Atomic.make 0;
     audit_log_size = Atomic.make 0;
@@ -108,6 +145,7 @@ let create () =
     fleet_rejected_replay = Atomic.make 0;
     fleet_rejected_quarantined = Atomic.make 0;
     fleet_rejected_malformed = Atomic.make 0;
+    pads;
   }
 
 let incr c = ignore (Atomic.fetch_and_add c 1)
@@ -227,10 +265,15 @@ let phase_totals t =
     provisioning = Atomic.get t.provisioning;
   }
 
-let render ?shards t ~queue ~cache =
+let render ?shards ?pool t ~queue ~cache =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   line "# engarde service metrics (cycles are modelled; see lib/sgx/perf.mli)";
+  (match pool with
+  | None -> ()
+  | Some (p : Pool.stats) ->
+      line "pool_steals_total %d" p.Pool.steals;
+      line "pool_parks_total %d" p.Pool.parks);
   line "jobs_submitted_total %d" (Atomic.get t.submitted);
   line "jobs_rejected_total %d" (Atomic.get t.rejected);
   line "jobs_completed_total %d" (Atomic.get t.completed);

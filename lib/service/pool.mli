@@ -6,18 +6,25 @@
     {!run_all}. Both ride the same [domains] workers — there is exactly
     one pool implementation in the tree.
 
-    Tasks are closures pushed onto a mutex/condition work queue; each
-    of the [domains] spawned {!Domain.t}s loops taking tasks until
-    {!shutdown}. Exceptions raised by a task are captured in its future
-    and rethrown at {!await} on the caller's thread, so failure
-    semantics match running the closure in place.
+    Internally each worker owns a Chase–Lev work-stealing deque: the
+    owner pushes and pops LIFO at the bottom, idle workers steal FIFO
+    from the top with a single CAS, and external submitters go through
+    a small injector queue. Idle workers spin with exponential backoff
+    and then park on a condition variable; submitters wake one sleeper
+    per task (a broadcast only for batches), so there is no global
+    lock or condvar thundering herd on the scheduling hot path.
+    Exceptions raised by a task are captured in its future and rethrown
+    at {!await} on the caller's thread, so failure semantics match
+    running the closure in place.
 
-    {!run_all} is *help-first*: after enqueueing its tasks the calling
-    thread claims and runs any of them that no pool domain has picked
-    up yet. Two consequences: a [run_all] issued from {e inside} a pool
-    task (the nested shape parallel hashing inside a dispatched
-    pipeline produces) can never deadlock the fixed-size pool, and an
-    idle caller contributes a worker's worth of throughput instead of
+    {!run_all} is *help-first*: after enqueueing its tasks (one
+    lock-free batch push from a worker, or one injector critical
+    section from outside) the calling thread claims — one CAS per
+    cell — and runs any of them that no pool domain has picked up yet.
+    Two consequences: a [run_all] issued from {e inside} a pool task
+    (the nested shape parallel hashing inside a dispatched pipeline
+    produces) can never deadlock the fixed-size pool, and an idle
+    caller contributes a worker's worth of throughput instead of
     blocking. *)
 
 type t
@@ -29,6 +36,16 @@ val create : domains:int -> t
 
 val size : t -> int
 (** The fixed worker count the pool was created with. *)
+
+type stats = { steals : int; parks : int }
+(** Scheduling-contention counters: successful steals from another
+    worker's deque, and worker park events (a worker found no work
+    after its spin budget and blocked). High parks with low steals
+    means the pool is starved; high steals means the load is imbalanced
+    but the deques are absorbing it. *)
+
+val stats : t -> stats
+(** Monotone totals since {!create}; readable at any time. *)
 
 type 'a future
 

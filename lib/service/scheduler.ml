@@ -40,6 +40,7 @@ type config = {
   dispatch :
     (unit -> Engarde.Provision.outcome) -> unit -> Engarde.Provision.outcome;
   hash_runner : Engarde.Analysis.hash_runner option;
+  pool_stats : (unit -> Pool.stats) option;
   channel : Engarde.Provision.channel;
   ticket_epoch : int;
   ticket_capacity : int;
@@ -69,6 +70,7 @@ let default_config =
         let r = pipeline () in
         fun () -> r);
     hash_runner = None;
+    pool_stats = None;
     (* Legacy by default: existing deployments (and the fault-injection
        hooks, which pattern-match [Code_block]) see the paper-faithful
        wire format unless the provider opts into streaming. *)
@@ -91,8 +93,12 @@ let parallel_config ?(config = default_config) ~domains () =
       (* At least one scheduler worker per domain, or in-flight slots —
          not cores — would bound the parallelism. *)
       workers = max config.workers domains;
+      (* Likewise at least one cache stripe per domain, so concurrent
+         pipelines don't serialize on one shard lock. *)
+      cache_shards = max config.cache_shards domains;
       dispatch = parallel_dispatch pool;
       hash_runner = Some (fun tasks -> Pool.run_all pool tasks);
+      pool_stats = Some (fun () -> Pool.stats pool);
     },
     pool )
 
@@ -668,7 +674,9 @@ let run_until_idle ?(max_ticks = 1_000_000) t =
 
 let report t =
   let shards = Option.map Cache.shard_stats t.cache in
-  Metrics.render ?shards t.metrics ~queue:(Queue.stats t.queue) ~cache:(cache_stats t)
+  let pool = Option.map (fun f -> f ()) t.cfg.pool_stats in
+  Metrics.render ?shards ?pool t.metrics ~queue:(Queue.stats t.queue)
+    ~cache:(cache_stats t)
 
 let batch ?(config = default_config) jobs =
   let t = create config in

@@ -102,6 +102,10 @@ type config = {
           prehashes its candidate function digests in parallel
           (see {!Engarde.Analysis.prehash}); never changes verdicts or
           modelled cycles *)
+  pool_stats : (unit -> Pool.stats) option;
+      (** when set (as {!parallel_config} does), {!report} samples it
+          and emits [pool_steals_total] / [pool_parks_total] — the
+          work-stealing pool's contention telemetry *)
   channel : Engarde.Provision.channel;
       (** which transfer flavor jobs provision over. [`Legacy] (the
           default) keeps the paper-faithful block channel; [`Streaming]
@@ -131,13 +135,14 @@ val default_config : config
 val parallel_config : ?config:config -> domains:int -> unit -> config * Pool.t
 (** [config] (default {!default_config}) rewired for true parallelism:
     [dispatch] submits every pipeline to a fresh [domains]-wide {!Pool},
-    [hash_runner] fans per-function hashing out over the same pool, and
+    [hash_runner] fans per-function hashing out over the same pool,
     [workers] is raised to at least [domains] so in-flight slots never
-    bound the parallelism. The pool is returned so the caller can
-    {!Pool.shutdown} it when the scheduler is done. Verdicts, cache
-    statistics and the audit-log root are identical to the sequential
-    configuration on the same job mix — wall-clock time is the only
-    observable difference. *)
+    bound the parallelism, and [cache_shards] to at least [domains] so
+    concurrent pipelines don't serialize on one stripe lock. The pool
+    is returned so the caller can {!Pool.shutdown} it when the
+    scheduler is done. Verdicts, cache statistics and the audit-log
+    root are identical to the sequential configuration on the same job
+    mix — wall-clock time is the only observable difference. *)
 
 val known_policies : string list
 (** The builtin policy names every scheduler accepts: "libc", "stack",

@@ -22,9 +22,23 @@ let pp_error fmt = function
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
-(* Decoding cursor over an immutable string. *)
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Instruction bytes come either as an ordinary string or as an
+   off-heap [bigstring] view of the mapped section — the zero-copy path
+   parallel workers decode through without dragging multi-MB strings
+   across the shared major heap. *)
+type src = Str of string | Big of bigstring
+
+let src_length = function
+  | Str s -> String.length s
+  | Big b -> Bigarray.Array1.dim b
+
+(* Decoding cursor over an immutable byte source. *)
 type cursor = {
-  code : string;
+  code : src;
+  code_len : int;  (* cached [src_length code] *)
   start : int;     (* offset of the instruction being decoded *)
   mutable pos : int;
   mutable seg_fs : bool;
@@ -38,8 +52,10 @@ type cursor = {
 exception Fail of error
 
 let peek c =
-  if c.pos >= String.length c.code then raise (Fail (Truncated c.start));
-  Char.code c.code.[c.pos]
+  if c.pos >= c.code_len then raise (Fail (Truncated c.start));
+  match c.code with
+  | Str s -> Char.code (String.unsafe_get s c.pos)
+  | Big b -> Char.code (Bigarray.Array1.unsafe_get b c.pos)
 
 let next c =
   let b = peek c in
@@ -286,11 +302,12 @@ let decode_insn c : Insn.t =
 
 let max_insn_len = 15
 
-let decode_one code ~pos =
-  if pos < 0 || pos >= String.length code then Error (Truncated pos)
+let decode_one_src code ~pos =
+  let code_len = src_length code in
+  if pos < 0 || pos >= code_len then Error (Truncated pos)
   else begin
     let c =
-      { code; start = pos; pos; seg_fs = false; rex = 0;
+      { code; code_len; start = pos; pos; seg_fs = false; rex = 0;
         n_prefix = 0; n_opcode = 0; n_disp = 0; n_imm = 0 }
     in
     match decode_insn c with
@@ -306,15 +323,18 @@ let decode_one code ~pos =
     | exception Fail e -> Error e
   end
 
-let decode_all ?(pos = 0) ?len code =
-  let stop = match len with None -> String.length code | Some l -> pos + l in
+let decode_all_src ?(pos = 0) ?len code =
+  let stop = match len with None -> src_length code | Some l -> pos + l in
   let rec go acc pos =
     if pos >= stop then Ok (List.rev acc)
     else
-      match decode_one code ~pos with
+      match decode_one_src code ~pos with
       | Error e -> Error e
       | Ok d ->
           if pos + d.meta.len > stop then Error (Truncated pos)
           else go (d :: acc) (pos + d.meta.len)
   in
   go [] pos
+
+let decode_one code ~pos = decode_one_src (Str code) ~pos
+let decode_all ?pos ?len code = decode_all_src ?pos ?len (Str code)

@@ -26,9 +26,28 @@ type error =
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Off-heap byte buffer (structural alias for [Elf64.Buf.Big.t] —
+    declared locally so this library keeps zero dependencies). *)
+
+type src = Str of string | Big of bigstring
+(** Instruction byte source. [Big] is the zero-copy path: the decoder
+    reads the mapped section in place, so parallel domains share one
+    off-heap buffer instead of copying strings through the GC heap. *)
+
+val src_length : src -> int
+
 val decode_one : string -> pos:int -> (decoded, error) result
 (** Decode the instruction starting at byte [pos]. *)
 
 val decode_all : ?pos:int -> ?len:int -> string -> (decoded list, error) result
 (** Linear sweep over [len] bytes from [pos] (defaults: whole string).
     Stops at the first undecodable byte. *)
+
+val decode_one_src : src -> pos:int -> (decoded, error) result
+(** {!decode_one} over either byte source. Byte-identical results for
+    identical bytes, regardless of representation. *)
+
+val decode_all_src : ?pos:int -> ?len:int -> src -> (decoded list, error) result
+(** {!decode_all} over either byte source. *)

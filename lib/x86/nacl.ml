@@ -21,8 +21,8 @@ let branch_target (d : Decoder.decoded) =
   | (CALL | JMP | JCC _), [ Rel rel ] -> Some (d.off + d.meta.len + rel)
   | _ -> None
 
-let validate ?(roots = []) ?(check_reachability = true) code =
-  match Decoder.decode_all code with
+let validate_src ?(roots = []) ?(check_reachability = true) code =
+  match Decoder.decode_all_src code with
   | Error e -> Error (Decode_error e)
   | Ok insns ->
       let insns = Array.of_list insns in
@@ -102,3 +102,6 @@ let validate ?(roots = []) ?(check_reachability = true) code =
             | None -> if check_reachability then check_reach () else None)
       in
       (match violation with Some v -> Error v | None -> Ok insns)
+
+let validate ?roots ?check_reachability code =
+  validate_src ?roots ?check_reachability (Decoder.Str code)

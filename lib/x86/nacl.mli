@@ -32,3 +32,11 @@ val validate :
     jump-table entries reached through masked indirect calls).
     [check_reachability] defaults to [true]. On success, returns the full
     instruction buffer in code order. *)
+
+val validate_src :
+  ?roots:int list ->
+  ?check_reachability:bool ->
+  Decoder.src ->
+  (Decoder.decoded array, violation) result
+(** {!validate} over either byte source; the [Big] case validates the
+    off-heap buffer in place (zero-copy). *)

@@ -56,6 +56,68 @@ let sha256_update_sub_bounds () =
   Alcotest.check_raises "len overflow" (Invalid_argument "Sha256.update_sub")
     (fun () -> Sha256.update_sub ctx "abc" ~pos:2 ~len:2)
 
+let sha256_big_buffer_equals_string () =
+  (* The zero-copy Bigarray absorb path, streamed in chunk sizes that
+     straddle the 64-byte block boundary, must agree with the string
+     one-shot. *)
+  let msg = String.init 1000 (fun i -> Char.chr (i * 7 mod 256)) in
+  let big = Elf64.Buf.Big.of_string msg in
+  let ctx = Sha256.init () in
+  let pos = ref 0 in
+  List.iter
+    (fun sz ->
+      let sz = min sz (String.length msg - !pos) in
+      Sha256.update_big_sub ctx big ~pos:!pos ~len:sz;
+      pos := !pos + sz)
+    [ 1; 7; 63; 64; 65; 100; 700 ];
+  Sha256.update_big_sub ctx big ~pos:!pos ~len:(String.length msg - !pos);
+  Alcotest.(check string) "big streamed = string one-shot" (Sha256.digest_hex msg)
+    (Sha256.hex (Sha256.finalize ctx))
+
+let sha256_digest_many_boundaries () =
+  (* Nine bodies forces a second interleave group (8 lanes per sweep);
+     lengths sit on both sides of every block boundary. *)
+  let msgs =
+    List.map
+      (fun n -> String.init n (fun i -> Char.chr ((i + n) mod 256)))
+      [ 0; 1; 63; 64; 65; 127; 128; 200; 1000 ]
+  in
+  Alcotest.(check (list string))
+    "digest_many = map digest" (List.map Sha256.digest msgs) (Sha256.digest_many msgs)
+
+(* Multi-buffer hashing is a pure batching optimization: bit-identical
+   to the scalar digest on arbitrary message counts and lengths, and it
+   composes with midstate export/import (a resumed scalar context must
+   reproduce each lane of the batch). *)
+let arb_msgs =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";" (List.map (fun s -> string_of_int (String.length s)) l))
+    QCheck.Gen.(list_size (int_range 0 20) (string_size ~gen:char (int_range 0 300)))
+
+let prop_digest_many_scalar =
+  QCheck.Test.make ~name:"digest_many = map digest" ~count:200 arb_msgs (fun msgs ->
+      Sha256.digest_many msgs = List.map Sha256.digest msgs)
+
+let prop_digest_many_midstate =
+  QCheck.Test.make ~name:"digest_many matches midstate resume" ~count:100
+    (QCheck.pair arb_msgs (QCheck.int_range 0 1000))
+    (fun (msgs, cut0) ->
+      let resumed =
+        List.map
+          (fun msg ->
+            let cut = if msg = "" then 0 else cut0 mod (String.length msg + 1) in
+            let ctx = Sha256.init () in
+            Sha256.update_sub ctx msg ~pos:0 ~len:cut;
+            match Sha256.import_state (Sha256.export_state ctx) with
+            | None -> QCheck.Test.fail_report "midstate did not import"
+            | Some ctx' ->
+                Sha256.update_sub ctx' msg ~pos:cut ~len:(String.length msg - cut);
+                Sha256.finalize ctx')
+          msgs
+      in
+      resumed = Sha256.digest_many msgs)
+
 (* ------------------------------------------------------------------ *)
 (* HMAC-SHA256: RFC 4231 vectors                                       *)
 (* ------------------------------------------------------------------ *)
@@ -426,7 +488,10 @@ let () =
           Alcotest.test_case "million a" `Slow sha256_million_a;
           Alcotest.test_case "streaming" `Quick sha256_streaming_equals_oneshot;
           Alcotest.test_case "update_sub bounds" `Quick sha256_update_sub_bounds;
-        ] );
+          Alcotest.test_case "bigarray streaming" `Quick sha256_big_buffer_equals_string;
+          Alcotest.test_case "digest_many boundaries" `Quick sha256_digest_many_boundaries;
+        ]
+        @ qsuite [ prop_digest_many_scalar; prop_digest_many_midstate ] );
       ( "hmac",
         [
           Alcotest.test_case "rfc4231 #1" `Quick hmac_rfc4231_case1;

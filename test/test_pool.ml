@@ -89,6 +89,71 @@ let pool_nested_run_all () =
         "nested run_all completes on a saturated pool" [ 10; 11; 12; 13 ]
         (Service.Pool.await fut))
 
+(* Steal-interleaving determinism (qcheck): whatever the domain count
+   and however the deques interleave owner pops against steals, run_all
+   is observationally the sequential map — same results in input order,
+   and when tasks fail, the same winning exception (first in LIST
+   order, not first on the clock). Staggered sleeps vary the actual
+   schedule between runs; the observable outcome may not. *)
+exception Task_fail of int
+
+let task_list_gen =
+  QCheck.Gen.(
+    pair (int_range 1 4)
+      (list_size (int_range 0 25) (triple small_nat bool (int_bound 2))))
+
+let task_list_print (domains, spec) =
+  Printf.sprintf "domains=%d tasks=[%s]" domains
+    (String.concat "; "
+       (List.map
+          (fun (v, fails, d) ->
+            Printf.sprintf "%d%s/d%d" v (if fails then "!" else "") d)
+          spec))
+
+let pool_steal_determinism =
+  QCheck.Test.make ~count:30 ~name:"run_all = sequential map under stealing"
+    (QCheck.make ~print:task_list_print task_list_gen)
+    (fun (domains, spec) ->
+      let tasks =
+        List.map
+          (fun (v, fails, delay) () ->
+            if delay = 2 then Unix.sleepf 0.0005 else if delay = 1 then Domain.cpu_relax ();
+            if fails then raise (Task_fail v) else (2 * v) + 1)
+          spec
+      in
+      let reference =
+        match List.find_opt (fun (_, fails, _) -> fails) spec with
+        | Some (v, _, _) -> Error (Task_fail v)
+        | None -> Ok (List.map (fun (v, _, _) -> (2 * v) + 1) spec)
+      in
+      Service.Pool.with_pool ~domains (fun pool ->
+          let got =
+            match Service.Pool.run_all pool tasks with
+            | r -> Ok r
+            | exception (Task_fail _ as e) -> Error e
+          in
+          got = reference))
+
+let pool_stats_and_shutdown_edges () =
+  let pool = Service.Pool.create ~domains:2 in
+  ignore
+    (Service.Pool.run_all pool
+       (List.init 32 (fun i () ->
+            if i land 1 = 0 then Unix.sleepf 0.001;
+            i)));
+  let st = Service.Pool.stats pool in
+  Alcotest.(check bool) "steals counter sane" true (st.Service.Pool.steals >= 0);
+  Alcotest.(check bool) "parks counter sane" true (st.Service.Pool.parks >= 0);
+  (* Double shutdown: second call neither raises nor hangs. *)
+  Service.Pool.shutdown pool;
+  Service.Pool.shutdown pool;
+  (* Batch submission after shutdown is refused like submit is. *)
+  (match Service.Pool.run_all pool [ (fun () -> 0) ] with
+  | _ -> Alcotest.fail "run_all after shutdown did not raise"
+  | exception Invalid_argument _ -> ());
+  (* Telemetry stays readable on a dead pool (metrics render late). *)
+  ignore (Service.Pool.stats pool)
+
 (* ------------------------------------------------------------------ *)
 (* Sharded cache vs single-lock shards (qcheck)                        *)
 (* ------------------------------------------------------------------ *)
@@ -267,6 +332,9 @@ let () =
             pool_exception_rethrow;
           Alcotest.test_case "graceful, idempotent shutdown" `Quick pool_shutdown;
           Alcotest.test_case "nested run_all cannot deadlock" `Quick pool_nested_run_all;
+          Alcotest.test_case "double shutdown, stats, post-shutdown run_all" `Quick
+            pool_stats_and_shutdown_edges;
+          QCheck_alcotest.to_alcotest pool_steal_determinism;
         ] );
       ( "sharded-cache",
         [
